@@ -1,0 +1,46 @@
+// Ablation A1: effect of the sketch parameters r (independent second-level
+// tables) and s (buckets per table) on top-10 recall and relative error.
+//
+// DESIGN.md calls out both as the key sizing knobs: s controls the distinct
+// sample size (accuracy scales ~1/sqrt(sample)), r controls singleton
+// recovery probability at loaded levels (Lemma 4.1). Expectation: accuracy
+// rises steeply with s, and r beyond 2-3 only helps marginally while costing
+// update time linearly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  const Options options(argc, argv);
+  Scale scale = Scale::resolve(options);
+  const double skew = options.real("z", 1.5);
+  const std::size_t k = static_cast<std::size_t>(options.integer("k", 10));
+
+  std::printf("# Ablation: r and s vs top-%zu accuracy (U=%llu, d=%u, z=%.1f, runs=%llu)\n",
+              k, static_cast<unsigned long long>(scale.u_pairs),
+              scale.num_destinations, skew,
+              static_cast<unsigned long long>(scale.runs));
+  print_row({"r", "s", "recall", "avg_rel_err"}, 12);
+  for (const int r : {1, 2, 3, 4, 5}) {
+    DcsParams params;
+    params.num_tables = r;
+    params.buckets_per_table = 128;
+    const AccuracyCell cell = accuracy_cell(scale, params, skew, k, false);
+    print_row({std::to_string(r), "128", format_double(cell.recall),
+               format_double(cell.avg_relative_error)},
+              12);
+  }
+  for (const std::uint32_t s : {32u, 64u, 128u, 256u, 512u}) {
+    DcsParams params;
+    params.num_tables = 3;
+    params.buckets_per_table = s;
+    const AccuracyCell cell = accuracy_cell(scale, params, skew, k, false);
+    print_row({"3", std::to_string(s), format_double(cell.recall),
+               format_double(cell.avg_relative_error)},
+              12);
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Head-to-head comparison of every tracker in the repository on the decisive
+// workload: a SYN flood hidden under a larger flash crowd plus background
+// traffic. For each method: memory, per-update cost, and whether its #1
+// answer is the true attack victim.
+//
+// Expected outcome (the paper's related-work argument, quantified):
+//   * distinct-source + deletions  (exact, dcs-basic, dcs-tracking) -> victim;
+//   * distinct-source, insert-only (distinct-sampler)               -> crowd;
+//   * volume                       (count-min, space-saving,
+//                                   sample-and-hold)                -> crowd.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/count_min.hpp"
+#include "baselines/distinct_sampler.hpp"
+#include "baselines/exact_tracker.hpp"
+#include "baselines/sample_and_hold.hpp"
+#include "baselines/space_saving.hpp"
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+namespace {
+
+using namespace dcs;
+
+struct Row {
+  std::string name;
+  std::string answer;
+  double update_us = 0.0;
+  double memory_kib = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcs::bench;
+  const Options options(argc, argv);
+  const auto flood = static_cast<std::uint64_t>(options.integer("flood", 20'000));
+  const auto crowd_size =
+      static_cast<std::uint64_t>(options.integer("crowd", 40'000));
+
+  Timeline timeline(31);
+  BackgroundTrafficConfig background;
+  background.sessions = 10'000;
+  add_background_traffic(timeline, background);
+  SynFloodConfig flood_config;
+  flood_config.spoofed_sources = flood;
+  add_syn_flood(timeline, flood_config);
+  FlashCrowdConfig crowd;
+  crowd.clients = crowd_size;
+  crowd.target = 0x0a00cafe;
+  add_flash_crowd(timeline, crowd);
+
+  FlowUpdateExporter exporter;
+  const auto packets = timeline.finalize();
+  const auto updates = exporter.run(packets);
+
+  const auto verdict = [&](Addr answer) -> std::string {
+    if (answer == flood_config.victim) return "VICTIM (correct)";
+    if (answer == crowd.target) return "crowd (wrong)";
+    return "other (wrong)";
+  };
+
+  std::vector<Row> rows;
+
+  {
+    ExactTracker exact;
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) exact.update(u.dest, u.source, u.delta);
+    rows.push_back({"exact", verdict(exact.top_k(1).entries.at(0).group),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(exact.memory_bytes()) / 1024.0});
+  }
+  {
+    DcsParams params;
+    params.seed = 3;
+    DistinctCountSketch sketch(params);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+    rows.push_back({"dcs-basic", verdict(sketch.top_k(1).entries.at(0).group),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(sketch.memory_bytes()) / 1024.0});
+  }
+  {
+    DcsParams params;
+    params.seed = 3;
+    TrackingDcs sketch(params);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+    rows.push_back({"dcs-tracking", verdict(sketch.top_k(1).entries.at(0).group),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(sketch.memory_bytes()) / 1024.0});
+  }
+  {
+    DistinctSampler sampler(4096, 3);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates)
+      if (u.delta > 0) sampler.update(u.dest, u.source, +1);
+    rows.push_back({"distinct-sampler(ins-only)",
+                    verdict(sampler.top_k(1).entries.at(0).group),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(sampler.memory_bytes()) / 1024.0});
+  }
+  {
+    VolumeHeavyHitters volume(4, 8192, 3);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) volume.update(u.dest, u.source, +1);
+    rows.push_back({"count-min volume",
+                    verdict(volume.top_k(1).entries.at(0).group),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(volume.memory_bytes()) / 1024.0});
+  }
+  {
+    SpaceSaving saving(4096);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) saving.add(u.dest);
+    rows.push_back({"space-saving volume",
+                    verdict(saving.top_k(1).at(0).key),
+                    watch.elapsed_us() / static_cast<double>(updates.size()),
+                    static_cast<double>(saving.memory_bytes()) / 1024.0});
+  }
+  {
+    // Sample-and-hold consumes packets, not updates.
+    SampleAndHold sah(100, 8192, 3);
+    Stopwatch watch;
+    for (const Packet& packet : packets) sah.observe(packet.source, packet.dest);
+    const auto dests = sah.top_destinations(1);
+    rows.push_back({"sample-and-hold volume",
+                    dests.empty() ? "none (wrong)" : verdict(dests[0].group),
+                    watch.elapsed_us() / static_cast<double>(packets.size()),
+                    static_cast<double>(sah.memory_bytes()) / 1024.0});
+  }
+
+  std::printf("# Baseline comparison: flood=%llu spoofed sources vs crowd=%llu clients\n",
+              static_cast<unsigned long long>(flood),
+              static_cast<unsigned long long>(crowd_size));
+  print_row({"method", "top-1 answer", "us/update", "KiB"}, 28);
+  for (const Row& row : rows)
+    print_row({row.name, row.answer, format_double(row.update_us, 3),
+               format_double(row.memory_kib, 0)},
+              28);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+namespace dcs::bench {
+
+Scale Scale::resolve(const Options& options) {
+  Scale scale{};
+  scale.full = options.flag("full", false);
+  // Paper scale: U = 8e6 pairs, d = 5e4 destinations, 5 runs. The scaled
+  // default (10x smaller U) keeps the whole bench suite in the minutes range.
+  scale.u_pairs = static_cast<std::uint64_t>(
+      options.integer("u", scale.full ? 8'000'000 : 800'000));
+  scale.num_destinations =
+      static_cast<std::uint32_t>(options.integer("d", 50'000));
+  scale.runs =
+      static_cast<std::uint64_t>(options.integer("runs", scale.full ? 5 : 3));
+  return scale;
+}
+
+void replay(const std::vector<FlowUpdate>& updates, TopKEstimator& estimator) {
+  for (const FlowUpdate& u : updates)
+    estimator.update(u.dest, u.source, u.delta);
+}
+
+std::vector<AccuracyCell> accuracy_row(const Scale& scale,
+                                       const DcsParams& params, double skew,
+                                       const std::vector<std::size_t>& ks,
+                                       bool use_tracking) {
+  std::vector<AccuracyCell> cells(ks.size());
+  for (std::uint64_t run = 0; run < scale.runs; ++run) {
+    ZipfWorkloadConfig workload_config;
+    workload_config.u_pairs = scale.u_pairs;
+    workload_config.num_destinations = scale.num_destinations;
+    workload_config.skew = skew;
+    workload_config.seed = 1000 + run;
+    const ZipfWorkload workload(workload_config);
+
+    DcsParams run_params = params;
+    run_params.seed = 77 + run;
+    std::unique_ptr<TopKEstimator> estimator;
+    if (use_tracking)
+      estimator = std::make_unique<TrackingDcs>(run_params);
+    else
+      estimator = std::make_unique<DistinctCountSketch>(run_params);
+
+    replay(workload.updates(), *estimator);
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const TopKResult result = estimator->top_k(ks[i]);
+      const TopKAccuracy accuracy =
+          evaluate_top_k(result.entries, workload.true_frequencies(), ks[i]);
+      cells[i].recall += accuracy.recall;
+      cells[i].avg_relative_error += accuracy.avg_relative_error;
+    }
+  }
+  for (AccuracyCell& cell : cells) {
+    cell.recall /= static_cast<double>(scale.runs);
+    cell.avg_relative_error /= static_cast<double>(scale.runs);
+  }
+  return cells;
+}
+
+AccuracyCell accuracy_cell(const Scale& scale, const DcsParams& params,
+                           double skew, std::size_t k, bool use_tracking) {
+  return accuracy_row(scale, params, skew, {k}, use_tracking)[0];
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace dcs::bench

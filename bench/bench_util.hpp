@@ -1,0 +1,56 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each benchmark binary prints a table mirroring one figure/table of the
+// paper. The harness centralizes workload construction, multi-seed averaging
+// (the paper averages 5 runs) and column formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "metrics/accuracy.hpp"
+#include "sketch/dcs_params.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs::bench {
+
+/// Scale/accuracy knobs shared by all experiment binaries, resolved from
+/// CLI flags, DCS_* environment variables, and DCS_FULL=1 (paper scale).
+struct Scale {
+  std::uint64_t u_pairs;
+  std::uint32_t num_destinations;
+  std::uint64_t runs;  // seeds averaged per configuration
+  bool full;
+
+  static Scale resolve(const Options& options);
+};
+
+/// Feed a workload's updates into any TopKEstimator.
+void replay(const std::vector<FlowUpdate>& updates, TopKEstimator& estimator);
+
+/// Averaged accuracy for one (skew, k) configuration.
+struct AccuracyCell {
+  double recall = 0.0;
+  double avg_relative_error = 0.0;
+};
+
+/// Evaluate every k in `ks` against one skew: builds `runs` workloads with
+/// different seeds, streams each through a fresh sketch once, and evaluates
+/// all k values on the same sketch state (matching the paper's Figure 8
+/// methodology). Returns one cell per k.
+std::vector<AccuracyCell> accuracy_row(const Scale& scale,
+                                       const DcsParams& params, double skew,
+                                       const std::vector<std::size_t>& ks,
+                                       bool use_tracking);
+
+/// Single-k convenience wrapper around accuracy_row.
+AccuracyCell accuracy_cell(const Scale& scale, const DcsParams& params,
+                           double skew, std::size_t k, bool use_tracking);
+
+/// Fixed-width column printing helpers.
+void print_row(const std::vector<std::string>& cells, int width = 12);
+std::string format_double(double value, int decimals = 3);
+
+}  // namespace dcs::bench

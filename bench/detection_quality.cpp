@@ -1,0 +1,126 @@
+// Detection quality: true/false positives and detection latency of the
+// full DdosMonitor pipeline across seeds — an evaluation the paper's
+// preliminary study does not include but any deployment needs.
+//
+// Per trial: background traffic runs throughout; a SYN flood against a fresh
+// victim starts midway; a flash crowd (same size as the flood) hits another
+// destination in the same window. We record:
+//   * TP   — the victim raised an alert;
+//   * FP   — any alert raised for a non-victim subject (incl. the crowd);
+//   * latency — updates between the first post-onset flood update and the
+//     victim's alert.
+// Swept over the alarm factor to expose the sensitivity/noise trade-off.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "detection/ddos_monitor.hpp"
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+
+namespace {
+
+using namespace dcs;
+
+struct TrialResult {
+  bool detected = false;
+  int false_positives = 0;
+  std::uint64_t latency_updates = 0;
+};
+
+TrialResult run_trial(std::uint64_t seed, double alarm_factor,
+                      std::uint64_t flood_size) {
+  Timeline timeline(seed);
+  BackgroundTrafficConfig background;
+  background.sessions = 8000;
+  background.duration_ticks = 100'000;
+  add_background_traffic(timeline, background);
+  SynFloodConfig flood;
+  flood.spoofed_sources = flood_size;
+  flood.start_tick = 50'000;
+  flood.duration_ticks = 25'000;
+  flood.spoof_seed = seed * 17 + 5;
+  add_syn_flood(timeline, flood);
+  FlashCrowdConfig crowd;
+  crowd.target = 0x0a00aaaa;
+  crowd.clients = flood_size;
+  crowd.start_tick = 50'000;
+  crowd.duration_ticks = 25'000;
+  add_flash_crowd(timeline, crowd);
+
+  FlowUpdateExporter exporter;
+  const auto packets = timeline.finalize();
+
+  DdosMonitorConfig config;
+  config.sketch.seed = seed + 1000;
+  config.check_interval = 1024;
+  config.min_absolute = 800;
+  config.alarm_factor = alarm_factor;
+  DdosMonitor monitor(config);
+
+  // Track when the flood's first update is ingested to measure latency.
+  std::uint64_t flood_onset_position = 0;
+  for (const Packet& packet : packets) {
+    exporter.observe(packet, [&](const FlowUpdate& u) {
+      monitor.ingest(u);
+      if (flood_onset_position == 0 && u.dest == flood.victim && u.delta > 0)
+        flood_onset_position = monitor.updates_ingested();
+    });
+  }
+  monitor.check_now();
+
+  TrialResult result;
+  for (const Alert& alert : monitor.alerts()) {
+    if (alert.kind != Alert::Kind::kRaised) continue;
+    if (alert.subject == flood.victim) {
+      if (!result.detected) {
+        result.detected = true;
+        result.latency_updates = alert.stream_position - flood_onset_position;
+      }
+    } else {
+      ++result.false_positives;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcs::bench;
+  const Options options(argc, argv);
+  const auto trials = static_cast<std::uint64_t>(options.integer("trials", 5));
+  const auto flood_size =
+      static_cast<std::uint64_t>(options.integer("flood", 10'000));
+
+  std::printf("# Detection quality: flood of %llu spoofed sources + equal flash crowd, %llu trials\n",
+              static_cast<unsigned long long>(flood_size),
+              static_cast<unsigned long long>(trials));
+  print_row({"alarm_factor", "detect_rate", "false_pos/trial", "median_latency"},
+            18);
+  for (const double factor : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    int detected = 0;
+    int false_positives = 0;
+    std::vector<double> latencies;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const TrialResult r = run_trial(t + 1, factor, flood_size);
+      detected += r.detected ? 1 : 0;
+      false_positives += r.false_positives;
+      if (r.detected) latencies.push_back(static_cast<double>(r.latency_updates));
+    }
+    std::string latency = "-";
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      latency = format_double(latencies[latencies.size() / 2], 0);
+    }
+    print_row({format_double(factor, 1),
+               format_double(static_cast<double>(detected) /
+                                 static_cast<double>(trials)),
+               format_double(static_cast<double>(false_positives) /
+                                 static_cast<double>(trials),
+                             2),
+               latency},
+              18);
+  }
+  return 0;
+}

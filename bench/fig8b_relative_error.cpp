@@ -1,0 +1,41 @@
+// Figure 8(b): average relative error of the estimated top-k frequencies
+// over the recall set, vs k, for Zipf skews z in {1.0, 1.5, 2.0, 2.5}.
+// Same setup as Figure 8(a): U = 8e6, d = 50,000, r = 3, s = 128, 5 seeds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  const Options options(argc, argv);
+  const Scale scale = Scale::resolve(options);
+
+  DcsParams params;
+  params.num_tables = static_cast<int>(options.integer("r", 3));
+  params.buckets_per_table =
+      static_cast<std::uint32_t>(options.integer("s", 128));
+  const bool tracking = options.flag("tracking", false);
+
+  const std::vector<double> skews = {1.0, 1.5, 2.0, 2.5};
+  const std::vector<std::size_t> ks = {1, 2, 5, 10, 15, 20};
+
+  std::printf(
+      "# Figure 8(b): avg relative error (U=%llu, d=%u, r=%d, s=%u, runs=%llu, %s)\n",
+      static_cast<unsigned long long>(scale.u_pairs), scale.num_destinations,
+      params.num_tables, params.buckets_per_table,
+      static_cast<unsigned long long>(scale.runs),
+      tracking ? "tracking" : "basic");
+  std::vector<std::vector<AccuracyCell>> columns;
+  for (const double z : skews)
+    columns.push_back(accuracy_row(scale, params, z, ks, tracking));
+  print_row({"k", "z=1.0", "z=1.5", "z=2.0", "z=2.5"});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::vector<std::string> row{std::to_string(ks[i])};
+    for (std::size_t c = 0; c < skews.size(); ++c)
+      row.push_back(format_double(columns[c][i].avg_relative_error));
+    print_row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Microbenchmarks (google-benchmark): the primitive operations whose costs
+// compose into the paper's Table 2 — count-signature updates, bucket
+// classification, per-update sketch maintenance (basic vs tracking), top-k
+// queries, and heap operations.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "distributed/concurrent_monitor.hpp"
+#include "net/exporter.hpp"
+#include "sketch/count_signature.hpp"
+#include "sketch/sliding_window.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/indexed_heap.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+
+namespace {
+
+using namespace dcs;
+
+DcsParams bench_params(std::uint32_t s = 128) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = s;
+  params.seed = 99;
+  return params;
+}
+
+std::vector<FlowUpdate> bench_updates(std::size_t count) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = count;
+  config.num_destinations = 10'000;
+  config.skew = 1.5;
+  config.seed = 31;
+  return ZipfWorkload(config).updates();
+}
+
+void BM_SignatureAdd(benchmark::State& state) {
+  std::vector<std::int64_t> counters(65, 0);
+  CountSignatureView sig(counters.data(), 64);
+  Xoshiro256 rng(1);
+  std::uint64_t key = rng();
+  for (auto _ : state) {
+    sig.add(key, +1);
+    key = key * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(counters.data());
+  }
+}
+BENCHMARK(BM_SignatureAdd);
+
+void BM_SignatureClassify(benchmark::State& state) {
+  std::vector<std::int64_t> counters(65, 0);
+  CountSignatureView sig(counters.data(), 64);
+  sig.add(0x123456789abcdef0ULL, +1);
+  for (auto _ : state) {
+    const BucketClass cls = sig.classify();
+    benchmark::DoNotOptimize(cls);
+  }
+}
+BENCHMARK(BM_SignatureClassify);
+
+void BM_BasicUpdate(benchmark::State& state) {
+  const auto updates = bench_updates(100'000);
+  DistinctCountSketch sketch(bench_params());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FlowUpdate& u = updates[i];
+    sketch.update(u.dest, u.source, u.delta);
+    if (++i == updates.size()) i = 0;
+  }
+}
+BENCHMARK(BM_BasicUpdate);
+
+void BM_TrackingUpdate(benchmark::State& state) {
+  const auto updates = bench_updates(100'000);
+  TrackingDcs sketch(bench_params());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FlowUpdate& u = updates[i];
+    sketch.update(u.dest, u.source, u.delta);
+    if (++i == updates.size()) i = 0;
+  }
+}
+BENCHMARK(BM_TrackingUpdate);
+
+void BM_BasicTopK(benchmark::State& state) {
+  const auto updates = bench_updates(200'000);
+  DistinctCountSketch sketch(
+      bench_params(static_cast<std::uint32_t>(state.range(0))));
+  for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+  for (auto _ : state) {
+    const TopKResult result = sketch.top_k(10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BasicTopK)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TrackingTopK(benchmark::State& state) {
+  const auto updates = bench_updates(200'000);
+  TrackingDcs sketch(bench_params(static_cast<std::uint32_t>(state.range(0))));
+  for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+  for (auto _ : state) {
+    const TopKResult result = sketch.top_k(10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TrackingTopK)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_HeapAdd(benchmark::State& state) {
+  IndexedMaxHeap<Addr> heap;
+  Xoshiro256 rng(2);
+  for (Addr k = 0; k < 10'000; ++k)
+    heap.add(k, static_cast<std::int64_t>(rng.bounded(1000)) + 1);
+  for (auto _ : state) {
+    const Addr key = static_cast<Addr>(rng.bounded(10'000));
+    heap.add(key, +1);
+    benchmark::DoNotOptimize(heap);
+  }
+}
+BENCHMARK(BM_HeapAdd);
+
+void BM_HeapTopK(benchmark::State& state) {
+  IndexedMaxHeap<Addr> heap;
+  Xoshiro256 rng(2);
+  for (Addr k = 0; k < 100'000; ++k)
+    heap.add(k, static_cast<std::int64_t>(rng.bounded(1'000'000)) + 1);
+  for (auto _ : state) {
+    const auto top = heap.top_k(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_HeapTopK)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SlidingWindowUpdate(benchmark::State& state) {
+  SlidingWindowSketch::Config config;
+  config.sketch = bench_params();
+  config.epoch_updates = 16'384;
+  config.window_epochs = static_cast<std::size_t>(state.range(0));
+  SlidingWindowSketch window(config);
+  const auto updates = bench_updates(100'000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FlowUpdate& u = updates[i];
+    window.update(u.dest, u.source, u.delta);
+    if (++i == updates.size()) i = 0;
+  }
+}
+BENCHMARK(BM_SlidingWindowUpdate)->Arg(2)->Arg(8);
+
+void BM_ConcurrentUpdate(benchmark::State& state) {
+  static ConcurrentMonitor* monitor = nullptr;
+  if (state.thread_index() == 0)
+    monitor = new ConcurrentMonitor(bench_params(), 16);
+  Xoshiro256 rng(static_cast<std::uint64_t>(state.thread_index()) + 1);
+  for (auto _ : state) {
+    monitor->update(static_cast<Addr>(rng.bounded(10'000)),
+                    static_cast<Addr>(rng()), +1);
+  }
+  if (state.thread_index() == 0) {
+    delete monitor;
+    monitor = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentUpdate)->Threads(1)->Threads(4);
+
+void BM_ExporterObserve(benchmark::State& state) {
+  // Exporter throughput on a SYN/ACK mix.
+  dcs::FlowUpdateExporter exporter;
+  Xoshiro256 rng(3);
+  std::uint64_t tick = 0;
+  std::uint64_t sink_count = 0;
+  for (auto _ : state) {
+    const Packet packet{tick++, static_cast<Addr>(rng.bounded(100'000)),
+                        static_cast<Addr>(rng.bounded(1000)),
+                        rng.bounded(2) ? PacketType::kSyn : PacketType::kAck};
+    exporter.observe(packet,
+                     [&sink_count](const FlowUpdate&) { ++sink_count; });
+  }
+  benchmark::DoNotOptimize(sink_count);
+}
+BENCHMARK(BM_ExporterObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 2: empirical space / update-time / query-time comparison of the
+// Basic vs Tracking Distinct-Count Sketch.
+//
+// The paper's Table 2 is asymptotic; this harness measures the actual costs
+// on this machine across a sweep of s (sketch width) so the claimed scaling
+// is visible:
+//   * space: identical up to a small constant factor (tracking adds
+//     singleton maps + heaps);
+//   * update time: basic O(r log m) vs tracking O(r log^2 m) — tracking pays
+//     a constant factor more per update;
+//   * query time: basic grows with rs (sample reconstruction) while tracking
+//     stays O(k log m).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+namespace {
+
+using namespace dcs;
+
+struct Costs {
+  double space_mib = 0.0;
+  double update_us = 0.0;
+  double query_us = 0.0;
+};
+
+template <typename Sketch>
+Costs measure(const std::vector<FlowUpdate>& updates, DcsParams params,
+              int query_reps) {
+  Sketch sketch(params);
+  Stopwatch update_watch;
+  for (const FlowUpdate& u : updates)
+    sketch.update(u.dest, u.source, u.delta);
+  Costs costs;
+  costs.update_us =
+      update_watch.elapsed_us() / static_cast<double>(updates.size());
+  costs.space_mib =
+      static_cast<double>(sketch.memory_bytes()) / (1024.0 * 1024.0);
+
+  std::uint64_t checksum = 0;
+  Stopwatch query_watch;
+  for (int rep = 0; rep < query_reps; ++rep) {
+    const TopKResult result = sketch.top_k(10);
+    if (!result.entries.empty()) checksum ^= result.entries[0].group;
+  }
+  costs.query_us = query_watch.elapsed_us() / static_cast<double>(query_reps);
+  if (checksum == 0xdeadbeef) std::printf("#\n");
+  return costs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcs::bench;
+
+  const Options options(argc, argv);
+  const Scale scale = Scale::resolve(options);
+  const int query_reps = static_cast<int>(options.integer("query-reps", 50));
+
+  ZipfWorkloadConfig config;
+  config.u_pairs = scale.u_pairs;
+  config.num_destinations = scale.num_destinations;
+  config.skew = 1.5;
+  config.seed = 21;
+  const ZipfWorkload workload(config);
+
+  std::printf("# Table 2: basic vs tracking costs (U=%llu, d=%u, r=3, top-10 queries)\n",
+              static_cast<unsigned long long>(scale.u_pairs),
+              scale.num_destinations);
+  print_row({"s", "variant", "space_MiB", "update_us", "query_us"}, 12);
+  for (const std::uint32_t s : {64u, 128u, 256u, 512u}) {
+    DcsParams params;
+    params.num_tables = 3;
+    params.buckets_per_table = s;
+    params.seed = 5;
+    const Costs basic =
+        measure<DistinctCountSketch>(workload.updates(), params, query_reps);
+    const Costs tracking =
+        measure<TrackingDcs>(workload.updates(), params, query_reps);
+    print_row({std::to_string(s), "basic", format_double(basic.space_mib, 2),
+               format_double(basic.update_us, 3),
+               format_double(basic.query_us, 1)},
+              12);
+    print_row({std::to_string(s), "tracking",
+               format_double(tracking.space_mib, 2),
+               format_double(tracking.update_us, 3),
+               format_double(tracking.query_us, 1)},
+              12);
+  }
+  return 0;
+}

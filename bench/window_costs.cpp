@@ -1,0 +1,75 @@
+// Costs of the recency extensions: SlidingWindowSketch memory/update
+// overhead vs window length, and EpochChangeDetector epoch-close cost.
+// Both are built purely from sketch linearity; this harness shows what the
+// recency semantics cost relative to a single cumulative tracking sketch.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "detection/epoch_change.hpp"
+#include "sketch/sliding_window.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcs;
+  using namespace dcs::bench;
+
+  const Options options(argc, argv);
+  const Scale scale = Scale::resolve(options);
+
+  ZipfWorkloadConfig config;
+  config.u_pairs = scale.u_pairs / 4;  // recency structures see fewer updates
+  config.num_destinations = scale.num_destinations;
+  config.skew = 1.5;
+  config.seed = 3;
+  const ZipfWorkload workload(config);
+  const auto& updates = workload.updates();
+
+  std::printf("# Recency-structure costs (%zu updates)\n", updates.size());
+
+  // Reference: cumulative tracking sketch.
+  {
+    DcsParams params;
+    params.seed = 9;
+    TrackingDcs tracker(params);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) tracker.update(u.dest, u.source, u.delta);
+    std::printf("cumulative tracking: %.3f us/update, %.1f KiB\n",
+                watch.elapsed_us() / static_cast<double>(updates.size()),
+                static_cast<double>(tracker.memory_bytes()) / 1024.0);
+  }
+
+  print_row({"window_epochs", "us/update", "KiB"}, 16);
+  for (const std::size_t window_epochs : {2u, 4u, 8u, 16u}) {
+    SlidingWindowSketch::Config window_config;
+    window_config.sketch.seed = 9;
+    window_config.epoch_updates = 16'384;
+    window_config.window_epochs = window_epochs;
+    SlidingWindowSketch window(window_config);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) window.update(u.dest, u.source, u.delta);
+    print_row({std::to_string(window_epochs),
+               format_double(watch.elapsed_us() /
+                                 static_cast<double>(updates.size()),
+                             3),
+               format_double(static_cast<double>(window.memory_bytes()) / 1024.0,
+                             0)},
+              16);
+  }
+
+  // Epoch change detector: amortized per-update cost including the
+  // subtract + query at every epoch boundary.
+  {
+    EpochChangeDetector::Config change_config;
+    change_config.sketch.seed = 9;
+    change_config.epoch_updates = 16'384;
+    EpochChangeDetector change(change_config);
+    Stopwatch watch;
+    for (const FlowUpdate& u : updates) change.update(u.dest, u.source, u.delta);
+    std::printf("epoch change (%zu reports): %.3f us/update, %.1f KiB\n",
+                change.reports().size(),
+                watch.elapsed_us() / static_cast<double>(updates.size()),
+                static_cast<double>(change.memory_bytes()) / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The paper's robustness argument, live: a flash crowd twice the size of a
+// simultaneous SYN flood. Deletion handling lets the sketch separate them —
+// the victim alarms, the crowd does not — while an insert-only view of the
+// same stream confuses the two.
+//
+//   build/examples/flash_crowd_vs_ddos
+#include <cstdio>
+
+#include "baselines/distinct_sampler.hpp"
+#include "detection/ddos_monitor.hpp"
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+
+int main() {
+  using namespace dcs;
+
+  Timeline timeline(99);
+  BackgroundTrafficConfig background;
+  background.sessions = 8000;
+  add_background_traffic(timeline, background);
+
+  SynFloodConfig flood;
+  flood.victim = 0x0a0000fe;
+  flood.spoofed_sources = 15'000;
+  add_syn_flood(timeline, flood);
+
+  FlashCrowdConfig crowd;
+  crowd.target = 0x0a00cafe;
+  crowd.clients = 30'000;  // twice the flood, but all handshakes complete
+  add_flash_crowd(timeline, crowd);
+
+  FlowUpdateExporter exporter;
+  const auto updates = exporter.run(timeline.finalize());
+
+  DdosMonitorConfig config;
+  config.sketch.seed = 42;
+  config.check_interval = 2048;
+  config.min_absolute = 2000;
+  DdosMonitor monitor(config);
+
+  DistinctSampler insert_only(4096, 42);  // deletion-blind comparison
+  for (const FlowUpdate& u : updates) {
+    monitor.ingest(u);
+    if (u.delta > 0) insert_only.update(u.dest, u.source, +1);
+  }
+  monitor.check_now();
+
+  const auto tag = [&](Addr a) {
+    return a == flood.victim   ? " <- SYN-flood victim"
+           : a == crowd.target ? " <- flash-crowd destination"
+                               : "";
+  };
+
+  std::printf("== deletion-aware (Tracking Distinct-Count Sketch) ==\n");
+  for (const TopKEntry& e : monitor.tracker().top_k(3).entries)
+    std::printf("  dest=%08x half-open-sources~%llu%s\n", e.group,
+                static_cast<unsigned long long>(e.estimate), tag(e.group));
+  std::printf("alerts raised for:\n");
+  bool victim_alarmed = false, crowd_alarmed = false;
+  for (const Alert& alert : monitor.alerts()) {
+    if (alert.kind != Alert::Kind::kRaised) continue;
+    std::printf("  dest=%08x%s\n", alert.subject, tag(alert.subject));
+    victim_alarmed |= alert.subject == flood.victim;
+    crowd_alarmed |= alert.subject == crowd.target;
+  }
+
+  std::printf("\n== insert-only view of the same stream ==\n");
+  for (const TopKEntry& e : insert_only.top_k(3).entries)
+    std::printf("  dest=%08x distinct-sources-ever~%llu%s\n", e.group,
+                static_cast<unsigned long long>(e.estimate), tag(e.group));
+  std::printf("  (the crowd outranks the victim: indistinguishable from an attack)\n");
+
+  const bool correct = victim_alarmed && !crowd_alarmed;
+  std::printf("\nresult: %s\n",
+              correct ? "victim alarmed, flash crowd correctly ignored"
+                      : "UNEXPECTED detection outcome");
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#include "baselines/bitmap_counter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace dcs {
+
+DirectBitmap::DirectBitmap(std::uint32_t bits, std::uint64_t seed)
+    : bits_(bits),
+      hash_(mix64(seed ^ 0xb17b17ULL)),
+      words_((bits + 63) / 64, 0) {
+  if (bits < 64 || (bits & (bits - 1)) != 0)
+    throw std::invalid_argument("DirectBitmap: bits must be a power of two >= 64");
+}
+
+void DirectBitmap::add(std::uint64_t key) {
+  const std::uint32_t bit = reduce_range(hash_(key), bits_);
+  std::uint64_t& word = words_[bit >> 6];
+  const std::uint64_t mask = 1ULL << (bit & 63);
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++set_;
+  }
+}
+
+double DirectBitmap::estimate() const {
+  if (set_ == 0) return 0.0;
+  const double b = static_cast<double>(bits_);
+  // Saturated bitmaps are clamped one short, as with any linear counter.
+  const double zeros =
+      set_ >= bits_ ? 0.5 : static_cast<double>(bits_ - set_);
+  return b * std::log(b / zeros);
+}
+
+VirtualBitmap::VirtualBitmap(std::uint32_t bits, std::uint32_t sampling,
+                             std::uint64_t seed)
+    : sampling_(sampling),
+      slice_hash_(mix64(seed ^ 0x51f7edULL)),
+      physical_(bits, seed ^ 0x77) {
+  if (sampling == 0) throw std::invalid_argument("VirtualBitmap: sampling >= 1");
+}
+
+void VirtualBitmap::add(std::uint64_t key) {
+  // Only keys hashing into slice 0 touch the physical bitmap.
+  if (slice_hash_(key) % sampling_ != 0) return;
+  physical_.add(mix64(key));
+}
+
+double VirtualBitmap::estimate() const {
+  return physical_.estimate() * static_cast<double>(sampling_);
+}
+
+}  // namespace dcs

@@ -1,0 +1,64 @@
+// Bitmap distinct counters, after Estan, Varghese & Fisk ("Bitmap algorithms
+// for counting active flows on high-speed links", IMC 2003) — the per-flow /
+// per-source memory approach the paper's introduction classifies as
+// non-scalable for network-wide monitoring (a bitmap per monitored entity).
+//
+//   * DirectBitmap   — one bit per hash bucket; exact-ish for small counts,
+//                      saturates beyond ~b·ln(b).
+//   * VirtualBitmap  — samples a fraction of the hash space into a small
+//                      physical bitmap; tuned for a target count range.
+//
+// Both are insert-only and per-destination: tracking every destination in an
+// ISP needs one per address, which is exactly the scalability wall the
+// Distinct-Count Sketch removes. The space-comparison benchmark quantifies
+// this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dcs {
+
+class DirectBitmap {
+ public:
+  /// `bits` must be a power of two.
+  explicit DirectBitmap(std::uint32_t bits = 4096, std::uint64_t seed = 0);
+
+  void add(std::uint64_t key);
+
+  /// Linear-counting estimate of distinct keys added.
+  double estimate() const;
+
+  std::uint32_t bits() const noexcept { return bits_; }
+  std::uint32_t set_bits() const noexcept { return set_; }
+  bool saturated() const noexcept { return set_ == bits_; }
+  std::size_t memory_bytes() const noexcept { return words_.size() * 8; }
+
+ private:
+  std::uint32_t bits_;
+  std::uint32_t set_ = 0;
+  SeededHash hash_;
+  std::vector<std::uint64_t> words_;
+};
+
+class VirtualBitmap {
+ public:
+  /// Physical bitmap of `bits` bits covering a 1/`sampling` slice of the
+  /// hash space: estimates up to ~sampling * bits * ln(bits) distinct keys.
+  VirtualBitmap(std::uint32_t bits = 4096, std::uint32_t sampling = 16,
+                std::uint64_t seed = 0);
+
+  void add(std::uint64_t key);
+  double estimate() const;
+
+  std::size_t memory_bytes() const noexcept { return physical_.memory_bytes(); }
+
+ private:
+  std::uint32_t sampling_;
+  SeededHash slice_hash_;
+  DirectBitmap physical_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,65 @@
+#include "baselines/count_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dcs {
+
+CountMinSketch::CountMinSketch(int depth, std::uint32_t width,
+                               std::uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      counters_(static_cast<std::size_t>(depth) * width, 0),
+      hashes_(mix64(seed ^ 0xc0076d1eULL), depth, width) {
+  if (depth < 1) throw std::invalid_argument("CountMinSketch: depth >= 1");
+  if (width < 2) throw std::invalid_argument("CountMinSketch: width >= 2");
+}
+
+void CountMinSketch::add(std::uint64_t key, std::int64_t delta) {
+  for (int row = 0; row < depth_; ++row)
+    counters_[static_cast<std::size_t>(row) * width_ + hashes_.bucket(row, key)] +=
+        delta;
+}
+
+std::int64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int row = 0; row < depth_; ++row)
+    best = std::min(best, counters_[static_cast<std::size_t>(row) * width_ +
+                                    hashes_.bucket(row, key)]);
+  return best;
+}
+
+VolumeHeavyHitters::VolumeHeavyHitters(int depth, std::uint32_t width,
+                                       std::uint64_t seed)
+    : cms_(depth, width, seed) {}
+
+void VolumeHeavyHitters::update(Addr group, Addr member, int delta) {
+  (void)member;  // volume tracking is blind to who sent the packets
+  cms_.add(group, delta);
+  const std::int64_t estimate = std::max<std::int64_t>(0, cms_.estimate(group));
+  const std::int64_t current = heavy_.priority(group);
+  if (estimate != current && (current > 0 || estimate > 0))
+    heavy_.add(group, estimate - current);
+  if (heavy_.size() > kMaxHeavy) {
+    // Evict the lightest half of the candidate set.
+    auto ordered = heavy_.top_k(heavy_.size());
+    for (std::size_t i = ordered.size() / 2; i < ordered.size(); ++i)
+      heavy_.erase(ordered[i].key);
+  }
+}
+
+TopKResult VolumeHeavyHitters::top_k(std::size_t k) const {
+  TopKResult result;
+  result.sample_size = heavy_.size();
+  for (const auto& entry : heavy_.top_k(k))
+    result.entries.push_back(
+        {entry.key, static_cast<std::uint64_t>(entry.priority)});
+  return result;
+}
+
+std::size_t VolumeHeavyHitters::memory_bytes() const {
+  return sizeof(*this) + cms_.memory_bytes() + heavy_.memory_bytes();
+}
+
+}  // namespace dcs

@@ -1,0 +1,105 @@
+#include "baselines/count_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcs {
+
+CountSketch::CountSketch(int depth, std::uint32_t width, std::uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      seed_(seed),
+      buckets_(mix64(seed ^ 0xc5b0c4e7ULL), depth, width),
+      signs_(mix64(seed ^ 0x51619a3bULL), depth, 2),
+      counters_(static_cast<std::size_t>(depth) * width, 0.0) {
+  if (depth < 1) throw std::invalid_argument("CountSketch: depth >= 1");
+  if (width < 2) throw std::invalid_argument("CountSketch: width >= 2");
+}
+
+void CountSketch::add(std::uint64_t key, std::int64_t delta) {
+  for (int row = 0; row < depth_; ++row) {
+    const double sign = signs_.bucket(row, key) == 0 ? 1.0 : -1.0;
+    counters_[static_cast<std::size_t>(row) * width_ +
+              buckets_.bucket(row, key)] += sign * static_cast<double>(delta);
+  }
+}
+
+std::int64_t CountSketch::estimate(std::uint64_t key) const {
+  std::vector<double> rows(static_cast<std::size_t>(depth_));
+  for (int row = 0; row < depth_; ++row) {
+    const double sign = signs_.bucket(row, key) == 0 ? 1.0 : -1.0;
+    rows[static_cast<std::size_t>(row)] =
+        sign * counters_[static_cast<std::size_t>(row) * width_ +
+                         buckets_.bucket(row, key)];
+  }
+  std::nth_element(rows.begin(), rows.begin() + depth_ / 2, rows.end());
+  return static_cast<std::int64_t>(std::llround(rows[static_cast<std::size_t>(depth_) / 2]));
+}
+
+bool CountSketch::compatible(const CountSketch& other) const noexcept {
+  return depth_ == other.depth_ && width_ == other.width_ &&
+         seed_ == other.seed_;
+}
+
+void CountSketch::combine(double alpha, const CountSketch& other, double beta) {
+  if (!compatible(other))
+    throw std::invalid_argument("CountSketch::combine: layout mismatch");
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    counters_[i] = alpha * counters_[i] + beta * other.counters_[i];
+}
+
+double CountSketch::energy() const {
+  double total = 0.0;
+  for (const double c : counters_) total += c * c;
+  return total / static_cast<double>(depth_);
+}
+
+KarySketchChange::KarySketchChange() : KarySketchChange(Config{}) {}
+
+KarySketchChange::KarySketchChange(Config config)
+    : config_(config),
+      current_(config.depth, config.width, config.seed),
+      forecast_(config.depth, config.width, config.seed),
+      difference_(config.depth, config.width, config.seed) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0)
+    throw std::invalid_argument("KarySketchChange: alpha in (0, 1]");
+  if (config.threshold <= 0.0)
+    throw std::invalid_argument("KarySketchChange: threshold > 0");
+}
+
+void KarySketchChange::add(std::uint64_t key, std::int64_t delta) {
+  current_.add(key, delta);
+}
+
+bool KarySketchChange::close_epoch() {
+  const bool had_forecast = epochs_ > 0;
+  if (had_forecast) {
+    // difference = observed - forecast (both are linear sketches).
+    difference_ = current_;
+    difference_.combine(1.0, forecast_, -1.0);
+    difference_energy_ = difference_.energy();
+  }
+  // forecast' = (1-alpha) * forecast + alpha * observed; the first epoch
+  // seeds the forecast directly.
+  if (epochs_ == 0)
+    forecast_ = current_;
+  else
+    forecast_.combine(1.0 - config_.alpha, current_, config_.alpha);
+  current_ = CountSketch(config_.depth, config_.width, config_.seed);
+  ++epochs_;
+  return had_forecast;
+}
+
+double KarySketchChange::change_score(std::uint64_t key) const {
+  if (epochs_ < 2 || difference_energy_ <= 0.0) return 0.0;
+  return static_cast<double>(difference_.estimate(key)) /
+         std::sqrt(difference_energy_);
+}
+
+std::size_t KarySketchChange::memory_bytes() const {
+  return current_.memory_bytes() + forecast_.memory_bytes() +
+         difference_.memory_bytes();
+}
+
+}  // namespace dcs

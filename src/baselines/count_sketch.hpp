@@ -1,0 +1,106 @@
+// CountSketch (Charikar-Chen-Farach-Colton) and k-ary sketch change
+// detection, after Krishnamurthy, Sen, Zhang & Chen ("Sketch-based change
+// detection", IMC 2003) — cited in the paper's §1 as the sketch approach to
+// detecting significant changes in massive streams.
+//
+// CountSketch estimates signed per-key update volume with median-of-rows
+// unbiased estimates. KarySketchChange keeps one sketch per epoch, forecasts
+// the current epoch from an EWMA of past sketches (sketches are linear, so
+// the forecast is itself a sketch), and flags keys whose observed-minus-
+// forecast difference is large relative to the total change energy.
+//
+// Like every volume-domain method, it detects *traffic* changes, not
+// distinct-source changes — the comparison experiments show it flags flash
+// crowds as eagerly as attacks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dcs {
+
+class CountSketch {
+ public:
+  CountSketch(int depth = 5, std::uint32_t width = 1024,
+              std::uint64_t seed = 0);
+
+  void add(std::uint64_t key, std::int64_t delta);
+
+  /// Median-of-rows unbiased estimate of the key's net update sum.
+  std::int64_t estimate(std::uint64_t key) const;
+
+  /// Linear combination: this = alpha * this + beta * other (used for EWMA
+  /// forecasting). Requires identical (depth, width, seed).
+  void combine(double alpha, const CountSketch& other, double beta);
+
+  /// Second moment of the sketch contents (mean over rows of the row's sum
+  /// of squared counters) — the "energy" used to normalize change scores.
+  double energy() const;
+
+  int depth() const noexcept { return depth_; }
+  std::uint32_t width() const noexcept { return width_; }
+  bool compatible(const CountSketch& other) const noexcept;
+  std::size_t memory_bytes() const noexcept {
+    return counters_.size() * sizeof(double);
+  }
+
+ private:
+  int depth_;
+  std::uint32_t width_;
+  std::uint64_t seed_;
+  BucketHashFamily buckets_;
+  BucketHashFamily signs_;  // range 2: maps to ±1
+  /// double counters so EWMA combinations stay exact in the linear algebra.
+  std::vector<double> counters_;
+};
+
+/// Epoch-based change detector over key volumes.
+class KarySketchChange {
+ public:
+  struct Config {
+    int depth = 5;
+    std::uint32_t width = 1024;
+    std::uint64_t seed = 0;
+    /// EWMA smoothing for the forecast sketch.
+    double alpha = 0.4;
+    /// Flag keys whose (observed - forecast) exceeds
+    /// threshold * sqrt(energy of the difference sketch). A key responsible
+    /// for ALL of the epoch's change scores ~1.0, so the threshold is a
+    /// fraction: 0.5 means "holds at least half of the total change".
+    double threshold = 0.5;
+  };
+
+  KarySketchChange();  // default Config
+  explicit KarySketchChange(Config config);
+
+  /// Add volume for a key within the current epoch.
+  void add(std::uint64_t key, std::int64_t delta = 1);
+
+  /// Close the epoch: returns true once a forecast exists (i.e. from the
+  /// second epoch on). After closing, query change scores for candidate keys.
+  bool close_epoch();
+
+  /// Change score of a key for the epoch just closed:
+  /// (observed - forecast) / sqrt(difference energy). Scores above
+  /// config.threshold are "significant changes".
+  double change_score(std::uint64_t key) const;
+
+  bool is_significant_change(std::uint64_t key) const {
+    return change_score(key) > config_.threshold;
+  }
+
+  std::uint64_t epochs_closed() const noexcept { return epochs_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  Config config_;
+  CountSketch current_;
+  CountSketch forecast_;
+  CountSketch difference_;  // last closed epoch minus its forecast
+  double difference_energy_ = 0.0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace dcs

@@ -1,0 +1,50 @@
+#include "baselines/distinct_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sketch/distinct_count_sketch.hpp"
+
+namespace dcs {
+
+DistinctSampler::DistinctSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), level_hash_(mix64(seed ^ 0xd157a9c7ULL), 63) {
+  if (capacity < 1) throw std::invalid_argument("DistinctSampler: capacity >= 1");
+}
+
+void DistinctSampler::update(Addr group, Addr member, int delta) {
+  if (delta <= 0)
+    throw std::invalid_argument(
+        "DistinctSampler: deletions are not supported by insert-only "
+        "distinct sampling");
+  const PairKey key = pack_pair(group, member);
+  if (level_hash_(key) < level_) return;  // not sampled at the current level
+  sample_.insert(key);
+  while (sample_.size() > capacity_) subsample();
+}
+
+void DistinctSampler::subsample() {
+  ++level_;
+  for (auto it = sample_.begin(); it != sample_.end();) {
+    if (level_hash_(*it) < level_)
+      it = sample_.erase(it);
+    else
+      ++it;
+  }
+}
+
+TopKResult DistinctSampler::top_k(std::size_t k) const {
+  const std::vector<PairKey> keys(sample_.begin(), sample_.end());
+  TopKResult result;
+  result.inference_level = level_;
+  result.sample_size = keys.size();
+  result.entries = rank_sample_groups(keys, std::ldexp(1.0, level_), k);
+  return result;
+}
+
+std::size_t DistinctSampler::memory_bytes() const {
+  return sizeof(*this) + sample_.size() * (sizeof(PairKey) + 16) +
+         sample_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace dcs

@@ -1,0 +1,55 @@
+// Gibbons-style distinct sampling (VLDB 2001) — the insert-only precursor of
+// the Distinct-Count Sketch's sampling behaviour.
+//
+// Maintains a uniform sample over the *distinct* keys of the stream via a
+// level-based coordinated hash: a key is in the sample at level t iff
+// level_hash(key) >= t. When the sample overflows its budget the level is
+// raised and existing members are subsampled. Deletions are NOT supported —
+// exactly the limitation (paper §1, §3) the Distinct-Count Sketch removes —
+// and the deletion ablation benchmark quantifies the resulting error on
+// flash-crowd workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "sketch/top_k.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class DistinctSampler final : public TopKEstimator {
+ public:
+  /// Keep at most `capacity` distinct keys in the sample.
+  explicit DistinctSampler(std::size_t capacity = 1024, std::uint64_t seed = 0);
+
+  /// delta must be +1: this baseline cannot process deletions and throws on
+  /// delta <= 0 (std::invalid_argument) to make misuse loud.
+  void update(Addr group, Addr member, int delta) override;
+
+  TopKResult top_k(std::size_t k) const override;
+
+  /// Estimated number of distinct keys seen.
+  std::uint64_t estimate_distinct_pairs() const {
+    return static_cast<std::uint64_t>(sample_.size()) << level_;
+  }
+
+  int level() const noexcept { return level_; }
+  std::size_t sample_size() const noexcept { return sample_.size(); }
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "distinct-sampler"; }
+
+ private:
+  void subsample();
+
+  std::size_t capacity_;
+  LevelHash level_hash_;
+  int level_ = 0;
+  std::unordered_set<PairKey> sample_;
+};
+
+}  // namespace dcs

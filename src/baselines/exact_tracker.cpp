@@ -1,0 +1,81 @@
+#include "baselines/exact_tracker.hpp"
+
+#include <algorithm>
+
+namespace dcs {
+
+void ExactTracker::update(Addr group, Addr member, int delta) {
+  const PairKey key = pack_pair(group, member);
+  auto [it, inserted] = pair_counts_.try_emplace(key, 0);
+  const std::int64_t before = it->second;
+  const std::int64_t after = before + delta;
+
+  if (before <= 0 && after > 0) {
+    ++group_freq_[group];
+  } else if (before > 0 && after <= 0) {
+    auto git = group_freq_.find(group);
+    if (--git->second == 0) group_freq_.erase(git);
+  }
+
+  if (after == 0) {
+    pair_counts_.erase(it);
+  } else {
+    it->second = after;
+  }
+}
+
+std::vector<TopKEntry> ExactTracker::sorted_groups(std::size_t k) const {
+  std::vector<TopKEntry> entries;
+  entries.reserve(group_freq_.size());
+  for (const auto& [group, freq] : group_freq_) entries.push_back({group, freq});
+  const auto order = [](const TopKEntry& a, const TopKEntry& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate
+                                    : a.group < b.group;
+  };
+  if (k > 0 && k < entries.size()) {
+    std::partial_sort(entries.begin(),
+                      entries.begin() + static_cast<std::ptrdiff_t>(k),
+                      entries.end(), order);
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(), order);
+  }
+  return entries;
+}
+
+TopKResult ExactTracker::top_k(std::size_t k) const {
+  TopKResult result;
+  result.entries = sorted_groups(k);
+  result.inference_level = 0;
+  result.sample_size = pair_counts_.size();
+  return result;
+}
+
+std::uint64_t ExactTracker::frequency(Addr group) const {
+  const auto it = group_freq_.find(group);
+  return it == group_freq_.end() ? 0 : it->second;
+}
+
+std::vector<TopKEntry> ExactTracker::groups_above(std::uint64_t tau) const {
+  auto entries = sorted_groups(0);
+  const auto cut =
+      std::find_if(entries.begin(), entries.end(),
+                   [tau](const TopKEntry& e) { return e.estimate < tau; });
+  entries.erase(cut, entries.end());
+  return entries;
+}
+
+std::size_t ExactTracker::memory_bytes() const {
+  // Approximate live heap usage of the two hash maps (node-based buckets).
+  constexpr std::size_t kNodeOverhead = 16;  // next pointer + allocator slack
+  std::size_t bytes = sizeof(*this);
+  bytes += pair_counts_.size() *
+           (sizeof(PairKey) + sizeof(std::int64_t) + kNodeOverhead);
+  bytes += pair_counts_.bucket_count() * sizeof(void*);
+  bytes += group_freq_.size() *
+           (sizeof(Addr) + sizeof(std::uint64_t) + kNodeOverhead);
+  bytes += group_freq_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace dcs

@@ -1,0 +1,55 @@
+// Exact distinct-member frequency tracker.
+//
+// The "brute force" scheme the paper's §6.1 space analysis compares against:
+// per-pair net counts plus per-group distinct counts. Serves as (a) ground
+// truth for all accuracy experiments and (b) the memory yardstick the
+// sketches are an order of magnitude (and more) below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/top_k.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class ExactTracker final : public TopKEstimator {
+ public:
+  void update(Addr group, Addr member, int delta) override;
+
+  /// Exact top-k groups, descending by frequency then ascending by id.
+  TopKResult top_k(std::size_t k) const override;
+
+  /// Exact frequency of one group (0 if unseen).
+  std::uint64_t frequency(Addr group) const;
+
+  /// All groups with frequency >= tau, descending.
+  std::vector<TopKEntry> groups_above(std::uint64_t tau) const;
+
+  /// Number of distinct net-positive pairs currently active (the paper's U).
+  std::uint64_t distinct_pairs() const noexcept { return pair_counts_.size(); }
+
+  std::size_t memory_bytes() const override;
+
+  /// The paper's §6.1 accounting for the brute-force scheme: 4 bytes source +
+  /// 4 bytes destination + 4 bytes count per distinct active pair.
+  static std::size_t paper_accounting_bytes(std::uint64_t distinct_pairs) {
+    return static_cast<std::size_t>(distinct_pairs) * 12;
+  }
+
+  std::string name() const override { return "exact"; }
+
+ private:
+  std::vector<TopKEntry> sorted_groups(std::size_t k) const;
+
+  /// Net occurrence count per active pair; erased when it returns to zero.
+  /// Counts may be transiently negative (a shuffled stream can deliver a
+  /// deletion before its insertion); frequency counts only net-positive pairs.
+  std::unordered_map<PairKey, std::int64_t> pair_counts_;
+  std::unordered_map<Addr, std::uint64_t> group_freq_;
+};
+
+}  // namespace dcs

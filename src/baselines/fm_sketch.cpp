@@ -1,0 +1,41 @@
+#include "baselines/fm_sketch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace dcs {
+
+namespace {
+/// Flajolet-Martin's magic bias constant (phi).
+constexpr double kPhi = 0.77351;
+}  // namespace
+
+FmPcsa::FmPcsa(int num_maps, std::uint64_t seed)
+    : bitmaps_(static_cast<std::size_t>(num_maps), 0),
+      select_(mix64(seed ^ 0x5eedf00dULL)),
+      rank_(mix64(seed ^ 0xbadc0ffeULL)) {
+  if (num_maps < 1) throw std::invalid_argument("FmPcsa: num_maps >= 1");
+}
+
+void FmPcsa::add(std::uint64_t key) {
+  const auto map_index =
+      reduce_range(select_(key), static_cast<std::uint32_t>(bitmaps_.size()));
+  const std::uint64_t h = rank_(key);
+  const int rank = (h == 0) ? 63 : lsb_index(h);
+  bitmaps_[map_index] |= (1ULL << rank);
+}
+
+double FmPcsa::estimate() const {
+  double total_rank = 0.0;
+  for (const std::uint64_t bitmap : bitmaps_) {
+    // Position of the lowest zero bit = length of the fully-set prefix.
+    const int r = lsb_index(~bitmap);
+    total_rank += static_cast<double>(r);
+  }
+  const double mean_rank = total_rank / static_cast<double>(bitmaps_.size());
+  return static_cast<double>(bitmaps_.size()) * std::pow(2.0, mean_rank) / kPhi;
+}
+
+}  // namespace dcs

@@ -1,0 +1,32 @@
+// Flajolet-Martin PCSA distinct counter (the 1985 structure the paper's
+// first-level hash generalizes). Insert-only: kept as a baseline to quantify
+// what the Distinct-Count Sketch adds (deletions + key recovery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dcs {
+
+class FmPcsa {
+ public:
+  /// `num_maps` independent bitmaps, each tracking the LSB-rank distribution
+  /// of hashed inputs; the estimate averages their highest fully-set prefix.
+  explicit FmPcsa(int num_maps = 64, std::uint64_t seed = 0);
+
+  void add(std::uint64_t key);
+
+  /// Estimated number of distinct keys added.
+  double estimate() const;
+
+  int num_maps() const noexcept { return static_cast<int>(bitmaps_.size()); }
+
+ private:
+  std::vector<std::uint64_t> bitmaps_;
+  SeededHash select_;  // picks the bitmap
+  SeededHash rank_;    // supplies the geometric rank
+};
+
+}  // namespace dcs

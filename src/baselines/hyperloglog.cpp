@@ -1,0 +1,55 @@
+#include "baselines/hyperloglog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace dcs {
+
+HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
+    : precision_(precision),
+      registers_(std::size_t{1} << precision, 0),
+      hash_(mix64(seed ^ 0x4c6f674cULL)) {
+  if (precision < 4 || precision > 18)
+    throw std::invalid_argument("HyperLogLog: precision in [4, 18]");
+}
+
+void HyperLogLog::add(std::uint64_t key) {
+  const std::uint64_t h = hash_(key);
+  const std::uint64_t index = h >> (64 - precision_);
+  const std::uint64_t rest = h << precision_;
+  // Rank = position of the leftmost 1 bit of the remaining bits, 1-based.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  auto& reg = registers_[index];
+  if (rank > reg) reg = static_cast<std::uint8_t>(rank);
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  const double alpha =
+      m <= 16 ? 0.673 : m <= 32 ? 0.697 : m <= 64 ? 0.709
+                                        : 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0.0;
+  int zeros = 0;
+  for (const std::uint8_t reg : registers_) {
+    sum += std::pow(2.0, -static_cast<double>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (precision_ != other.precision_)
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  for (std::size_t i = 0; i < registers_.size(); ++i)
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+}
+
+}  // namespace dcs

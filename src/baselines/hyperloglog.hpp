@@ -1,0 +1,39 @@
+// HyperLogLog distinct counter. A modern insert-only cardinality baseline;
+// contrasted against the Distinct-Count Sketch in the deletion ablation (it
+// cannot forget completed handshakes, so it conflates flash crowds with
+// attacks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace dcs {
+
+class HyperLogLog {
+ public:
+  /// 2^precision registers; precision in [4, 18].
+  explicit HyperLogLog(int precision = 12, std::uint64_t seed = 0);
+
+  void add(std::uint64_t key);
+
+  /// Estimated distinct count, with small-range (linear counting) and
+  /// large-range corrections.
+  double estimate() const;
+
+  /// Registers merge by max: the union of two streams.
+  void merge(const HyperLogLog& other);
+
+  int precision() const noexcept { return precision_; }
+  std::size_t memory_bytes() const noexcept {
+    return registers_.size() * sizeof(std::uint8_t);
+  }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+  SeededHash hash_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,74 @@
+#include "baselines/sample_and_hold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcs {
+
+SampleAndHold::SampleAndHold(std::uint32_t sample_one_in,
+                             std::size_t max_entries, std::uint64_t seed)
+    : sample_one_in_(sample_one_in),
+      max_entries_(max_entries),
+      sample_hash_(mix64(seed ^ 0x5a4e48ULL)) {
+  if (sample_one_in == 0)
+    throw std::invalid_argument("SampleAndHold: sample_one_in >= 1");
+  if (max_entries == 0)
+    throw std::invalid_argument("SampleAndHold: max_entries >= 1");
+}
+
+void SampleAndHold::observe(Addr source, Addr dest) {
+  const PairKey key = pack_pair(source, dest);
+  ++packets_seen_;
+  const auto it = held_.find(key);
+  if (it != held_.end()) {
+    ++it->second;  // held: count exactly
+    return;
+  }
+  if (held_.size() >= max_entries_) return;  // table full
+  // Sampling decision is per packet; hash the (flow, packet index) so
+  // repeated packets of one flow get independent coin flips.
+  const std::uint64_t coin = sample_hash_(key ^ mix64(packets_seen_));
+  if (coin % sample_one_in_ == 0) held_.emplace(key, 1);
+}
+
+std::vector<SampleAndHold::HeldFlow> SampleAndHold::top_flows(
+    std::size_t k) const {
+  std::vector<HeldFlow> flows;
+  flows.reserve(held_.size());
+  for (const auto& [key, packets] : held_)
+    flows.push_back({pair_group(key), pair_member(key), packets});
+  std::sort(flows.begin(), flows.end(), [](const auto& a, const auto& b) {
+    return a.packets != b.packets ? a.packets > b.packets
+                                  : pack_pair(a.source, a.dest) <
+                                        pack_pair(b.source, b.dest);
+  });
+  if (k < flows.size()) flows.resize(k);
+  return flows;
+}
+
+std::vector<TopKEntry> SampleAndHold::top_destinations(std::size_t k) const {
+  std::unordered_map<Addr, std::uint64_t> per_dest;
+  for (const auto& [key, packets] : held_) per_dest[pair_member(key)] += packets;
+  std::vector<TopKEntry> entries;
+  entries.reserve(per_dest.size());
+  for (const auto& [dest, packets] : per_dest) entries.push_back({dest, packets});
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate
+                                    : a.group < b.group;
+  });
+  if (k < entries.size()) entries.resize(k);
+  return entries;
+}
+
+void SampleAndHold::reset() {
+  held_.clear();
+  packets_seen_ = 0;
+}
+
+std::size_t SampleAndHold::memory_bytes() const {
+  return sizeof(*this) +
+         held_.size() * (sizeof(PairKey) + sizeof(std::uint64_t) + 16) +
+         held_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace dcs

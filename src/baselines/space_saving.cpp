@@ -1,0 +1,59 @@
+#include "baselines/space_saving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcs {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SpaceSaving: capacity >= 1");
+  entries_.reserve(capacity);
+}
+
+void SpaceSaving::add(Addr key) {
+  ++total_;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++entries_[it->second].count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_[key] = entries_.size();
+    entries_.push_back({key, 1, 0});
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count + 1 with
+  // that count recorded as its maximum overestimate (Metwally's rule).
+  const auto min_it = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.count < b.count; });
+  index_.erase(min_it->key);
+  const std::uint64_t inherited = min_it->count;
+  *min_it = {key, inherited + 1, inherited};
+  index_[key] = static_cast<std::size_t>(min_it - entries_.begin());
+}
+
+std::vector<SpaceSaving::Counter> SpaceSaving::top_k(std::size_t k) const {
+  std::vector<Counter> counters;
+  counters.reserve(entries_.size());
+  for (const Entry& entry : entries_)
+    counters.push_back({entry.key, entry.count, entry.overestimate});
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter& a, const Counter& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  if (k < counters.size()) counters.resize(k);
+  return counters;
+}
+
+bool SpaceSaving::is_guaranteed(Addr key) const {
+  const auto it = index_.find(key);
+  return it != index_.end() && entries_[it->second].overestimate == 0;
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  return sizeof(*this) + entries_.capacity() * sizeof(Entry) +
+         index_.size() * (sizeof(Addr) + sizeof(std::size_t) + 16);
+}
+
+}  // namespace dcs

@@ -1,0 +1,66 @@
+// SpaceSaving (Metwally, Agrawal & El Abbadi, 2005): deterministic top-k by
+// *occurrence count* in bounded space.
+//
+// Included as the strongest member of the volume-ranking family the paper
+// contrasts against: it tracks packet (or update) counts exactly within its
+// capacity guarantees, but — like every frequency-moment method — counts
+// packets, not distinct sources, and cannot process deletions. The
+// comparison benchmarks use it as the "best possible volume ranker".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/top_k.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class SpaceSaving {
+ public:
+  /// Track at most `capacity` keys; any key's count error is bounded by the
+  /// minimum tracked count (<= N / capacity).
+  explicit SpaceSaving(std::size_t capacity = 1024);
+
+  /// Count one occurrence of `key` (insert-only).
+  void add(Addr key);
+
+  /// Top-k keys by estimated count, with the per-key maximum overestimate.
+  struct Counter {
+    Addr key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t overestimate = 0;  // error bound for this key
+  };
+  std::vector<Counter> top_k(std::size_t k) const;
+
+  /// True iff `key`'s count is guaranteed (error bound zero).
+  bool is_guaranteed(Addr key) const;
+
+  std::uint64_t total_count() const noexcept { return total_; }
+  std::size_t tracked() const noexcept { return index_.size(); }
+  std::size_t memory_bytes() const;
+
+ private:
+  // Stream-Summary style structure: buckets of equal count in ascending
+  // order; each bucket holds its keys. Simplified to a sorted list of
+  // (count, keys) suitable for the capacities used here.
+  struct Entry {
+    Addr key;
+    std::uint64_t count;
+    std::uint64_t overestimate;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  /// Entries kept unordered; min is found by scan on eviction. For the
+  /// capacities used in monitoring (<= a few thousand) the scan is cheap and
+  /// the structure stays simple; callers needing O(log n) evictions can wrap
+  /// counts in IndexedMaxHeap.
+  std::vector<Entry> entries_;
+  std::unordered_map<Addr, std::size_t> index_;  // key -> entries_ position
+};
+
+}  // namespace dcs

@@ -1,0 +1,47 @@
+#include "baselines/superspreader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcs {
+
+SuperspreaderFilter::SuperspreaderFilter(std::uint64_t threshold,
+                                         std::uint64_t rate,
+                                         std::uint64_t seed)
+    : threshold_(threshold),
+      rate_(rate),
+      sample_hash_(mix64(seed ^ 0x5b9e4d2fULL)) {
+  if (threshold == 0)
+    throw std::invalid_argument("SuperspreaderFilter: threshold >= 1");
+  if (rate == 0) throw std::invalid_argument("SuperspreaderFilter: rate >= 1");
+}
+
+void SuperspreaderFilter::add(Addr source, Addr dest) {
+  const PairKey key = pack_pair(source, dest);
+  // Coordinated sampling: the decision depends only on the pair, so repeated
+  // packets of one flow never inflate the per-source count.
+  if (sample_hash_(key) % rate_ != 0) return;
+  if (sampled_pairs_.insert(key).second) ++per_source_[source];
+}
+
+std::vector<SuperspreaderFilter::Superspreader>
+SuperspreaderFilter::superspreaders() const {
+  std::vector<Superspreader> result;
+  for (const auto& [source, sampled] : per_source_) {
+    const std::uint64_t estimate = sampled * rate_;
+    if (estimate >= threshold_) result.push_back({source, estimate});
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    return a.estimated_destinations != b.estimated_destinations
+               ? a.estimated_destinations > b.estimated_destinations
+               : a.source < b.source;
+  });
+  return result;
+}
+
+std::size_t SuperspreaderFilter::memory_bytes() const {
+  return sizeof(*this) + sampled_pairs_.size() * (sizeof(PairKey) + 16) +
+         per_source_.size() * (sizeof(Addr) + sizeof(std::uint64_t) + 16);
+}
+
+}  // namespace dcs

@@ -1,0 +1,54 @@
+// One-level-filter superspreader detector, after Venkataraman et al.
+// (NDSS 2005): report *sources* that contact more than `threshold` distinct
+// destinations.
+//
+// The paper positions its top-k problem against this threshold formulation
+// (§1): superspreader detection needs a user-supplied k/threshold on distinct
+// connections, while the Distinct-Count Sketch ranks the top-k outright.
+// We include the filter so the port-scan example can contrast both answers.
+//
+// Mechanism: a coordinated hash samples each distinct (source, dest) pair
+// with probability 1/rate; sampled pairs are deduplicated and counted per
+// source; sources reaching threshold/rate sampled pairs are reported.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class SuperspreaderFilter {
+ public:
+  /// Detect sources contacting >= `threshold` distinct destinations, keeping
+  /// roughly a 1/rate fraction of distinct pairs.
+  SuperspreaderFilter(std::uint64_t threshold, std::uint64_t rate = 16,
+                      std::uint64_t seed = 0);
+
+  /// Insert-only (the published filter has no deletion support).
+  void add(Addr source, Addr dest);
+
+  /// Sources whose *estimated* distinct-destination count reaches the
+  /// threshold, with the estimates (sampled count * rate).
+  struct Superspreader {
+    Addr source = 0;
+    std::uint64_t estimated_destinations = 0;
+  };
+  std::vector<Superspreader> superspreaders() const;
+
+  std::uint64_t threshold() const noexcept { return threshold_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  std::uint64_t threshold_;
+  std::uint64_t rate_;
+  SeededHash sample_hash_;
+  std::unordered_set<PairKey> sampled_pairs_;
+  std::unordered_map<Addr, std::uint64_t> per_source_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,25 @@
+#include "baselines/syn_fin_cusum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcs {
+
+SynFinCusum::SynFinCusum(double allowance, double alarm_threshold)
+    : allowance_(allowance), alarm_threshold_(alarm_threshold) {
+  if (allowance < 0.0) throw std::invalid_argument("SynFinCusum: allowance >= 0");
+  if (alarm_threshold <= 0.0)
+    throw std::invalid_argument("SynFinCusum: alarm_threshold > 0");
+}
+
+bool SynFinCusum::observe(std::uint64_t syn_count, std::uint64_t fin_count) {
+  // Normalized difference; the +1 keeps quiet intervals well-defined.
+  const double fins = static_cast<double>(fin_count) + 1.0;
+  const double x =
+      (static_cast<double>(syn_count) - static_cast<double>(fin_count)) / fins;
+  statistic_ = std::max(0.0, statistic_ + x - allowance_);
+  history_.push_back(statistic_);
+  return in_alarm();
+}
+
+}  // namespace dcs

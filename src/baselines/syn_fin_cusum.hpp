@@ -1,0 +1,46 @@
+// SYN-FIN difference detector with nonparametric CUSUM, after Wang, Zhang &
+// Shin (INFOCOM 2002).
+//
+// Operates on per-interval aggregate counts at a single router: under normal
+// operation every SYN is eventually matched by a FIN/RST, so the normalized
+// difference (SYN - FIN) / FIN hovers near a small constant; a flood drives
+// it up persistently. The CUSUM statistic accumulates the excess over an
+// allowance `a` and alarms when it crosses `h`.
+//
+// The paper cites this detector as complementary: it is cheap but purely
+// local (first/last-mile) and cannot name victims — which is exactly what the
+// Distinct-Count Sketch adds. The detection example runs both side by side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+class SynFinCusum {
+ public:
+  /// `allowance` (a): tolerated per-interval normalized excess.
+  /// `alarm_threshold` (h): cumulative excess that triggers the alarm.
+  SynFinCusum(double allowance = 0.15, double alarm_threshold = 2.0);
+
+  /// Feed one observation interval's aggregate SYN and FIN/RST counts.
+  /// Returns true if the detector is in alarm after this interval.
+  bool observe(std::uint64_t syn_count, std::uint64_t fin_count);
+
+  bool in_alarm() const noexcept { return statistic_ > alarm_threshold_; }
+  double statistic() const noexcept { return statistic_; }
+
+  /// Reset after an alarm has been handled.
+  void reset() noexcept { statistic_ = 0.0; }
+
+  /// History of the statistic, one entry per observed interval.
+  const std::vector<double>& history() const noexcept { return history_; }
+
+ private:
+  double allowance_;
+  double alarm_threshold_;
+  double statistic_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,38 @@
+// Bit-manipulation helpers shared across the sketch implementations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dcs {
+
+/// Index (0-based, from the LSB) of the least-significant set bit of `x`.
+/// Precondition: x != 0.
+inline int lsb_index(std::uint64_t x) noexcept {
+  return std::countr_zero(x);
+}
+
+/// Value of bit `j` (0-based from the LSB) of `x`.
+inline bool bit_at(std::uint64_t x, int j) noexcept {
+  return ((x >> j) & 1u) != 0;
+}
+
+/// Number of set bits.
+inline int popcount64(std::uint64_t x) noexcept { return std::popcount(x); }
+
+/// Smallest power of two >= x (x must be >= 1).
+inline std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline int ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+}  // namespace dcs

@@ -1,0 +1,17 @@
+#include "common/hash.hpp"
+
+namespace dcs {
+
+BucketHashFamily::BucketHashFamily(std::uint64_t seed, int count,
+                                   std::uint32_t range)
+    : range_(range) {
+  hashes_.reserve(static_cast<std::size_t>(count));
+  for (int j = 0; j < count; ++j) {
+    // Derive per-table seeds by mixing the table index into the master seed;
+    // mix64 guarantees the derived seeds share no simple algebraic structure.
+    hashes_.emplace_back(mix64(seed + 0x517cc1b727220a95ULL *
+                                          static_cast<std::uint64_t>(j + 1)));
+  }
+}
+
+}  // namespace dcs

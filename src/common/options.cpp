@@ -1,0 +1,67 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dcs {
+
+namespace {
+
+std::string to_env_name(const std::string& name) {
+  std::string env = "DCS_";
+  for (char c : name)
+    env += static_cast<char>(c == '-' ? '_' : std::toupper(static_cast<unsigned char>(c)));
+  return env;
+}
+
+}  // namespace
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_.emplace_back(arg, argv[++i]);
+    } else {
+      args_.emplace_back(arg, "1");  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> Options::raw(const std::string& name) const {
+  const auto it = std::find_if(args_.begin(), args_.end(),
+                               [&](const auto& kv) { return kv.first == name; });
+  if (it != args_.end()) return it->second;
+  if (const char* env = std::getenv(to_env_name(name).c_str())) return std::string(env);
+  return std::nullopt;
+}
+
+std::int64_t Options::integer(const std::string& name, std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Options::real(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Options::flag(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return *v != "0" && *v != "false" && *v != "no";
+}
+
+std::string Options::str(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+}  // namespace dcs

@@ -1,0 +1,32 @@
+// Tiny option reader for benchmark harnesses and examples.
+//
+// Values are looked up first on the command line (--name value or
+// --name=value), then in the environment (DCS_NAME), then fall back to the
+// built-in default. This lets `for b in build/bench/*; do $b; done` run with
+// fast defaults while DCS_FULL=1 or explicit flags reproduce paper scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// Look up `name` ("u", "runs", ...) as flag --name / env DCS_NAME.
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::int64_t integer(const std::string& name, std::int64_t fallback) const;
+  double real(const std::string& name, double fallback) const;
+  bool flag(const std::string& name, bool fallback = false) const;
+  std::string str(const std::string& name, const std::string& fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace dcs

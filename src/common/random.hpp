@@ -1,0 +1,62 @@
+// xoshiro256** PRNG — fast, high-quality, deterministic across platforms.
+// Used for workload generation and for choosing sketch seeds in experiments;
+// std::mt19937_64 is avoided because its stream is slower and its seeding via
+// seed_seq is awkward to reproduce.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace dcs {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0xdcdcdcdcULL) noexcept {
+    // Expand the 64-bit seed into 256 bits of state via splitmix64, as the
+    // xoshiro authors recommend.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    // 128-bit multiply rejection-free reduction is fine for our workloads.
+    return static_cast<std::uint64_t>(
+        (static_cast<uint128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dcs

@@ -1,0 +1,18 @@
+#include "common/serialize.hpp"
+
+namespace dcs {
+
+void write_header(BinaryWriter& w, std::uint32_t magic, std::uint8_t version) {
+  w.u32(magic);
+  w.u8(version);
+}
+
+void read_header(BinaryReader& r, std::uint32_t magic, std::uint8_t max_version) {
+  const std::uint32_t got = r.u32();
+  if (got != magic) throw SerializeError("bad magic");
+  const std::uint8_t version = r.u8();
+  if (version == 0 || version > max_version)
+    throw SerializeError("unsupported version");
+}
+
+}  // namespace dcs

@@ -1,0 +1,111 @@
+// Minimal binary serialization for sketches and trace files.
+//
+// Format: little-endian fixed-width integers, length-prefixed vectors. All
+// writers/readers are explicit (no reflection) so the on-disk layout is an
+// auditable contract; each top-level object carries a magic + version header.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+/// Thrown on malformed input (bad magic, truncated stream, absurd lengths).
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  template <typename T>
+  void pod_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+    if (!out_) throw SerializeError("BinaryWriter: write failed");
+  }
+
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() { return read_as<std::uint8_t>(); }
+  std::uint32_t u32() { return read_as<std::uint32_t>(); }
+  std::uint64_t u64() { return read_as<std::uint64_t>(); }
+  std::int32_t i32() { return read_as<std::int32_t>(); }
+  std::int64_t i64() { return read_as<std::int64_t>(); }
+  double f64() { return read_as<double>(); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    check_length(n);
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    check_length(n * sizeof(T));
+    std::vector<T> v(n);
+    raw(v.data(), n * sizeof(T));
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T read_as() {
+    T v;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  void raw(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+      throw SerializeError("BinaryReader: truncated input");
+  }
+
+  static void check_length(std::uint64_t n) {
+    // 1 GiB sanity cap: protects against reading garbage length prefixes.
+    if (n > (1ULL << 30)) throw SerializeError("BinaryReader: absurd length");
+  }
+
+  std::istream& in_;
+};
+
+/// Write/verify a 4-byte magic + 1-byte version header.
+void write_header(BinaryWriter& w, std::uint32_t magic, std::uint8_t version);
+void read_header(BinaryReader& r, std::uint32_t magic, std::uint8_t max_version);
+
+}  // namespace dcs

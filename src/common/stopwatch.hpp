@@ -1,0 +1,31 @@
+// Minimal wall-clock stopwatch for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dcs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in nanoseconds.
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dcs

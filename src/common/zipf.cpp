@@ -1,0 +1,34 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcs {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) : skew_(skew) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (skew < 0.0) throw std::invalid_argument("ZipfDistribution: skew must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  const double inv = 1.0 / total;
+  for (double& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::operator()(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace dcs

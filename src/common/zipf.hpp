@@ -1,0 +1,36 @@
+// Zipfian sampler used by the paper's synthetic workload generator (§6.1).
+//
+// The generator draws destination ranks i ∈ {1..d} with probability
+// proportional to 1/i^z. For the d and z ranges used in the paper
+// (d up to 1e5, z up to 2.5) we precompute the CDF once and sample by
+// binary search — O(d) setup, O(log d) per draw, numerically exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcs {
+
+class ZipfDistribution {
+ public:
+  /// Distribution over {0, ..., n-1} with Pr[i] ∝ 1/(i+1)^skew.
+  /// skew == 0 degenerates to uniform.
+  ZipfDistribution(std::size_t n, double skew);
+
+  std::size_t operator()(Xoshiro256& rng) const;
+
+  /// Exact probability of rank i (0-based).
+  double pmf(std::size_t i) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = Pr[rank <= i]
+  double skew_ = 0.0;
+};
+
+}  // namespace dcs

@@ -1,0 +1,30 @@
+// Umbrella header for the dcsketch library.
+//
+// Pulls in the public API surface:
+//   * sketches      — DistinctCountSketch, TrackingDcs, SlidingWindowSketch
+//   * detection     — DdosMonitor, EpochChangeDetector
+//   * distribution  — ShardedMonitor, ConcurrentMonitor
+//   * stream model  — FlowUpdate, ZipfWorkload, trace I/O
+//   * network sim   — Topology, Simulator, host agents, scenarios, exporter
+//   * baselines     — exact tracker and the comparison algorithms
+//
+// Include individual headers instead when compile time matters; every header
+// is self-contained.
+#pragma once
+
+#include "baselines/exact_tracker.hpp"
+#include "detection/ddos_monitor.hpp"
+#include "detection/epoch_change.hpp"
+#include "distributed/concurrent_monitor.hpp"
+#include "distributed/sharded_monitor.hpp"
+#include "metrics/accuracy.hpp"
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+#include "sim/agents.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/sliding_window.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+#include "stream/trace_io.hpp"

@@ -1,0 +1,107 @@
+// DdosMonitor — the paper's DDoS MONITOR box (Fig. 1).
+//
+// Consumes the flow-update stream through a Tracking Distinct-Count Sketch
+// and periodically compares the current top-k distinct-source frequencies
+// against slowly-adapting per-destination EWMA baselines ("baseline profiles
+// of network activity created over longer periods of time", §2). A
+// destination whose estimated half-open distinct-source count exceeds both an
+// absolute floor and a multiple of its baseline raises an alert; the alert
+// clears when the estimate falls back under the baseline multiple.
+//
+// Because completed handshakes are *deleted* from the sketch, a flash crowd —
+// however large — keeps its net half-open count near zero and never alarms;
+// a SYN flood's spoofed sources never complete and accumulate. This is the
+// paper's central robustness argument made executable (see
+// examples/flash_crowd_vs_ddos.cpp and tests/detection_test.cpp).
+//
+// The same machinery, with group/member roles swapped (RankBy::kSource),
+// flags port scanners / superspreaders (paper footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/tracking_dcs.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+struct Alert {
+  enum class Kind : std::uint8_t { kRaised, kCleared };
+
+  Kind kind = Kind::kRaised;
+  /// The destination under suspected attack (or the scanning source when
+  /// ranking by source).
+  Addr subject = 0;
+  std::uint64_t estimated_frequency = 0;
+  double baseline = 0.0;
+  /// Stream position (number of updates ingested) when the alert fired.
+  std::uint64_t stream_position = 0;
+};
+
+struct DdosMonitorConfig {
+  /// Which endpoint to rank: destinations (DDoS victims) or sources
+  /// (port scanners / superspreaders).
+  enum class RankBy : std::uint8_t { kDestination, kSource };
+
+  DcsParams sketch{};
+  RankBy rank_by = RankBy::kDestination;
+  /// Candidates examined per check (the k of the top-k query).
+  std::size_t top_k = 10;
+  /// Run a tracking query every this many ingested updates.
+  std::uint64_t check_interval = 1024;
+  /// EWMA smoothing for per-subject baselines (0 < alpha <= 1).
+  double baseline_alpha = 0.05;
+  /// Alarm when estimate > alarm_factor * baseline ...
+  double alarm_factor = 8.0;
+  /// ... and estimate >= min_absolute (suppresses noise on cold start).
+  std::uint64_t min_absolute = 512;
+  /// Hard ceiling (the paper's footnote-3 threshold query f_v >= τ): an
+  /// estimate at or above this alarms regardless of the learned baseline.
+  /// Catches slow-ramp attacks that train the EWMA along with them.
+  /// Default: disabled.
+  std::uint64_t absolute_alarm = UINT64_MAX;
+  /// Checks during which baselines learn but no alerts fire (profile
+  /// bootstrap over known-good traffic, §2's "baseline profiles ... created
+  /// over longer periods of time").
+  std::uint64_t warmup_checks = 0;
+};
+
+class DdosMonitor {
+ public:
+  explicit DdosMonitor(DdosMonitorConfig config = {});
+
+  /// Ingest one flow update; may append alerts (check every check_interval).
+  void ingest(const FlowUpdate& update);
+
+  /// Ingest a whole stream.
+  void ingest(const std::vector<FlowUpdate>& updates);
+
+  /// Force an immediate check (e.g. at end of stream).
+  void check_now();
+
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+  /// Subjects currently in the alarmed state.
+  std::vector<Addr> active_alarms() const;
+
+  const TrackingDcs& tracker() const noexcept { return tracker_; }
+  std::uint64_t updates_ingested() const noexcept { return ingested_; }
+  const DdosMonitorConfig& config() const noexcept { return config_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  void check();
+
+  DdosMonitorConfig config_;
+  TrackingDcs tracker_;
+  std::unordered_map<Addr, double> baselines_;
+  std::unordered_map<Addr, bool> alarmed_;
+  std::vector<Alert> alerts_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace dcs

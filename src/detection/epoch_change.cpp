@@ -1,0 +1,51 @@
+#include "detection/epoch_change.hpp"
+
+#include <stdexcept>
+
+namespace dcs {
+
+EpochChangeDetector::EpochChangeDetector()
+    : EpochChangeDetector(Config{}) {}
+
+EpochChangeDetector::EpochChangeDetector(Config config)
+    : config_(config),
+      cumulative_(config.sketch),
+      epoch_start_(config.sketch) {
+  if (config.epoch_updates == 0)
+    throw std::invalid_argument("EpochChangeDetector: epoch_updates >= 1");
+  if (config.top_k == 0)
+    throw std::invalid_argument("EpochChangeDetector: top_k >= 1");
+}
+
+void EpochChangeDetector::update(Addr group, Addr member, int delta) {
+  cumulative_.update(group, member, delta);
+  if (++ingested_ % config_.epoch_updates == 0) close_epoch();
+}
+
+void EpochChangeDetector::ingest(const std::vector<FlowUpdate>& updates) {
+  for (const FlowUpdate& u : updates) update(u.dest, u.source, u.delta);
+}
+
+std::vector<TopKEntry> EpochChangeDetector::current_changes(
+    std::size_t k) const {
+  DistinctCountSketch difference = cumulative_;
+  difference.subtract(epoch_start_);
+  return difference.top_k(k).entries;
+}
+
+void EpochChangeDetector::close_epoch() {
+  EpochReport report;
+  report.epoch = epoch_++;
+  report.top_changes = current_changes(config_.top_k);
+  reports_.push_back(std::move(report));
+  epoch_start_ = cumulative_;
+}
+
+std::size_t EpochChangeDetector::memory_bytes() const {
+  std::size_t bytes = cumulative_.memory_bytes() + epoch_start_.memory_bytes();
+  for (const EpochReport& report : reports_)
+    bytes += report.top_changes.capacity() * sizeof(TopKEntry);
+  return bytes;
+}
+
+}  // namespace dcs

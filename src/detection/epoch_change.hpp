@@ -1,0 +1,72 @@
+// Epoch-based heavy-change detection over the distinct-source metric.
+//
+// The Krishnamurthy et al. line of work (cited in the paper's §1) asks not
+// "who is big?" but "who *changed* the most?". Sketch linearity answers it
+// for the distinct-source metric for free: the difference of two cumulative
+// sketches is the sketch of the in-between updates, so snapshotting at epoch
+// boundaries and subtracting yields, per epoch, the destinations that gained
+// the most NEW distinct (half-open) sources — a sharper attack-onset signal
+// than absolute rank when the network has persistently-busy destinations.
+//
+// Semantics note: pairs deleted during an epoch after being inserted in an
+// earlier one appear net-negative in the difference; their buckets classify
+// as collisions and any ghost singletons are filtered by the recovery
+// re-hash check, so reported changes are (approximately) the positive side
+// of the change — exactly the attack-onset signal we want.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/distinct_count_sketch.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class EpochChangeDetector {
+ public:
+  struct Config {
+    DcsParams sketch{};
+    /// Updates per epoch.
+    std::uint64_t epoch_updates = 65'536;
+    /// Changes reported per epoch boundary.
+    std::size_t top_k = 10;
+  };
+
+  struct EpochReport {
+    std::uint64_t epoch = 0;  // 0-based epoch index
+    /// Destinations by estimated NEW distinct sources gained this epoch.
+    std::vector<TopKEntry> top_changes;
+  };
+
+  EpochChangeDetector();  // default Config
+  explicit EpochChangeDetector(Config config);
+
+  /// Ingest one update; closes an epoch (appending a report) every
+  /// config.epoch_updates updates.
+  void update(Addr group, Addr member, int delta);
+  void ingest(const std::vector<FlowUpdate>& updates);
+
+  /// Reports for all completed epochs.
+  const std::vector<EpochReport>& reports() const noexcept { return reports_; }
+
+  /// Top-k changes of the *in-progress* epoch (live query).
+  std::vector<TopKEntry> current_changes(std::size_t k) const;
+
+  /// Force-close the current epoch (e.g. at end of stream).
+  void close_epoch();
+
+  std::uint64_t updates_ingested() const noexcept { return ingested_; }
+  const DistinctCountSketch& cumulative() const noexcept { return cumulative_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  Config config_;
+  DistinctCountSketch cumulative_;
+  DistinctCountSketch epoch_start_;  // snapshot at the last boundary
+  std::vector<EpochReport> reports_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace dcs

@@ -1,0 +1,43 @@
+#include "distributed/concurrent_monitor.hpp"
+
+#include <stdexcept>
+
+namespace dcs {
+
+ConcurrentMonitor::ConcurrentMonitor(DcsParams params, std::size_t stripes)
+    : route_(mix64(params.seed ^ 0x57a1be5cULL)) {
+  if (stripes == 0)
+    throw std::invalid_argument("ConcurrentMonitor: stripes >= 1");
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i)
+    stripes_.push_back(std::make_unique<Stripe>(params));
+}
+
+void ConcurrentMonitor::update(Addr group, Addr member, int delta) {
+  const PairKey key = pack_pair(group, member);
+  const std::size_t index = static_cast<std::size_t>(
+      reduce_range(route_(key), static_cast<std::uint32_t>(stripes_.size())));
+  Stripe& stripe = *stripes_[index];
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.sketch.update(group, member, delta);
+}
+
+DistinctCountSketch ConcurrentMonitor::snapshot() const {
+  DistinctCountSketch merged(stripes_.front()->sketch.params());
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    merged.merge(stripe->sketch);
+  }
+  return merged;
+}
+
+std::size_t ConcurrentMonitor::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    bytes += stripe->sketch.memory_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace dcs

@@ -1,0 +1,63 @@
+// Thread-safe ingest for multi-queue packet processors.
+//
+// A modern deployment of the DDoS monitor sits behind a multi-queue NIC or a
+// sharded collector, with several threads delivering flow updates
+// concurrently. Because the basic sketch is linear, we avoid a global lock:
+// updates are striped by pair hash onto independent (mutex, sketch) stripes —
+// the same decomposition ShardedMonitor uses across routers, applied across
+// threads — and a query merges the stripes into one sketch under the stripe
+// locks. All interleavings produce the same final counters as a serial run
+// (update order is irrelevant to a linear structure), which the concurrency
+// tests verify against a single-threaded reference.
+//
+// Queries are O(sketch size) because of the merge; this is the right
+// trade-off for a monitor that queries every few thousand updates. For
+// query-every-update workloads, use a single-threaded TrackingDcs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class ConcurrentMonitor {
+ public:
+  /// `stripes` should be >= the number of writer threads to keep contention
+  /// low; it does not affect the merged result.
+  ConcurrentMonitor(DcsParams params, std::size_t stripes);
+
+  /// Thread-safe. Locks exactly one stripe.
+  void update(Addr group, Addr member, int delta);
+
+  /// Merge all stripes into one sketch (thread-safe snapshot).
+  DistinctCountSketch snapshot() const;
+
+  /// Snapshot wrapped in tracking state, ready for top-k queries.
+  TrackingDcs snapshot_tracking() const { return TrackingDcs(snapshot()); }
+
+  /// Convenience: top-k over a fresh snapshot.
+  TopKResult top_k(std::size_t k) const { return snapshot().top_k(k); }
+
+  std::size_t num_stripes() const noexcept { return stripes_.size(); }
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    DistinctCountSketch sketch;
+
+    explicit Stripe(const DcsParams& params) : sketch(params) {}
+  };
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  SeededHash route_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,39 @@
+#include "distributed/sharded_monitor.hpp"
+
+#include <stdexcept>
+
+namespace dcs {
+
+ShardedMonitor::ShardedMonitor(DcsParams params, std::size_t num_shards)
+    : route_(mix64(params.seed ^ 0x705e77e2ULL)) {
+  if (num_shards == 0)
+    throw std::invalid_argument("ShardedMonitor: num_shards >= 1");
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) shards_.emplace_back(params);
+}
+
+void ShardedMonitor::update(Addr group, Addr member, int delta) {
+  const PairKey key = pack_pair(group, member);
+  const std::size_t shard = static_cast<std::size_t>(
+      reduce_range(route_(key), static_cast<std::uint32_t>(shards_.size())));
+  shards_[shard].update(group, member, delta);
+}
+
+void ShardedMonitor::update_at(std::size_t shard, Addr group, Addr member,
+                               int delta) {
+  shards_.at(shard).update(group, member, delta);
+}
+
+DistinctCountSketch ShardedMonitor::collect() const {
+  DistinctCountSketch merged(shards_.front().params());
+  for (const DistinctCountSketch& shard : shards_) merged.merge(shard);
+  return merged;
+}
+
+std::size_t ShardedMonitor::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const DistinctCountSketch& shard : shards_) bytes += shard.memory_bytes();
+  return bytes;
+}
+
+}  // namespace dcs

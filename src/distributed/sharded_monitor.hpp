@@ -1,0 +1,58 @@
+// Distributed deployment of the Distinct-Count Sketch.
+//
+// A large ISP observes flow updates at many edge routers (paper Fig. 1, §2:
+// "a collection of continuous streams of flow updates from various elements
+// in the underlying ISP network"). Because the basic sketch is *linear* in
+// the stream — every counter is a signed sum of per-update contributions — a
+// collector can add up per-router sketches built with identical parameters
+// and seeds and obtain exactly the sketch a single monitor would have built
+// over the union stream. No coordination is needed; a pair may even be
+// inserted at one router and deleted at another (asymmetric routing).
+//
+// ShardedMonitor simulates that deployment: per-router basic sketches (cheap
+// updates, no tracking overhead at the edge), and a collect() step producing
+// a queryable TrackingDcs at the center.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class ShardedMonitor {
+ public:
+  /// `num_shards` simulated edge routers, all sharing `params` (and seed).
+  ShardedMonitor(DcsParams params, std::size_t num_shards);
+
+  /// Route an update to the shard that would observe this flow. Egress-flow
+  /// monitoring pins a (source, dest) pair to one edge router; we model the
+  /// routing table as a hash of the pair.
+  void update(Addr group, Addr member, int delta);
+
+  /// Deliver an update at an explicit router (tests exercise the asymmetric
+  /// case where insert and delete arrive at different routers).
+  void update_at(std::size_t shard, Addr group, Addr member, int delta);
+
+  /// Collector: merge all router sketches into one network-wide view.
+  DistinctCountSketch collect() const;
+
+  /// Convenience: merged sketch wrapped in tracking state, ready to query.
+  TrackingDcs collect_tracking() const { return TrackingDcs(collect()); }
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const DistinctCountSketch& shard(std::size_t i) const { return shards_.at(i); }
+
+  /// Total memory across all routers.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<DistinctCountSketch> shards_;
+  SeededHash route_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,48 @@
+#include "metrics/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace dcs {
+
+TopKAccuracy evaluate_top_k(const std::vector<TopKEntry>& approximate,
+                            const std::vector<DestFrequency>& truth,
+                            std::size_t k) {
+  TopKAccuracy acc;
+  const std::size_t true_k = std::min(k, truth.size());
+  if (true_k == 0) return acc;
+
+  std::unordered_map<Addr, std::pair<std::uint64_t, std::size_t>> true_top;
+  true_top.reserve(true_k);
+  for (std::size_t rank = 0; rank < true_k; ++rank)
+    true_top[truth[rank].dest] = {truth[rank].frequency, rank};
+
+  const std::size_t approx_k = std::min(k, approximate.size());
+  double error_sum = 0.0;
+  double displacement_sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t rank = 0; rank < approx_k; ++rank) {
+    const TopKEntry& entry = approximate[rank];
+    const auto it = true_top.find(entry.group);
+    if (it == true_top.end()) continue;
+    ++hits;
+    const auto [true_freq, true_rank] = it->second;
+    error_sum += std::abs(static_cast<double>(entry.estimate) -
+                          static_cast<double>(true_freq)) /
+                 static_cast<double>(true_freq);
+    displacement_sum +=
+        std::abs(static_cast<double>(rank) - static_cast<double>(true_rank));
+  }
+
+  acc.recall_set_size = hits;
+  acc.recall = static_cast<double>(hits) / static_cast<double>(true_k);
+  acc.precision =
+      approx_k == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(approx_k);
+  acc.avg_relative_error = hits == 0 ? 0.0 : error_sum / static_cast<double>(hits);
+  acc.mean_rank_displacement =
+      hits == 0 ? 0.0 : displacement_sum / static_cast<double>(hits);
+  return acc;
+}
+
+}  // namespace dcs

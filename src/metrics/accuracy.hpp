@@ -1,0 +1,35 @@
+// Accuracy metrics for top-k answers, as defined in the paper's §6.1.
+//
+//   * top-k recall: fraction of the true top-k groups present in the
+//     approximate top-k answer;
+//   * average relative error: mean of |f̂_v - f_v| / f_v over the *recall
+//     set* R (true top-k groups that the approximate answer found);
+//   * precision and mean rank displacement are additional diagnostics used
+//     by the ablation benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sketch/top_k.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+
+struct TopKAccuracy {
+  double recall = 0.0;
+  double precision = 0.0;
+  double avg_relative_error = 0.0;
+  /// Mean |approximate rank - true rank| over the recall set.
+  double mean_rank_displacement = 0.0;
+  std::size_t recall_set_size = 0;
+};
+
+/// Compare an approximate top-k answer against the exact ranking.
+/// `truth` must be sorted descending by frequency (as ZipfWorkload and
+/// ExactTracker produce); only its first k entries are used.
+TopKAccuracy evaluate_top_k(const std::vector<TopKEntry>& approximate,
+                            const std::vector<DestFrequency>& truth,
+                            std::size_t k);
+
+}  // namespace dcs

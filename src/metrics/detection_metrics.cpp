@@ -1,0 +1,44 @@
+#include "metrics/detection_metrics.hpp"
+
+#include <algorithm>
+
+namespace dcs {
+
+DetectionScore score_alerts(const std::vector<Alert>& alerts,
+                            const std::vector<AttackWindow>& attacks) {
+  DetectionScore score;
+  std::vector<bool> detected(attacks.size(), false);
+  double latency_sum = 0.0;
+
+  for (const Alert& alert : alerts) {
+    if (alert.kind != Alert::Kind::kRaised) continue;
+    bool matched = false;
+    for (std::size_t i = 0; i < attacks.size(); ++i) {
+      const AttackWindow& attack = attacks[i];
+      if (alert.subject != attack.subject) continue;
+      if (alert.stream_position < attack.begin) continue;
+      // Alerts raised after the window closed still credit the attack (the
+      // monitor may lag by up to one check interval) but only the first
+      // raise sets the latency.
+      matched = true;
+      if (!detected[i]) {
+        detected[i] = true;
+        latency_sum +=
+            static_cast<double>(alert.stream_position - attack.begin);
+      }
+      break;
+    }
+    if (!matched) ++score.false_positives;
+  }
+
+  score.true_positives =
+      static_cast<std::size_t>(std::count(detected.begin(), detected.end(), true));
+  score.false_negatives = attacks.size() - score.true_positives;
+  score.mean_detection_latency =
+      score.true_positives == 0
+          ? 0.0
+          : latency_sum / static_cast<double>(score.true_positives);
+  return score;
+}
+
+}  // namespace dcs

@@ -1,0 +1,48 @@
+// Detection-quality metrics: score a monitor's alert stream against ground
+// truth attack windows. Used by bench/detection_quality and available to
+// users evaluating monitor configurations on their own traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detection/ddos_monitor.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+/// Ground truth: `subject` was under attack between stream positions
+/// [begin, end) (positions = number of updates ingested).
+struct AttackWindow {
+  Addr subject = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = UINT64_MAX;
+};
+
+struct DetectionScore {
+  /// Attacks whose subject raised an alert inside (or after the start of)
+  /// its window.
+  std::size_t true_positives = 0;
+  /// Attacks never alerted.
+  std::size_t false_negatives = 0;
+  /// Raised alerts whose subject was not under attack at that position.
+  std::size_t false_positives = 0;
+  /// Mean updates between window begin and the first alert, over detected
+  /// attacks.
+  double mean_detection_latency = 0.0;
+
+  double recall() const noexcept {
+    const std::size_t total = true_positives + false_negatives;
+    return total == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Score raised alerts against attack windows. Alerts of kind kCleared are
+/// ignored; multiple raises for one attack count once (first one sets the
+/// latency).
+DetectionScore score_alerts(const std::vector<Alert>& alerts,
+                            const std::vector<AttackWindow>& attacks);
+
+}  // namespace dcs

@@ -1,0 +1,97 @@
+#include "net/exporter.hpp"
+
+#include <stdexcept>
+
+namespace dcs {
+
+FlowUpdateExporter::FlowUpdateExporter(std::uint64_t interval_ticks,
+                                       std::uint64_t half_open_timeout)
+    : interval_ticks_(interval_ticks), half_open_timeout_(half_open_timeout) {
+  if (interval_ticks == 0)
+    throw std::invalid_argument("FlowUpdateExporter: interval_ticks >= 1");
+}
+
+void FlowUpdateExporter::roll_intervals(std::uint64_t timestamp) {
+  while (timestamp >= current_interval_start_ + interval_ticks_) {
+    intervals_.push_back(current_);
+    current_ = IntervalCounts{};
+    current_interval_start_ += interval_ticks_;
+  }
+}
+
+void FlowUpdateExporter::expire_before(std::uint64_t now,
+                                       const UpdateSink& sink) {
+  if (half_open_timeout_ == 0) return;
+  while (!expiry_queue_.empty() &&
+         expiry_queue_.front().first + half_open_timeout_ <= now) {
+    const auto [opened, key] = expiry_queue_.front();
+    expiry_queue_.pop_front();
+    const auto it = half_open_.find(key);
+    // Stale queue entries (completed or timer-refreshed pairs) are skipped.
+    if (it == half_open_.end() || it->second != opened) continue;
+    half_open_.erase(it);
+    sink({pair_group(key), pair_member(key), -1});
+  }
+}
+
+void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
+  roll_intervals(packet.timestamp);
+  expire_before(packet.timestamp, sink);
+  const PairKey key = pack_pair(packet.source, packet.dest);
+  switch (packet.type) {
+    case PacketType::kSyn: {
+      ++current_.syn;
+      const auto [it, inserted] = half_open_.try_emplace(key, packet.timestamp);
+      if (inserted) {
+        sink({packet.source, packet.dest, +1});
+      } else {
+        // Retransmitted SYN: refresh the server's SYN-RECEIVED timer.
+        it->second = packet.timestamp;
+      }
+      if (half_open_timeout_ != 0)
+        expiry_queue_.emplace_back(packet.timestamp, key);
+      break;
+    }
+    case PacketType::kAck: {
+      const auto it = half_open_.find(key);
+      if (it != half_open_.end()) {
+        half_open_.erase(it);
+        sink({packet.source, packet.dest, -1});
+      }
+      break;
+    }
+    case PacketType::kRst: {
+      ++current_.fin;
+      const auto it = half_open_.find(key);
+      if (it != half_open_.end()) {
+        half_open_.erase(it);
+        sink({packet.source, packet.dest, -1});
+      }
+      break;
+    }
+    case PacketType::kFin:
+      ++current_.fin;
+      break;
+    case PacketType::kSynAck:
+    case PacketType::kData:
+      break;  // no handshake state change at the client-side edge
+  }
+}
+
+std::vector<FlowUpdate> FlowUpdateExporter::run(
+    const std::vector<Packet>& packets) {
+  std::vector<FlowUpdate> updates;
+  updates.reserve(packets.size());
+  for (const Packet& packet : packets)
+    observe(packet, [&updates](const FlowUpdate& u) { updates.push_back(u); });
+  finish_interval();
+  return updates;
+}
+
+void FlowUpdateExporter::finish_interval() {
+  intervals_.push_back(current_);
+  current_ = IntervalCounts{};
+  current_interval_start_ += interval_ticks_;
+}
+
+}  // namespace dcs

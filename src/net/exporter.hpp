@@ -1,0 +1,88 @@
+// FlowUpdateExporter — the simulated NetFlow/GigaScope probe.
+//
+// Tracks the TCP handshake state of each (client, server) pair it observes
+// and emits the paper's flow updates on state transitions:
+//   * first SYN of a pair            -> (source, dest, +1)   half-open opened
+//   * client ACK completing the
+//     handshake, or an RST abort     -> (source, dest, -1)   half-open closed
+// Duplicate SYNs, data packets and FINs after establishment produce no
+// updates, so the downstream sketch counts exactly the *currently half-open*
+// distinct sources per destination — the paper's DDoS indicator.
+//
+// The exporter also aggregates per-interval SYN and FIN/RST counts for the
+// Wang-style SYN-FIN CUSUM baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+/// Aggregate control-packet counts for one observation interval.
+struct IntervalCounts {
+  std::uint64_t syn = 0;
+  std::uint64_t fin = 0;  // FIN + RST
+
+  friend bool operator==(const IntervalCounts&, const IntervalCounts&) = default;
+};
+
+class FlowUpdateExporter {
+ public:
+  using UpdateSink = std::function<void(const FlowUpdate&)>;
+
+  /// `interval_ticks` controls the granularity of the SYN/FIN aggregates.
+  /// `half_open_timeout` (0 = disabled) models the server's SYN-RECEIVED
+  /// timer: a half-open entry older than this emits a `-1` update when the
+  /// clock passes its deadline, mirroring backlog reaping. A duplicate SYN
+  /// refreshes the timer (SYN retransmission keeps the slot alive).
+  explicit FlowUpdateExporter(std::uint64_t interval_ticks = 1000,
+                              std::uint64_t half_open_timeout = 0);
+
+  /// Observe one packet; emits zero or one flow update through `sink`.
+  void observe(const Packet& packet, const UpdateSink& sink);
+
+  /// Convenience: run a whole packet stream and collect the updates.
+  std::vector<FlowUpdate> run(const std::vector<Packet>& packets);
+
+  /// Number of (client, server) pairs currently in the half-open state.
+  std::size_t half_open_pairs() const noexcept { return half_open_.size(); }
+
+  /// Completed SYN/FIN aggregates, one entry per elapsed interval.
+  const std::vector<IntervalCounts>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Flush the in-progress interval (call once at end of stream).
+  void finish_interval();
+
+  /// Expire half-open entries whose deadline is <= `now`, emitting their
+  /// `-1` updates through `sink`. Called implicitly by observe(); exposed
+  /// for end-of-stream cleanup in timeout mode.
+  void expire_before(std::uint64_t now, const UpdateSink& sink);
+
+ private:
+  void roll_intervals(std::uint64_t timestamp);
+
+  std::uint64_t interval_ticks_;
+  std::uint64_t half_open_timeout_;
+  std::uint64_t current_interval_start_ = 0;
+  IntervalCounts current_;
+  std::vector<IntervalCounts> intervals_;
+  /// Pairs that sent a SYN and have not completed/aborted, with the time the
+  /// half-open state was (last) opened; established pairs are removed (a
+  /// later SYN would legitimately reopen).
+  std::unordered_map<PairKey, std::uint64_t> half_open_;
+  /// FIFO of (opened_time, key) for timeout sweeps; entries whose time no
+  /// longer matches half_open_ are stale (completed or refreshed) and are
+  /// skipped.
+  std::deque<std::pair<std::uint64_t, PairKey>> expiry_queue_;
+};
+
+}  // namespace dcs

@@ -1,0 +1,36 @@
+// Packet-level event model for the simulated ISP edge.
+//
+// The paper's DDoS MONITOR consumes flow updates produced by network
+// monitoring tools (NetFlow / GigaScope) watching TCP flags at edge routers.
+// We simulate that pipeline: scenarios emit TCP control packets, and
+// FlowUpdateExporter (exporter.hpp) turns handshake state transitions into
+// the (source, dest, ±1) stream the sketches consume.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+enum class PacketType : std::uint8_t {
+  kSyn,     // connection request (client -> server)
+  kSynAck,  // server's reply (server -> client; carried for completeness)
+  kAck,     // client's handshake completion
+  kFin,     // orderly teardown
+  kRst,     // abort
+  kData,    // payload packet (volume, no handshake state change)
+};
+
+struct Packet {
+  /// Logical arrival time (monotone ticks). Scenarios schedule packets on a
+  /// shared timeline; the simulator delivers them in timestamp order.
+  std::uint64_t timestamp = 0;
+  Addr source = 0;  // client / initiator address
+  Addr dest = 0;    // server / victim address
+  PacketType type = PacketType::kSyn;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+}  // namespace dcs

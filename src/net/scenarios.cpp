@@ -1,0 +1,117 @@
+#include "net/scenarios.hpp"
+
+#include <algorithm>
+
+#include "common/zipf.hpp"
+#include "stream/generator.hpp"  // bijective32
+
+namespace dcs {
+
+std::vector<Packet> Timeline::finalize() {
+  std::stable_sort(packets_.begin(), packets_.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return std::move(packets_);
+}
+
+void add_background_traffic(Timeline& timeline,
+                            const BackgroundTrafficConfig& config) {
+  ZipfDistribution server_pick(config.num_servers, config.server_skew);
+  Xoshiro256& rng = timeline.rng();
+  for (std::uint64_t s = 0; s < config.sessions; ++s) {
+    const Addr server =
+        config.server_base + static_cast<Addr>(server_pick(rng));
+    const Addr client =
+        config.client_base + static_cast<Addr>(rng.bounded(config.num_clients));
+    const std::uint64_t t =
+        config.start_tick + rng.bounded(config.duration_ticks);
+    timeline.add({t, client, server, PacketType::kSyn});
+    timeline.add({t + 1, client, server, PacketType::kSynAck});
+    timeline.add({t + config.handshake_delay, client, server, PacketType::kAck});
+    timeline.add({t + config.handshake_delay + 50, client, server,
+                  PacketType::kFin});
+  }
+}
+
+void add_syn_flood(Timeline& timeline, const SynFloodConfig& config) {
+  Xoshiro256& rng = timeline.rng();
+  const auto salt = static_cast<std::uint32_t>(mix64(config.spoof_seed));
+  for (std::uint64_t i = 0; i < config.spoofed_sources; ++i) {
+    // bijective32 guarantees the spoofed addresses are pairwise distinct —
+    // the attack pattern the distinct-source metric is designed to expose.
+    const Addr spoofed = bijective32(salt ^ static_cast<std::uint32_t>(i));
+    const std::uint64_t t =
+        config.start_tick + rng.bounded(config.duration_ticks);
+    timeline.add({t, spoofed, config.victim, PacketType::kSyn});
+    for (std::uint32_t retransmission = 0; retransmission < config.resend_factor;
+         ++retransmission) {
+      timeline.add({t + 10 * (retransmission + 1), spoofed, config.victim,
+                    PacketType::kSyn});
+    }
+    // No ACK ever arrives: the spoofed host never saw the SYN-ACK.
+  }
+}
+
+void add_flash_crowd(Timeline& timeline, const FlashCrowdConfig& config) {
+  Xoshiro256& rng = timeline.rng();
+  for (std::uint64_t i = 0; i < config.clients; ++i) {
+    const Addr client = config.client_base + static_cast<Addr>(i);
+    const std::uint64_t t =
+        config.start_tick + rng.bounded(config.duration_ticks);
+    timeline.add({t, client, config.target, PacketType::kSyn});
+    timeline.add({t + 1, client, config.target, PacketType::kSynAck});
+    // Legitimate clients complete the handshake: the half-open state is
+    // deleted almost immediately.
+    timeline.add({t + config.handshake_delay, client, config.target,
+                  PacketType::kAck});
+    timeline.add({t + config.handshake_delay + 20, client, config.target,
+                  PacketType::kFin});
+  }
+}
+
+void add_pulsing_flood(Timeline& timeline, const PulsingFloodConfig& config) {
+  Xoshiro256& rng = timeline.rng();
+  for (std::uint64_t burst = 0; burst < config.bursts; ++burst) {
+    const std::uint64_t burst_start =
+        config.start_tick + burst * config.period_ticks;
+    const auto salt = static_cast<std::uint32_t>(
+        mix64(config.spoof_seed ^ (burst + 1)));
+    for (std::uint64_t i = 0; i < config.sources_per_burst; ++i) {
+      const Addr spoofed = bijective32(salt ^ static_cast<std::uint32_t>(i));
+      const std::uint64_t t =
+          burst_start +
+          (config.burst_ticks == 0 ? 0 : rng.bounded(config.burst_ticks));
+      timeline.add({t, spoofed, config.victim, PacketType::kSyn});
+    }
+  }
+}
+
+void add_reflector_attack(Timeline& timeline,
+                          const ReflectorAttackConfig& config) {
+  Xoshiro256& rng = timeline.rng();
+  for (std::uint64_t i = 0; i < config.reflectors; ++i) {
+    const Addr reflector = config.reflector_base + static_cast<Addr>(i);
+    const std::uint64_t t =
+        config.start_tick + rng.bounded(config.duration_ticks);
+    // The attacker forges the victim as the SYN's source; the victim never
+    // sent it, so it never completes the handshake with the reflector.
+    timeline.add({t, config.victim, reflector, PacketType::kSyn});
+  }
+}
+
+void add_port_scan(Timeline& timeline, const PortScanConfig& config) {
+  Xoshiro256& rng = timeline.rng();
+  for (std::uint64_t i = 0; i < config.targets; ++i) {
+    const Addr target = config.target_base + static_cast<Addr>(i);
+    const std::uint64_t t =
+        config.start_tick + rng.bounded(config.duration_ticks);
+    timeline.add({t, config.scanner, target, PacketType::kSyn});
+    // Scanned hosts mostly RST closed ports; keep a fraction unanswered so
+    // some probes linger half-open (as in real scans).
+    if (rng.bounded(4) != 0)
+      timeline.add({t + 2, config.scanner, target, PacketType::kRst});
+  }
+}
+
+}  // namespace dcs

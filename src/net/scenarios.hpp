@@ -1,0 +1,127 @@
+// Traffic scenarios for the simulated ISP edge.
+//
+// Each builder appends a schedule of TCP control packets to a shared
+// timeline. Composing them reproduces the situations the paper motivates:
+//   * BackgroundTraffic — legitimate sessions completing handshakes against a
+//     Zipf-popular server population;
+//   * SynFloodAttack — zombies send SYNs with spoofed (random, never-ACKing)
+//     sources at a single victim: distinct half-open sources explode;
+//   * FlashCrowd — a surge of *legitimate* clients towards one destination:
+//     many distinct sources, but every handshake completes, so the net
+//     half-open count stays near zero (the paper's attack/flash-crowd
+//     discriminator);
+//   * PortScan — one source SYN-probing many destinations (the superspreader
+//     dual mentioned in the paper's footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "net/packet.hpp"
+
+namespace dcs {
+
+/// A scenario timeline: packets ordered by timestamp after finalize().
+class Timeline {
+ public:
+  explicit Timeline(std::uint64_t seed = 7) : rng_(seed) {}
+
+  void add(Packet packet) { packets_.push_back(packet); }
+
+  Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Sort by timestamp (stable on equal ticks: emission order preserved)
+  /// and return the packet stream.
+  std::vector<Packet> finalize();
+
+ private:
+  std::vector<Packet> packets_;
+  Xoshiro256 rng_;
+};
+
+struct BackgroundTrafficConfig {
+  std::uint32_t num_servers = 200;
+  std::uint32_t num_clients = 5000;
+  std::uint64_t sessions = 20'000;
+  double server_skew = 1.1;  // Zipf popularity of servers
+  std::uint64_t start_tick = 0;
+  std::uint64_t duration_ticks = 100'000;
+  /// Ticks between a session's SYN and the client's completing ACK.
+  std::uint64_t handshake_delay = 3;
+  Addr server_base = 0x0a000000;  // 10.0.0.0
+  Addr client_base = 0xc0a80000;  // 192.168.0.0
+};
+
+void add_background_traffic(Timeline& timeline,
+                            const BackgroundTrafficConfig& config);
+
+struct SynFloodConfig {
+  Addr victim = 0x0a0000fe;
+  /// Number of distinct spoofed source addresses used by the flood.
+  std::uint64_t spoofed_sources = 20'000;
+  std::uint64_t start_tick = 40'000;
+  std::uint64_t duration_ticks = 30'000;
+  /// Extra SYN retransmissions per spoofed source (same pair; adds packet
+  /// volume but no new distinct sources).
+  std::uint32_t resend_factor = 0;
+  std::uint64_t spoof_seed = 99;
+};
+
+void add_syn_flood(Timeline& timeline, const SynFloodConfig& config);
+
+struct FlashCrowdConfig {
+  Addr target = 0x0a000001;
+  std::uint64_t clients = 20'000;
+  std::uint64_t start_tick = 40'000;
+  std::uint64_t duration_ticks = 30'000;
+  std::uint64_t handshake_delay = 3;
+  Addr client_base = 0xac100000;  // 172.16.0.0
+};
+
+void add_flash_crowd(Timeline& timeline, const FlashCrowdConfig& config);
+
+struct PulsingFloodConfig {
+  /// Low-rate "pulsing" attack (after Kuzmanovic & Knightly, SIGCOMM 2003):
+  /// short spoofed-SYN bursts separated by quiet gaps. Against a monitor
+  /// with SYN-timeout reaping the half-open count sawtooths, defeating
+  /// slow absolute baselines; per-epoch change detection still sees each
+  /// burst (tested in scenarios_test / epoch_change_test).
+  Addr victim = 0x0a0000fd;
+  std::uint64_t bursts = 5;
+  std::uint64_t sources_per_burst = 2000;
+  std::uint64_t burst_ticks = 500;    // burst duration
+  std::uint64_t period_ticks = 10'000;  // burst start-to-start distance
+  std::uint64_t start_tick = 0;
+  std::uint64_t spoof_seed = 77;
+};
+
+void add_pulsing_flood(Timeline& timeline, const PulsingFloodConfig& config);
+
+struct ReflectorAttackConfig {
+  /// The victim whose address the attacker spoofs as the *source* of SYNs to
+  /// many third-party reflectors (Paxson, CCR 2001). At the edge this looks
+  /// like the victim opening half-open connections everywhere; ranked by
+  /// source, the victim itself surfaces — reflector attacks are detected as
+  /// anomalous *outbound* fan-out of the spoofed address.
+  Addr victim = 0x0a00beef;
+  std::uint64_t reflectors = 10'000;
+  std::uint64_t start_tick = 40'000;
+  std::uint64_t duration_ticks = 30'000;
+  Addr reflector_base = 0x08080000;
+};
+
+void add_reflector_attack(Timeline& timeline,
+                          const ReflectorAttackConfig& config);
+
+struct PortScanConfig {
+  Addr scanner = 0xc6336401;
+  std::uint64_t targets = 5000;
+  std::uint64_t start_tick = 0;
+  std::uint64_t duration_ticks = 50'000;
+  Addr target_base = 0x0a000000;
+};
+
+void add_port_scan(Timeline& timeline, const PortScanConfig& config);
+
+}  // namespace dcs

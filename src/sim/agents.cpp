@@ -1,0 +1,81 @@
+#include "sim/agents.hpp"
+
+#include "stream/generator.hpp"  // bijective32
+
+namespace dcs::sim {
+
+void ServerBehavior::on_packet(Simulator& simulator, std::uint64_t now,
+                               const Packet& packet) {
+  switch (packet.type) {
+    case PacketType::kSyn: {
+      if (backlog_.count(packet.source)) return;  // duplicate SYN
+      if (config_.backlog_limit != 0 &&
+          backlog_.size() >= config_.backlog_limit) {
+        ++rejected_;  // denial of service: no room for this connection
+        return;
+      }
+      backlog_.insert(packet.source);
+      // SYN-ACK back towards the claimed source. If that address was
+      // spoofed (unattached), the simulator drops it and the entry stays
+      // half-open forever.
+      simulator.send(now + config_.synack_delay,
+                     {0, config_.address, packet.source, PacketType::kSynAck});
+      break;
+    }
+    case PacketType::kAck: {
+      if (backlog_.erase(packet.source) > 0) ++established_;
+      break;
+    }
+    case PacketType::kRst: {
+      backlog_.erase(packet.source);
+      break;
+    }
+    case PacketType::kSynAck:
+    case PacketType::kFin:
+    case PacketType::kData:
+      break;
+  }
+}
+
+void ClientBehavior::on_packet(Simulator& simulator, std::uint64_t now,
+                               const Packet& packet) {
+  if (packet.type != PacketType::kSynAck) return;
+  // packet.source is the server that accepted our SYN; complete the
+  // handshake.
+  simulator.send(now + config_.ack_delay,
+                 {0, config_.address, packet.source, PacketType::kAck});
+  ++completed_;
+}
+
+void launch_session(Simulator& simulator, std::uint64_t when, Addr client,
+                    Addr server) {
+  simulator.send(when, {when, client, server, PacketType::kSyn});
+}
+
+std::vector<Addr> launch_spoofed_flood(Simulator& simulator, RouterId origin,
+                                       Addr victim, std::uint64_t start,
+                                       std::uint64_t duration,
+                                       std::uint64_t count,
+                                       std::uint32_t spoof_salt,
+                                       Xoshiro256& rng) {
+  std::vector<Addr> spoofed;
+  spoofed.reserve(count);
+  // Mix the salt so different salts yield disjoint source blocks even when
+  // the raw salt values are small and close together.
+  const auto base = static_cast<std::uint32_t>(mix64(spoof_salt));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Addr source = bijective32(base + static_cast<std::uint32_t>(i));
+    // Spoofed addresses must be unattached so the SYN-ACK black-holes;
+    // skip the (astronomically rare) collisions with real hosts.
+    while (simulator.topology().host_router(source))
+      source = bijective32(source + 1);
+    spoofed.push_back(source);
+    const std::uint64_t when =
+        start + (duration == 0 ? 0 : rng.bounded(duration));
+    simulator.send_from(when, origin,
+                        {when, source, victim, PacketType::kSyn});
+  }
+  return spoofed;
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,85 @@
+// Host behaviors (protocol agents) for the ISP simulator.
+//
+// ServerBehavior implements the victim side of the TCP handshake with a
+// finite SYN backlog — the resource a SYN flood exhausts (CERT CA-1996-21,
+// paper §1). ClientBehavior completes handshakes (legitimate traffic / flash
+// crowds). Spoofed flood sources need no behavior at all: they are
+// unattached addresses, so the victim's SYN-ACKs black-hole and the
+// connection stays half-open — the attack dynamics *emerge* from the
+// simulation rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcs::sim {
+
+class ServerBehavior final : public HostBehavior {
+ public:
+  struct Config {
+    Addr address = 0;
+    /// Delay between receiving a SYN and emitting the SYN-ACK.
+    std::uint64_t synack_delay = 1;
+    /// Half-open connections the server can hold; SYNs beyond it are
+    /// rejected (the flood's goal). 0 means unlimited.
+    std::size_t backlog_limit = 0;
+  };
+
+  explicit ServerBehavior(Config config) : config_(config) {}
+
+  void on_packet(Simulator& simulator, std::uint64_t now,
+                 const Packet& packet) override;
+
+  std::size_t half_open() const noexcept { return backlog_.size(); }
+  std::uint64_t established() const noexcept { return established_; }
+  /// SYNs rejected because the backlog was full — service denial, made
+  /// measurable.
+  std::uint64_t rejected_syns() const noexcept { return rejected_; }
+
+ private:
+  Config config_;
+  std::unordered_set<Addr> backlog_;  // client addresses awaiting ACK
+  std::uint64_t established_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+class ClientBehavior final : public HostBehavior {
+ public:
+  struct Config {
+    Addr address = 0;
+    /// Delay between receiving the SYN-ACK and sending the completing ACK.
+    std::uint64_t ack_delay = 1;
+  };
+
+  explicit ClientBehavior(Config config) : config_(config) {}
+
+  void on_packet(Simulator& simulator, std::uint64_t now,
+                 const Packet& packet) override;
+
+  std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  Config config_;
+  std::uint64_t completed_ = 0;
+};
+
+/// Send the opening SYN of a (client -> server) session at time `when`.
+void launch_session(Simulator& simulator, std::uint64_t when, Addr client,
+                    Addr server);
+
+/// Inject a spoofed-source SYN flood: `count` SYNs towards `victim`, sources
+/// drawn (bijectively, hence distinct) from unattached address space, spread
+/// uniformly over [start, start + duration), injected at `origin` (the
+/// zombies' edge router). Returns the spoofed addresses used.
+std::vector<Addr> launch_spoofed_flood(Simulator& simulator, RouterId origin,
+                                       Addr victim, std::uint64_t start,
+                                       std::uint64_t duration,
+                                       std::uint64_t count,
+                                       std::uint32_t spoof_salt,
+                                       Xoshiro256& rng);
+
+}  // namespace dcs::sim

@@ -1,0 +1,99 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace dcs::sim {
+
+Simulator::Simulator(Topology topology) : topology_(std::move(topology)) {
+  if (!topology_.routes_built())
+    throw std::invalid_argument("Simulator: topology routes not built");
+}
+
+void Simulator::set_behavior(Addr host, std::unique_ptr<HostBehavior> behavior) {
+  if (!topology_.host_router(host))
+    throw std::invalid_argument("Simulator: host not attached to the topology");
+  behaviors_[host] = std::move(behavior);
+}
+
+void Simulator::add_tap(RouterId router, RouterTap tap) {
+  if (router >= topology_.num_routers())
+    throw std::out_of_range("Simulator: unknown router");
+  taps_[router].push_back(std::move(tap));
+}
+
+void Simulator::add_ingress_tap(RouterId router, RouterTap tap) {
+  if (router >= topology_.num_routers())
+    throw std::out_of_range("Simulator: unknown router");
+  ingress_taps_[router].push_back(std::move(tap));
+}
+
+void Simulator::send(std::uint64_t when, const Packet& packet) {
+  const auto origin = topology_.host_router(packet.source);
+  if (!origin)
+    throw std::invalid_argument(
+        "Simulator::send: source not attached; use send_from for spoofed "
+        "traffic");
+  send_from(when, *origin, packet);
+}
+
+void Simulator::send_from(std::uint64_t when, RouterId origin,
+                          const Packet& packet) {
+  if (when < now_)
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  if (origin >= topology_.num_routers())
+    throw std::out_of_range("Simulator: unknown origin router");
+  Packet timed = packet;
+  timed.timestamp = when;
+  queue_.push({when, next_seq_++, origin, /*ingress=*/true, timed});
+  ++stats_.packets_sent;
+}
+
+void Simulator::arrive(const Event& event) {
+  // Every router the packet touches fires its taps.
+  const auto tap_it = taps_.find(event.router);
+  if (tap_it != taps_.end())
+    for (const RouterTap& tap : tap_it->second) tap(event.router, now_, event.packet);
+  if (event.ingress) {
+    const auto ingress_it = ingress_taps_.find(event.router);
+    if (ingress_it != ingress_taps_.end())
+      for (const RouterTap& tap : ingress_it->second)
+        tap(event.router, now_, event.packet);
+  }
+
+  const auto dest_router = topology_.host_router(event.packet.dest);
+  if (!dest_router) {
+    // Unallocated / spoofed destination address: black-holed here. This is
+    // how SYN-ACKs to spoofed flood sources die.
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  if (*dest_router == event.router) {
+    ++stats_.packets_delivered;
+    const auto behavior_it = behaviors_.find(event.packet.dest);
+    if (behavior_it != behaviors_.end()) {
+      Packet delivered = event.packet;
+      delivered.timestamp = now_;
+      behavior_it->second->on_packet(*this, now_, delivered);
+    }
+    return;
+  }
+
+  const RouterId hop = topology_.next_hop(event.router, *dest_router);
+  const Latency latency = topology_.link_latency(event.router, hop);
+  ++stats_.hops_traversed;
+  queue_.push({now_ + latency, next_seq_++, hop, /*ingress=*/false,
+               event.packet});
+}
+
+void Simulator::run(std::uint64_t until) {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    if (until != 0 && event.time > until) return;
+    queue_.pop();
+    now_ = event.time;
+    arrive(event);
+  }
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,107 @@
+// Event-driven packet simulator over an ISP topology.
+//
+// Packets are forwarded hop by hop along shortest-latency routes; each
+// router traversal fires the router's *taps* (the simulated NetFlow probes —
+// a FlowUpdateExporter hangs off each monitored edge router). Hosts carry
+// pluggable behaviors (agents.hpp) that react to delivered packets by
+// sending more — so TCP handshake dynamics (SYN -> SYN-ACK -> ACK) emerge
+// from the simulation instead of being scripted, and spoofed-source floods
+// black-hole mechanically: the SYN-ACK routes towards an unattached address
+// and is dropped at the victim's edge.
+//
+// The simulation is deterministic: events are ordered by (time, sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/topology.hpp"
+
+namespace dcs::sim {
+
+class Simulator;
+
+/// A host's protocol behavior: invoked when a packet is delivered to the
+/// host's address. Implementations respond by calling Simulator::send.
+class HostBehavior {
+ public:
+  virtual ~HostBehavior() = default;
+  virtual void on_packet(Simulator& simulator, std::uint64_t now,
+                         const Packet& packet) = 0;
+};
+
+/// Observer attached to a router; sees every packet the router forwards or
+/// delivers, at the time it passes through.
+using RouterTap =
+    std::function<void(RouterId router, std::uint64_t now, const Packet&)>;
+
+struct SimStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped = 0;  // destination address unattached
+  std::uint64_t hops_traversed = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(Topology topology);
+
+  const Topology& topology() const noexcept { return topology_; }
+
+  /// Register a behavior for a host address (which must be attached in the
+  /// topology). Addresses without behaviors silently consume packets.
+  void set_behavior(Addr host, std::unique_ptr<HostBehavior> behavior);
+
+  /// Attach a tap to a router: sees every packet traversing it (any hop).
+  void add_tap(RouterId router, RouterTap tap);
+
+  /// Attach an *ingress* tap: fires only where traffic enters the network
+  /// (the injection router), so each packet is observed exactly once —
+  /// the egress-flow NetFlow deployment of the paper's Fig. 1. Feed these
+  /// into per-router FlowUpdateExporters.
+  void add_ingress_tap(RouterId router, RouterTap tap);
+
+  /// Send `packet` from its source host at absolute time `when` (must be
+  /// >= the current simulation time). The source must be attached unless
+  /// `spoofed_origin` names the router actually injecting the traffic
+  /// (zombies spoof addresses they do not own).
+  void send(std::uint64_t when, const Packet& packet);
+  void send_from(std::uint64_t when, RouterId origin, const Packet& packet);
+
+  /// Run until the event queue drains (or `until` ticks, if nonzero).
+  void run(std::uint64_t until = 0);
+
+  std::uint64_t now() const noexcept { return now_; }
+  const SimStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Event {
+    std::uint64_t time;
+    std::uint64_t seq;        // FIFO among equal times: determinism
+    RouterId router;          // router the packet is arriving at
+    bool ingress;             // true at the injection router only
+    Packet packet;
+
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void arrive(const Event& event);
+
+  Topology topology_;
+  std::unordered_map<Addr, std::unique_ptr<HostBehavior>> behaviors_;
+  std::unordered_map<RouterId, std::vector<RouterTap>> taps_;
+  std::unordered_map<RouterId, std::vector<RouterTap>> ingress_taps_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  SimStats stats_;
+};
+
+}  // namespace dcs::sim

@@ -1,0 +1,110 @@
+#include "sim/topology.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace dcs::sim {
+
+RouterId Topology::add_router(std::string name) {
+  if (routes_built())
+    throw std::logic_error("Topology: cannot add routers after build_routes");
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return static_cast<RouterId>(names_.size() - 1);
+}
+
+void Topology::add_link(RouterId a, RouterId b, Latency latency) {
+  if (routes_built())
+    throw std::logic_error("Topology: cannot add links after build_routes");
+  if (a >= num_routers() || b >= num_routers())
+    throw std::out_of_range("Topology: unknown router");
+  if (a == b) throw std::invalid_argument("Topology: self-links not allowed");
+  if (latency == 0) throw std::invalid_argument("Topology: latency >= 1");
+  adjacency_[a].push_back({b, latency});
+  adjacency_[b].push_back({a, latency});
+}
+
+void Topology::attach_host(Addr host, RouterId router) {
+  if (router >= num_routers())
+    throw std::out_of_range("Topology: unknown router");
+  if (!hosts_.emplace(host, router).second)
+    throw std::invalid_argument("Topology: host already attached");
+}
+
+std::optional<RouterId> Topology::host_router(Addr host) const {
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Topology::build_routes() {
+  const std::size_t n = num_routers();
+  if (n == 0) throw std::logic_error("Topology: no routers");
+  constexpr Latency kInf = std::numeric_limits<Latency>::max();
+  next_hop_.assign(n * n, kNoRouter);
+  dist_.assign(n * n, kInf);
+
+  // Dijkstra from every source; n is small (tens of routers).
+  for (RouterId source = 0; source < n; ++source) {
+    auto* dist = &dist_[source * n];
+    auto* hop = &next_hop_[source * n];
+    dist[source] = 0;
+    hop[source] = source;
+    using Item = std::pair<Latency, RouterId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+    frontier.push({0, source});
+    while (!frontier.empty()) {
+      const auto [d, at] = frontier.top();
+      frontier.pop();
+      if (d > dist[at]) continue;
+      for (const Edge& edge : adjacency_[at]) {
+        const Latency candidate = d + edge.latency;
+        if (candidate < dist[edge.to]) {
+          dist[edge.to] = candidate;
+          // First hop towards edge.to: inherit `at`'s first hop, unless we
+          // are leaving the source itself.
+          hop[edge.to] = (at == source) ? edge.to : hop[at];
+          frontier.push({candidate, edge.to});
+        }
+      }
+    }
+    for (RouterId to = 0; to < n; ++to)
+      if (dist[to] == kInf)
+        throw std::logic_error("Topology: router graph is not connected");
+  }
+}
+
+RouterId Topology::next_hop(RouterId from, RouterId to) const {
+  if (!routes_built()) throw std::logic_error("Topology: routes not built");
+  return next_hop_[from * num_routers() + to];
+}
+
+Latency Topology::link_latency(RouterId a, RouterId b) const {
+  for (const Edge& edge : adjacency_.at(a))
+    if (edge.to == b) return edge.latency;
+  throw std::invalid_argument("Topology: routers not adjacent");
+}
+
+Latency Topology::path_latency(RouterId from, RouterId to) const {
+  if (!routes_built()) throw std::logic_error("Topology: routes not built");
+  return dist_[from * num_routers() + to];
+}
+
+std::vector<RouterId> make_isp_topology(Topology& topology,
+                                        std::size_t core_size) {
+  if (core_size < 2)
+    throw std::invalid_argument("make_isp_topology: core_size >= 2");
+  std::vector<RouterId> core, edges;
+  for (std::size_t i = 0; i < core_size; ++i)
+    core.push_back(topology.add_router("core" + std::to_string(i)));
+  for (std::size_t i = 0; i < core_size; ++i)
+    edges.push_back(topology.add_router("edge" + std::to_string(i)));
+  for (std::size_t i = 0; i < core_size; ++i) {
+    topology.add_link(core[i], core[(i + 1) % core_size], 2);
+    topology.add_link(edges[i], core[i], 1);
+  }
+  topology.build_routes();
+  return edges;
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,84 @@
+// ISP network topology: routers connected by latency-weighted links, hosts
+// attached to edge routers.
+//
+// The simulator (simulator.hpp) forwards packets hop by hop along the
+// shortest-latency paths computed here. Separating the graph from the event
+// loop keeps routing testable in isolation and lets experiments build
+// arbitrary topologies (the canonical one used by tests and examples is a
+// small core ring with edge routers hanging off it — see make_isp_topology).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/flow_update.hpp"
+
+namespace dcs::sim {
+
+using RouterId = std::uint32_t;
+using Latency = std::uint32_t;  // simulation ticks per link traversal
+
+constexpr RouterId kNoRouter = std::numeric_limits<RouterId>::max();
+
+class Topology {
+ public:
+  /// Add a router; returns its id (dense, starting at 0).
+  RouterId add_router(std::string name);
+
+  /// Add a bidirectional link with the given latency (>= 1 tick).
+  void add_link(RouterId a, RouterId b, Latency latency);
+
+  /// Attach a host address to an edge router. An address may be attached to
+  /// exactly one router; re-attaching throws.
+  void attach_host(Addr host, RouterId router);
+
+  /// Precompute all-pairs next-hop routing (Dijkstra per router). Must be
+  /// called after the graph is built and before routing queries; throws if
+  /// the router graph is not connected.
+  void build_routes();
+
+  // --- queries -------------------------------------------------------------
+  std::size_t num_routers() const noexcept { return names_.size(); }
+  const std::string& router_name(RouterId id) const { return names_.at(id); }
+
+  /// Router a host address is attached to, or nullopt for unknown addresses
+  /// (spoofed / unallocated space — the simulator drops traffic to them).
+  std::optional<RouterId> host_router(Addr host) const;
+
+  /// Next router on the shortest path from `from` towards `to`
+  /// (== `to` when adjacent, == from when from == to).
+  RouterId next_hop(RouterId from, RouterId to) const;
+
+  /// Latency of the direct link between adjacent routers; throws otherwise.
+  Latency link_latency(RouterId a, RouterId b) const;
+
+  /// Total shortest-path latency between two routers.
+  Latency path_latency(RouterId from, RouterId to) const;
+
+  bool routes_built() const noexcept { return !next_hop_.empty(); }
+
+ private:
+  struct Edge {
+    RouterId to;
+    Latency latency;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::unordered_map<Addr, RouterId> hosts_;
+  // next_hop_[from * n + to], dist_[from * n + to]
+  std::vector<RouterId> next_hop_;
+  std::vector<Latency> dist_;
+};
+
+/// Canonical test/example topology: `core_size` core routers in a ring
+/// (latency 2), one edge router per core router (latency 1). Returns the
+/// edge-router ids; hosts should be attached to these.
+std::vector<RouterId> make_isp_topology(Topology& topology,
+                                        std::size_t core_size);
+
+}  // namespace dcs::sim

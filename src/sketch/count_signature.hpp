@@ -1,0 +1,107 @@
+// Count signatures — the per-bucket structure at the heart of the
+// Distinct-Count Sketch (paper §3).
+//
+// A signature is an array of key_bits + 1 signed counters over the (multi)set
+// of keys currently hashed into a second-level bucket:
+//   counters[0]      — net total number of keys in the bucket;
+//   counters[1 + i]  — net number of keys whose bit i is 1.
+// Because every counter is a linear function of the stream, insert-then-
+// delete leaves the signature exactly as if the item was never seen — this is
+// what makes the whole sketch delete-resilient.
+//
+// Classification (paper's ReturnSingleton, Fig. 4): a bucket is a singleton
+// iff total > 0 and every bit counter is either 0 or equal to the total; the
+// unique key is then read off bit by bit. Two distinct keys must differ in
+// some bit, and with nonnegative per-key net counts that bit's counter falls
+// strictly between 0 and the total — so classification is exact for valid
+// update streams. Counters outside [0, total] (possible only if a stream
+// deletes items it never inserted) are reported as kCollision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitops.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+enum class BucketState : std::uint8_t {
+  kEmpty,      // no keys present
+  kSingleton,  // exactly one distinct key; its value was recovered
+  kCollision,  // >= 2 distinct keys (or an inconsistent signature)
+};
+
+struct BucketClass {
+  BucketState state = BucketState::kEmpty;
+  PairKey key = 0;  // valid iff state == kSingleton
+
+  friend bool operator==(const BucketClass&, const BucketClass&) = default;
+};
+
+/// Non-owning view over one bucket's counters (contiguous, length
+/// key_bits + 1). The sketch owns the storage; this view implements the
+/// update and classification logic so it can be unit-tested in isolation.
+class CountSignatureView {
+ public:
+  CountSignatureView(std::int64_t* counters, int key_bits) noexcept
+      : counters_(counters), key_bits_(key_bits) {}
+
+  std::int64_t total() const noexcept { return counters_[0]; }
+
+  std::int64_t bit_count(int i) const noexcept { return counters_[1 + i]; }
+
+  /// Apply a stream update for `key` with weight `delta` (±1, or any signed
+  /// weight — the structure is linear).
+  void add(PairKey key, std::int64_t delta) noexcept {
+    counters_[0] += delta;
+    // Iterate set bits only: expected key population is half the bits, and
+    // sparse keys (small test domains) update in O(popcount).
+    std::uint64_t bits = key;
+    while (bits != 0) {
+      const int i = lsb_index(bits);
+      counters_[1 + i] += delta;
+      bits &= bits - 1;
+    }
+  }
+
+  /// Classify the bucket and recover the singleton key if there is one.
+  BucketClass classify() const noexcept {
+    const std::int64_t t = counters_[0];
+    if (t < 0) return {BucketState::kCollision, 0};
+    if (t == 0) {
+      // A truly empty bucket has all-zero counters; anything else means the
+      // stream violated the no-spurious-deletes contract.
+      for (int i = 0; i < key_bits_; ++i)
+        if (counters_[1 + i] != 0) return {BucketState::kCollision, 0};
+      return {BucketState::kEmpty, 0};
+    }
+    PairKey key = 0;
+    for (int i = 0; i < key_bits_; ++i) {
+      const std::int64_t c = counters_[1 + i];
+      if (c == t) {
+        key |= (PairKey{1} << i);
+      } else if (c != 0) {
+        return {BucketState::kCollision, 0};
+      }
+    }
+    return {BucketState::kSingleton, key};
+  }
+
+  /// True iff every counter is zero.
+  bool all_zero() const noexcept {
+    for (int i = 0; i <= key_bits_; ++i)
+      if (counters_[i] != 0) return false;
+    return true;
+  }
+
+  std::span<const std::int64_t> raw() const noexcept {
+    return {counters_, static_cast<std::size_t>(key_bits_) + 1};
+  }
+
+ private:
+  std::int64_t* counters_;
+  int key_bits_;
+};
+
+}  // namespace dcs

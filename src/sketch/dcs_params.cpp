@@ -1,0 +1,79 @@
+#include "sketch/dcs_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcs {
+
+void DcsParams::validate() const {
+  if (num_tables < 1) throw std::invalid_argument("DcsParams: num_tables >= 1");
+  if (buckets_per_table < 2)
+    throw std::invalid_argument("DcsParams: buckets_per_table >= 2");
+  if (key_bits < 1 || key_bits > 64)
+    throw std::invalid_argument("DcsParams: key_bits in [1, 64]");
+  if (max_level < 0 || max_level > 63)
+    throw std::invalid_argument("DcsParams: max_level in [0, 63]");
+  if (epsilon <= 0.0 || epsilon >= 1.0 / 3.0)
+    throw std::invalid_argument("DcsParams: epsilon in (0, 1/3)");
+  if (sample_target_fraction < 0.0 || sample_target_fraction > 1.0)
+    throw std::invalid_argument("DcsParams: sample_target_fraction in [0, 1]");
+}
+
+std::uint64_t DcsParams::sample_target() const noexcept {
+  const double s = static_cast<double>(buckets_per_table);
+  const double target = sample_target_fraction > 0.0
+                            ? sample_target_fraction * s
+                            : (1.0 + epsilon) * s / 16.0;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(target)));
+}
+
+DcsParams DcsParams::recommend(double epsilon, double delta,
+                               std::uint64_t expected_distinct_pairs,
+                               std::uint64_t expected_kth_frequency,
+                               std::uint64_t expected_stream_length) {
+  if (delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("recommend: delta in (0, 1)");
+  if (expected_kth_frequency == 0)
+    throw std::invalid_argument("recommend: expected_kth_frequency >= 1");
+  DcsParams p;
+  p.epsilon = epsilon;
+  const double n = std::max<double>(2.0, static_cast<double>(expected_stream_length));
+  p.num_tables = std::max(1, static_cast<int>(std::ceil(std::log2(n / delta))));
+  const double m_bits = 64.0;
+  const double s = 16.0 * std::log((n + m_bits) / delta) *
+                   static_cast<double>(expected_distinct_pairs) /
+                   (static_cast<double>(expected_kth_frequency) * epsilon * epsilon);
+  p.buckets_per_table =
+      static_cast<std::uint32_t>(std::min(s, 1.0 * (1u << 30)));
+  p.buckets_per_table = std::max(2u, p.buckets_per_table);
+  p.validate();
+  return p;
+}
+
+DcsParams DcsParams::for_memory_budget(std::size_t budget_bytes,
+                                       std::uint64_t expected_distinct_pairs) {
+  if (expected_distinct_pairs == 0)
+    throw std::invalid_argument("for_memory_budget: expected pairs >= 1");
+  DcsParams params;
+  const int levels =
+      static_cast<int>(std::ceil(std::log2(
+          static_cast<double>(std::max<std::uint64_t>(2, expected_distinct_pairs))))) +
+      1;
+  const std::size_t per_bucket_bytes =
+      params.signature_width() * sizeof(std::int64_t);
+  const std::size_t per_s_bytes = static_cast<std::size_t>(levels) *
+                                  static_cast<std::size_t>(params.num_tables) *
+                                  per_bucket_bytes;
+  std::uint32_t s = 2;
+  while (2ull * s * per_s_bytes <= budget_bytes && s < (1u << 24)) s *= 2;
+  if (static_cast<std::size_t>(s) * per_s_bytes > budget_bytes)
+    throw std::invalid_argument(
+        "for_memory_budget: budget too small for any sketch (needs >= ~2 "
+        "buckets per table across all levels)");
+  params.buckets_per_table = s;
+  params.validate();
+  return params;
+}
+
+}  // namespace dcs

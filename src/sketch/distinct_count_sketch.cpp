@@ -1,0 +1,356 @@
+#include "sketch/distinct_count_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dcs {
+
+namespace {
+constexpr std::uint32_t kSketchMagic = 0x53434344;  // "DCCS"
+constexpr std::uint8_t kSketchVersion = 1;
+
+// Seed-derivation constants: keep the level hash and the bucket family
+// independent even though both derive from the same master seed.
+constexpr std::uint64_t kLevelSeedSalt = 0x1b873593a4093822ULL;
+constexpr std::uint64_t kBucketSeedSalt = 0xcc9e2d51b5297a4dULL;
+}  // namespace
+
+DistinctCountSketch::DistinctCountSketch(DcsParams params)
+    : params_(params),
+      level_hash_(mix64(params.seed ^ kLevelSeedSalt), params.max_level),
+      bucket_hashes_(mix64(params.seed ^ kBucketSeedSalt), params.num_tables,
+                     params.buckets_per_table),
+      levels_(static_cast<std::size_t>(params.max_level) + 1) {
+  params_.validate();
+}
+
+void DistinctCountSketch::check_key(PairKey key) const {
+  if (params_.key_bits < 64 && (key >> params_.key_bits) != 0)
+    throw std::invalid_argument(
+        "DistinctCountSketch: key does not fit in key_bits");
+}
+
+void DistinctCountSketch::ensure_level(int level) {
+  auto& storage = levels_[static_cast<std::size_t>(level)];
+  if (storage.empty()) storage.assign(params_.counters_per_level(), 0);
+}
+
+std::int64_t* DistinctCountSketch::counters_at(int level, int table,
+                                               std::uint32_t bucket) {
+  auto& storage = levels_[static_cast<std::size_t>(level)];
+  const std::size_t width = params_.signature_width();
+  const std::size_t index =
+      (static_cast<std::size_t>(table) * params_.buckets_per_table + bucket) *
+      width;
+  return storage.data() + index;
+}
+
+const std::int64_t* DistinctCountSketch::counters_at(
+    int level, int table, std::uint32_t bucket) const {
+  const auto& storage = levels_[static_cast<std::size_t>(level)];
+  const std::size_t width = params_.signature_width();
+  const std::size_t index =
+      (static_cast<std::size_t>(table) * params_.buckets_per_table + bucket) *
+      width;
+  return storage.data() + index;
+}
+
+void DistinctCountSketch::update(Addr group, Addr member, int delta) {
+  update_key(pack_pair(group, member), delta);
+}
+
+void DistinctCountSketch::update_key(PairKey key, int delta) {
+  check_key(key);
+  const int level = level_of(key);
+  ensure_level(level);
+  for (int j = 0; j < params_.num_tables; ++j) {
+    CountSignatureView sig(counters_at(level, j, bucket_of(j, key)),
+                           params_.key_bits);
+    sig.add(key, delta);
+  }
+}
+
+void DistinctCountSketch::apply_to_table(int level, int table, PairKey key,
+                                         int delta) {
+  ensure_level(level);
+  CountSignatureView sig(counters_at(level, table, bucket_of(table, key)),
+                         params_.key_bits);
+  sig.add(key, delta);
+}
+
+BucketClass DistinctCountSketch::classify_bucket(int level, int table,
+                                                 std::uint32_t bucket) const {
+  if (!level_allocated(level)) return {BucketState::kEmpty, 0};
+  CountSignatureView sig(
+      const_cast<std::int64_t*>(counters_at(level, table, bucket)),
+      params_.key_bits);
+  return sig.classify();
+}
+
+std::vector<PairKey> DistinctCountSketch::level_sample(int level) const {
+  std::vector<PairKey> sample;
+  if (!level_allocated(level)) return sample;
+  std::unordered_set<PairKey> seen;
+  for (int j = 0; j < params_.num_tables; ++j) {
+    for (std::uint32_t b = 0; b < params_.buckets_per_table; ++b) {
+      const BucketClass cls = classify_bucket(level, j, b);
+      if (cls.state != BucketState::kSingleton) continue;
+      // Defensive re-hash: a recovered key must map back to this very bucket.
+      // Valid update streams can never fail this check; streams that delete
+      // items they never inserted could fabricate "ghost" singletons.
+      if (level_of(cls.key) != level || bucket_of(j, cls.key) != b) continue;
+      if (seen.insert(cls.key).second) sample.push_back(cls.key);
+    }
+  }
+  return sample;
+}
+
+DistinctCountSketch::DistinctSample DistinctCountSketch::collect_sample() const {
+  DistinctSample result;
+  const std::uint64_t target = params_.sample_target();
+  int level = params_.max_level;
+  for (; level >= 0; --level) {
+    auto keys = level_sample(level);
+    result.keys.insert(result.keys.end(), keys.begin(), keys.end());
+    if (result.keys.size() >= target) break;
+  }
+  // If the stream is small enough that every level was consumed, the sample
+  // holds (nearly) all active pairs at sampling probability 1.
+  result.inference_level = std::max(level, 0);
+  return result;
+}
+
+double linear_count_estimate(std::uint64_t occupied, std::uint32_t buckets) {
+  if (occupied == 0) return 0.0;
+  const double s = static_cast<double>(buckets);
+  const double o = occupied >= buckets ? s - 0.5 : static_cast<double>(occupied);
+  return std::log(1.0 - o / s) / std::log(1.0 - 1.0 / s);
+}
+
+std::vector<TopKEntry> rank_sample_groups(const std::vector<PairKey>& sample,
+                                          double scale, std::size_t k) {
+  std::unordered_map<Addr, std::uint64_t> counts;
+  counts.reserve(sample.size());
+  for (const PairKey key : sample) ++counts[pair_group(key)];
+
+  std::vector<TopKEntry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [group, freq] : counts)
+    entries.push_back({group, static_cast<std::uint64_t>(std::llround(
+                                  static_cast<double>(freq) * scale))});
+
+  const auto order = [](const TopKEntry& a, const TopKEntry& b) {
+    return a.estimate != b.estimate ? a.estimate > b.estimate
+                                    : a.group < b.group;
+  };
+  if (k > 0 && k < entries.size()) {
+    std::partial_sort(entries.begin(),
+                      entries.begin() + static_cast<std::ptrdiff_t>(k),
+                      entries.end(), order);
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(), order);
+  }
+  return entries;
+}
+
+std::uint64_t DistinctCountSketch::occupied_buckets(int level,
+                                                    int table) const {
+  if (!level_allocated(level)) return 0;
+  std::uint64_t occupied = 0;
+  for (std::uint32_t b = 0; b < params_.buckets_per_table; ++b)
+    if (classify_bucket(level, table, b).state != BucketState::kEmpty)
+      ++occupied;
+  return occupied;
+}
+
+double DistinctCountSketch::estimate_level_population(int level) const {
+  double total = 0.0;
+  for (int j = 0; j < params_.num_tables; ++j)
+    total += linear_count_estimate(occupied_buckets(level, j),
+                                   params_.buckets_per_table);
+  return total / static_cast<double>(params_.num_tables);
+}
+
+double DistinctCountSketch::correction_factor(
+    int level, std::uint64_t sample_size) const {
+  if (!params_.collision_correction || sample_size == 0) return 1.0;
+  double population = 0.0;
+  for (int l = params_.max_level; l >= level; --l)
+    population += estimate_level_population(l);
+  const double factor = population / static_cast<double>(sample_size);
+  return factor < 1.0 ? 1.0 : factor;
+}
+
+TopKResult DistinctCountSketch::top_k(std::size_t k) const {
+  const DistinctSample sample = collect_sample();
+  TopKResult result;
+  result.inference_level = sample.inference_level;
+  result.sample_size = sample.keys.size();
+  const double scale =
+      std::ldexp(correction_factor(sample.inference_level, sample.keys.size()),
+                 sample.inference_level);
+  result.entries = rank_sample_groups(sample.keys, scale, k);
+  return result;
+}
+
+std::vector<TopKEntry> DistinctCountSketch::groups_above(
+    std::uint64_t tau) const {
+  const DistinctSample sample = collect_sample();
+  const double scale =
+      std::ldexp(correction_factor(sample.inference_level, sample.keys.size()),
+                 sample.inference_level);
+  auto entries = rank_sample_groups(sample.keys, scale, 0);
+  const auto cut = std::find_if(entries.begin(), entries.end(),
+                                [tau](const TopKEntry& e) {
+                                  return e.estimate < tau;
+                                });
+  entries.erase(cut, entries.end());
+  return entries;
+}
+
+std::uint64_t DistinctCountSketch::estimate_distinct_pairs() const {
+  const DistinctSample sample = collect_sample();
+  const double scale =
+      std::ldexp(correction_factor(sample.inference_level, sample.keys.size()),
+                 sample.inference_level);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(sample.keys.size()) * scale));
+}
+
+std::uint64_t DistinctCountSketch::estimate_frequency(Addr group) const {
+  const DistinctSample sample = collect_sample();
+  std::uint64_t in_sample = 0;
+  for (const PairKey key : sample.keys)
+    if (pair_group(key) == group) ++in_sample;
+  const double scale =
+      std::ldexp(correction_factor(sample.inference_level, sample.keys.size()),
+                 sample.inference_level);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(in_sample) * scale));
+}
+
+void DistinctCountSketch::merge(const DistinctCountSketch& other) {
+  if (!(params_ == other.params_))
+    throw std::invalid_argument(
+        "DistinctCountSketch::merge: parameter/seed mismatch");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto& src = other.levels_[l];
+    if (src.empty()) continue;
+    auto& dst = levels_[l];
+    if (dst.empty()) {
+      dst = src;
+    } else {
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    }
+  }
+}
+
+void DistinctCountSketch::subtract(const DistinctCountSketch& other) {
+  if (!(params_ == other.params_))
+    throw std::invalid_argument(
+        "DistinctCountSketch::subtract: parameter/seed mismatch");
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto& src = other.levels_[l];
+    if (src.empty()) continue;
+    auto& dst = levels_[l];
+    if (dst.empty()) dst.assign(params_.counters_per_level(), 0);
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= src[i];
+  }
+}
+
+void DistinctCountSketch::serialize(BinaryWriter& writer) const {
+  write_header(writer, kSketchMagic, kSketchVersion);
+  writer.i32(params_.num_tables);
+  writer.u32(params_.buckets_per_table);
+  writer.i32(params_.key_bits);
+  writer.i32(params_.max_level);
+  writer.f64(params_.epsilon);
+  writer.f64(params_.sample_target_fraction);
+  writer.u8(params_.collision_correction ? 1 : 0);
+  writer.u64(params_.seed);
+  std::uint64_t allocated = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l)
+    if (!levels_[l].empty()) allocated |= (1ULL << l);
+  writer.u64(allocated);
+  for (const auto& level : levels_)
+    if (!level.empty()) writer.pod_vector(level);
+}
+
+DistinctCountSketch DistinctCountSketch::deserialize(BinaryReader& reader) {
+  read_header(reader, kSketchMagic, kSketchVersion);
+  DcsParams params;
+  params.num_tables = reader.i32();
+  params.buckets_per_table = reader.u32();
+  params.key_bits = reader.i32();
+  params.max_level = reader.i32();
+  params.epsilon = reader.f64();
+  params.sample_target_fraction = reader.f64();
+  params.collision_correction = reader.u8() != 0;
+  params.seed = reader.u64();
+  params.validate();
+  DistinctCountSketch sketch(params);
+  const std::uint64_t allocated = reader.u64();
+  for (std::size_t l = 0; l < sketch.levels_.size(); ++l) {
+    if ((allocated & (1ULL << l)) == 0) continue;
+    sketch.levels_[l] = reader.pod_vector<std::int64_t>();
+    if (sketch.levels_[l].size() != params.counters_per_level())
+      throw SerializeError("DistinctCountSketch: level size mismatch");
+  }
+  return sketch;
+}
+
+bool operator==(const DistinctCountSketch& a, const DistinctCountSketch& b) {
+  if (!(a.params_ == b.params_)) return false;
+  const auto all_zero = [](const std::vector<std::int64_t>& v) {
+    return std::all_of(v.begin(), v.end(), [](std::int64_t c) { return c == 0; });
+  };
+  for (std::size_t l = 0; l < a.levels_.size(); ++l) {
+    const auto& la = a.levels_[l];
+    const auto& lb = b.levels_[l];
+    if (la.empty() && lb.empty()) continue;
+    if (la.empty()) {
+      if (!all_zero(lb)) return false;
+    } else if (lb.empty()) {
+      if (!all_zero(la)) return false;
+    } else if (la != lb) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int DistinctCountSketch::allocated_levels() const noexcept {
+  int count = 0;
+  for (const auto& level : levels_)
+    if (!level.empty()) ++count;
+  return count;
+}
+
+std::size_t DistinctCountSketch::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& level : levels_)
+    bytes += level.capacity() * sizeof(std::int64_t);
+  return bytes;
+}
+
+bool DistinctCountSketch::validate() const {
+  for (int l = 0; l <= params_.max_level; ++l) {
+    if (!level_allocated(l)) continue;
+    for (int j = 0; j < params_.num_tables; ++j) {
+      for (std::uint32_t b = 0; b < params_.buckets_per_table; ++b) {
+        const std::int64_t* c = counters_at(l, j, b);
+        const std::int64_t total = c[0];
+        if (total < 0) return false;
+        for (int i = 1; i <= params_.key_bits; ++i)
+          if (c[i] < 0 || c[i] > total) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dcs

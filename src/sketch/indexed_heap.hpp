@@ -1,0 +1,180 @@
+// Indexed binary max-heap over (key, priority) pairs.
+//
+// Backs the per-level topDestHeap structures of the Tracking Distinct-Count
+// Sketch (paper §5): destinations keyed by their occurrence frequency in the
+// maintained distinct sample. Beyond a plain priority queue it supports
+//   * add(key, delta): create / adjust / erase-on-zero in O(log n);
+//   * priority lookups in O(1) expected;
+//   * non-destructive top_k in O(k log k) via a heap-order frontier walk,
+//     replacing the paper's destructive deleteMax loop.
+// Ordering is deterministic: priority descending, then key ascending — the
+// same total order the BaseTopk estimator uses, so both estimators return
+// byte-identical answers on identical sketch state (a tested invariant).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace dcs {
+
+template <typename Key>
+class IndexedMaxHeap {
+ public:
+  struct Entry {
+    Key key{};
+    std::int64_t priority = 0;
+  };
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Current priority of `key`, or 0 if absent.
+  std::int64_t priority(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : heap_[it->second].priority;
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) != 0; }
+
+  /// Adjust `key`'s priority by `delta`. A key reaching priority 0 is erased;
+  /// a new key is created at priority `delta` (which must then be > 0).
+  void add(const Key& key, std::int64_t delta) {
+    if (delta == 0) return;
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      if (delta < 0)
+        throw std::logic_error("IndexedMaxHeap: negative priority for new key");
+      heap_.push_back({key, delta});
+      index_[key] = heap_.size() - 1;
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    const std::size_t pos = it->second;
+    const std::int64_t updated = heap_[pos].priority + delta;
+    if (updated < 0)
+      throw std::logic_error("IndexedMaxHeap: priority dropped below zero");
+    if (updated == 0) {
+      erase_at(pos);
+      return;
+    }
+    heap_[pos].priority = updated;
+    if (delta > 0)
+      sift_up(pos);
+    else
+      sift_down(pos);
+  }
+
+  /// Remove `key` entirely (no-op if absent).
+  void erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) erase_at(it->second);
+  }
+
+  /// Maximum entry. Precondition: !empty().
+  const Entry& top() const {
+    assert(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// The k largest entries in descending order, without modifying the heap.
+  /// Runs a best-first walk over the implicit heap tree: O(k log k).
+  std::vector<Entry> top_k(std::size_t k) const {
+    std::vector<Entry> out;
+    if (heap_.empty() || k == 0) return out;
+    auto cmp = [this](std::size_t a, std::size_t b) {
+      return less(heap_[a], heap_[b]);
+    };
+    std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(cmp)>
+        frontier(cmp);
+    frontier.push(0);
+    while (!frontier.empty() && out.size() < k) {
+      const std::size_t pos = frontier.top();
+      frontier.pop();
+      out.push_back(heap_[pos]);
+      const std::size_t left = 2 * pos + 1;
+      const std::size_t right = left + 1;
+      if (left < heap_.size()) frontier.push(left);
+      if (right < heap_.size()) frontier.push(right);
+    }
+    return out;
+  }
+
+  /// Verify the heap property and the position index; used by tests.
+  bool validate() const {
+    if (index_.size() != heap_.size()) return false;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const auto it = index_.find(heap_[i].key);
+      if (it == index_.end() || it->second != i) return false;
+      if (heap_[i].priority <= 0) return false;
+      if (i > 0 && less(heap_[parent(i)], heap_[i])) return false;
+    }
+    return true;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return heap_.capacity() * sizeof(Entry) +
+           index_.size() * (sizeof(Key) + sizeof(std::size_t) + 16);
+  }
+
+ private:
+  // Strict-weak "a precedes-not b" for max-heap: true when a < b in heap
+  // order (priority asc, then key desc).
+  static bool less(const Entry& a, const Entry& b) noexcept {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.key > b.key;
+  }
+
+  static std::size_t parent(std::size_t i) noexcept { return (i - 1) / 2; }
+
+  void sift_up(std::size_t pos) {
+    while (pos > 0 && less(heap_[parent(pos)], heap_[pos])) {
+      swap_entries(pos, parent(pos));
+      pos = parent(pos);
+    }
+  }
+
+  void sift_down(std::size_t pos) {
+    for (;;) {
+      std::size_t largest = pos;
+      const std::size_t left = 2 * pos + 1;
+      const std::size_t right = left + 1;
+      if (left < heap_.size() && less(heap_[largest], heap_[left]))
+        largest = left;
+      if (right < heap_.size() && less(heap_[largest], heap_[right]))
+        largest = right;
+      if (largest == pos) return;
+      swap_entries(pos, largest);
+      pos = largest;
+    }
+  }
+
+  void erase_at(std::size_t pos) {
+    index_.erase(heap_[pos].key);
+    const std::size_t last = heap_.size() - 1;
+    if (pos != last) {
+      heap_[pos] = heap_[last];
+      index_[heap_[pos].key] = pos;
+      heap_.pop_back();
+      // The moved entry may need to go either way.
+      sift_down(pos);
+      sift_up(pos);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    index_[heap_[a].key] = a;
+    index_[heap_[b].key] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_map<Key, std::size_t> index_;
+};
+
+}  // namespace dcs

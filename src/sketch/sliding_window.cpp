@@ -1,0 +1,45 @@
+#include "sketch/sliding_window.hpp"
+
+#include <stdexcept>
+
+namespace dcs {
+
+SlidingWindowSketch::SlidingWindowSketch()
+    : SlidingWindowSketch(Config{}) {}
+
+SlidingWindowSketch::SlidingWindowSketch(Config config)
+    : config_(config), window_(config.sketch), current_epoch_(config.sketch) {
+  if (config.epoch_updates == 0)
+    throw std::invalid_argument("SlidingWindowSketch: epoch_updates >= 1");
+  if (config.window_epochs == 0)
+    throw std::invalid_argument("SlidingWindowSketch: window_epochs >= 1");
+}
+
+void SlidingWindowSketch::update(Addr group, Addr member, int delta) {
+  window_.update(group, member, delta);
+  current_epoch_.update(group, member, delta);
+  if (++ingested_ % config_.epoch_updates == 0) roll_epoch();
+}
+
+void SlidingWindowSketch::ingest(const std::vector<FlowUpdate>& updates) {
+  for (const FlowUpdate& u : updates) update(u.dest, u.source, u.delta);
+}
+
+void SlidingWindowSketch::roll_epoch() {
+  epochs_.push_back(std::move(current_epoch_));
+  current_epoch_ = DistinctCountSketch(config_.sketch);
+  if (epochs_.size() >= config_.window_epochs) {
+    // The oldest epoch leaves the window: subtract its contribution. The
+    // window sketch is now exactly the sum of the remaining epochs.
+    window_.subtract(epochs_.front());
+    epochs_.pop_front();
+  }
+}
+
+std::size_t SlidingWindowSketch::memory_bytes() const {
+  std::size_t bytes = window_.memory_bytes() + current_epoch_.memory_bytes();
+  for (const DistinctCountSketch& epoch : epochs_) bytes += epoch.memory_bytes();
+  return bytes;
+}
+
+}  // namespace dcs

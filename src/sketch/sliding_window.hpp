@@ -1,0 +1,65 @@
+// Sliding-window distinct-count sketching.
+//
+// The paper's synopsis summarizes the whole stream (with deletions); many
+// deployments also want recency — "destinations contacted by the most
+// distinct new sources within the last W updates". Linearity gives an exact
+// window construction: keep one sketch per epoch in a ring plus a running
+// window sketch; when an epoch leaves the window, *subtract* its sketch.
+// The window sketch is then bit-identical to a sketch built over only the
+// window's updates (a tested invariant) — no approximation beyond the base
+// sketch's own, no timestamps in buckets.
+//
+// Memory is (window_epochs + 2) sketches; choose epoch granularity
+// accordingly. Deletions inside the window work as usual; a deletion whose
+// insertion has already expired leaves a net-negative pair, whose bucket
+// classifies as a collision and is filtered from samples (same degradation
+// as any out-of-contract delete, see count_signature.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sketch/distinct_count_sketch.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+class SlidingWindowSketch {
+ public:
+  struct Config {
+    DcsParams sketch{};
+    /// Updates per epoch (window granularity).
+    std::uint64_t epoch_updates = 16'384;
+    /// Window length in epochs; the window covers the current (partial)
+    /// epoch plus the last `window_epochs - 1` completed ones.
+    std::size_t window_epochs = 8;
+  };
+
+  SlidingWindowSketch();  // default Config
+  explicit SlidingWindowSketch(Config config);
+
+  void update(Addr group, Addr member, int delta);
+  void ingest(const std::vector<FlowUpdate>& updates);
+
+  /// Top-k groups by distinct members seen within the window.
+  TopKResult top_k(std::size_t k) const { return window_.top_k(k); }
+
+  /// The window's sketch (usable for any query the basic sketch supports).
+  const DistinctCountSketch& window() const noexcept { return window_; }
+
+  std::uint64_t updates_ingested() const noexcept { return ingested_; }
+  std::size_t completed_epochs_held() const noexcept { return epochs_.size(); }
+  const Config& config() const noexcept { return config_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  void roll_epoch();
+
+  Config config_;
+  DistinctCountSketch window_;         // sum of current epoch + ring
+  DistinctCountSketch current_epoch_;  // in-progress epoch only
+  std::deque<DistinctCountSketch> epochs_;  // completed epochs, oldest first
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace dcs

@@ -1,0 +1,52 @@
+// Result types and the estimator interface shared by the sketches and the
+// exact baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+/// One (group, estimated distinct-member frequency) answer entry.
+/// For DDoS tracking the group is a destination address and the frequency is
+/// its estimated number of distinct half-open sources.
+struct TopKEntry {
+  Addr group = 0;
+  std::uint64_t estimate = 0;
+
+  friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+/// Full answer of a top-k query, including estimator diagnostics.
+struct TopKResult {
+  std::vector<TopKEntry> entries;  // descending by estimate, ties by group id
+  /// First-level bucket index the distinct sample was inferred at; estimates
+  /// are sample frequencies scaled by 2^inference_level.
+  int inference_level = 0;
+  /// Size of the distinct sample the answer was computed from.
+  std::uint64_t sample_size = 0;
+};
+
+/// Common interface over exact and approximate trackers, so detection code
+/// and benchmarks can swap implementations.
+class TopKEstimator {
+ public:
+  virtual ~TopKEstimator() = default;
+
+  /// Process one stream update: `delta` = +1 or -1.
+  virtual void update(Addr group, Addr member, int delta) = 0;
+
+  /// Current (approximate) top-k groups by distinct-member frequency.
+  virtual TopKResult top_k(std::size_t k) const = 0;
+
+  /// Bytes of heap memory currently held by the tracker's state.
+  virtual std::size_t memory_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dcs

@@ -1,0 +1,249 @@
+#include "sketch/tracking_dcs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcs {
+
+TrackingDcs::TrackingDcs(DcsParams params)
+    : sketch_(params),
+      singletons_(static_cast<std::size_t>(params.max_level) + 1),
+      heaps_(static_cast<std::size_t>(params.max_level) + 1),
+      occupancy_(static_cast<std::size_t>(params.max_level) + 1,
+                 std::vector<std::uint32_t>(
+                     static_cast<std::size_t>(params.num_tables), 0)) {}
+
+TrackingDcs::TrackingDcs(const DistinctCountSketch& sketch)
+    : sketch_(sketch),
+      singletons_(static_cast<std::size_t>(sketch.params().max_level) + 1),
+      heaps_(static_cast<std::size_t>(sketch.params().max_level) + 1),
+      occupancy_(static_cast<std::size_t>(sketch.params().max_level) + 1,
+                 std::vector<std::uint32_t>(
+                     static_cast<std::size_t>(sketch.params().num_tables), 0)) {
+  rebuild();
+}
+
+void TrackingDcs::update(Addr group, Addr member, int delta) {
+  update_key(pack_pair(group, member), delta);
+}
+
+void TrackingDcs::update_key(PairKey key, int delta) {
+  if (params().key_bits < 64 && (key >> params().key_bits) != 0)
+    throw std::invalid_argument("TrackingDcs: key does not fit in key_bits");
+  const int level = sketch_.level_of(key);
+  for (int j = 0; j < params().num_tables; ++j) {
+    const std::uint32_t bucket = sketch_.bucket_of(j, key);
+    const BucketClass before = sketch_.classify_bucket(level, j, bucket);
+    sketch_.apply_to_table(level, j, key, delta);
+    const BucketClass after = sketch_.classify_bucket(level, j, bucket);
+
+    const bool was_singleton = before.state == BucketState::kSingleton;
+    const bool is_singleton = after.state == BucketState::kSingleton;
+    if (was_singleton && (!is_singleton || after.key != before.key))
+      singleton_lost(level, before.key);
+    if (is_singleton && (!was_singleton || before.key != after.key))
+      singleton_gained(level, after.key);
+
+    const bool was_empty = before.state == BucketState::kEmpty;
+    const bool is_empty = after.state == BucketState::kEmpty;
+    auto& occupancy =
+        occupancy_[static_cast<std::size_t>(level)][static_cast<std::size_t>(j)];
+    if (was_empty && !is_empty) ++occupancy;
+    if (!was_empty && is_empty) --occupancy;
+  }
+}
+
+void TrackingDcs::singleton_gained(int level, PairKey key) {
+  auto& map = singletons_[static_cast<std::size_t>(level)];
+  if (++map[key] == 1) {
+    // New distinct-sample member: bump the group's sample frequency in the
+    // cumulative heaps of this level and every level below (Fig. 6, 20-22).
+    const Addr group = pair_group(key);
+    for (int l = level; l >= 0; --l)
+      heaps_[static_cast<std::size_t>(l)].add(group, +1);
+  }
+}
+
+void TrackingDcs::singleton_lost(int level, PairKey key) {
+  auto& map = singletons_[static_cast<std::size_t>(level)];
+  const auto it = map.find(key);
+  if (it == map.end())
+    throw std::logic_error("TrackingDcs: losing an untracked singleton");
+  if (--it->second == 0) {
+    map.erase(it);
+    const Addr group = pair_group(key);
+    for (int l = level; l >= 0; --l)
+      heaps_[static_cast<std::size_t>(l)].add(group, -1);
+  }
+}
+
+std::uint64_t TrackingDcs::num_singletons(int level) const {
+  return singletons_[static_cast<std::size_t>(level)].size();
+}
+
+std::pair<int, std::uint64_t> TrackingDcs::inference_level() const {
+  const std::uint64_t target = params().sample_target();
+  std::uint64_t sample_size = 0;
+  int level = params().max_level;
+  for (; level >= 0; --level) {
+    sample_size += num_singletons(level);
+    if (sample_size >= target) break;
+  }
+  return {std::max(level, 0), sample_size};
+}
+
+double TrackingDcs::correction_factor(int level,
+                                      std::uint64_t sample_size) const {
+  if (!params().collision_correction || sample_size == 0) return 1.0;
+  // Mirrors DistinctCountSketch::correction_factor term for term so both
+  // estimators produce bit-identical results on identical state.
+  double population = 0.0;
+  for (int l = params().max_level; l >= level; --l) {
+    double level_total = 0.0;
+    for (int j = 0; j < params().num_tables; ++j)
+      level_total += linear_count_estimate(
+          occupancy_[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)],
+          params().buckets_per_table);
+    population += level_total / static_cast<double>(params().num_tables);
+  }
+  const double factor = population / static_cast<double>(sample_size);
+  return factor < 1.0 ? 1.0 : factor;
+}
+
+TopKResult TrackingDcs::top_k(std::size_t k) const {
+  const auto [level, sample_size] = inference_level();
+  TopKResult result;
+  result.inference_level = level;
+  result.sample_size = sample_size;
+  const double scale =
+      std::ldexp(correction_factor(level, sample_size), level);
+  const auto entries = heaps_[static_cast<std::size_t>(level)].top_k(k);
+  result.entries.reserve(entries.size());
+  for (const auto& e : entries)
+    result.entries.push_back(
+        {e.key, static_cast<std::uint64_t>(
+                    std::llround(static_cast<double>(e.priority) * scale))});
+  return result;
+}
+
+std::vector<TopKEntry> TrackingDcs::groups_above(std::uint64_t tau) const {
+  const auto [level, sample_size] = inference_level();
+  const double scale =
+      std::ldexp(correction_factor(level, sample_size), level);
+  const auto& heap = heaps_[static_cast<std::size_t>(level)];
+  auto entries = heap.top_k(heap.size());
+  std::vector<TopKEntry> out;
+  for (const auto& e : entries) {
+    const auto estimate = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(e.priority) * scale));
+    if (estimate < tau) break;  // entries are descending
+    out.push_back({e.key, estimate});
+  }
+  return out;
+}
+
+std::uint64_t TrackingDcs::estimate_distinct_pairs() const {
+  const auto [level, sample_size] = inference_level();
+  const double scale =
+      std::ldexp(correction_factor(level, sample_size), level);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(sample_size) * scale));
+}
+
+std::uint64_t TrackingDcs::estimate_frequency(Addr group) const {
+  const auto [level, sample_size] = inference_level();
+  const double scale =
+      std::ldexp(correction_factor(level, sample_size), level);
+  const std::int64_t in_sample =
+      heaps_[static_cast<std::size_t>(level)].priority(group);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(in_sample) * scale));
+}
+
+std::vector<TrackingDcs::SingletonMap> TrackingDcs::recompute_singletons()
+    const {
+  std::vector<SingletonMap> maps(singletons_.size());
+  for (int l = 0; l <= params().max_level; ++l) {
+    if (!sketch_.level_allocated(l)) continue;
+    for (int j = 0; j < params().num_tables; ++j) {
+      for (std::uint32_t b = 0; b < params().buckets_per_table; ++b) {
+        const BucketClass cls = sketch_.classify_bucket(l, j, b);
+        if (cls.state == BucketState::kSingleton)
+          ++maps[static_cast<std::size_t>(l)][cls.key];
+      }
+    }
+  }
+  return maps;
+}
+
+void TrackingDcs::rebuild() {
+  singletons_ = recompute_singletons();
+  heaps_.assign(singletons_.size(), {});
+  for (int l = 0; l <= params().max_level; ++l)
+    for (int j = 0; j < params().num_tables; ++j)
+      occupancy_[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] =
+          static_cast<std::uint32_t>(sketch_.occupied_buckets(l, j));
+  // heap(l) covers levels >= l: accumulate group frequencies top-down.
+  std::unordered_map<Addr, std::int64_t> cumulative;
+  for (int l = params().max_level; l >= 0; --l) {
+    for (const auto& [key, tables] : singletons_[static_cast<std::size_t>(l)])
+      ++cumulative[pair_group(key)];
+    auto& heap = heaps_[static_cast<std::size_t>(l)];
+    for (const auto& [group, freq] : cumulative) heap.add(group, freq);
+  }
+}
+
+void TrackingDcs::merge(const TrackingDcs& other) {
+  sketch_.merge(other.sketch_);
+  rebuild();
+}
+
+void TrackingDcs::serialize(BinaryWriter& writer) const {
+  // The tracking state is derived; persisting the linear sketch suffices.
+  sketch_.serialize(writer);
+}
+
+TrackingDcs TrackingDcs::deserialize(BinaryReader& reader) {
+  return TrackingDcs(DistinctCountSketch::deserialize(reader));
+}
+
+bool TrackingDcs::check_invariants() const {
+  const auto expected = recompute_singletons();
+  for (std::size_t l = 0; l < singletons_.size(); ++l)
+    if (singletons_[l] != expected[l]) return false;
+
+  for (int l = 0; l <= params().max_level; ++l)
+    for (int j = 0; j < params().num_tables; ++j)
+      if (occupancy_[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] !=
+          sketch_.occupied_buckets(l, j))
+        return false;
+
+  // Heaps must hold exactly the cumulative group frequencies.
+  std::unordered_map<Addr, std::int64_t> cumulative;
+  for (int l = params().max_level; l >= 0; --l) {
+    for (const auto& [key, tables] : expected[static_cast<std::size_t>(l)])
+      ++cumulative[pair_group(key)];
+    const auto& heap = heaps_[static_cast<std::size_t>(l)];
+    if (!heap.validate()) return false;
+    if (heap.size() != cumulative.size()) return false;
+    for (const auto& [group, freq] : cumulative)
+      if (heap.priority(group) != freq) return false;
+  }
+  return true;
+}
+
+std::size_t TrackingDcs::memory_bytes() const {
+  std::size_t bytes = sketch_.memory_bytes();
+  for (const auto& map : singletons_) {
+    // unordered_map node overhead approximation: key+count+pointers.
+    bytes += map.size() * (sizeof(PairKey) + sizeof(std::uint32_t) + 32);
+    bytes += map.bucket_count() * sizeof(void*);
+  }
+  for (const auto& heap : heaps_) bytes += heap.memory_bytes();
+  for (const auto& level : occupancy_)
+    bytes += level.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+}  // namespace dcs

@@ -1,0 +1,49 @@
+// The abstract stream element consumed by every synopsis in this library.
+//
+// A flow update is the paper's triple (source, dest, ±1): the net change in
+// the frequency of a potentially-malicious (source, dest) flow. In the
+// SYN-flood application a SYN packet contributes +1 and the ACK completing
+// the handshake contributes -1, so the net stream counts half-open
+// connections only.
+//
+// The sketches themselves are agnostic to which endpoint plays which role:
+// they aggregate by a 32-bit `group` key (the entity being ranked) over
+// distinct 32-bit `member` keys (the entities being counted). For DDoS
+// detection group = destination, member = source; for superspreader / port-
+// scan detection the roles are swapped.
+#pragma once
+
+#include <cstdint>
+
+namespace dcs {
+
+/// IPv4-sized identifier. The paper's domain [m] with m = 2^32.
+using Addr = std::uint32_t;
+
+/// Packed (group, member) pair — the paper's domain [m^2] via concatenation.
+using PairKey = std::uint64_t;
+
+inline PairKey pack_pair(Addr group, Addr member) noexcept {
+  return (static_cast<PairKey>(group) << 32) | member;
+}
+
+inline Addr pair_group(PairKey key) noexcept {
+  return static_cast<Addr>(key >> 32);
+}
+
+inline Addr pair_member(PairKey key) noexcept {
+  return static_cast<Addr>(key & 0xffffffffULL);
+}
+
+/// One stream element. `delta` is +1 (insertion) or -1 (deletion).
+struct FlowUpdate {
+  Addr source = 0;
+  Addr dest = 0;
+  std::int8_t delta = +1;
+
+  friend bool operator==(const FlowUpdate&, const FlowUpdate&) = default;
+};
+
+static_assert(sizeof(FlowUpdate) <= 12, "FlowUpdate should stay compact");
+
+}  // namespace dcs

@@ -1,0 +1,128 @@
+#include "stream/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/zipf.hpp"
+
+namespace dcs {
+
+std::uint32_t bijective32(std::uint32_t x) noexcept {
+  // Each step is invertible on 32 bits (odd multiplier / xor-shift), so the
+  // whole map is a permutation of [2^32].
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return x;
+}
+
+std::vector<std::uint64_t> zipf_apportion(std::uint64_t total, std::size_t parts,
+                                          double skew) {
+  if (parts == 0) throw std::invalid_argument("zipf_apportion: parts == 0");
+  ZipfDistribution zipf(parts, skew);
+  std::vector<std::uint64_t> counts(parts);
+  std::vector<std::pair<double, std::size_t>> remainders(parts);
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const double exact = zipf.pmf(i) * static_cast<double>(total);
+    counts[i] = static_cast<std::uint64_t>(exact);
+    assigned += counts[i];
+    remainders[i] = {exact - static_cast<double>(counts[i]), i};
+  }
+  // Hand out the leftover units to the parts with the largest fractional
+  // remainders (classic largest-remainder apportionment).
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::uint64_t leftover = total - assigned;
+  for (std::size_t i = 0; leftover > 0; i = (i + 1) % parts, --leftover)
+    ++counts[remainders[i].second];
+  return counts;
+}
+
+ZipfWorkload::ZipfWorkload(const ZipfWorkloadConfig& config) : config_(config) {
+  if (config.u_pairs == 0)
+    throw std::invalid_argument("ZipfWorkload: u_pairs must be >= 1");
+  if (config.num_destinations == 0)
+    throw std::invalid_argument("ZipfWorkload: num_destinations must be >= 1");
+
+  Xoshiro256 rng(config.seed);
+
+  // Distinct-source counts per destination rank.
+  const auto counts = zipf_apportion(config.u_pairs, config.num_destinations,
+                                     config.skew);
+
+  // Destination ids: arbitrary-looking but deterministic 32-bit values, so the
+  // sketch hash functions see realistic (non-sequential) inputs. bijective32
+  // guarantees all ids are distinct.
+  const auto dest_salt = static_cast<std::uint32_t>(mix64(config.seed) >> 32);
+  std::vector<Addr> dest_ids(config.num_destinations);
+  for (std::uint32_t i = 0; i < config.num_destinations; ++i)
+    dest_ids[i] = bijective32(i ^ dest_salt);
+
+  truth_.reserve(config.num_destinations);
+  std::uint64_t total_updates =
+      config.u_pairs * (1 + 2ull * config.churn) + 2 * config.noise_pairs;
+  updates_.reserve(total_updates);
+
+  // Sources for destination rank i are bijective32(src_salt_i ^ j) for
+  // j = 0..counts[i)-1 — distinct within a destination by construction.
+  for (std::uint32_t i = 0; i < config.num_destinations; ++i) {
+    if (counts[i] == 0) continue;
+    const Addr dest = dest_ids[i];
+    const auto src_salt =
+        static_cast<std::uint32_t>(mix64(config.seed ^ (0xabcdULL + i)));
+    for (std::uint64_t j = 0; j < counts[i]; ++j) {
+      const Addr source = bijective32(src_salt ^ static_cast<std::uint32_t>(j));
+      updates_.push_back({source, dest, +1});
+      for (std::uint32_t c = 0; c < config.churn; ++c) {
+        updates_.push_back({source, dest, +1});
+        updates_.push_back({source, dest, -1});
+      }
+    }
+    truth_.push_back({dest, counts[i]});
+    u_pairs_ += counts[i];
+  }
+
+  // Noise pairs: net-zero insert/delete of pairs aimed at a disjoint block of
+  // destination ids (high bit flipped relative to real ids cannot be
+  // guaranteed disjoint, so reuse real destinations — net-zero pairs must not
+  // affect frequencies regardless of which destination they target, which is
+  // exactly the property under test).
+  for (std::uint64_t p = 0; p < config.noise_pairs; ++p) {
+    const Addr dest = dest_ids[rng.bounded(config.num_destinations)];
+    // Noise sources live in a distinct space from real sources for this
+    // destination with overwhelming probability; even on collision the
+    // insert+delete pair is net-zero, so ground truth is unaffected only if
+    // the source is fresh. Use a separate bijection domain offset by 2^31
+    // positions to keep them fresh deterministically.
+    const auto noise_salt =
+        static_cast<std::uint32_t>(mix64(config.seed ^ 0xfeedULL));
+    const Addr source =
+        bijective32(noise_salt ^ static_cast<std::uint32_t>(0x80000000ULL + p));
+    updates_.push_back({source, dest, +1});
+    updates_.push_back({source, dest, -1});
+  }
+
+  if (config.shuffle) {
+    // Fisher-Yates with the workload RNG. Note: shuffling may place a
+    // deletion before its insertion; the sketch counters are signed and
+    // linear, so the end state is identical (and tests rely on this).
+    for (std::size_t i = updates_.size(); i > 1; --i)
+      std::swap(updates_[i - 1], updates_[rng.bounded(i)]);
+  }
+
+  std::sort(truth_.begin(), truth_.end(), [](const auto& a, const auto& b) {
+    return a.frequency != b.frequency ? a.frequency > b.frequency
+                                      : a.dest < b.dest;
+  });
+}
+
+std::vector<DestFrequency> ZipfWorkload::true_top_k(std::size_t k) const {
+  const std::size_t n = std::min(k, truth_.size());
+  return {truth_.begin(), truth_.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace dcs

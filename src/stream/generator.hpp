@@ -1,0 +1,87 @@
+// Synthetic flow-update workloads.
+//
+// ZipfWorkload reproduces the paper's §6.1 generator exactly: U distinct
+// source-destination pairs spread over d distinct destinations, with the
+// number of distinct sources per destination following a Zipfian distribution
+// with skew z. On top of the paper's insert-only stream we can add *churn*
+// (repeated insert/delete of the same pair, net +1) and *noise* (pairs that
+// are inserted and then fully deleted, net 0), which exercises the sketches'
+// delete-resilience — the property the paper argues distinguishes DDoS
+// attacks from flash crowds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+struct ZipfWorkloadConfig {
+  /// Total number of distinct (source, dest) pairs with positive net
+  /// frequency (the paper's U). Default scaled down from the paper's 8e6.
+  std::uint64_t u_pairs = 1'000'000;
+  /// Number of distinct destinations (the paper's d).
+  std::uint32_t num_destinations = 50'000;
+  /// Zipf skew z of distinct-source counts across destinations.
+  double skew = 1.5;
+  /// Every pair is additionally inserted and deleted `churn` extra times
+  /// (net contribution unchanged). 0 reproduces the paper's pure-insert case.
+  std::uint32_t churn = 0;
+  /// Number of *noise* pairs inserted and then fully deleted (net 0).
+  std::uint64_t noise_pairs = 0;
+  /// Shuffle the emitted update stream (the paper's streams arrive in
+  /// arbitrary network order).
+  bool shuffle = true;
+  std::uint64_t seed = 1;
+};
+
+/// A destination and its exact distinct-source frequency.
+struct DestFrequency {
+  Addr dest = 0;
+  std::uint64_t frequency = 0;
+
+  friend bool operator==(const DestFrequency&, const DestFrequency&) = default;
+};
+
+class ZipfWorkload {
+ public:
+  explicit ZipfWorkload(const ZipfWorkloadConfig& config);
+
+  /// The full update stream (materialized).
+  const std::vector<FlowUpdate>& updates() const noexcept { return updates_; }
+
+  /// Ground truth: exact distinct-source frequency per destination,
+  /// descending by frequency (ties broken by destination id for determinism).
+  const std::vector<DestFrequency>& true_frequencies() const noexcept {
+    return truth_;
+  }
+
+  /// Ground-truth top-k (prefix of true_frequencies()).
+  std::vector<DestFrequency> true_top_k(std::size_t k) const;
+
+  /// Actual number of distinct net-positive pairs generated (== config U).
+  std::uint64_t u_pairs() const noexcept { return u_pairs_; }
+
+  const ZipfWorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  ZipfWorkloadConfig config_;
+  std::vector<FlowUpdate> updates_;
+  std::vector<DestFrequency> truth_;
+  std::uint64_t u_pairs_ = 0;
+};
+
+/// Split a total of `total` into `parts` nonnegative integers proportional to
+/// Zipf(skew), summing exactly to `total` (largest-remainder apportionment).
+/// Exposed for testing.
+std::vector<std::uint64_t> zipf_apportion(std::uint64_t total, std::size_t parts,
+                                          double skew);
+
+/// 32-bit bijective mixer (xor-shift / odd-multiply rounds). Used to derive
+/// guaranteed-distinct synthetic source addresses; exposed for testing.
+std::uint32_t bijective32(std::uint32_t x) noexcept;
+
+}  // namespace dcs

@@ -1,0 +1,85 @@
+#include "stream/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/serialize.hpp"
+
+namespace dcs {
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x54534344;  // "DCST"
+constexpr std::uint8_t kTraceVersion = 1;
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<FlowUpdate>& updates) {
+  BinaryWriter w(out);
+  write_header(w, kTraceMagic, kTraceVersion);
+  w.u64(updates.size());
+  for (const FlowUpdate& u : updates) {
+    w.u32(u.source);
+    w.u32(u.dest);
+    w.u8(static_cast<std::uint8_t>(u.delta));
+  }
+}
+
+std::vector<FlowUpdate> read_trace(std::istream& in) {
+  BinaryReader r(in);
+  read_header(r, kTraceMagic, kTraceVersion);
+  const std::uint64_t n = r.u64();
+  std::vector<FlowUpdate> updates;
+  updates.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FlowUpdate u;
+    u.source = r.u32();
+    u.dest = r.u32();
+    u.delta = static_cast<std::int8_t>(r.u8());
+    if (u.delta != 1 && u.delta != -1)
+      throw SerializeError("trace: delta must be +1 or -1");
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<FlowUpdate>& updates) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializeError("cannot open for writing: " + path);
+  write_trace(out, updates);
+}
+
+std::vector<FlowUpdate> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+void write_trace_csv(std::ostream& out, const std::vector<FlowUpdate>& updates) {
+  out << "source,dest,delta\n";
+  for (const FlowUpdate& u : updates)
+    out << u.source << ',' << u.dest << ',' << static_cast<int>(u.delta) << '\n';
+}
+
+std::vector<FlowUpdate> read_trace_csv(std::istream& in) {
+  std::vector<FlowUpdate> updates;
+  std::string line;
+  if (!std::getline(in, line)) return updates;  // header (or empty)
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    FlowUpdate u;
+    if (!std::getline(row, field, ',')) throw SerializeError("csv: bad row");
+    u.source = static_cast<Addr>(std::stoul(field));
+    if (!std::getline(row, field, ',')) throw SerializeError("csv: bad row");
+    u.dest = static_cast<Addr>(std::stoul(field));
+    if (!std::getline(row, field, ',')) throw SerializeError("csv: bad row");
+    const int delta = std::stoi(field);
+    if (delta != 1 && delta != -1) throw SerializeError("csv: delta must be ±1");
+    u.delta = static_cast<std::int8_t>(delta);
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+}  // namespace dcs

@@ -1,0 +1,27 @@
+// Flow-update trace files.
+//
+// Binary format (magic "DCST", version 1): header, update count, then packed
+// 9-byte records. A CSV form ("source,dest,delta" with a header row) is also
+// provided for interoperability with external tooling (e.g. plotting or
+// replaying NetFlow-derived data).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+void write_trace(std::ostream& out, const std::vector<FlowUpdate>& updates);
+std::vector<FlowUpdate> read_trace(std::istream& in);
+
+void write_trace_file(const std::string& path,
+                      const std::vector<FlowUpdate>& updates);
+std::vector<FlowUpdate> read_trace_file(const std::string& path);
+
+void write_trace_csv(std::ostream& out, const std::vector<FlowUpdate>& updates);
+std::vector<FlowUpdate> read_trace_csv(std::istream& in);
+
+}  // namespace dcs

@@ -1,0 +1,159 @@
+// Tests for the second wave of baselines: sample-and-hold, SpaceSaving, and
+// the bitmap distinct counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "baselines/bitmap_counter.hpp"
+#include "baselines/sample_and_hold.hpp"
+#include "baselines/space_saving.hpp"
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+// --------------------------- SampleAndHold -------------------------------
+
+TEST(SampleAndHold, RejectsBadConstruction) {
+  EXPECT_THROW(SampleAndHold(0, 10), std::invalid_argument);
+  EXPECT_THROW(SampleAndHold(10, 0), std::invalid_argument);
+}
+
+TEST(SampleAndHold, CatchesElephantFlow) {
+  SampleAndHold sah(100, 1024, 7);
+  // One elephant (50k packets), many mice (1 packet each).
+  for (int i = 0; i < 50'000; ++i) sah.observe(1, 99);
+  for (Addr m = 0; m < 5000; ++m) sah.observe(1000 + m, 99);
+  const auto flows = sah.top_flows(1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].source, 1u);
+  EXPECT_EQ(flows[0].dest, 99u);
+  // Held counts are near-exact once sampled: within the pre-sampling gap.
+  EXPECT_GT(flows[0].packets, 49'000u);
+}
+
+TEST(SampleAndHold, SingleSynPacketsAreMostlyInvisible) {
+  // The paper's critique: a SYN flood is 1 packet per flow; at 1/100
+  // sampling only ~1% of attack flows get tracked at count 1.
+  SampleAndHold sah(100, 100'000, 7);
+  for (Addr s = 0; s < 10'000; ++s) sah.observe(s, 0xbad);
+  EXPECT_LT(sah.tracked_flows(), 300u);
+  const auto dests = sah.top_destinations(1);
+  if (!dests.empty()) {
+    EXPECT_LT(dests[0].estimate, 300u);
+  }
+}
+
+TEST(SampleAndHold, TableBudgetIsRespected) {
+  SampleAndHold sah(1, 64, 3);  // sample everything, tiny table
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i)
+    sah.observe(static_cast<Addr>(rng()), static_cast<Addr>(rng.bounded(10)));
+  EXPECT_LE(sah.tracked_flows(), 64u);
+}
+
+TEST(SampleAndHold, ResetClears) {
+  SampleAndHold sah(1, 64, 3);
+  sah.observe(1, 2);
+  ASSERT_EQ(sah.tracked_flows(), 1u);
+  sah.reset();
+  EXPECT_EQ(sah.tracked_flows(), 0u);
+}
+
+// ----------------------------- SpaceSaving -------------------------------
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactWithinCapacity) {
+  SpaceSaving ss(16);
+  for (int i = 0; i < 7; ++i) ss.add(1);
+  for (int i = 0; i < 3; ++i) ss.add(2);
+  const auto top = ss.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 7u);
+  EXPECT_EQ(top[0].overestimate, 0u);
+  EXPECT_TRUE(ss.is_guaranteed(1));
+}
+
+TEST(SpaceSaving, ErrorBoundedByTotalOverCapacity) {
+  // Classic guarantee: overestimate <= N / capacity for every key.
+  SpaceSaving ss(64);
+  Xoshiro256 rng(11);
+  std::unordered_map<Addr, std::uint64_t> truth;
+  for (int i = 0; i < 100'000; ++i) {
+    // Skewed stream: key k with probability ~1/k.
+    const Addr key = static_cast<Addr>(rng.bounded(rng.bounded(1000) + 1));
+    ++truth[key];
+    ss.add(key);
+  }
+  const std::uint64_t bound = ss.total_count() / 64;
+  for (const auto& counter : ss.top_k(64)) {
+    EXPECT_LE(counter.overestimate, bound);
+    EXPECT_GE(counter.count, truth[counter.key]);           // never under
+    EXPECT_LE(counter.count, truth[counter.key] + bound);   // bounded over
+  }
+}
+
+TEST(SpaceSaving, HeavyKeySurvivesEvictionChurn) {
+  SpaceSaving ss(32);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    ss.add(777);                              // heavy
+    ss.add(static_cast<Addr>(rng()));         // eviction pressure
+  }
+  const auto top = ss.top_k(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 777u);
+  EXPECT_GE(top[0].count, 50'000u);
+}
+
+// ------------------------------ Bitmaps ----------------------------------
+
+TEST(DirectBitmap, RejectsBadSizes) {
+  EXPECT_THROW(DirectBitmap(100), std::invalid_argument);  // not power of two
+  EXPECT_THROW(DirectBitmap(32), std::invalid_argument);   // too small
+}
+
+TEST(DirectBitmap, CountsSmallSetsAccurately) {
+  DirectBitmap bitmap(4096, 5);
+  for (std::uint64_t k = 0; k < 500; ++k) bitmap.add(k);
+  EXPECT_NEAR(bitmap.estimate(), 500.0, 40.0);
+}
+
+TEST(DirectBitmap, DuplicatesAreFree) {
+  DirectBitmap bitmap(4096, 5);
+  for (int round = 0; round < 100; ++round)
+    for (std::uint64_t k = 0; k < 100; ++k) bitmap.add(k);
+  EXPECT_NEAR(bitmap.estimate(), 100.0, 15.0);
+}
+
+TEST(DirectBitmap, SaturatesBeyondCapacity) {
+  DirectBitmap bitmap(64, 5);
+  for (std::uint64_t k = 0; k < 10'000; ++k) bitmap.add(k);
+  EXPECT_TRUE(bitmap.saturated());
+  EXPECT_TRUE(std::isfinite(bitmap.estimate()));
+}
+
+TEST(VirtualBitmap, ExtendsRangeViaSampling) {
+  // 4096 physical bits with 1/16 sampling should count 100k distinct keys
+  // that would saturate the direct bitmap.
+  VirtualBitmap virtual_bitmap(4096, 16, 5);
+  DirectBitmap direct(4096, 5);
+  for (std::uint64_t k = 0; k < 100'000; ++k) {
+    virtual_bitmap.add(k);
+    direct.add(k);
+  }
+  EXPECT_NEAR(virtual_bitmap.estimate(), 100'000.0, 10'000.0);
+  EXPECT_LT(direct.estimate(), 60'000.0);  // saturation clamps it
+}
+
+TEST(VirtualBitmap, RejectsZeroSampling) {
+  EXPECT_THROW(VirtualBitmap(4096, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,218 @@
+// Tests for the comparison baselines: FM-PCSA, HyperLogLog, insert-only
+// distinct sampling, Count-Min / volume heavy hitters, the superspreader
+// filter, and the SYN-FIN CUSUM detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/count_min.hpp"
+#include "baselines/distinct_sampler.hpp"
+#include "baselines/exact_tracker.hpp"
+#include "baselines/fm_sketch.hpp"
+#include "baselines/hyperloglog.hpp"
+#include "baselines/superspreader.hpp"
+#include "baselines/syn_fin_cusum.hpp"
+#include "common/random.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(FmPcsa, EstimatesWithinTolerance) {
+  FmPcsa fm(256, 3);
+  constexpr std::uint64_t kDistinct = 100'000;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) fm.add(mix64(i));
+  const double estimate = fm.estimate();
+  EXPECT_GT(estimate, 0.7 * kDistinct);
+  EXPECT_LT(estimate, 1.3 * kDistinct);
+}
+
+TEST(FmPcsa, DuplicatesDoNotInflate) {
+  FmPcsa fm(64, 3);
+  for (int round = 0; round < 100; ++round)
+    for (std::uint64_t i = 0; i < 100; ++i) fm.add(i);
+  EXPECT_LT(fm.estimate(), 400.0);
+}
+
+TEST(FmPcsa, RejectsBadConstruction) {
+  EXPECT_THROW(FmPcsa(0), std::invalid_argument);
+}
+
+TEST(HyperLogLog, EstimatesWithinTolerance) {
+  HyperLogLog hll(12, 9);
+  constexpr std::uint64_t kDistinct = 200'000;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) hll.add(i);
+  const double estimate = hll.estimate();
+  // Standard error ~1.04/sqrt(4096) = 1.6%; allow 6%.
+  EXPECT_NEAR(estimate, static_cast<double>(kDistinct), 0.06 * kDistinct);
+}
+
+TEST(HyperLogLog, SmallRangeIsAccurate) {
+  HyperLogLog hll(12, 9);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.add(i);
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(10, 5), b(10, 5), whole(10, 5);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    whole.add(i);
+    (i % 2 ? a : b).add(i);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), whole.estimate());
+}
+
+TEST(HyperLogLog, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(10), b(12);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HyperLogLog, RejectsBadPrecision) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+}
+
+TEST(DistinctSampler, RefusesDeletions) {
+  DistinctSampler sampler(128);
+  EXPECT_THROW(sampler.update(1, 2, -1), std::invalid_argument);
+}
+
+TEST(DistinctSampler, SampleStaysWithinCapacity) {
+  DistinctSampler sampler(100, 3);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100'000; ++i)
+    sampler.update(static_cast<Addr>(rng.bounded(500)),
+                   static_cast<Addr>(rng()), +1);
+  EXPECT_LE(sampler.sample_size(), 100u);
+  EXPECT_GT(sampler.level(), 0);
+}
+
+TEST(DistinctSampler, DistinctEstimateIsReasonable) {
+  DistinctSampler sampler(512, 3);
+  constexpr std::uint64_t kPairs = 100'000;
+  for (std::uint64_t i = 0; i < kPairs; ++i)
+    sampler.update(static_cast<Addr>(i % 100), static_cast<Addr>(i), +1);
+  const double estimate = static_cast<double>(sampler.estimate_distinct_pairs());
+  EXPECT_GT(estimate, 0.7 * kPairs);
+  EXPECT_LT(estimate, 1.4 * kPairs);
+}
+
+TEST(DistinctSampler, TopKFindsDominantGroup) {
+  DistinctSampler sampler(1024, 4);
+  // Group 7 gets 10000 distinct members, others get 100 each.
+  for (Addr m = 0; m < 10'000; ++m) sampler.update(7, m, +1);
+  for (Addr g = 0; g < 20; ++g)
+    for (Addr m = 0; m < 100; ++m) sampler.update(g + 100, 50'000 + m, +1);
+  const auto top = sampler.top_k(1);
+  ASSERT_EQ(top.entries.size(), 1u);
+  EXPECT_EQ(top.entries[0].group, 7u);
+}
+
+TEST(CountMin, NeverUnderestimatesInsertOnly) {
+  CountMinSketch cms(4, 512, 3);
+  Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint64_t, std::int64_t>> truth;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const std::int64_t count = static_cast<std::int64_t>(rng.bounded(50)) + 1;
+    truth.emplace_back(k, count);
+    cms.add(k, count);
+  }
+  for (const auto& [key, count] : truth) EXPECT_GE(cms.estimate(key), count);
+}
+
+TEST(CountMin, SupportsNegativeUpdates) {
+  CountMinSketch cms(4, 512, 3);
+  cms.add(42, +10);
+  cms.add(42, -10);
+  EXPECT_EQ(cms.estimate(42), 0);
+}
+
+TEST(CountMin, HeavyKeyDominates) {
+  CountMinSketch cms(4, 2048, 3);
+  for (std::uint64_t k = 0; k < 1000; ++k) cms.add(k, 1);
+  cms.add(99999, 10'000);
+  EXPECT_GE(cms.estimate(99999), 10'000);
+  EXPECT_LT(cms.estimate(5), 100);
+}
+
+TEST(CountMin, RejectsBadConstruction) {
+  EXPECT_THROW(CountMinSketch(0, 16), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(4, 1), std::invalid_argument);
+}
+
+TEST(VolumeHeavyHitters, RanksByVolumeNotDistinctSources) {
+  // The failure mode the paper attacks: 5000 packets from ONE source beat
+  // 1000 distinct single-packet sources on volume ranking.
+  VolumeHeavyHitters volume(4, 4096, 5);
+  for (int i = 0; i < 5000; ++i) volume.update(111, 1, +1);
+  for (Addr s = 0; s < 1000; ++s) volume.update(222, s, +1);
+  const auto top = volume.top_k(2);
+  ASSERT_EQ(top.entries.size(), 2u);
+  EXPECT_EQ(top.entries[0].group, 111u);
+  EXPECT_GE(top.entries[0].estimate, 5000u);
+}
+
+TEST(Superspreader, DetectsWideScanner) {
+  SuperspreaderFilter filter(1000, 8, 3);
+  // Scanner touches 50k distinct destinations; normal hosts touch 10.
+  for (Addr d = 0; d < 50'000; ++d) filter.add(0xbad, d);
+  for (Addr s = 1; s <= 100; ++s)
+    for (Addr d = 0; d < 10; ++d) filter.add(s, d);
+  const auto spreaders = filter.superspreaders();
+  ASSERT_GE(spreaders.size(), 1u);
+  EXPECT_EQ(spreaders[0].source, 0xbadu);
+  EXPECT_NEAR(static_cast<double>(spreaders[0].estimated_destinations), 50'000.0,
+              10'000.0);
+}
+
+TEST(Superspreader, RepeatedFlowsDoNotInflate) {
+  SuperspreaderFilter filter(100, 1, 3);  // rate 1: sample everything
+  for (int repeat = 0; repeat < 1000; ++repeat)
+    for (Addr d = 0; d < 50; ++d) filter.add(1, d);
+  EXPECT_TRUE(filter.superspreaders().empty());  // 50 < threshold 100
+}
+
+TEST(Superspreader, RejectsBadConstruction) {
+  EXPECT_THROW(SuperspreaderFilter(0), std::invalid_argument);
+  EXPECT_THROW(SuperspreaderFilter(10, 0), std::invalid_argument);
+}
+
+TEST(SynFinCusum, QuietTrafficNeverAlarms) {
+  SynFinCusum detector(0.15, 2.0);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(detector.observe(100, 98));  // balanced SYN/FIN
+  EXPECT_LT(detector.statistic(), 0.5);
+}
+
+TEST(SynFinCusum, FloodRaisesAlarm) {
+  SynFinCusum detector(0.15, 2.0);
+  for (int i = 0; i < 20; ++i) detector.observe(100, 98);
+  bool alarmed = false;
+  for (int i = 0; i < 20 && !alarmed; ++i)
+    alarmed = detector.observe(5000, 100);  // SYNs swamp FINs
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(SynFinCusum, ResetClearsAlarm) {
+  SynFinCusum detector(0.1, 1.0);
+  for (int i = 0; i < 10; ++i) detector.observe(1000, 10);
+  ASSERT_TRUE(detector.in_alarm());
+  detector.reset();
+  EXPECT_FALSE(detector.in_alarm());
+}
+
+TEST(SynFinCusum, StatisticIsNonNegativeAndRecorded) {
+  SynFinCusum detector;
+  detector.observe(0, 1000);  // more FINs than SYNs
+  EXPECT_GE(detector.statistic(), 0.0);
+  EXPECT_EQ(detector.history().size(), 1u);
+}
+
+TEST(SynFinCusum, RejectsBadConstruction) {
+  EXPECT_THROW(SynFinCusum(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(SynFinCusum(0.1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,55 @@
+# End-to-end smoke test for dcs_cli: every subcommand runs against a small
+# generated trace and must exit 0. Invoked by ctest (see CMakeLists.txt).
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli)
+  execute_process(
+    COMMAND ${DCS_CLI} ${ARGV}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "dcs_cli ${ARGV} failed (${status}):\n${output}")
+  endif()
+endfunction()
+
+run_cli(generate --out trace.bin --u 20000 --d 200 --z 1.5 --churn 1 --seed 3)
+run_cli(generate --out trace.csv --u 1000 --d 20 --csv)
+run_cli(info --trace trace.bin)
+run_cli(topk --trace trace.bin --k 5)
+run_cli(topk --trace trace.bin --k 5 --exact)
+run_cli(sketch --trace trace.bin --out a.dcs --seed 9)
+run_cli(sketch --trace trace.bin --out b.dcs --seed 9)
+run_cli(merge --out merged.dcs a.dcs b.dcs)
+run_cli(query --sketch merged.dcs --k 3)
+run_cli(query --sketch merged.dcs --tau 100)
+run_cli(diff --base a.dcs --sketch b.dcs --k 3)
+run_cli(monitor --trace trace.bin --min-absolute 100)
+run_cli(monitor --trace trace.bin --by-source --min-absolute 100)
+
+# convert: text packet log -> trace, then query it.
+file(WRITE ${WORK_DIR}/packets.txt
+"# ts source dest flag
+0 10.0.0.1 192.168.1.1 S
+5 10.0.0.2 192.168.1.1 S
+9 10.0.0.1 192.168.1.1 A
+20 3232235777 500 S
+")
+run_cli(convert --in packets.txt --out converted.bin)
+run_cli(info --trace converted.bin)
+run_cli(convert --in packets.txt --out converted_timeout.bin --timeout 100)
+
+# Failure paths must fail cleanly (nonzero exit, no crash).
+execute_process(COMMAND ${DCS_CLI} query --sketch missing.dcs
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE status
+  OUTPUT_QUIET ERROR_QUIET)
+if(status EQUAL 0)
+  message(FATAL_ERROR "query of a missing sketch should fail")
+endif()
+execute_process(COMMAND ${DCS_CLI} not-a-command
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE status
+  OUTPUT_QUIET ERROR_QUIET)
+if(status EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()

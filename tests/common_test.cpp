@@ -1,0 +1,163 @@
+// Tests for RunningStats, percentile, Options and binary serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/options.hpp"
+#include "common/random.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.5);
+  EXPECT_EQ(stats.max(), 3.5);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Options, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--u", "5000", "--full", "--name=zipf"};
+  Options options(5, const_cast<char**>(argv));
+  EXPECT_EQ(options.integer("u", 0), 5000);
+  EXPECT_TRUE(options.flag("full"));
+  EXPECT_EQ(options.str("name", ""), "zipf");
+  EXPECT_EQ(options.integer("missing", 42), 42);
+  EXPECT_FALSE(options.flag("missing"));
+}
+
+TEST(Options, ReadsEnvironmentFallback) {
+  ::setenv("DCS_UNIT_TEST_KNOB", "17", 1);
+  const char* argv[] = {"prog"};
+  Options options(1, const_cast<char**>(argv));
+  EXPECT_EQ(options.integer("unit-test-knob", 0), 17);
+  ::unsetenv("DCS_UNIT_TEST_KNOB");
+}
+
+TEST(Options, CommandLineBeatsEnvironment) {
+  ::setenv("DCS_PRIORITY", "1", 1);
+  const char* argv[] = {"prog", "--priority", "2"};
+  Options options(3, const_cast<char**>(argv));
+  EXPECT_EQ(options.integer("priority", 0), 2);
+  ::unsetenv("DCS_PRIORITY");
+}
+
+TEST(Serialize, RoundTripsPrimitives) {
+  std::stringstream buffer;
+  {
+    BinaryWriter w(buffer);
+    w.u8(200);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(3.25);
+    w.str("hello");
+    w.pod_vector(std::vector<std::int64_t>{1, -2, 3});
+  }
+  BinaryReader r(buffer);
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.pod_vector<std::int64_t>(), (std::vector<std::int64_t>{1, -2, 3}));
+}
+
+TEST(Serialize, DetectsTruncation) {
+  std::stringstream buffer;
+  BinaryWriter w(buffer);
+  w.u32(7);
+  BinaryReader r(buffer);
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u64(), SerializeError);
+}
+
+TEST(Serialize, HeaderRejectsWrongMagic) {
+  std::stringstream buffer;
+  {
+    BinaryWriter w(buffer);
+    write_header(w, 0x11111111, 1);
+  }
+  BinaryReader r(buffer);
+  EXPECT_THROW(read_header(r, 0x22222222, 1), SerializeError);
+}
+
+TEST(Serialize, HeaderRejectsFutureVersion) {
+  std::stringstream buffer;
+  {
+    BinaryWriter w(buffer);
+    write_header(w, 0x33333333, 9);
+  }
+  BinaryReader r(buffer);
+  EXPECT_THROW(read_header(r, 0x33333333, 2), SerializeError);
+}
+
+TEST(Serialize, RandomBytesNeverCrashTheDeserializer) {
+  // Fuzz: arbitrary byte blobs must produce SerializeError, never UB.
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string blob(1 + rng.bounded(2048), '\0');
+    for (char& c : blob) c = static_cast<char>(rng());
+    std::stringstream buffer(blob);
+    BinaryReader reader(buffer);
+    try {
+      reader.str();
+      (void)reader.pod_vector<std::int64_t>();
+    } catch (const SerializeError&) {
+      // expected on malformed input
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Serialize, RejectsAbsurdLengths) {
+  std::stringstream buffer;
+  {
+    BinaryWriter w(buffer);
+    w.u64(1ULL << 40);  // claimed string length: 1 TiB
+  }
+  BinaryReader r(buffer);
+  EXPECT_THROW(r.str(), SerializeError);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,189 @@
+// Tests for count signatures: the exactness of empty/singleton/collision
+// classification and the linearity (delete-resilience) of the structure.
+#include "sketch/count_signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+class SignatureFixture {
+ public:
+  explicit SignatureFixture(int key_bits)
+      : key_bits_(key_bits),
+        counters_(static_cast<std::size_t>(key_bits) + 1, 0) {}
+
+  CountSignatureView view() { return {counters_.data(), key_bits_}; }
+
+ private:
+  int key_bits_;
+  std::vector<std::int64_t> counters_;
+};
+
+TEST(CountSignature, FreshBucketIsEmpty) {
+  SignatureFixture fx(16);
+  EXPECT_EQ(fx.view().classify().state, BucketState::kEmpty);
+  EXPECT_TRUE(fx.view().all_zero());
+}
+
+TEST(CountSignature, SingleKeyIsSingletonAndRecovered) {
+  SignatureFixture fx(16);
+  auto sig = fx.view();
+  sig.add(0xabcd, +1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, 0xabcdu);
+}
+
+TEST(CountSignature, KeyZeroIsRecoverable) {
+  // Key 0 sets no bit counters but the total still counts it.
+  SignatureFixture fx(8);
+  auto sig = fx.view();
+  sig.add(0, +1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, 0u);
+}
+
+TEST(CountSignature, MultiplicityKeepsSingleton) {
+  SignatureFixture fx(16);
+  auto sig = fx.view();
+  for (int i = 0; i < 5; ++i) sig.add(0x1234, +1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, 0x1234u);
+  EXPECT_EQ(sig.total(), 5);
+}
+
+TEST(CountSignature, TwoDistinctKeysCollide) {
+  SignatureFixture fx(16);
+  auto sig = fx.view();
+  sig.add(0x0001, +1);
+  sig.add(0x0002, +1);
+  EXPECT_EQ(sig.classify().state, BucketState::kCollision);
+}
+
+TEST(CountSignature, ExhaustivePairsNeverMisclassify) {
+  // Every ordered pair of distinct 6-bit keys must classify as a collision;
+  // every single key must be recovered exactly.
+  constexpr int kBits = 6;
+  for (PairKey a = 0; a < (1u << kBits); ++a) {
+    SignatureFixture fx(kBits);
+    auto sig = fx.view();
+    sig.add(a, +1);
+    const BucketClass single = sig.classify();
+    ASSERT_EQ(single.state, BucketState::kSingleton);
+    ASSERT_EQ(single.key, a);
+    for (PairKey b = 0; b < (1u << kBits); ++b) {
+      if (b == a) continue;
+      SignatureFixture fx2(kBits);
+      auto sig2 = fx2.view();
+      sig2.add(a, +1);
+      sig2.add(b, +1);
+      ASSERT_EQ(sig2.classify().state, BucketState::kCollision)
+          << "keys " << a << ", " << b;
+    }
+  }
+}
+
+TEST(CountSignature, DeleteRestoresExactPriorState) {
+  SignatureFixture fx(32);
+  auto sig = fx.view();
+  sig.add(0xdeadbeef, +1);
+  sig.add(0x12345678, +1);
+  sig.add(0x12345678, -1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, 0xdeadbeefu);
+}
+
+TEST(CountSignature, FullCancellationLeavesEmpty) {
+  SignatureFixture fx(32);
+  auto sig = fx.view();
+  sig.add(0xdeadbeef, +1);
+  sig.add(0xcafef00d, +1);
+  sig.add(0xdeadbeef, -1);
+  sig.add(0xcafef00d, -1);
+  EXPECT_EQ(sig.classify().state, BucketState::kEmpty);
+  EXPECT_TRUE(sig.all_zero());
+}
+
+TEST(CountSignature, CollisionToSingletonOnDelete) {
+  // The deletion-side transition TrackingDcs cares about (Fig. 6 comment).
+  SignatureFixture fx(16);
+  auto sig = fx.view();
+  sig.add(0x00ff, +1);
+  sig.add(0xff00, +1);
+  ASSERT_EQ(sig.classify().state, BucketState::kCollision);
+  sig.add(0xff00, -1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, 0x00ffu);
+}
+
+TEST(CountSignature, NegativeTotalIsReportedAsCollision) {
+  SignatureFixture fx(8);
+  auto sig = fx.view();
+  sig.add(0x3, -1);  // spurious delete
+  EXPECT_EQ(sig.classify().state, BucketState::kCollision);
+}
+
+TEST(CountSignature, ZeroTotalWithResidueIsCollision) {
+  // Net-zero total but nonzero bit counters: only producible by spurious
+  // deletes; must not classify as empty.
+  SignatureFixture fx(8);
+  auto sig = fx.view();
+  sig.add(0x0f, +1);
+  sig.add(0xf0, -1);
+  EXPECT_EQ(sig.total(), 0);
+  EXPECT_EQ(sig.classify().state, BucketState::kCollision);
+}
+
+TEST(CountSignature, SixtyFourBitKeysRoundTrip) {
+  SignatureFixture fx(64);
+  auto sig = fx.view();
+  const PairKey key = 0xfedcba9876543210ULL;
+  sig.add(key, +1);
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, key);
+}
+
+// Property sweep: random insert/delete histories whose net effect is a
+// single key must always classify as that singleton.
+class SignatureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SignatureProperty, RandomHistoryWithNetSingletonRecovers) {
+  Xoshiro256 rng(GetParam());
+  SignatureFixture fx(32);
+  auto sig = fx.view();
+  const PairKey survivor = rng() & 0xffffffffULL;
+  sig.add(survivor, +1);
+  // 50 other keys inserted then fully deleted, in interleaved order.
+  std::vector<PairKey> transients;
+  for (int i = 0; i < 50; ++i) {
+    PairKey k = rng() & 0xffffffffULL;
+    if (k == survivor) k ^= 1;
+    transients.push_back(k);
+    sig.add(k, +1);
+  }
+  while (!transients.empty()) {
+    const std::size_t pick = rng.bounded(transients.size());
+    sig.add(transients[pick], -1);
+    transients.erase(transients.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  const BucketClass cls = sig.classify();
+  EXPECT_EQ(cls.state, BucketState::kSingleton);
+  EXPECT_EQ(cls.key, survivor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignatureProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,120 @@
+// Tests for CountSketch and k-ary sketch change detection.
+#include "baselines/count_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(CountSketch, RejectsBadConstruction) {
+  EXPECT_THROW(CountSketch(0, 16), std::invalid_argument);
+  EXPECT_THROW(CountSketch(3, 1), std::invalid_argument);
+}
+
+TEST(CountSketch, ExactForIsolatedKey) {
+  CountSketch cs(5, 1024, 3);
+  cs.add(42, 100);
+  cs.add(42, -30);
+  EXPECT_EQ(cs.estimate(42), 70);
+  EXPECT_EQ(cs.estimate(43), 0);
+}
+
+TEST(CountSketch, HeavyKeyAccurateUnderNoise) {
+  CountSketch cs(5, 2048, 7);
+  Xoshiro256 rng(5);
+  cs.add(999, 50'000);
+  for (int i = 0; i < 20'000; ++i) cs.add(rng(), 1);
+  const double estimate = static_cast<double>(cs.estimate(999));
+  EXPECT_NEAR(estimate, 50'000.0, 2500.0);
+}
+
+TEST(CountSketch, SupportsDeletionsToZero) {
+  CountSketch cs(5, 512, 1);
+  for (int i = 0; i < 100; ++i) cs.add(7, +1);
+  for (int i = 0; i < 100; ++i) cs.add(7, -1);
+  EXPECT_EQ(cs.estimate(7), 0);
+  EXPECT_NEAR(cs.energy(), 0.0, 1e-9);
+}
+
+TEST(CountSketch, CombineIsLinear) {
+  CountSketch a(4, 256, 2), b(4, 256, 2);
+  a.add(1, 10);
+  b.add(1, 4);
+  b.add(2, 6);
+  a.combine(1.0, b, -1.0);  // a - b
+  EXPECT_EQ(a.estimate(1), 6);
+  EXPECT_EQ(a.estimate(2), -6);
+}
+
+TEST(CountSketch, CombineRejectsLayoutMismatch) {
+  CountSketch a(4, 256, 1), b(4, 256, 2);
+  EXPECT_THROW(a.combine(1.0, b, 1.0), std::invalid_argument);
+}
+
+TEST(KaryChange, RejectsBadConfig) {
+  KarySketchChange::Config config;
+  config.alpha = 0.0;
+  EXPECT_THROW(KarySketchChange{config}, std::invalid_argument);
+  config = {};
+  config.threshold = 0.0;
+  EXPECT_THROW(KarySketchChange{config}, std::invalid_argument);
+}
+
+TEST(KaryChange, NoForecastUntilSecondEpoch) {
+  KarySketchChange detector;
+  detector.add(1, 100);
+  EXPECT_FALSE(detector.close_epoch());  // first epoch only seeds
+  detector.add(1, 100);
+  EXPECT_TRUE(detector.close_epoch());
+}
+
+TEST(KaryChange, StableTrafficScoresLow) {
+  KarySketchChange detector;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (std::uint64_t key = 0; key < 50; ++key)
+      detector.add(key, 100);  // identical every epoch
+    detector.close_epoch();
+  }
+  for (std::uint64_t key = 0; key < 50; ++key)
+    EXPECT_FALSE(detector.is_significant_change(key)) << "key " << key;
+}
+
+TEST(KaryChange, SurgeIsFlagged) {
+  KarySketchChange detector;
+  // Three stable epochs...
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (std::uint64_t key = 0; key < 50; ++key) detector.add(key, 100);
+    detector.close_epoch();
+  }
+  // ...then key 7 surges 50x while everything else stays flat.
+  for (std::uint64_t key = 0; key < 50; ++key) detector.add(key, 100);
+  detector.add(7, 5000);
+  detector.close_epoch();
+  EXPECT_TRUE(detector.is_significant_change(7));
+  EXPECT_FALSE(detector.is_significant_change(8));
+  EXPECT_GT(detector.change_score(7), 5.0 * detector.change_score(8));
+}
+
+TEST(KaryChange, VolumeDetectorCannotTellCrowdFromAttack) {
+  // The comparison point for the paper: a flash crowd (huge volume, all
+  // legitimate) scores as high as an attack of the same volume — the
+  // change detector sees volume only.
+  KarySketchChange detector;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    detector.add(1, 1000);  // steady site
+    detector.close_epoch();
+  }
+  detector.add(1, 1000);
+  detector.add(100, 50'000);  // "crowd" destination
+  detector.add(200, 50'000);  // "attack" destination, same volume
+  detector.close_epoch();
+  EXPECT_TRUE(detector.is_significant_change(100));
+  EXPECT_TRUE(detector.is_significant_change(200));
+  EXPECT_NEAR(detector.change_score(100), detector.change_score(200),
+              0.15 * detector.change_score(200));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,285 @@
+// Tests for the basic Distinct-Count Sketch: recovery, delete-resilience,
+// estimation accuracy, merge linearity and serialization.
+#include "sketch/distinct_count_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "baselines/exact_tracker.hpp"
+#include "common/random.hpp"
+#include "metrics/accuracy.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+DcsParams small_params(std::uint64_t seed = 1) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = seed;
+  return params;
+}
+
+TEST(DcsBasic, EmptySketchAnswersEmpty) {
+  DistinctCountSketch sketch(small_params());
+  const TopKResult result = sketch.top_k(5);
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(sketch.estimate_distinct_pairs(), 0u);
+  EXPECT_EQ(sketch.allocated_levels(), 0);
+}
+
+TEST(DcsBasic, RecoversFewPairsExactly) {
+  // With far fewer pairs than the sample target, the distinct sample is the
+  // complete pair set at level 0 and all frequencies are exact.
+  DistinctCountSketch sketch(small_params());
+  for (Addr dest = 1; dest <= 3; ++dest)
+    for (Addr source = 0; source < dest; ++source)
+      sketch.update(dest, 100 + source, +1);
+
+  const TopKResult result = sketch.top_k(3);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_EQ(result.inference_level, 0);
+  EXPECT_EQ(result.entries[0], (TopKEntry{3, 3}));
+  EXPECT_EQ(result.entries[1], (TopKEntry{2, 2}));
+  EXPECT_EQ(result.entries[2], (TopKEntry{1, 1}));
+}
+
+TEST(DcsBasic, DuplicateInsertionsDoNotInflateDistinctCount) {
+  DistinctCountSketch sketch(small_params());
+  for (int repeat = 0; repeat < 10; ++repeat) sketch.update(7, 1000, +1);
+  sketch.update(7, 1001, +1);
+  const TopKResult result = sketch.top_k(1);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0], (TopKEntry{7, 2}));
+}
+
+TEST(DcsBasic, DeletionIsExactlyInvisible) {
+  // The core delete-resilience property (paper §3): the sketch after
+  // insert+delete is bit-identical to one that never saw the items.
+  const DcsParams params = small_params(9);
+  DistinctCountSketch clean(params);
+  DistinctCountSketch churned(params);
+
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Addr dest = static_cast<Addr>(rng.bounded(50));
+    const Addr source = static_cast<Addr>(rng());
+    clean.update(dest, source, +1);
+    churned.update(dest, source, +1);
+  }
+  // 2000 extra pairs, inserted and deleted in shuffled order.
+  std::vector<std::pair<Addr, Addr>> transients;
+  for (int i = 0; i < 2000; ++i)
+    transients.emplace_back(static_cast<Addr>(rng.bounded(50)),
+                            static_cast<Addr>(rng() | 0x80000000u));
+  for (const auto& [dest, source] : transients) churned.update(dest, source, +1);
+  for (std::size_t i = transients.size(); i > 1; --i)
+    std::swap(transients[i - 1], transients[rng.bounded(i)]);
+  for (const auto& [dest, source] : transients) churned.update(dest, source, -1);
+
+  EXPECT_TRUE(clean == churned);
+}
+
+TEST(DcsBasic, DeleteBeforeInsertCancelsToo) {
+  // Linearity means order does not matter: -1 then +1 nets to nothing.
+  const DcsParams params = small_params(10);
+  DistinctCountSketch a(params);
+  DistinctCountSketch b(params);
+  a.update(1, 2, +1);
+  b.update(1, 2, +1);
+  b.update(3, 4, -1);
+  b.update(3, 4, +1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DcsBasic, LevelSampleFindsPlantedSingleton) {
+  DistinctCountSketch sketch(small_params());
+  const PairKey key = pack_pair(42, 43);
+  sketch.update_key(key, +1);
+  const int level = sketch.level_of(key);
+  const auto sample = sketch.level_sample(level);
+  ASSERT_EQ(sample.size(), 1u);
+  EXPECT_EQ(sample[0], key);
+}
+
+TEST(DcsBasic, KeyBitsBoundsAreEnforced) {
+  DcsParams params = small_params();
+  params.key_bits = 16;
+  DistinctCountSketch sketch(params);
+  EXPECT_NO_THROW(sketch.update_key(0xffff, +1));
+  EXPECT_THROW(sketch.update_key(0x10000, +1), std::invalid_argument);
+}
+
+TEST(DcsBasic, ValidateAcceptsValidStreams) {
+  DistinctCountSketch sketch(small_params());
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 5000; ++i)
+    sketch.update(static_cast<Addr>(rng.bounded(100)),
+                  static_cast<Addr>(rng()), +1);
+  EXPECT_TRUE(sketch.validate());
+}
+
+TEST(DcsBasic, ValidateFlagsSpuriousDeletes) {
+  DistinctCountSketch sketch(small_params());
+  sketch.update(1, 2, -1);  // delete of a never-inserted pair
+  EXPECT_FALSE(sketch.validate());
+}
+
+TEST(DcsBasic, MergeEqualsUnionStream) {
+  const DcsParams params = small_params(77);
+  DistinctCountSketch left(params), right(params), whole(params);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const Addr dest = static_cast<Addr>(rng.bounded(64));
+    const Addr source = static_cast<Addr>(rng());
+    whole.update(dest, source, +1);
+    if (i % 2 == 0)
+      left.update(dest, source, +1);
+    else
+      right.update(dest, source, +1);
+  }
+  left.merge(right);
+  EXPECT_TRUE(left == whole);
+}
+
+TEST(DcsBasic, MergeRejectsMismatchedSeeds) {
+  DistinctCountSketch a(small_params(1)), b(small_params(2));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(DcsBasic, CrossShardInsertDeleteCancels) {
+  // A pair inserted in one sketch and deleted in another cancels at merge —
+  // the asymmetric-routing case the distributed deployment relies on.
+  const DcsParams params = small_params(5);
+  DistinctCountSketch a(params), b(params), expected(params);
+  a.update(10, 20, +1);
+  a.update(11, 21, +1);
+  b.update(10, 20, -1);
+  expected.update(11, 21, +1);
+  a.merge(b);
+  EXPECT_TRUE(a == expected);
+}
+
+TEST(DcsBasic, SerializeRoundTripsExactly) {
+  DistinctCountSketch sketch(small_params(123));
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 2000; ++i)
+    sketch.update(static_cast<Addr>(rng.bounded(32)), static_cast<Addr>(rng()),
+                  rng.bounded(10) == 0 ? -1 : +1);
+
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    sketch.serialize(writer);
+  }
+  BinaryReader reader(buffer);
+  const DistinctCountSketch restored = DistinctCountSketch::deserialize(reader);
+  EXPECT_TRUE(sketch == restored);
+  EXPECT_EQ(sketch.top_k(5).entries, restored.top_k(5).entries);
+}
+
+TEST(DcsBasic, GroupsAboveThresholdMatchesTopK) {
+  DistinctCountSketch sketch(small_params());
+  ZipfWorkloadConfig config;
+  config.u_pairs = 20'000;
+  config.num_destinations = 500;
+  config.skew = 1.5;
+  const ZipfWorkload workload(config);
+  for (const FlowUpdate& u : workload.updates())
+    sketch.update(u.dest, u.source, u.delta);
+
+  const TopKResult top = sketch.top_k(10);
+  ASSERT_FALSE(top.entries.empty());
+  const std::uint64_t tau = top.entries.back().estimate;
+  const auto above = sketch.groups_above(tau);
+  // Every top-10 entry has estimate >= tau, so it must appear in `above`.
+  for (const TopKEntry& entry : top.entries) {
+    EXPECT_NE(std::find(above.begin(), above.end(), entry), above.end());
+  }
+  // And everything returned respects the threshold.
+  for (const TopKEntry& entry : above) EXPECT_GE(entry.estimate, tau);
+}
+
+TEST(DcsBasic, DistinctPairEstimateIsInRange) {
+  DistinctCountSketch sketch(small_params(21));
+  constexpr std::uint64_t kPairs = 100'000;
+  ZipfWorkloadConfig config;
+  config.u_pairs = kPairs;
+  config.num_destinations = 1000;
+  config.skew = 1.2;
+  const ZipfWorkload workload(config);
+  for (const FlowUpdate& u : workload.updates())
+    sketch.update(u.dest, u.source, u.delta);
+  const double estimate = static_cast<double>(sketch.estimate_distinct_pairs());
+  EXPECT_GT(estimate, 0.4 * kPairs);
+  EXPECT_LT(estimate, 2.5 * kPairs);
+}
+
+TEST(DcsBasic, ChurnAndNoiseDoNotChangeAnswers) {
+  // Workload-level version of delete-resilience: a stream with churned
+  // duplicates and net-zero noise pairs yields the identical sketch as the
+  // clean stream of the same net pairs.
+  ZipfWorkloadConfig clean_config;
+  clean_config.u_pairs = 30'000;
+  clean_config.num_destinations = 300;
+  clean_config.skew = 1.5;
+  clean_config.shuffle = false;
+  ZipfWorkloadConfig churned_config = clean_config;
+  churned_config.churn = 2;
+  churned_config.noise_pairs = 10'000;
+  churned_config.shuffle = true;
+
+  const ZipfWorkload clean(clean_config);
+  const ZipfWorkload churned(churned_config);
+
+  const DcsParams params = small_params(55);
+  DistinctCountSketch clean_sketch(params), churned_sketch(params);
+  for (const FlowUpdate& u : clean.updates())
+    clean_sketch.update(u.dest, u.source, u.delta);
+  for (const FlowUpdate& u : churned.updates())
+    churned_sketch.update(u.dest, u.source, u.delta);
+
+  EXPECT_TRUE(clean_sketch == churned_sketch);
+}
+
+// Accuracy sweep over skew values: recall of the top-5 should be high at the
+// paper's default sketch size.
+class DcsAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(DcsAccuracy, TopFiveRecallIsHigh) {
+  const double skew = GetParam();
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 128;
+
+  double recall_sum = 0.0;
+  constexpr int kRuns = 3;
+  for (int run = 0; run < kRuns; ++run) {
+    ZipfWorkloadConfig config;
+    config.u_pairs = 200'000;
+    config.num_destinations = 5000;
+    config.skew = skew;
+    config.seed = 100 + run;
+    const ZipfWorkload workload(config);
+
+    params.seed = 200 + run;
+    DistinctCountSketch sketch(params);
+    for (const FlowUpdate& u : workload.updates())
+      sketch.update(u.dest, u.source, u.delta);
+
+    const TopKResult result = sketch.top_k(5);
+    recall_sum +=
+        evaluate_top_k(result.entries, workload.true_frequencies(), 5).recall;
+  }
+  EXPECT_GE(recall_sum / kRuns, 0.6) << "skew " << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, DcsAccuracy,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5));
+
+}  // namespace
+}  // namespace dcs

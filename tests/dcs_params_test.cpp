@@ -1,0 +1,130 @@
+// Tests for DcsParams validation, sizing helpers, and the theorem-driven
+// parameter recommendation.
+#include "sketch/dcs_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(DcsParams, DefaultsAreValidAndMatchPaper) {
+  DcsParams params;
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_EQ(params.num_tables, 3);            // §6.1 default r
+  EXPECT_EQ(params.buckets_per_table, 128u);  // §6.1 default s
+  EXPECT_EQ(params.key_bits, 64);             // 2 log m for m = 2^32
+}
+
+TEST(DcsParams, SignatureWidthIsKeyBitsPlusOne) {
+  DcsParams params;
+  params.key_bits = 64;
+  EXPECT_EQ(params.signature_width(), 65u);  // paper: 2 log m + 1 counters
+  params.key_bits = 16;
+  EXPECT_EQ(params.signature_width(), 17u);
+}
+
+TEST(DcsParams, CountersPerLevel) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 128;
+  params.key_bits = 64;
+  EXPECT_EQ(params.counters_per_level(), 3u * 128u * 65u);
+  EXPECT_EQ(params.level_bytes(), 3u * 128u * 65u * 8u);
+}
+
+TEST(DcsParams, PaperStoppingRuleWhenFractionIsZero) {
+  DcsParams params;
+  params.buckets_per_table = 128;
+  params.epsilon = 0.25;
+  params.sample_target_fraction = 0.0;
+  // (1 + 0.25) * 128 / 16 = 10.
+  EXPECT_EQ(params.sample_target(), 10u);
+}
+
+TEST(DcsParams, DefaultStoppingTargetsFullS) {
+  DcsParams params;
+  params.buckets_per_table = 128;
+  EXPECT_EQ(params.sample_target(), 128u);  // Lemma 4.1 load bound s/2
+}
+
+TEST(DcsParams, SampleTargetFractionOverrides) {
+  DcsParams params;
+  params.buckets_per_table = 128;
+  params.sample_target_fraction = 0.5;
+  EXPECT_EQ(params.sample_target(), 64u);
+}
+
+TEST(DcsParams, ValidationRejectsOutOfRange) {
+  DcsParams params;
+  params.num_tables = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.buckets_per_table = 1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.key_bits = 65;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.key_bits = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.max_level = 64;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.epsilon = 0.34;  // must be < 1/3
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.epsilon = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.sample_target_fraction = 1.5;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(DcsParams, RecommendScalesWithTheorem) {
+  // s = Θ(U log(n/δ) / (f_k ε²)): doubling U doubles s; doubling f_k halves.
+  const auto a = DcsParams::recommend(0.2, 0.05, 1'000'000, 10'000, 4'000'000);
+  const auto b = DcsParams::recommend(0.2, 0.05, 2'000'000, 10'000, 4'000'000);
+  const auto c = DcsParams::recommend(0.2, 0.05, 1'000'000, 20'000, 4'000'000);
+  EXPECT_NEAR(static_cast<double>(b.buckets_per_table) / a.buckets_per_table,
+              2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(a.buckets_per_table) / c.buckets_per_table,
+              2.0, 0.01);
+  // r = Θ(log(n/δ)): 26-27 for these values.
+  EXPECT_GE(a.num_tables, 20);
+  EXPECT_LE(a.num_tables, 32);
+}
+
+TEST(DcsParams, MemoryBudgetSizingFitsAndMaximizes) {
+  // 8 MiB budget at U = 8e6 (paper setting): expect a sketch that actually
+  // fits and a doubled s that would not.
+  const std::size_t budget = 8 * 1024 * 1024;
+  const auto params = DcsParams::for_memory_budget(budget, 8'000'000);
+  const int levels = 24;  // ceil(log2(8e6)) + 1
+  const std::size_t used = static_cast<std::size_t>(levels) *
+                           params.counters_per_level() * 0 +
+                           static_cast<std::size_t>(levels) * params.level_bytes();
+  EXPECT_LE(used, budget);
+  DcsParams doubled = params;
+  doubled.buckets_per_table *= 2;
+  EXPECT_GT(static_cast<std::size_t>(levels) * doubled.level_bytes(), budget);
+  // Sanity: a fresh sketch streamed at that scale stays within ~budget.
+  EXPECT_GE(params.buckets_per_table, 64u);
+}
+
+TEST(DcsParams, MemoryBudgetTooSmallThrows) {
+  EXPECT_THROW(DcsParams::for_memory_budget(1024, 8'000'000),
+               std::invalid_argument);
+  EXPECT_THROW(DcsParams::for_memory_budget(1 << 20, 0),
+               std::invalid_argument);
+}
+
+TEST(DcsParams, RecommendRejectsBadArguments) {
+  EXPECT_THROW(DcsParams::recommend(0.2, 0.0, 100, 10, 100),
+               std::invalid_argument);
+  EXPECT_THROW(DcsParams::recommend(0.2, 0.05, 100, 0, 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,90 @@
+// Tests for alert scoring against ground-truth attack windows.
+#include "metrics/detection_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+Alert raised(Addr subject, std::uint64_t position) {
+  Alert alert;
+  alert.kind = Alert::Kind::kRaised;
+  alert.subject = subject;
+  alert.stream_position = position;
+  return alert;
+}
+
+Alert cleared(Addr subject, std::uint64_t position) {
+  Alert alert = raised(subject, position);
+  alert.kind = Alert::Kind::kCleared;
+  return alert;
+}
+
+TEST(DetectionMetrics, PerfectDetection) {
+  const std::vector<AttackWindow> attacks{{0xa, 1000, 5000}};
+  const std::vector<Alert> alerts{raised(0xa, 1600)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 0u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(score.mean_detection_latency, 600.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+TEST(DetectionMetrics, MissedAttackIsFalseNegative) {
+  const std::vector<AttackWindow> attacks{{0xa, 0, 100}, {0xb, 0, 100}};
+  const std::vector<Alert> alerts{raised(0xa, 50)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+}
+
+TEST(DetectionMetrics, UnrelatedAlertIsFalsePositive) {
+  const std::vector<AttackWindow> attacks{{0xa, 0, 100}};
+  const std::vector<Alert> alerts{raised(0xbad, 10)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.false_positives, 1u);
+  EXPECT_EQ(score.true_positives, 0u);
+}
+
+TEST(DetectionMetrics, AlertBeforeWindowIsFalsePositive) {
+  const std::vector<AttackWindow> attacks{{0xa, 1000, 2000}};
+  const std::vector<Alert> alerts{raised(0xa, 500)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.false_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 1u);
+}
+
+TEST(DetectionMetrics, RepeatedRaisesCountOnceWithFirstLatency) {
+  const std::vector<AttackWindow> attacks{{0xa, 100, 10'000}};
+  const std::vector<Alert> alerts{raised(0xa, 300), raised(0xa, 900)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(score.mean_detection_latency, 200.0);
+}
+
+TEST(DetectionMetrics, ClearedAlertsAreIgnored) {
+  const std::vector<AttackWindow> attacks{{0xa, 0, 100}};
+  const std::vector<Alert> alerts{cleared(0xa, 50)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_EQ(score.true_positives, 0u);
+  EXPECT_EQ(score.false_positives, 0u);
+}
+
+TEST(DetectionMetrics, EmptyInputs) {
+  EXPECT_EQ(score_alerts({}, {}).recall(), 0.0);
+  const DetectionScore score = score_alerts({}, {{0xa, 0, 1}});
+  EXPECT_EQ(score.false_negatives, 1u);
+}
+
+TEST(DetectionMetrics, LatencyAveragesOverDetectedAttacks) {
+  const std::vector<AttackWindow> attacks{{0xa, 100, 1000}, {0xb, 200, 1000}};
+  const std::vector<Alert> alerts{raised(0xa, 300), raised(0xb, 600)};
+  const DetectionScore score = score_alerts(alerts, attacks);
+  EXPECT_DOUBLE_EQ(score.mean_detection_latency, (200.0 + 400.0) / 2.0);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,254 @@
+// Tests for DdosMonitor: the paper's headline behaviour — SYN floods alarm,
+// flash crowds do not — plus alert lifecycle and the port-scan role swap.
+#include "detection/ddos_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+namespace {
+
+DdosMonitorConfig test_config() {
+  DdosMonitorConfig config;
+  config.sketch.num_tables = 3;
+  config.sketch.buckets_per_table = 128;
+  config.sketch.seed = 5;
+  config.check_interval = 512;
+  config.min_absolute = 400;
+  config.alarm_factor = 8.0;
+  return config;
+}
+
+std::vector<FlowUpdate> updates_for(std::vector<Packet> packets) {
+  FlowUpdateExporter exporter;
+  return exporter.run(packets);
+}
+
+bool raised_for(const std::vector<Alert>& alerts, Addr subject) {
+  return std::any_of(alerts.begin(), alerts.end(), [subject](const Alert& a) {
+    return a.kind == Alert::Kind::kRaised && a.subject == subject;
+  });
+}
+
+TEST(Detection, SynFloodRaisesAlertForVictim) {
+  Timeline timeline(1);
+  BackgroundTrafficConfig background;
+  background.sessions = 3000;
+  add_background_traffic(timeline, background);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 10'000;
+  add_syn_flood(timeline, flood);
+
+  DdosMonitor monitor(test_config());
+  monitor.ingest(updates_for(timeline.finalize()));
+  monitor.check_now();
+
+  EXPECT_TRUE(raised_for(monitor.alerts(), flood.victim));
+  const auto active = monitor.active_alarms();
+  EXPECT_NE(std::find(active.begin(), active.end(), flood.victim), active.end());
+}
+
+TEST(Detection, FlashCrowdDoesNotAlarm) {
+  Timeline timeline(2);
+  BackgroundTrafficConfig background;
+  background.sessions = 3000;
+  add_background_traffic(timeline, background);
+  FlashCrowdConfig crowd;
+  crowd.clients = 20'000;  // bigger surge than the flood above
+  add_flash_crowd(timeline, crowd);
+
+  DdosMonitor monitor(test_config());
+  monitor.ingest(updates_for(timeline.finalize()));
+  monitor.check_now();
+
+  EXPECT_FALSE(raised_for(monitor.alerts(), crowd.target));
+  EXPECT_TRUE(monitor.active_alarms().empty());
+}
+
+TEST(Detection, FloodAndFlashCrowdTogetherOnlyVictimAlarms) {
+  // The discrimination claim in one stream: same scale surge + attack.
+  Timeline timeline(3);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 10'000;
+  add_syn_flood(timeline, flood);
+  FlashCrowdConfig crowd;
+  crowd.clients = 10'000;
+  crowd.target = 0x0a000042;
+  add_flash_crowd(timeline, crowd);
+
+  DdosMonitor monitor(test_config());
+  monitor.ingest(updates_for(timeline.finalize()));
+  monitor.check_now();
+
+  EXPECT_TRUE(raised_for(monitor.alerts(), flood.victim));
+  EXPECT_FALSE(raised_for(monitor.alerts(), crowd.target));
+}
+
+TEST(Detection, AlertClearsWhenAttackSubsides) {
+  DdosMonitorConfig config = test_config();
+  config.check_interval = 256;
+  DdosMonitor monitor(config);
+
+  // Attack phase: 2000 spoofed half-open sources.
+  std::vector<FlowUpdate> attack;
+  for (Addr s = 0; s < 2000; ++s)
+    attack.push_back({0x10000000 + s, 0xdead, +1});
+  monitor.ingest(attack);
+  monitor.check_now();
+  ASSERT_TRUE(raised_for(monitor.alerts(), 0xdead));
+
+  // Mitigation: the half-open connections are torn down (deletions).
+  std::vector<FlowUpdate> teardown;
+  for (Addr s = 0; s < 2000; ++s)
+    teardown.push_back({0x10000000 + s, 0xdead, -1});
+  monitor.ingest(teardown);
+  monitor.check_now();
+
+  EXPECT_TRUE(monitor.active_alarms().empty());
+  const bool cleared = std::any_of(
+      monitor.alerts().begin(), monitor.alerts().end(), [](const Alert& a) {
+        return a.kind == Alert::Kind::kCleared && a.subject == 0xdead;
+      });
+  EXPECT_TRUE(cleared);
+}
+
+TEST(Detection, RankBySourceFlagsPortScanner) {
+  Timeline timeline(4);
+  BackgroundTrafficConfig background;
+  background.sessions = 2000;
+  add_background_traffic(timeline, background);
+  PortScanConfig scan;
+  scan.targets = 20'000;
+  add_port_scan(timeline, scan);
+
+  DdosMonitorConfig config = test_config();
+  config.rank_by = DdosMonitorConfig::RankBy::kSource;
+  config.min_absolute = 400;
+  // The scan ramps gradually across the whole stream, so the EWMA baseline
+  // learns it; the absolute threshold (footnote-3 style) must catch it.
+  config.absolute_alarm = 2000;
+  DdosMonitor monitor(config);
+  monitor.ingest(updates_for(timeline.finalize()));
+  monitor.check_now();
+
+  EXPECT_TRUE(raised_for(monitor.alerts(), scan.scanner));
+}
+
+TEST(Detection, BaselineSuppressesSteadyHeavyDestination) {
+  // A destination that is *always* busy should train its baseline up and not
+  // alarm, while a fresh flood of the same magnitude does alarm.
+  DdosMonitorConfig config = test_config();
+  config.check_interval = 500;
+  config.baseline_alpha = 0.5;  // fast adaptation for the test
+  config.alarm_factor = 4.0;
+  config.min_absolute = 300;
+  config.warmup_checks = 4;  // bootstrap profiles on known-good traffic
+  DdosMonitor monitor(config);
+
+  // Steady state: destination 0xbeef always has ~500 half-open sources in
+  // flight — each round opens a fresh wave and completes the previous one.
+  Addr next_source = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<FlowUpdate> wave;
+    const Addr wave_start = next_source;
+    for (int i = 0; i < 500; ++i) wave.push_back({next_source++, 0xbeef, +1});
+    if (round > 0) {
+      for (int i = 0; i < 500; ++i)
+        wave.push_back({static_cast<Addr>(wave_start - 500 + i), 0xbeef, -1});
+    }
+    monitor.ingest(wave);
+  }
+  const std::size_t alerts_before = monitor.alerts().size();
+
+  // New victim floods from zero to 4000 — must alarm.
+  std::vector<FlowUpdate> flood;
+  for (Addr s = 0; s < 4000; ++s) flood.push_back({0x20000000 + s, 0xf00d, +1});
+  monitor.ingest(flood);
+  monitor.check_now();
+
+  EXPECT_TRUE(raised_for(monitor.alerts(), 0xf00d));
+  // The steady destination must not be among the active alarms now.
+  const auto active = monitor.active_alarms();
+  EXPECT_EQ(std::find(active.begin(), active.end(), 0xbeef), active.end())
+      << "steady-state destination should have trained its baseline";
+  (void)alerts_before;
+}
+
+TEST(Detection, WarmupSuppressesAlertsButTrainsBaselines) {
+  DdosMonitorConfig config = test_config();
+  config.check_interval = 256;
+  config.warmup_checks = 1000;  // everything is warmup
+  DdosMonitor monitor(config);
+  std::vector<FlowUpdate> flood;
+  for (Addr s = 0; s < 5000; ++s) flood.push_back({s, 0xabc, +1});
+  monitor.ingest(flood);
+  monitor.check_now();
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_TRUE(monitor.active_alarms().empty());
+}
+
+TEST(Detection, AbsoluteAlarmFiresEvenWithTrainedBaseline) {
+  DdosMonitorConfig config = test_config();
+  config.check_interval = 200;
+  config.baseline_alpha = 1.0;   // baseline == last estimate: ratio never fires
+  config.alarm_factor = 100.0;
+  config.absolute_alarm = 3000;  // but the hard ceiling must
+  DdosMonitor monitor(config);
+  // Gradual ramp: 200 new sources per check towards one destination.
+  for (int wave = 0; wave < 30; ++wave) {
+    std::vector<FlowUpdate> updates;
+    for (int i = 0; i < 200; ++i)
+      updates.push_back({static_cast<Addr>(wave * 200 + i), 0xfff, +1});
+    monitor.ingest(updates);
+  }
+  EXPECT_TRUE(raised_for(monitor.alerts(), 0xfff));
+}
+
+TEST(Detection, ExporterTimeoutClearsStaleAttackState) {
+  // With SYN-timeout reaping at the exporter, an attack that STOPS fades
+  // from the sketch even though no ACKs ever arrive — the alert clears.
+  FlowUpdateExporter exporter(1000, /*half_open_timeout=*/5000);
+  DdosMonitorConfig config = test_config();
+  config.check_interval = 128;
+  DdosMonitor monitor(config);
+  const auto feed = [&](const Packet& packet) {
+    exporter.observe(packet,
+                     [&](const FlowUpdate& u) { monitor.ingest(u); });
+  };
+  // Burst of 3000 spoofed SYNs in [0, 1000).
+  for (Addr s = 0; s < 3000; ++s)
+    feed({s % 1000, 0x30000000 + s, 0xdef, PacketType::kSyn});
+  monitor.check_now();
+  ASSERT_TRUE(raised_for(monitor.alerts(), 0xdef));
+
+  // Quiet background traffic long after the timeout: the reaper emits the
+  // -1s, the estimate collapses, the alarm clears.
+  for (Addr i = 0; i < 2000; ++i)
+    feed({20'000 + i, 0x40000000 + i, 0x111, PacketType::kSyn});
+  monitor.check_now();
+  const auto active = monitor.active_alarms();
+  EXPECT_EQ(std::find(active.begin(), active.end(), 0xdef), active.end());
+}
+
+TEST(Detection, ConfigValidation) {
+  DdosMonitorConfig config = test_config();
+  config.top_k = 0;
+  EXPECT_THROW(DdosMonitor{config}, std::invalid_argument);
+  config = test_config();
+  config.check_interval = 0;
+  EXPECT_THROW(DdosMonitor{config}, std::invalid_argument);
+  config = test_config();
+  config.baseline_alpha = 0.0;
+  EXPECT_THROW(DdosMonitor{config}, std::invalid_argument);
+  config = test_config();
+  config.alarm_factor = 1.0;
+  EXPECT_THROW(DdosMonitor{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

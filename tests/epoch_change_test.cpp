@@ -1,0 +1,132 @@
+// Tests for the epoch-based heavy-change detector.
+#include "detection/epoch_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "net/exporter.hpp"
+#include "net/scenarios.hpp"
+
+namespace dcs {
+namespace {
+
+EpochChangeDetector::Config test_config(std::uint64_t epoch_updates) {
+  EpochChangeDetector::Config config;
+  config.sketch.seed = 3;
+  config.epoch_updates = epoch_updates;
+  config.top_k = 5;
+  return config;
+}
+
+TEST(EpochChange, RejectsBadConfig) {
+  auto config = test_config(0);
+  EXPECT_THROW(EpochChangeDetector{config}, std::invalid_argument);
+  config = test_config(10);
+  config.top_k = 0;
+  EXPECT_THROW(EpochChangeDetector{config}, std::invalid_argument);
+}
+
+TEST(EpochChange, ReportsAtEpochBoundaries) {
+  EpochChangeDetector detector(test_config(100));
+  for (Addr i = 0; i < 250; ++i) detector.update(1, i, +1);
+  EXPECT_EQ(detector.reports().size(), 2u);
+  EXPECT_EQ(detector.reports()[0].epoch, 0u);
+  EXPECT_EQ(detector.reports()[1].epoch, 1u);
+  detector.close_epoch();
+  EXPECT_EQ(detector.reports().size(), 3u);
+}
+
+TEST(EpochChange, FirstEpochEqualsCumulative) {
+  // Few enough pairs that the sample is complete at level 0: the first
+  // epoch's change report is exact and equals the cumulative view.
+  EpochChangeDetector detector(test_config(1000));
+  for (Addr i = 0; i < 60; ++i) detector.update(7, i, +1);
+  const auto changes = detector.current_changes(1);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].group, 7u);
+  EXPECT_EQ(changes[0].estimate, 60u);
+  EXPECT_EQ(detector.cumulative().top_k(1).entries[0].estimate, 60u);
+}
+
+TEST(EpochChange, DetectsOnsetAgainstPersistentHeavyHitter) {
+  // Destination 5 is persistently huge; destination 9 surges in epoch 2.
+  // Absolute top-1 stays 5; per-epoch change must flag 9.
+  EpochChangeDetector detector(test_config(10'000));
+  for (Addr s = 0; s < 9'000; ++s) detector.update(5, s, +1);
+  for (Addr s = 0; s < 1'000; ++s) detector.update(6, s, +1);
+  ASSERT_EQ(detector.reports().size(), 1u);
+  EXPECT_EQ(detector.reports()[0].top_changes[0].group, 5u);
+
+  // Epoch 2: 5 gains only 1000 new sources; 9 gains 8000.
+  for (Addr s = 9'000; s < 10'000; ++s) detector.update(5, s, +1);
+  for (Addr s = 0; s < 8'000; ++s) detector.update(9, s, +1);
+  for (Addr s = 0; s < 1'000; ++s) detector.update(10, s, +1);
+  ASSERT_EQ(detector.reports().size(), 2u);
+  const auto& onset = detector.reports()[1].top_changes;
+  ASSERT_FALSE(onset.empty());
+  EXPECT_EQ(onset[0].group, 9u);
+
+  // The cumulative view still ranks 5 first.
+  EXPECT_EQ(detector.cumulative().top_k(1).entries[0].group, 5u);
+}
+
+TEST(EpochChange, QuietEpochReportsNothingBig) {
+  EpochChangeDetector detector(test_config(1000));
+  for (Addr s = 0; s < 1000; ++s) detector.update(1, s, +1);  // epoch 0: surge
+  // Epoch 1: insert+delete churn only (net zero).
+  for (Addr s = 0; s < 500; ++s) {
+    detector.update(2, s, +1);
+    detector.update(2, s, -1);
+  }
+  ASSERT_EQ(detector.reports().size(), 2u);
+  const auto& quiet = detector.reports()[1].top_changes;
+  for (const TopKEntry& entry : quiet)
+    EXPECT_LE(entry.estimate, 8u) << "ghost change in a net-zero epoch";
+}
+
+TEST(EpochChange, AttackOnsetThroughFullPipeline) {
+  // Background for the first window, flood starting later: the flood's onset
+  // epoch must rank the victim first in the change report.
+  Timeline timeline(6);
+  BackgroundTrafficConfig background;
+  background.sessions = 5000;
+  background.duration_ticks = 50'000;
+  add_background_traffic(timeline, background);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 8000;
+  flood.start_tick = 60'000;
+  flood.duration_ticks = 10'000;
+  add_syn_flood(timeline, flood);
+
+  FlowUpdateExporter exporter;
+  const auto updates = exporter.run(timeline.finalize());
+
+  EpochChangeDetector detector(test_config(4096));
+  detector.ingest(updates);
+  detector.close_epoch();
+
+  // Find the report where the victim first dominates.
+  bool found = false;
+  for (const auto& report : detector.reports()) {
+    if (!report.top_changes.empty() &&
+        report.top_changes[0].group == flood.victim &&
+        report.top_changes[0].estimate > 1000) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no epoch flagged the flood onset";
+}
+
+TEST(EpochChange, MemoryIsTwoSketchesPlusReports) {
+  EpochChangeDetector detector(test_config(1000));
+  for (Addr s = 0; s < 5000; ++s) detector.update(1, s, +1);
+  EXPECT_GE(detector.memory_bytes(),
+            2 * detector.cumulative().memory_bytes() / 2);
+  EXPECT_GT(detector.memory_bytes(), detector.cumulative().memory_bytes());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,120 @@
+// Tests for the exact (ground-truth) tracker, including the paper's
+// brute-force space accounting.
+#include "baselines/exact_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(ExactTracker, EmptyAnswers) {
+  ExactTracker tracker;
+  EXPECT_TRUE(tracker.top_k(3).entries.empty());
+  EXPECT_EQ(tracker.frequency(1), 0u);
+  EXPECT_EQ(tracker.distinct_pairs(), 0u);
+}
+
+TEST(ExactTracker, CountsDistinctMembersOnly) {
+  ExactTracker tracker;
+  tracker.update(1, 10, +1);
+  tracker.update(1, 10, +1);  // duplicate: still one distinct source
+  tracker.update(1, 11, +1);
+  EXPECT_EQ(tracker.frequency(1), 2u);
+}
+
+TEST(ExactTracker, DeleteToZeroRemoves) {
+  ExactTracker tracker;
+  tracker.update(1, 10, +1);
+  tracker.update(1, 10, -1);
+  EXPECT_EQ(tracker.frequency(1), 0u);
+  EXPECT_EQ(tracker.distinct_pairs(), 0u);
+}
+
+TEST(ExactTracker, MultiplicityRequiresEqualDeletes) {
+  ExactTracker tracker;
+  tracker.update(1, 10, +1);
+  tracker.update(1, 10, +1);
+  tracker.update(1, 10, -1);
+  EXPECT_EQ(tracker.frequency(1), 1u);  // net count still positive
+  tracker.update(1, 10, -1);
+  EXPECT_EQ(tracker.frequency(1), 0u);
+}
+
+TEST(ExactTracker, DeleteBeforeInsertNets) {
+  // Shuffled streams can deliver the delete first; net-positive semantics
+  // (paper §2: OCCUR(+1) > OCCUR(-1)) must still hold.
+  ExactTracker tracker;
+  tracker.update(1, 10, -1);
+  EXPECT_EQ(tracker.frequency(1), 0u);
+  tracker.update(1, 10, +1);
+  EXPECT_EQ(tracker.frequency(1), 0u);  // net is zero
+  tracker.update(1, 10, +1);
+  EXPECT_EQ(tracker.frequency(1), 1u);
+}
+
+TEST(ExactTracker, TopKOrdersByFrequencyThenId) {
+  ExactTracker tracker;
+  tracker.update(5, 1, +1);
+  tracker.update(5, 2, +1);
+  tracker.update(3, 1, +1);
+  tracker.update(3, 2, +1);
+  tracker.update(9, 1, +1);
+  const auto top = tracker.top_k(3).entries;
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (TopKEntry{3, 2}));  // tie with 5 broken by smaller id
+  EXPECT_EQ(top[1], (TopKEntry{5, 2}));
+  EXPECT_EQ(top[2], (TopKEntry{9, 1}));
+}
+
+TEST(ExactTracker, GroupsAboveThreshold) {
+  ExactTracker tracker;
+  for (Addr dest = 1; dest <= 5; ++dest)
+    for (Addr source = 0; source < dest * 10; ++source)
+      tracker.update(dest, source, +1);
+  const auto above = tracker.groups_above(30);
+  ASSERT_EQ(above.size(), 3u);  // dests 3, 4, 5 have 30, 40, 50
+  EXPECT_EQ(above[0], (TopKEntry{5, 50}));
+  EXPECT_EQ(above[2], (TopKEntry{3, 30}));
+}
+
+TEST(ExactTracker, MatchesNaiveModelUnderChurn) {
+  ExactTracker tracker;
+  std::map<PairKey, std::int64_t> model;
+  Xoshiro256 rng(15);
+  for (int step = 0; step < 50'000; ++step) {
+    const Addr dest = static_cast<Addr>(rng.bounded(20));
+    const Addr source = static_cast<Addr>(rng.bounded(50));
+    const int delta = rng.bounded(2) == 0 ? +1 : -1;
+    tracker.update(dest, source, delta);
+    model[pack_pair(dest, source)] += delta;
+  }
+  std::map<Addr, std::uint64_t> expected;
+  for (const auto& [key, net] : model)
+    if (net > 0) ++expected[pair_group(key)];
+  for (Addr dest = 0; dest < 20; ++dest) {
+    const auto it = expected.find(dest);
+    EXPECT_EQ(tracker.frequency(dest), it == expected.end() ? 0u : it->second)
+        << "dest " << dest;
+  }
+}
+
+TEST(ExactTracker, PaperAccountingIs96MBForPaperU) {
+  // §6.1: 8e6 pairs * 12 bytes = 96 MB.
+  EXPECT_EQ(ExactTracker::paper_accounting_bytes(8'000'000),
+            std::size_t{96'000'000});
+}
+
+TEST(ExactTracker, MemoryGrowsWithPairs) {
+  ExactTracker tracker;
+  const std::size_t empty_bytes = tracker.memory_bytes();
+  for (Addr i = 0; i < 10'000; ++i) tracker.update(i % 100, i, +1);
+  EXPECT_GT(tracker.memory_bytes(), empty_bytes + 10'000 * 12);
+}
+
+}  // namespace
+}  // namespace dcs

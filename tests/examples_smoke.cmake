@@ -1,0 +1,13 @@
+# Every example binary must run to completion and exit 0 (each example
+# verifies its own scenario outcome and returns nonzero on semantic failure).
+foreach(example ${EXAMPLES})
+  execute_process(
+    COMMAND ${EXAMPLES_DIR}/${example}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output
+    TIMEOUT 300)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "example ${example} failed (${status}):\n${output}")
+  endif()
+endforeach()

@@ -1,0 +1,141 @@
+// Differential fuzz test for the NetFlow exporter: random packet streams
+// against a straightforward reference model of half-open handshake state.
+// The stream of emitted flow updates, folded through an ExactTracker, must
+// reproduce the reference's half-open sets at every point.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "baselines/exact_tracker.hpp"
+#include "common/random.hpp"
+#include "dcs.hpp"
+#include "net/exporter.hpp"
+
+namespace dcs {
+namespace {
+
+class ExporterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExporterFuzz, UpdatesReconstructHalfOpenState) {
+  Xoshiro256 rng(GetParam() * 101 + 3);
+  FlowUpdateExporter exporter;
+  ExactTracker from_updates;
+  // Reference model: the set of half-open (client, server) pairs.
+  std::unordered_set<PairKey> reference;
+
+  std::uint64_t tick = 0;
+  for (int step = 0; step < 20'000; ++step) {
+    tick += rng.bounded(3);
+    Packet packet;
+    packet.timestamp = tick;
+    packet.source = static_cast<Addr>(rng.bounded(40));
+    packet.dest = static_cast<Addr>(100 + rng.bounded(10));
+    const std::uint64_t kind = rng.bounded(10);
+    packet.type = kind < 4   ? PacketType::kSyn
+                  : kind < 7 ? PacketType::kAck
+                  : kind < 8 ? PacketType::kRst
+                  : kind < 9 ? PacketType::kFin
+                             : PacketType::kData;
+
+    // Reference transition.
+    const PairKey key = pack_pair(packet.source, packet.dest);
+    switch (packet.type) {
+      case PacketType::kSyn:
+        reference.insert(key);
+        break;
+      case PacketType::kAck:
+      case PacketType::kRst:
+        reference.erase(key);
+        break;
+      default:
+        break;
+    }
+
+    exporter.observe(packet, [&from_updates](const FlowUpdate& u) {
+      from_updates.update(u.dest, u.source, u.delta);
+    });
+
+    if (step % 1000 == 0) {
+      ASSERT_EQ(exporter.half_open_pairs(), reference.size()) << "step " << step;
+    }
+  }
+
+  // Final state: per-destination distinct half-open sources must match.
+  std::unordered_map<Addr, std::uint64_t> expected;
+  for (const PairKey key : reference) ++expected[pair_member(key)];
+  for (Addr dest = 100; dest < 110; ++dest) {
+    const auto it = expected.find(dest);
+    EXPECT_EQ(from_updates.frequency(dest),
+              it == expected.end() ? 0u : it->second)
+        << "dest " << dest;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExporterFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// Same differential model, with SYN-timeout reaping enabled: the reference
+// applies the identical lazy-expiry rule (reap entries whose deadline is
+// <= the current packet's timestamp before processing it).
+class ExporterTimeoutFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExporterTimeoutFuzz, TimeoutSemanticsMatchReference) {
+  constexpr std::uint64_t kTimeout = 40;
+  Xoshiro256 rng(GetParam() * 211 + 9);
+  FlowUpdateExporter exporter(1000, kTimeout);
+  std::unordered_map<PairKey, std::uint64_t> reference;  // key -> opened time
+
+  std::uint64_t tick = 0;
+  for (int step = 0; step < 10'000; ++step) {
+    tick += rng.bounded(5);
+    Packet packet;
+    packet.timestamp = tick;
+    packet.source = static_cast<Addr>(rng.bounded(25));
+    packet.dest = static_cast<Addr>(100 + rng.bounded(6));
+    const std::uint64_t kind = rng.bounded(10);
+    packet.type = kind < 5   ? PacketType::kSyn
+                  : kind < 8 ? PacketType::kAck
+                             : PacketType::kRst;
+
+    // Reference: lazy expiry first, then the packet's own transition.
+    for (auto it = reference.begin(); it != reference.end();) {
+      if (it->second + kTimeout <= tick)
+        it = reference.erase(it);
+      else
+        ++it;
+    }
+    const PairKey key = pack_pair(packet.source, packet.dest);
+    switch (packet.type) {
+      case PacketType::kSyn:
+        reference[key] = tick;  // open or refresh the timer
+        break;
+      case PacketType::kAck:
+      case PacketType::kRst:
+        reference.erase(key);
+        break;
+      default:
+        break;
+    }
+
+    exporter.observe(packet, [](const FlowUpdate&) {});
+    if (step % 500 == 0) {
+      ASSERT_EQ(exporter.half_open_pairs(), reference.size())
+          << "step " << step << " tick " << tick;
+    }
+  }
+  EXPECT_EQ(exporter.half_open_pairs(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExporterTimeoutFuzz,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(UmbrellaHeader, CompilesAndExposesTheApi) {
+  // Smoke check that src/dcs.hpp pulls in a usable surface.
+  TrackingDcs tracker;
+  tracker.update(1, 2, +1);
+  EXPECT_EQ(tracker.top_k(1).entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,163 @@
+// Tests for the simulated NetFlow exporter: handshake-state transitions to
+// flow updates, and SYN/FIN interval aggregation.
+#include "net/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+std::vector<FlowUpdate> run(FlowUpdateExporter& exporter,
+                            const std::vector<Packet>& packets) {
+  return exporter.run(packets);
+}
+
+TEST(Exporter, SynOpensHalfOpenConnection) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn}});
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0], (FlowUpdate{1, 2, +1}));
+  EXPECT_EQ(exporter.half_open_pairs(), 1u);
+}
+
+TEST(Exporter, AckCompletesAndDeletes) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1, 1, 2, PacketType::kSynAck},
+                                      {2, 1, 2, PacketType::kAck}});
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0], (FlowUpdate{1, 2, +1}));
+  EXPECT_EQ(updates[1], (FlowUpdate{1, 2, -1}));
+  EXPECT_EQ(exporter.half_open_pairs(), 0u);
+}
+
+TEST(Exporter, RstAbortsHalfOpen) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1, 1, 2, PacketType::kRst}});
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[1], (FlowUpdate{1, 2, -1}));
+}
+
+TEST(Exporter, DuplicateSynsEmitOneUpdate) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1, 1, 2, PacketType::kSyn},
+                                      {2, 1, 2, PacketType::kSyn}});
+  EXPECT_EQ(updates.size(), 1u);
+  EXPECT_EQ(exporter.half_open_pairs(), 1u);
+}
+
+TEST(Exporter, AckWithoutSynIsIgnored) {
+  FlowUpdateExporter exporter;
+  EXPECT_TRUE(run(exporter, {{0, 1, 2, PacketType::kAck}}).empty());
+}
+
+TEST(Exporter, FinAndDataEmitNoUpdates) {
+  FlowUpdateExporter exporter;
+  EXPECT_TRUE(run(exporter, {{0, 1, 2, PacketType::kFin},
+                             {1, 1, 2, PacketType::kData},
+                             {2, 1, 2, PacketType::kSynAck}})
+                  .empty());
+}
+
+TEST(Exporter, ReopenAfterCompletionEmitsAgain) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1, 1, 2, PacketType::kAck},
+                                      {2, 1, 2, PacketType::kSyn}});
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[2], (FlowUpdate{1, 2, +1}));
+}
+
+TEST(Exporter, DistinctPairsTrackedIndependently) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1, 3, 2, PacketType::kSyn},
+                                      {2, 1, 4, PacketType::kSyn},
+                                      {3, 1, 2, PacketType::kAck}});
+  EXPECT_EQ(updates.size(), 4u);
+  EXPECT_EQ(exporter.half_open_pairs(), 2u);
+}
+
+TEST(Exporter, IntervalsAggregateSynAndFin) {
+  FlowUpdateExporter exporter(10);
+  exporter.run({{0, 1, 2, PacketType::kSyn},
+                {5, 3, 2, PacketType::kSyn},
+                {7, 1, 2, PacketType::kFin},
+                {12, 4, 2, PacketType::kSyn},
+                {15, 4, 2, PacketType::kRst},
+                {25, 5, 2, PacketType::kSyn}});
+  const auto& intervals = exporter.intervals();
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], (IntervalCounts{2, 1}));
+  EXPECT_EQ(intervals[1], (IntervalCounts{1, 1}));  // RST counted as FIN
+  EXPECT_EQ(intervals[2], (IntervalCounts{1, 0}));
+}
+
+TEST(Exporter, EmptyIntervalsAreEmitted) {
+  FlowUpdateExporter exporter(10);
+  exporter.run({{0, 1, 2, PacketType::kSyn}, {35, 1, 3, PacketType::kSyn}});
+  // Ticks 0-9 (1 syn), 10-19 (0), 20-29 (0), 30-39 (1 syn).
+  ASSERT_EQ(exporter.intervals().size(), 4u);
+  EXPECT_EQ(exporter.intervals()[1], (IntervalCounts{0, 0}));
+  EXPECT_EQ(exporter.intervals()[2], (IntervalCounts{0, 0}));
+}
+
+TEST(Exporter, RejectsZeroInterval) {
+  EXPECT_THROW(FlowUpdateExporter(0), std::invalid_argument);
+}
+
+TEST(ExporterTimeout, HalfOpenEntryExpiresWithMinusOne) {
+  FlowUpdateExporter exporter(1000, /*half_open_timeout=*/50);
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {100, 3, 4, PacketType::kSyn}});
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0], (FlowUpdate{1, 2, +1}));
+  EXPECT_EQ(updates[1], (FlowUpdate{1, 2, -1}));  // expired at t=100 sweep
+  EXPECT_EQ(updates[2], (FlowUpdate{3, 4, +1}));
+  EXPECT_EQ(exporter.half_open_pairs(), 1u);
+}
+
+TEST(ExporterTimeout, RetransmittedSynRefreshesTimer) {
+  FlowUpdateExporter exporter(1000, 50);
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {40, 1, 2, PacketType::kSyn},  // refresh
+                                      {80, 9, 9, PacketType::kData}});
+  // Deadline moved to 40+50=90, so the t=80 sweep must NOT expire it.
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(exporter.half_open_pairs(), 1u);
+}
+
+TEST(ExporterTimeout, AckBeforeDeadlineBeatsExpiry) {
+  FlowUpdateExporter exporter(1000, 50);
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {10, 1, 2, PacketType::kAck},
+                                      {200, 9, 9, PacketType::kData}});
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[1], (FlowUpdate{1, 2, -1}));
+  // The stale expiry-queue entry must not emit a second -1.
+  EXPECT_EQ(exporter.half_open_pairs(), 0u);
+}
+
+TEST(ExporterTimeout, ExplicitExpireDrainsTail) {
+  FlowUpdateExporter exporter(1000, 50);
+  std::vector<FlowUpdate> updates;
+  const auto sink = [&updates](const FlowUpdate& u) { updates.push_back(u); };
+  exporter.observe({0, 1, 2, PacketType::kSyn}, sink);
+  exporter.observe({5, 3, 2, PacketType::kSyn}, sink);
+  exporter.expire_before(1000, sink);
+  EXPECT_EQ(updates.size(), 4u);  // two +1, two -1
+  EXPECT_EQ(exporter.half_open_pairs(), 0u);
+}
+
+TEST(ExporterTimeout, DisabledByDefault) {
+  FlowUpdateExporter exporter;
+  const auto updates = run(exporter, {{0, 1, 2, PacketType::kSyn},
+                                      {1'000'000, 9, 9, PacketType::kData}});
+  EXPECT_EQ(updates.size(), 1u);
+  EXPECT_EQ(exporter.half_open_pairs(), 1u);  // never reaped
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,132 @@
+// Tests for the Zipf flow-update workload generator against ground truth.
+#include "stream/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/exact_tracker.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(Generator, TruthSumsToU) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 10'000;
+  config.num_destinations = 100;
+  config.skew = 1.5;
+  const ZipfWorkload workload(config);
+  std::uint64_t total = 0;
+  for (const auto& [dest, freq] : workload.true_frequencies()) total += freq;
+  EXPECT_EQ(total, 10'000u);
+  EXPECT_EQ(workload.u_pairs(), 10'000u);
+}
+
+TEST(Generator, TruthIsSortedDescending) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 5000;
+  config.num_destinations = 50;
+  config.skew = 2.0;
+  const ZipfWorkload workload(config);
+  const auto& truth = workload.true_frequencies();
+  for (std::size_t i = 1; i < truth.size(); ++i)
+    EXPECT_GE(truth[i - 1].frequency, truth[i].frequency);
+}
+
+TEST(Generator, StreamMatchesTruthThroughExactTracker) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 20'000;
+  config.num_destinations = 200;
+  config.skew = 1.2;
+  config.churn = 2;
+  config.noise_pairs = 5000;
+  const ZipfWorkload workload(config);
+
+  ExactTracker tracker;
+  for (const FlowUpdate& u : workload.updates())
+    tracker.update(u.dest, u.source, u.delta);
+
+  EXPECT_EQ(tracker.distinct_pairs(), 20'000u);
+  for (const auto& [dest, freq] : workload.true_frequencies())
+    EXPECT_EQ(tracker.frequency(dest), freq) << "dest " << dest;
+}
+
+TEST(Generator, PairsAreDistinct) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 5000;
+  config.num_destinations = 10;
+  config.skew = 0.0;
+  config.shuffle = false;
+  const ZipfWorkload workload(config);
+  std::unordered_set<PairKey> pairs;
+  for (const FlowUpdate& u : workload.updates()) {
+    ASSERT_EQ(u.delta, +1);  // churn=0, noise=0: pure inserts
+    EXPECT_TRUE(pairs.insert(pack_pair(u.dest, u.source)).second);
+  }
+  EXPECT_EQ(pairs.size(), 5000u);
+}
+
+TEST(Generator, UpdateCountMatchesChurnAndNoise) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 1000;
+  config.num_destinations = 10;
+  config.churn = 3;
+  config.noise_pairs = 500;
+  const ZipfWorkload workload(config);
+  // u*(1+2*churn) + 2*noise.
+  EXPECT_EQ(workload.updates().size(), 1000u * 7 + 1000u);
+}
+
+TEST(Generator, SameSeedIsDeterministic) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 2000;
+  config.num_destinations = 20;
+  config.seed = 42;
+  const ZipfWorkload a(config), b(config);
+  EXPECT_EQ(a.updates(), b.updates());
+  EXPECT_EQ(a.true_frequencies(), b.true_frequencies());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 2000;
+  config.num_destinations = 20;
+  config.seed = 1;
+  const ZipfWorkload a(config);
+  config.seed = 2;
+  const ZipfWorkload b(config);
+  EXPECT_NE(a.updates(), b.updates());
+}
+
+TEST(Generator, HighSkewConcentratesOnTopDestination) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 50'000;
+  config.num_destinations = 1000;
+  config.skew = 2.5;
+  const ZipfWorkload workload(config);
+  const auto top = workload.true_top_k(5);
+  const std::uint64_t top5 = std::accumulate(
+      top.begin(), top.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const DestFrequency& d) { return acc + d.frequency; });
+  // Paper §6.2: >95% of mass in the top 5 at z=2.5.
+  EXPECT_GT(static_cast<double>(top5) / 50'000.0, 0.95);
+}
+
+TEST(Generator, TrueTopKClampsToDestinationCount) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 100;
+  config.num_destinations = 3;
+  const ZipfWorkload workload(config);
+  EXPECT_EQ(workload.true_top_k(10).size(), 3u);
+}
+
+TEST(Generator, RejectsZeroPairs) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = 0;
+  EXPECT_THROW(ZipfWorkload{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcs

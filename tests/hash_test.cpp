@@ -1,0 +1,147 @@
+// Tests for the seeded hash functions underlying the sketches: determinism,
+// independence across seeds, uniformity of bucket hashes, and the geometric
+// level distribution required by the first-level hash (paper §3).
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_EQ(fmix64(42), fmix64(42));
+}
+
+TEST(Mix64, ChangesEveryInput) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10'000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10'000u) << "mix64 collided on small inputs";
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  Xoshiro256 rng(7);
+  double total_flips = 0.0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t x = rng();
+    const int bit = static_cast<int>(rng.bounded(64));
+    total_flips += popcount64(mix64(x) ^ mix64(x ^ (1ULL << bit)));
+  }
+  const double mean_flips = total_flips / kTrials;
+  EXPECT_NEAR(mean_flips, 32.0, 2.0);
+}
+
+TEST(SeededHash, DifferentSeedsDisagree) {
+  SeededHash a(1), b(2);
+  int agreements = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x)
+    if (a(x) == b(x)) ++agreements;
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(SeededHash, SameSeedAgrees) {
+  SeededHash a(123), b(123);
+  for (std::uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(ReduceRange, StaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint32_t r = reduce_range(rng(), 128);
+    EXPECT_LT(r, 128u);
+  }
+}
+
+TEST(ReduceRange, IsRoughlyUniform) {
+  constexpr std::uint32_t kRange = 64;
+  constexpr int kSamples = 640'000;
+  std::vector<int> histogram(kRange, 0);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < kSamples; ++i) ++histogram[reduce_range(rng(), kRange)];
+  const double expected = static_cast<double>(kSamples) / kRange;
+  double chi2 = 0.0;
+  for (const int count : histogram) {
+    const double diff = count - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 63 degrees of freedom; 99.9th percentile is ~103.4.
+  EXPECT_LT(chi2, 110.0);
+}
+
+TEST(LevelHash, GeometricDistribution) {
+  LevelHash level(42, 63);
+  constexpr int kSamples = 1 << 20;
+  std::vector<int> histogram(64, 0);
+  for (int i = 0; i < kSamples; ++i) ++histogram[level(static_cast<std::uint64_t>(i))];
+  // Pr[level = l] = 2^-(l+1): check the first few levels within 5% relative.
+  for (int l = 0; l < 6; ++l) {
+    const double expected = kSamples * std::pow(2.0, -(l + 1));
+    EXPECT_NEAR(histogram[l], expected, 0.05 * expected) << "level " << l;
+  }
+}
+
+TEST(LevelHash, RespectsMaxLevel) {
+  LevelHash level(42, 5);
+  for (std::uint64_t x = 0; x < 100'000; ++x) {
+    const int l = level(x);
+    EXPECT_GE(l, 0);
+    EXPECT_LE(l, 5);
+  }
+}
+
+TEST(LevelHash, DeterministicPerSeed) {
+  LevelHash a(9, 63), b(9, 63);
+  for (std::uint64_t x = 0; x < 10'000; ++x) EXPECT_EQ(a(x), b(x));
+}
+
+TEST(BucketHashFamily, TablesAreIndependent) {
+  BucketHashFamily family(5, 3, 128);
+  // Two distinct tables should rarely agree on the bucket of the same key:
+  // expected agreement rate 1/128.
+  int agreements = 0;
+  constexpr int kSamples = 100'000;
+  for (std::uint64_t x = 0; x < kSamples; ++x)
+    if (family.bucket(0, x) == family.bucket(1, x)) ++agreements;
+  const double rate = static_cast<double>(agreements) / kSamples;
+  EXPECT_NEAR(rate, 1.0 / 128.0, 0.002);
+}
+
+TEST(BucketHashFamily, CoversAllBuckets) {
+  BucketHashFamily family(5, 1, 64);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t x = 0; x < 10'000; ++x) seen.insert(family.bucket(0, x));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Xoshiro, BoundedStaysInBounds) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Xoshiro, UniformIsInUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, MeanIsHalf) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  constexpr int kSamples = 1'000'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.002);
+}
+
+}  // namespace
+}  // namespace dcs

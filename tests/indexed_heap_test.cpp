@@ -1,0 +1,145 @@
+// Property tests for IndexedMaxHeap against a brute-force reference model.
+#include "sketch/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcs {
+namespace {
+
+using Heap = IndexedMaxHeap<std::uint32_t>;
+
+TEST(IndexedHeap, StartsEmpty) {
+  Heap heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.priority(5), 0);
+  EXPECT_TRUE(heap.top_k(3).empty());
+}
+
+TEST(IndexedHeap, InsertAndTop) {
+  Heap heap;
+  heap.add(1, 10);
+  heap.add(2, 30);
+  heap.add(3, 20);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.top().key, 2u);
+  EXPECT_EQ(heap.top().priority, 30);
+}
+
+TEST(IndexedHeap, TopKIsDescendingAndNonDestructive) {
+  Heap heap;
+  for (std::uint32_t k = 0; k < 100; ++k) heap.add(k, (k * 37) % 101 + 1);
+  const auto top = heap.top_k(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].priority, top[i].priority);
+  EXPECT_EQ(heap.size(), 100u);  // unchanged
+  EXPECT_TRUE(heap.validate());
+}
+
+TEST(IndexedHeap, TiesBreakByAscendingKey) {
+  Heap heap;
+  heap.add(9, 5);
+  heap.add(3, 5);
+  heap.add(7, 5);
+  const auto top = heap.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 3u);
+  EXPECT_EQ(top[1].key, 7u);
+  EXPECT_EQ(top[2].key, 9u);
+}
+
+TEST(IndexedHeap, ZeroPriorityErases) {
+  Heap heap;
+  heap.add(1, 3);
+  heap.add(1, -3);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(1));
+}
+
+TEST(IndexedHeap, NegativeForNewKeyThrows) {
+  Heap heap;
+  EXPECT_THROW(heap.add(1, -1), std::logic_error);
+}
+
+TEST(IndexedHeap, UnderflowThrows) {
+  Heap heap;
+  heap.add(1, 2);
+  EXPECT_THROW(heap.add(1, -3), std::logic_error);
+}
+
+TEST(IndexedHeap, EraseMissingIsNoop) {
+  Heap heap;
+  heap.add(1, 1);
+  heap.erase(99);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedHeap, TopKLargerThanSizeReturnsAll) {
+  Heap heap;
+  heap.add(1, 1);
+  heap.add(2, 2);
+  EXPECT_EQ(heap.top_k(100).size(), 2u);
+}
+
+// Randomized differential test against a map-based reference.
+class HeapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapProperty, MatchesReferenceModel) {
+  Xoshiro256 rng(GetParam());
+  Heap heap;
+  std::map<std::uint32_t, std::int64_t> reference;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng.bounded(64));
+    const auto it = reference.find(key);
+    const std::int64_t current = it == reference.end() ? 0 : it->second;
+    // Pick a legal delta: increments always; decrements only when positive.
+    std::int64_t delta;
+    if (current > 0 && rng.bounded(2) == 0)
+      delta = -static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(current)) + 1);
+    else
+      delta = static_cast<std::int64_t>(rng.bounded(5)) + 1;
+
+    heap.add(key, delta);
+    const std::int64_t updated = current + delta;
+    if (updated == 0)
+      reference.erase(key);
+    else
+      reference[key] = updated;
+
+    if (step % 100 == 0) {
+      ASSERT_TRUE(heap.validate()) << "step " << step;
+    }
+  }
+
+  ASSERT_TRUE(heap.validate());
+  ASSERT_EQ(heap.size(), reference.size());
+  for (const auto& [key, priority] : reference)
+    EXPECT_EQ(heap.priority(key), priority) << "key " << key;
+
+  // Full drain through top_k must equal the reference sorted by
+  // (priority desc, key asc).
+  std::vector<std::pair<std::int64_t, std::uint32_t>> expected;
+  for (const auto& [key, priority] : reference)
+    expected.emplace_back(-priority, key);
+  std::sort(expected.begin(), expected.end());
+  const auto drained = heap.top_k(heap.size());
+  ASSERT_EQ(drained.size(), expected.size());
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].priority, -expected[i].first);
+    EXPECT_EQ(drained[i].key, expected[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace dcs

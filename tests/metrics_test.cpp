@@ -1,0 +1,75 @@
+// Tests for the accuracy metrics (paper §6.1 definitions).
+#include "metrics/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+std::vector<DestFrequency> truth() {
+  return {{10, 1000}, {20, 500}, {30, 250}, {40, 100}, {50, 50}};
+}
+
+TEST(Metrics, PerfectAnswerScoresPerfectly) {
+  std::vector<TopKEntry> approx{{10, 1000}, {20, 500}, {30, 250}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 3);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.avg_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean_rank_displacement, 0.0);
+  EXPECT_EQ(acc.recall_set_size, 3u);
+}
+
+TEST(Metrics, MissingEntryLowersRecall) {
+  std::vector<TopKEntry> approx{{10, 1000}, {99, 700}, {30, 250}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 3);
+  EXPECT_NEAR(acc.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(acc.precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, RelativeErrorIsOverRecallSetOnly) {
+  // Entry 20 estimated at 600 (error 0.2); entry 99 is a miss and must not
+  // contribute to the error average.
+  std::vector<TopKEntry> approx{{10, 1100}, {20, 600}, {99, 1}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 3);
+  EXPECT_EQ(acc.recall_set_size, 2u);
+  EXPECT_NEAR(acc.avg_relative_error, (0.1 + 0.2) / 2.0, 1e-12);
+}
+
+TEST(Metrics, RankDisplacementCountsSwaps) {
+  // True order 10, 20; approximate order 20, 10: each displaced by 1.
+  std::vector<TopKEntry> approx{{20, 500}, {10, 1000}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 2);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.mean_rank_displacement, 1.0);
+}
+
+TEST(Metrics, EmptyApproximateAnswer) {
+  const TopKAccuracy acc = evaluate_top_k({}, truth(), 3);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);
+  EXPECT_EQ(acc.recall_set_size, 0u);
+}
+
+TEST(Metrics, EmptyTruthIsZero) {
+  std::vector<TopKEntry> approx{{1, 1}};
+  const TopKAccuracy acc = evaluate_top_k(approx, {}, 3);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+TEST(Metrics, KLargerThanTruthClamps) {
+  std::vector<TopKEntry> approx{{10, 1000}, {20, 500}, {30, 250},
+                                {40, 100},  {50, 50}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 100);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+}
+
+TEST(Metrics, OnlyFirstKApproxEntriesCount) {
+  // Correct entries beyond position k must not contribute.
+  std::vector<TopKEntry> approx{{99, 1}, {98, 1}, {10, 1000}};
+  const TopKAccuracy acc = evaluate_top_k(approx, truth(), 2);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,135 @@
+// Tests for the point-query and sketch-subtraction extensions.
+#include <gtest/gtest.h>
+
+#include "baselines/exact_tracker.hpp"
+#include "common/random.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+DcsParams small_params(std::uint64_t seed = 1) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 128;
+  params.seed = seed;
+  return params;
+}
+
+TEST(PointQuery, ExactOnSmallStreams) {
+  DistinctCountSketch basic(small_params());
+  TrackingDcs tracking(small_params());
+  for (Addr source = 0; source < 7; ++source) {
+    basic.update(1, source, +1);
+    tracking.update(1, source, +1);
+  }
+  basic.update(2, 100, +1);
+  tracking.update(2, 100, +1);
+  EXPECT_EQ(basic.estimate_frequency(1), 7u);
+  EXPECT_EQ(tracking.estimate_frequency(1), 7u);
+  EXPECT_EQ(basic.estimate_frequency(2), 1u);
+  EXPECT_EQ(basic.estimate_frequency(999), 0u);
+  EXPECT_EQ(tracking.estimate_frequency(999), 0u);
+}
+
+TEST(PointQuery, BasicAndTrackingAgree) {
+  const DcsParams params = small_params(7);
+  DistinctCountSketch basic(params);
+  TrackingDcs tracking(params);
+  ZipfWorkloadConfig config;
+  config.u_pairs = 50'000;
+  config.num_destinations = 1000;
+  config.skew = 1.5;
+  const ZipfWorkload workload(config);
+  for (const FlowUpdate& u : workload.updates()) {
+    basic.update(u.dest, u.source, u.delta);
+    tracking.update(u.dest, u.source, u.delta);
+  }
+  for (const DestFrequency& truth : workload.true_top_k(10))
+    EXPECT_EQ(basic.estimate_frequency(truth.dest),
+              tracking.estimate_frequency(truth.dest))
+        << "dest " << truth.dest;
+}
+
+TEST(PointQuery, TopDestinationWithinRelativeError) {
+  const DcsParams params = small_params(3);
+  ZipfWorkloadConfig config;
+  config.u_pairs = 100'000;
+  config.num_destinations = 1000;
+  config.skew = 1.5;
+  const ZipfWorkload workload(config);
+  TrackingDcs tracking(params);
+  for (const FlowUpdate& u : workload.updates())
+    tracking.update(u.dest, u.source, u.delta);
+  const DestFrequency top = workload.true_top_k(1)[0];
+  const double estimate =
+      static_cast<double>(tracking.estimate_frequency(top.dest));
+  EXPECT_NEAR(estimate, static_cast<double>(top.frequency),
+              0.5 * static_cast<double>(top.frequency));
+}
+
+TEST(Subtract, RemovesEarlierEpochExactly) {
+  // sketch(epoch1+epoch2) - sketch(epoch1) == sketch(epoch2), bit for bit.
+  const DcsParams params = small_params(11);
+  DistinctCountSketch both(params), first(params), second(params);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr dest = static_cast<Addr>(rng.bounded(64));
+    const Addr source = static_cast<Addr>(rng());
+    const bool epoch1 = i < 2500;
+    both.update(dest, source, +1);
+    (epoch1 ? first : second).update(dest, source, +1);
+  }
+  both.subtract(first);
+  EXPECT_TRUE(both == second);
+}
+
+TEST(Subtract, HeavyChangeDetectionFindsNewTalker) {
+  // Epoch 1: destination 5 dominates. Epoch 2: destination 9 suddenly gains
+  // the most NEW distinct sources. The difference sketch must rank 9 first
+  // even though 5 is still the overall top destination.
+  const DcsParams params = small_params(13);
+  DistinctCountSketch sketch(params);
+
+  for (Addr source = 0; source < 5000; ++source) sketch.update(5, source, +1);
+  for (Addr source = 0; source < 500; ++source) sketch.update(9, source, +1);
+
+  // Snapshot at the epoch boundary.
+  const DistinctCountSketch snapshot = sketch;
+
+  for (Addr source = 5000; source < 5400; ++source) sketch.update(5, source, +1);
+  for (Addr source = 500; source < 4500; ++source) sketch.update(9, source, +1);
+
+  // Whole-stream top-1 is still 5...
+  EXPECT_EQ(sketch.top_k(1).entries[0].group, 5u);
+
+  // ...but the epoch difference is dominated by 9.
+  DistinctCountSketch difference = sketch;
+  difference.subtract(snapshot);
+  const auto changed = difference.top_k(2).entries;
+  ASSERT_GE(changed.size(), 1u);
+  EXPECT_EQ(changed[0].group, 9u);
+}
+
+TEST(Subtract, MismatchedParamsThrow) {
+  DistinctCountSketch a(small_params(1)), b(small_params(2));
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+}
+
+TEST(Subtract, SelfSubtractionYieldsEmptySketch) {
+  const DcsParams params = small_params(17);
+  DistinctCountSketch sketch(params);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i)
+    sketch.update(static_cast<Addr>(rng.bounded(32)), static_cast<Addr>(rng()),
+                  +1);
+  DistinctCountSketch copy = sketch;
+  copy.subtract(sketch);
+  EXPECT_TRUE(copy == DistinctCountSketch(params));
+  EXPECT_TRUE(copy.top_k(5).entries.empty());
+}
+
+}  // namespace
+}  // namespace dcs

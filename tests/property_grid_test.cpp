@@ -1,0 +1,283 @@
+// Parameterized property sweeps across sketch configurations: the core
+// invariants must hold for every (r, s) combination, every churn level, and
+// under adversarial (contract-violating) streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/random.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grid 1: delete-equivalence for every (r, s, churn) combination.
+// ---------------------------------------------------------------------------
+using RsChurn = std::tuple<int, std::uint32_t, std::uint32_t>;
+
+class DeleteEquivalenceGrid : public ::testing::TestWithParam<RsChurn> {};
+
+TEST_P(DeleteEquivalenceGrid, ChurnedStreamYieldsIdenticalSketch) {
+  const auto [r, s, churn] = GetParam();
+  ZipfWorkloadConfig clean_config;
+  clean_config.u_pairs = 5000;
+  clean_config.num_destinations = 100;
+  clean_config.skew = 1.3;
+  clean_config.shuffle = false;
+  ZipfWorkloadConfig churned_config = clean_config;
+  churned_config.churn = churn;
+  churned_config.noise_pairs = 2000;
+  churned_config.shuffle = true;
+
+  DcsParams params;
+  params.num_tables = r;
+  params.buckets_per_table = s;
+  params.seed = 7;
+
+  DistinctCountSketch clean(params), churned(params);
+  const ZipfWorkload clean_workload(clean_config);
+  for (const FlowUpdate& u : clean_workload.updates())
+    clean.update(u.dest, u.source, u.delta);
+  const ZipfWorkload churned_workload(churned_config);
+  for (const FlowUpdate& u : churned_workload.updates())
+    churned.update(u.dest, u.source, u.delta);
+
+  EXPECT_TRUE(clean == churned)
+      << "r=" << r << " s=" << s << " churn=" << churn;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeleteEquivalenceGrid,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(16u, 64u, 256u),
+                       ::testing::Values(1u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Grid 2: basic/tracking equivalence for every (r, s).
+// ---------------------------------------------------------------------------
+using Rs = std::tuple<int, std::uint32_t>;
+
+class EstimatorEquivalenceGrid : public ::testing::TestWithParam<Rs> {};
+
+TEST_P(EstimatorEquivalenceGrid, TrackTopkEqualsBaseTopk) {
+  const auto [r, s] = GetParam();
+  DcsParams params;
+  params.num_tables = r;
+  params.buckets_per_table = s;
+  params.seed = 11;
+
+  DistinctCountSketch basic(params);
+  TrackingDcs tracking(params);
+  Xoshiro256 rng(static_cast<std::uint64_t>(r) * 1000 + s);
+  std::vector<std::pair<Addr, Addr>> live;
+  for (int step = 0; step < 6000; ++step) {
+    if (!live.empty() && rng.bounded(4) == 0) {
+      const std::size_t pick = rng.bounded(live.size());
+      const auto [dest, source] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      basic.update(dest, source, -1);
+      tracking.update(dest, source, -1);
+    } else {
+      const Addr dest = static_cast<Addr>(rng.bounded(80));
+      const Addr source = static_cast<Addr>(rng());
+      live.emplace_back(dest, source);
+      basic.update(dest, source, +1);
+      tracking.update(dest, source, +1);
+    }
+  }
+  EXPECT_EQ(basic.top_k(10).entries, tracking.top_k(10).entries)
+      << "r=" << r << " s=" << s;
+  EXPECT_TRUE(tracking.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EstimatorEquivalenceGrid,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(16u, 128u)));
+
+// ---------------------------------------------------------------------------
+// Grid 3: serialization round trip for every (r, s, key_bits).
+// ---------------------------------------------------------------------------
+using RsBits = std::tuple<int, std::uint32_t, int>;
+
+class SerializationGrid : public ::testing::TestWithParam<RsBits> {};
+
+TEST_P(SerializationGrid, RoundTripsExactly) {
+  const auto [r, s, key_bits] = GetParam();
+  DcsParams params;
+  params.num_tables = r;
+  params.buckets_per_table = s;
+  params.key_bits = key_bits;
+  params.seed = 13;
+  DistinctCountSketch sketch(params);
+  Xoshiro256 rng(5);
+  const PairKey mask =
+      key_bits == 64 ? ~PairKey{0} : ((PairKey{1} << key_bits) - 1);
+  for (int i = 0; i < 1000; ++i) sketch.update_key(rng() & mask, +1);
+
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    sketch.serialize(writer);
+  }
+  BinaryReader reader(buffer);
+  EXPECT_TRUE(DistinctCountSketch::deserialize(reader) == sketch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SerializationGrid,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(16u, 64u),
+                                            ::testing::Values(16, 32, 64)));
+
+// ---------------------------------------------------------------------------
+// Algebraic laws of the linear sketch: merge commutes and associates,
+// subtract inverts merge.
+// ---------------------------------------------------------------------------
+class SketchAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static DistinctCountSketch random_sketch(const DcsParams& params,
+                                           std::uint64_t seed) {
+    DistinctCountSketch sketch(params);
+    Xoshiro256 rng(seed);
+    const int n = 500 + static_cast<int>(rng.bounded(1500));
+    for (int i = 0; i < n; ++i)
+      sketch.update(static_cast<Addr>(rng.bounded(64)),
+                    static_cast<Addr>(rng()), rng.bounded(8) == 0 ? -1 : +1);
+    return sketch;
+  }
+};
+
+TEST_P(SketchAlgebra, MergeCommutes) {
+  DcsParams params;
+  params.buckets_per_table = 32;
+  params.seed = 9;
+  const auto a = random_sketch(params, GetParam() * 3 + 1);
+  const auto b = random_sketch(params, GetParam() * 3 + 2);
+  DistinctCountSketch ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST_P(SketchAlgebra, MergeAssociates) {
+  DcsParams params;
+  params.buckets_per_table = 32;
+  params.seed = 9;
+  const auto a = random_sketch(params, GetParam() * 5 + 1);
+  const auto b = random_sketch(params, GetParam() * 5 + 2);
+  const auto c = random_sketch(params, GetParam() * 5 + 3);
+  DistinctCountSketch left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  DistinctCountSketch bc = b;     // a + (b + c)
+  bc.merge(c);
+  DistinctCountSketch right = a;
+  right.merge(bc);
+  EXPECT_TRUE(left == right);
+}
+
+TEST_P(SketchAlgebra, SubtractInvertsMerge) {
+  DcsParams params;
+  params.buckets_per_table = 32;
+  params.seed = 9;
+  const auto a = random_sketch(params, GetParam() * 7 + 1);
+  const auto b = random_sketch(params, GetParam() * 7 + 2);
+  DistinctCountSketch combined = a;
+  combined.merge(b);
+  combined.subtract(b);
+  EXPECT_TRUE(combined == a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchAlgebra,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+// ---------------------------------------------------------------------------
+// Adversarial streams: deleting never-inserted pairs violates the stream
+// contract; the sketch must degrade safely (no crashes, no fabricated keys).
+// ---------------------------------------------------------------------------
+class AdversarialStream : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdversarialStream, SpuriousDeletesNeverFabricateKeys) {
+  DcsParams params;
+  params.seed = GetParam();
+  DistinctCountSketch sketch(params);
+
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  std::unordered_set<PairKey> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    const PairKey key = pack_pair(static_cast<Addr>(rng.bounded(64)),
+                                  static_cast<Addr>(rng()));
+    inserted.insert(key);
+    sketch.update_key(key, +1);
+  }
+  // 2000 spurious deletes of keys that were never inserted.
+  for (int i = 0; i < 2000; ++i) {
+    const PairKey key = pack_pair(static_cast<Addr>(rng.bounded(64)),
+                                  static_cast<Addr>(0x80000000u | rng()));
+    if (inserted.count(key)) continue;
+    sketch.update_key(key, -1);
+  }
+
+  EXPECT_FALSE(sketch.validate());  // corruption is detectable...
+  // ...but every key the sampler recovers must be one that was inserted.
+  for (int level = 0; level <= params.max_level; ++level) {
+    for (const PairKey key : sketch.level_sample(level)) {
+      EXPECT_TRUE(inserted.count(key))
+          << "fabricated key " << key << " at level " << level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialStream,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+// ---------------------------------------------------------------------------
+// Serialization robustness: truncating the wire format at any point must
+// throw SerializeError, never crash or return a half-read sketch.
+// ---------------------------------------------------------------------------
+TEST(SerializationRobustness, EveryTruncationPointThrows) {
+  DcsParams params;
+  params.buckets_per_table = 16;
+  params.key_bits = 16;
+  DistinctCountSketch sketch(params);
+  for (PairKey key = 0; key < 200; ++key) sketch.update_key(key, +1);
+
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    sketch.serialize(writer);
+  }
+  const std::string bytes = buffer.str();
+  // Sample truncation points across the file (every 997 bytes plus the ends).
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 997) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    BinaryReader reader(truncated);
+    EXPECT_THROW(DistinctCountSketch::deserialize(reader), SerializeError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerializationRobustness, BitFlippedHeaderRejected) {
+  DcsParams params;
+  params.buckets_per_table = 16;
+  DistinctCountSketch sketch(params);
+  sketch.update(1, 2, +1);
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    sketch.serialize(writer);
+  }
+  std::string bytes = buffer.str();
+  bytes[0] ^= 0x40;  // corrupt the magic
+  std::stringstream corrupted(bytes);
+  BinaryReader reader(corrupted);
+  EXPECT_THROW(DistinctCountSketch::deserialize(reader), SerializeError);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,255 @@
+// Tests for the traffic scenarios: the semantic properties the detection
+// layer depends on, verified through the exporter + exact tracker pipeline.
+#include "net/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_tracker.hpp"
+#include "detection/epoch_change.hpp"
+#include "net/exporter.hpp"
+
+namespace dcs {
+namespace {
+
+/// Run a timeline through the exporter and an exact tracker; return the
+/// tracker (distinct half-open sources per destination).
+ExactTracker track(std::vector<Packet> packets) {
+  FlowUpdateExporter exporter;
+  ExactTracker tracker;
+  for (const Packet& packet : packets)
+    exporter.observe(packet, [&tracker](const FlowUpdate& u) {
+      tracker.update(u.dest, u.source, u.delta);
+    });
+  return tracker;
+}
+
+TEST(Timeline, FinalizeSortsByTimestamp) {
+  Timeline timeline(1);
+  timeline.add({50, 1, 2, PacketType::kSyn});
+  timeline.add({10, 3, 4, PacketType::kSyn});
+  timeline.add({30, 5, 6, PacketType::kSyn});
+  const auto packets = timeline.finalize();
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].timestamp, 10u);
+  EXPECT_EQ(packets[1].timestamp, 30u);
+  EXPECT_EQ(packets[2].timestamp, 50u);
+}
+
+TEST(SynFlood, VictimAccumulatesDistinctHalfOpenSources) {
+  Timeline timeline(2);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 5000;
+  add_syn_flood(timeline, flood);
+  const ExactTracker tracker = track(timeline.finalize());
+  EXPECT_EQ(tracker.frequency(flood.victim), 5000u);
+}
+
+TEST(SynFlood, RetransmissionsAddNoDistinctSources) {
+  Timeline timeline(2);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 1000;
+  flood.resend_factor = 3;
+  add_syn_flood(timeline, flood);
+  const auto packets = timeline.finalize();
+  EXPECT_EQ(packets.size(), 4000u);  // 1 + 3 resends per source
+  const ExactTracker tracker = track(packets);
+  EXPECT_EQ(tracker.frequency(flood.victim), 1000u);
+}
+
+TEST(FlashCrowd, CompletedHandshakesLeaveNoHalfOpenState) {
+  Timeline timeline(3);
+  FlashCrowdConfig crowd;
+  crowd.clients = 5000;
+  add_flash_crowd(timeline, crowd);
+  const ExactTracker tracker = track(timeline.finalize());
+  // Every client ACKs: net half-open distinct sources is zero.
+  EXPECT_EQ(tracker.frequency(crowd.target), 0u);
+}
+
+TEST(FlashCrowd, MidStreamHalfOpenIsTransient) {
+  // Before the ACKs arrive the target does show up; afterwards it is gone —
+  // exactly the flash-crowd signature the paper's deletions capture.
+  Timeline timeline(3);
+  FlashCrowdConfig crowd;
+  crowd.clients = 1000;
+  crowd.handshake_delay = 100'000;  // all ACKs after all SYNs
+  crowd.duration_ticks = 1000;
+  add_flash_crowd(timeline, crowd);
+  const auto packets = timeline.finalize();
+
+  FlowUpdateExporter exporter;
+  ExactTracker tracker;
+  std::uint64_t peak = 0;
+  for (const Packet& packet : packets) {
+    exporter.observe(packet, [&tracker](const FlowUpdate& u) {
+      tracker.update(u.dest, u.source, u.delta);
+    });
+    peak = std::max(peak, tracker.frequency(crowd.target));
+  }
+  EXPECT_EQ(peak, 1000u);                          // fully half-open mid-stream
+  EXPECT_EQ(tracker.frequency(crowd.target), 0u);  // drained at the end
+}
+
+TEST(BackgroundTraffic, LeavesNoLingeringHalfOpenState) {
+  Timeline timeline(4);
+  BackgroundTrafficConfig background;
+  background.sessions = 2000;
+  add_background_traffic(timeline, background);
+  const ExactTracker tracker = track(timeline.finalize());
+  // All sessions complete their handshake.
+  EXPECT_TRUE(tracker.top_k(1).entries.empty());
+}
+
+TEST(PortScan, ScannerTouchesManyDestinations) {
+  Timeline timeline(5);
+  PortScanConfig scan;
+  scan.targets = 2000;
+  add_port_scan(timeline, scan);
+
+  // Rank by source: the scanner is the top group by distinct destinations.
+  FlowUpdateExporter exporter;
+  ExactTracker by_source;
+  for (const Packet& packet : timeline.finalize())
+    exporter.observe(packet, [&by_source](const FlowUpdate& u) {
+      by_source.update(u.source, u.dest, u.delta);
+    });
+  const auto top = by_source.top_k(1).entries;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].group, scan.scanner);
+  // ~1/4 of probes get no RST and stay half-open.
+  EXPECT_GT(top[0].estimate, 300u);
+  EXPECT_LT(top[0].estimate, 800u);
+}
+
+TEST(ReflectorAttack, SpoofedVictimShowsOutboundFanout) {
+  Timeline timeline(8);
+  BackgroundTrafficConfig background;
+  background.sessions = 3000;
+  add_background_traffic(timeline, background);
+  ReflectorAttackConfig attack;
+  attack.reflectors = 4000;
+  add_reflector_attack(timeline, attack);
+
+  // Rank by source: the spoofed victim shows pathological outbound fan-out.
+  FlowUpdateExporter exporter;
+  ExactTracker by_source;
+  for (const Packet& packet : timeline.finalize())
+    exporter.observe(packet, [&by_source](const FlowUpdate& u) {
+      by_source.update(u.source, u.dest, u.delta);
+    });
+  const auto top = by_source.top_k(1).entries;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].group, attack.victim);
+  EXPECT_EQ(top[0].estimate, 4000u);
+}
+
+TEST(ReflectorAttack, InvisibleWhenRankedByDestination) {
+  // The reflector pattern spreads over thousands of destinations — each
+  // reflector sees ONE half-open source, so destination-ranked monitoring
+  // cannot see it. This is why the monitor supports both rankings.
+  Timeline timeline(8);
+  ReflectorAttackConfig attack;
+  attack.reflectors = 4000;
+  add_reflector_attack(timeline, attack);
+  const ExactTracker tracker = track(timeline.finalize());
+  const auto top = tracker.top_k(1).entries;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].estimate, 1u);  // no destination accumulates anything
+}
+
+TEST(ComposedScenario, FloodStandsOutOverBackground) {
+  Timeline timeline(6);
+  BackgroundTrafficConfig background;
+  background.sessions = 5000;
+  add_background_traffic(timeline, background);
+  SynFloodConfig flood;
+  flood.spoofed_sources = 3000;
+  add_syn_flood(timeline, flood);
+
+  const ExactTracker tracker = track(timeline.finalize());
+  const auto top = tracker.top_k(1).entries;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].group, flood.victim);
+  EXPECT_EQ(top[0].estimate, 3000u);
+}
+
+TEST(PulsingFlood, SawtoothsUnderTimeoutReaping) {
+  Timeline timeline(9);
+  PulsingFloodConfig pulse;
+  pulse.bursts = 4;
+  pulse.sources_per_burst = 1500;
+  pulse.burst_ticks = 500;
+  pulse.period_ticks = 10'000;
+  add_pulsing_flood(timeline, pulse);
+  const auto packets = timeline.finalize();
+
+  // With SYN-timeout reaping shorter than the quiet gap, each burst's
+  // half-open state drains before the next burst arrives.
+  FlowUpdateExporter exporter(1000, /*half_open_timeout=*/3000);
+  ExactTracker tracker;
+  std::uint64_t peak = 0;
+  std::uint64_t at_gap_end = 0;
+  for (const Packet& packet : packets) {
+    exporter.observe(packet, [&tracker](const FlowUpdate& u) {
+      tracker.update(u.dest, u.source, u.delta);
+    });
+    peak = std::max(peak, tracker.frequency(pulse.victim));
+    if (packet.timestamp >= 9000 && at_gap_end == 0)
+      at_gap_end = tracker.frequency(pulse.victim);
+  }
+  EXPECT_GE(peak, 1400u);      // bursts are visible at full strength...
+  EXPECT_LE(at_gap_end, 10u);  // ...but reaped before the next one
+}
+
+TEST(PulsingFlood, EachBurstFlagsInEpochChangeReports) {
+  // Low-rate attacks hide from cumulative baselines; per-epoch differencing
+  // surfaces every burst.
+  Timeline timeline(10);
+  BackgroundTrafficConfig background;
+  background.sessions = 3000;
+  background.duration_ticks = 40'000;
+  add_background_traffic(timeline, background);
+  PulsingFloodConfig pulse;
+  pulse.bursts = 3;
+  pulse.sources_per_burst = 2000;
+  pulse.period_ticks = 12'000;
+  pulse.start_tick = 2000;
+  add_pulsing_flood(timeline, pulse);
+
+  FlowUpdateExporter exporter(1000, /*half_open_timeout=*/4000);
+  const auto updates = exporter.run(timeline.finalize());
+
+  EpochChangeDetector::Config config;
+  config.sketch.seed = 4;
+  config.epoch_updates = 2048;
+  config.top_k = 1;
+  EpochChangeDetector detector(config);
+  detector.ingest(updates);
+  detector.close_epoch();
+
+  int epochs_flagging_victim = 0;
+  for (const auto& report : detector.reports())
+    if (!report.top_changes.empty() &&
+        report.top_changes[0].group == pulse.victim &&
+        report.top_changes[0].estimate > 500)
+      ++epochs_flagging_victim;
+  EXPECT_GE(epochs_flagging_victim, 2)
+      << "bursts should surface in multiple epoch reports";
+}
+
+TEST(Scenarios, SameSeedTimelinesAreDeterministic) {
+  const auto build = [] {
+    Timeline timeline(42);
+    SynFloodConfig flood;
+    flood.spoofed_sources = 100;
+    add_syn_flood(timeline, flood);
+    FlashCrowdConfig crowd;
+    crowd.clients = 100;
+    add_flash_crowd(timeline, crowd);
+    return timeline.finalize();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace dcs

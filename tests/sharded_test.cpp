@@ -1,0 +1,91 @@
+// Tests for the distributed (sharded) deployment: merge linearity across
+// simulated routers.
+#include "distributed/sharded_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+DcsParams params_with_seed(std::uint64_t seed) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = seed;
+  return params;
+}
+
+TEST(Sharded, CollectEqualsSingleMonitor) {
+  const DcsParams params = params_with_seed(4);
+  ShardedMonitor sharded(params, 8);
+  DistinctCountSketch single(params);
+
+  ZipfWorkloadConfig config;
+  config.u_pairs = 30'000;
+  config.num_destinations = 300;
+  config.skew = 1.5;
+  config.churn = 1;
+  const ZipfWorkload workload(config);
+  for (const FlowUpdate& u : workload.updates()) {
+    sharded.update(u.dest, u.source, u.delta);
+    single.update(u.dest, u.source, u.delta);
+  }
+
+  EXPECT_TRUE(sharded.collect() == single);
+  EXPECT_EQ(sharded.collect_tracking().top_k(10).entries,
+            single.top_k(10).entries);
+}
+
+TEST(Sharded, RoutingIsDeterministicPerPair) {
+  // Every update of a pair lands on the same shard: exactly one shard sees a
+  // nonzero count for an isolated pair.
+  const DcsParams params = params_with_seed(9);
+  ShardedMonitor sharded(params, 4);
+  sharded.update(1, 2, +1);
+  sharded.update(1, 2, +1);
+  int shards_touched = 0;
+  for (std::size_t i = 0; i < sharded.num_shards(); ++i)
+    if (sharded.shard(i).allocated_levels() > 0) ++shards_touched;
+  EXPECT_EQ(shards_touched, 1);
+}
+
+TEST(Sharded, AsymmetricInsertDeleteCancelsAtCollector) {
+  // Insert observed at router 0, delete at router 3 (asymmetric routing):
+  // the union view must be empty.
+  const DcsParams params = params_with_seed(6);
+  ShardedMonitor sharded(params, 4);
+  sharded.update_at(0, 10, 20, +1);
+  sharded.update_at(3, 10, 20, -1);
+  const DistinctCountSketch merged = sharded.collect();
+  EXPECT_TRUE(merged == DistinctCountSketch(params));
+  EXPECT_TRUE(merged.top_k(1).entries.empty());
+}
+
+TEST(Sharded, LoadSpreadsAcrossShards) {
+  const DcsParams params = params_with_seed(8);
+  ShardedMonitor sharded(params, 4);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 4000; ++i)
+    sharded.update(static_cast<Addr>(rng.bounded(100)),
+                   static_cast<Addr>(rng()), +1);
+  for (std::size_t i = 0; i < sharded.num_shards(); ++i)
+    EXPECT_GT(sharded.shard(i).allocated_levels(), 0) << "shard " << i;
+}
+
+TEST(Sharded, RejectsZeroShards) {
+  EXPECT_THROW(ShardedMonitor(params_with_seed(1), 0), std::invalid_argument);
+}
+
+TEST(Sharded, MemoryIsSumOfShards) {
+  const DcsParams params = params_with_seed(2);
+  ShardedMonitor sharded(params, 3);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3; ++i) total += sharded.shard(i).memory_bytes();
+  EXPECT_EQ(sharded.memory_bytes(), total);
+}
+
+}  // namespace
+}  // namespace dcs

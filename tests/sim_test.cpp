@@ -1,0 +1,271 @@
+// Tests for the event-driven ISP simulator: routing, forwarding, taps, and
+// the emergent TCP handshake / SYN-flood dynamics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/agents.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace dcs::sim {
+namespace {
+
+// ------------------------------ Topology ---------------------------------
+
+TEST(Topology, BuildsAndRoutesLine) {
+  Topology topology;
+  const RouterId a = topology.add_router("a");
+  const RouterId b = topology.add_router("b");
+  const RouterId c = topology.add_router("c");
+  topology.add_link(a, b, 3);
+  topology.add_link(b, c, 4);
+  topology.build_routes();
+  EXPECT_EQ(topology.next_hop(a, c), b);
+  EXPECT_EQ(topology.next_hop(b, c), c);
+  EXPECT_EQ(topology.path_latency(a, c), 7u);
+  EXPECT_EQ(topology.path_latency(c, a), 7u);
+  EXPECT_EQ(topology.path_latency(a, a), 0u);
+}
+
+TEST(Topology, PrefersLowLatencyPath) {
+  // a-b direct (10) vs a-c-b (2+2): must route via c.
+  Topology topology;
+  const RouterId a = topology.add_router("a");
+  const RouterId b = topology.add_router("b");
+  const RouterId c = topology.add_router("c");
+  topology.add_link(a, b, 10);
+  topology.add_link(a, c, 2);
+  topology.add_link(c, b, 2);
+  topology.build_routes();
+  EXPECT_EQ(topology.next_hop(a, b), c);
+  EXPECT_EQ(topology.path_latency(a, b), 4u);
+}
+
+TEST(Topology, RejectsDisconnectedGraph) {
+  Topology topology;
+  topology.add_router("a");
+  topology.add_router("b");
+  EXPECT_THROW(topology.build_routes(), std::logic_error);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology topology;
+  const RouterId a = topology.add_router("a");
+  const RouterId b = topology.add_router("b");
+  EXPECT_THROW(topology.add_link(a, a, 1), std::invalid_argument);
+  EXPECT_THROW(topology.add_link(a, b, 0), std::invalid_argument);
+  EXPECT_THROW(topology.add_link(a, 99, 1), std::out_of_range);
+}
+
+TEST(Topology, HostAttachment) {
+  Topology topology;
+  const RouterId a = topology.add_router("a");
+  topology.attach_host(100, a);
+  EXPECT_EQ(topology.host_router(100), a);
+  EXPECT_FALSE(topology.host_router(101).has_value());
+  EXPECT_THROW(topology.attach_host(100, a), std::invalid_argument);
+}
+
+TEST(Topology, IspFactoryIsConnected) {
+  Topology topology;
+  const auto edges = make_isp_topology(topology, 4);
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_EQ(topology.num_routers(), 8u);
+  // Edge i to edge j: edge->core (1) + ring hops (2 each) + core->edge (1).
+  EXPECT_EQ(topology.path_latency(edges[0], edges[1]), 4u);
+  EXPECT_EQ(topology.path_latency(edges[0], edges[2]), 6u);  // two ring hops
+}
+
+// ------------------------------ Simulator --------------------------------
+
+struct SimFixture {
+  SimFixture() : simulator(build()) {}
+
+  static Simulator build() {
+    Topology topology;
+    const auto edges = make_isp_topology(topology, 4);
+    topology.attach_host(kClient, edges[0]);
+    topology.attach_host(kServer, edges[2]);
+    return Simulator(std::move(topology));
+  }
+
+  static constexpr Addr kClient = 0xc0a80001;
+  static constexpr Addr kServer = 0x0a000001;
+  Simulator simulator;
+};
+
+TEST(Simulator, DeliversAcrossTheNetworkWithPathLatency) {
+  SimFixture fx;
+  std::vector<std::uint64_t> delivered_at;
+  class Recorder final : public HostBehavior {
+   public:
+    explicit Recorder(std::vector<std::uint64_t>& times) : times_(times) {}
+    void on_packet(Simulator&, std::uint64_t now, const Packet&) override {
+      times_.push_back(now);
+    }
+   private:
+    std::vector<std::uint64_t>& times_;
+  };
+  fx.simulator.set_behavior(SimFixture::kServer,
+                            std::make_unique<Recorder>(delivered_at));
+  fx.simulator.send(10, {10, SimFixture::kClient, SimFixture::kServer,
+                         PacketType::kSyn});
+  fx.simulator.run();
+  ASSERT_EQ(delivered_at.size(), 1u);
+  // Path edge0 -> edge2 costs 6 ticks.
+  EXPECT_EQ(delivered_at[0], 16u);
+  EXPECT_EQ(fx.simulator.stats().packets_delivered, 1u);
+}
+
+TEST(Simulator, DropsTrafficToUnknownAddresses) {
+  SimFixture fx;
+  fx.simulator.send(0, {0, SimFixture::kClient, 0xdeadbeef, PacketType::kSyn});
+  fx.simulator.run();
+  EXPECT_EQ(fx.simulator.stats().packets_dropped, 1u);
+  EXPECT_EQ(fx.simulator.stats().packets_delivered, 0u);
+}
+
+TEST(Simulator, IngressTapFiresExactlyOncePerPacket) {
+  SimFixture fx;
+  int ingress_count = 0, hop_count = 0;
+  for (RouterId r = 0; r < fx.simulator.topology().num_routers(); ++r) {
+    fx.simulator.add_ingress_tap(
+        r, [&](RouterId, std::uint64_t, const Packet&) { ++ingress_count; });
+    fx.simulator.add_tap(
+        r, [&](RouterId, std::uint64_t, const Packet&) { ++hop_count; });
+  }
+  fx.simulator.send(0, {0, SimFixture::kClient, SimFixture::kServer,
+                        PacketType::kSyn});
+  fx.simulator.run();
+  EXPECT_EQ(ingress_count, 1);  // once, at the injection router
+  EXPECT_EQ(hop_count, 5);      // edge0, core0, core1, core2, edge2
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  SimFixture fx;
+  fx.simulator.send(100, {100, SimFixture::kClient, SimFixture::kServer,
+                          PacketType::kSyn});
+  fx.simulator.run();
+  EXPECT_THROW(fx.simulator.send(50, {50, SimFixture::kClient,
+                                      SimFixture::kServer, PacketType::kSyn}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, SendRequiresAttachedSource) {
+  SimFixture fx;
+  EXPECT_THROW(
+      fx.simulator.send(0, {0, 0xbadbad, SimFixture::kServer, PacketType::kSyn}),
+      std::invalid_argument);
+  // Spoofed injection works via send_from.
+  EXPECT_NO_THROW(fx.simulator.send_from(
+      0, 0, {0, 0xbadbad, SimFixture::kServer, PacketType::kSyn}));
+}
+
+// ------------------------- Emergent protocol dynamics --------------------
+
+TEST(Agents, LegitimateHandshakeCompletes) {
+  Topology topology;
+  const auto edges = make_isp_topology(topology, 3);
+  constexpr Addr kClient = 1000, kServer = 2000;
+  topology.attach_host(kClient, edges[0]);
+  topology.attach_host(kServer, edges[1]);
+  Simulator simulator(std::move(topology));
+
+  auto server = std::make_unique<ServerBehavior>(
+      ServerBehavior::Config{.address = kServer});
+  auto* server_ptr = server.get();
+  simulator.set_behavior(kServer, std::move(server));
+  auto client = std::make_unique<ClientBehavior>(
+      ClientBehavior::Config{.address = kClient});
+  auto* client_ptr = client.get();
+  simulator.set_behavior(kClient, std::move(client));
+
+  launch_session(simulator, 0, kClient, kServer);
+  simulator.run();
+
+  EXPECT_EQ(server_ptr->established(), 1u);
+  EXPECT_EQ(server_ptr->half_open(), 0u);
+  EXPECT_EQ(client_ptr->completed(), 1u);
+}
+
+TEST(Agents, SpoofedFloodLeavesHalfOpenBacklogAndBlackholedSynAcks) {
+  Topology topology;
+  const auto edges = make_isp_topology(topology, 3);
+  constexpr Addr kServer = 2000;
+  topology.attach_host(kServer, edges[1]);
+  Simulator simulator(std::move(topology));
+
+  auto server = std::make_unique<ServerBehavior>(
+      ServerBehavior::Config{.address = kServer});
+  auto* server_ptr = server.get();
+  simulator.set_behavior(kServer, std::move(server));
+
+  Xoshiro256 rng(7);
+  const auto spoofed = launch_spoofed_flood(simulator, edges[2], kServer,
+                                            /*start=*/0, /*duration=*/1000,
+                                            /*count=*/500, /*salt=*/99, rng);
+  simulator.run();
+
+  EXPECT_EQ(spoofed.size(), 500u);
+  EXPECT_EQ(server_ptr->half_open(), 500u);  // nothing ever completes
+  EXPECT_EQ(server_ptr->established(), 0u);
+  // Every SYN-ACK died at the victim's edge router.
+  EXPECT_EQ(simulator.stats().packets_dropped, 500u);
+}
+
+TEST(Agents, BacklogExhaustionDeniesLegitimateClients) {
+  // The attack's actual goal: with the backlog full of spoofed half-opens,
+  // legitimate SYNs are rejected.
+  Topology topology;
+  const auto edges = make_isp_topology(topology, 3);
+  constexpr Addr kServer = 2000, kClient = 1000;
+  topology.attach_host(kServer, edges[1]);
+  topology.attach_host(kClient, edges[0]);
+  Simulator simulator(std::move(topology));
+
+  auto server = std::make_unique<ServerBehavior>(ServerBehavior::Config{
+      .address = kServer, .backlog_limit = 200});
+  auto* server_ptr = server.get();
+  simulator.set_behavior(kServer, std::move(server));
+  auto client = std::make_unique<ClientBehavior>(
+      ClientBehavior::Config{.address = kClient});
+  auto* client_ptr = client.get();
+  simulator.set_behavior(kClient, std::move(client));
+
+  Xoshiro256 rng(3);
+  launch_spoofed_flood(simulator, edges[2], kServer, 0, 100, 500, 42, rng);
+  simulator.run(150);  // let the flood land first
+  launch_session(simulator, 200, kClient, kServer);
+  simulator.run();
+
+  EXPECT_EQ(server_ptr->half_open(), 200u);      // backlog saturated
+  EXPECT_GE(server_ptr->rejected_syns(), 300u);  // flood overflow...
+  EXPECT_EQ(client_ptr->completed(), 0u);        // ...and the real client too
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Topology topology;
+    const auto edges = make_isp_topology(topology, 4);
+    constexpr Addr kServer = 2000;
+    topology.attach_host(kServer, edges[1]);
+    Simulator simulator(std::move(topology));
+    auto server = std::make_unique<ServerBehavior>(
+        ServerBehavior::Config{.address = kServer});
+    auto* server_ptr = server.get();
+    simulator.set_behavior(kServer, std::move(server));
+    Xoshiro256 rng(11);
+    launch_spoofed_flood(simulator, edges[3], kServer, 0, 500, 200, 5, rng);
+    simulator.run();
+    return std::make_tuple(simulator.stats().packets_sent,
+                           simulator.stats().packets_dropped,
+                           simulator.stats().hops_traversed,
+                           server_ptr->half_open());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dcs::sim

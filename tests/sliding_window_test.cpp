@@ -1,0 +1,178 @@
+// Tests for the sliding-window sketch: exact window semantics via epoch
+// subtraction.
+#include "sketch/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+SlidingWindowSketch::Config test_config(std::uint64_t epoch_updates,
+                                        std::size_t window_epochs) {
+  SlidingWindowSketch::Config config;
+  config.sketch.seed = 5;
+  config.sketch.buckets_per_table = 64;
+  config.epoch_updates = epoch_updates;
+  config.window_epochs = window_epochs;
+  return config;
+}
+
+TEST(SlidingWindow, RejectsBadConfig) {
+  auto config = test_config(0, 4);
+  EXPECT_THROW(SlidingWindowSketch{config}, std::invalid_argument);
+  config = test_config(10, 0);
+  EXPECT_THROW(SlidingWindowSketch{config}, std::invalid_argument);
+}
+
+TEST(SlidingWindow, WindowEqualsSketchOfWindowUpdates) {
+  // After any number of updates, the window sketch must be bit-identical to
+  // a plain sketch fed only the updates inside the window.
+  const auto config = test_config(100, 4);
+  SlidingWindowSketch window(config);
+
+  Xoshiro256 rng(3);
+  std::vector<FlowUpdate> all;
+  for (int i = 0; i < 1050; ++i) {
+    const FlowUpdate u{static_cast<Addr>(rng()),
+                       static_cast<Addr>(rng.bounded(32)), +1};
+    all.push_back(u);
+    window.update(u.dest, u.source, u.delta);
+  }
+
+  // Window covers: the current partial epoch plus the last (W-1) completed
+  // epochs. At 1050 updates with epoch 100 and W=4: completed epochs 7-9
+  // plus the partial epoch = updates [700, 1050).
+  DistinctCountSketch expected(config.sketch);
+  for (std::size_t i = 700; i < all.size(); ++i)
+    expected.update(all[i].dest, all[i].source, all[i].delta);
+  EXPECT_TRUE(window.window() == expected);
+  EXPECT_EQ(window.completed_epochs_held(), 3u);
+}
+
+TEST(SlidingWindow, OldTalkersExpire) {
+  const auto config = test_config(1000, 2);  // window = current + 1 epoch
+  SlidingWindowSketch window(config);
+
+  // Epoch 0: destination 7 gets 500 distinct sources.
+  for (Addr s = 0; s < 500; ++s) window.update(7, s, +1);
+  {
+    const auto top = window.top_k(1).entries;
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].group, 7u);
+  }
+  // Epochs 1-3: quiet filler traffic to age 7 out of the window.
+  for (int epoch = 0; epoch < 3; ++epoch)
+    for (Addr s = 0; s < 1000; ++s)
+      window.update(100 + static_cast<Addr>(epoch), 10'000 + s, +1);
+
+  EXPECT_EQ(window.window().estimate_frequency(7), 0u);
+}
+
+TEST(SlidingWindow, RecentTalkerDominates) {
+  const auto config = test_config(500, 3);  // window = current + 2 completed
+  SlidingWindowSketch window(config);
+  // Old heavy destination (epochs 0-3)...
+  for (Addr s = 0; s < 2000; ++s) window.update(1, s, +1);
+  // ...aged out by two epochs of scattered filler (epochs 4-5)...
+  for (Addr s = 0; s < 1000; ++s)
+    window.update(50 + (s % 20), 100'000 + s, +1);
+  // ...then a recent surge by another destination in the current epoch.
+  for (Addr s = 0; s < 499; ++s) window.update(2, s, +1);
+  const auto top = window.top_k(1).entries;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].group, 2u) << "recent surge should outrank expired history";
+  EXPECT_EQ(window.window().estimate_frequency(1), 0u);
+}
+
+TEST(SlidingWindow, DeletionsInsideWindowCancel) {
+  const auto config = test_config(1000, 4);
+  SlidingWindowSketch window(config);
+  for (Addr s = 0; s < 300; ++s) window.update(9, s, +1);
+  for (Addr s = 0; s < 300; ++s) window.update(9, s, -1);
+  EXPECT_TRUE(window.top_k(1).entries.empty());
+}
+
+TEST(SlidingWindow, HoldsBoundedEpochCount) {
+  const auto config = test_config(10, 5);
+  SlidingWindowSketch window(config);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i)
+    window.update(static_cast<Addr>(rng.bounded(16)), static_cast<Addr>(rng()),
+                  +1);
+  EXPECT_LE(window.completed_epochs_held(), 4u);  // window_epochs - 1
+  EXPECT_EQ(window.updates_ingested(), 1000u);
+}
+
+// Property sweep: at a random checkpoint of a random insert/delete stream,
+// the window sketch must equal a plain sketch of exactly the window's
+// updates — for several (epoch, window) shapes and seeds.
+using WindowShape = std::tuple<std::uint64_t, std::size_t, std::uint64_t>;
+
+class SlidingWindowProperty : public ::testing::TestWithParam<WindowShape> {};
+
+TEST_P(SlidingWindowProperty, WindowIsExactAtRandomCheckpoint) {
+  const auto [epoch_updates, window_epochs, seed] = GetParam();
+  SlidingWindowSketch::Config config;
+  config.sketch.seed = 5;
+  config.sketch.buckets_per_table = 32;
+  config.epoch_updates = epoch_updates;
+  config.window_epochs = window_epochs;
+  SlidingWindowSketch window(config);
+
+  Xoshiro256 rng(seed);
+  const std::size_t total = 500 + rng.bounded(2000);
+  std::vector<FlowUpdate> all;
+  std::vector<std::pair<Addr, Addr>> live;
+  for (std::size_t i = 0; i < total; ++i) {
+    FlowUpdate u;
+    if (!live.empty() && rng.bounded(4) == 0) {
+      const std::size_t pick = rng.bounded(live.size());
+      u = {live[pick].second, live[pick].first, -1};
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      u = {static_cast<Addr>(rng()), static_cast<Addr>(rng.bounded(16)), +1};
+      live.emplace_back(u.dest, u.source);
+    }
+    all.push_back(u);
+    window.update(u.dest, u.source, u.delta);
+  }
+
+  // Window start: the newest (window_epochs) * epoch boundary at or before
+  // the current position, minus the completed epochs actually held.
+  const std::size_t completed = total / epoch_updates;
+  const std::size_t held = std::min<std::size_t>(completed, window_epochs - 1);
+  const std::size_t window_start = (completed - held) * epoch_updates;
+
+  DistinctCountSketch expected(config.sketch);
+  for (std::size_t i = window_start; i < all.size(); ++i)
+    expected.update(all[i].dest, all[i].source, all[i].delta);
+  EXPECT_TRUE(window.window() == expected)
+      << "epoch=" << epoch_updates << " W=" << window_epochs
+      << " seed=" << seed << " total=" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlidingWindowProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(37, 128, 500),
+                       ::testing::Values<std::size_t>(1, 2, 5),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(SlidingWindow, MemoryScalesWithWindowEpochs) {
+  const auto narrow_config = test_config(100, 2);
+  const auto wide_config = test_config(100, 8);
+  SlidingWindowSketch narrow(narrow_config), wide(wide_config);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr dest = static_cast<Addr>(rng.bounded(16));
+    const Addr source = static_cast<Addr>(rng());
+    narrow.update(dest, source, +1);
+    wide.update(dest, source, +1);
+  }
+  EXPECT_GT(wide.memory_bytes(), narrow.memory_bytes());
+}
+
+}  // namespace
+}  // namespace dcs

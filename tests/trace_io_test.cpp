@@ -1,0 +1,81 @@
+// Tests for binary and CSV trace round-trips and malformed-input handling.
+#include "stream/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/serialize.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+std::vector<FlowUpdate> sample_updates() {
+  return {
+      {100, 200, +1}, {101, 200, +1}, {100, 200, -1}, {0xffffffff, 0, +1},
+  };
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_updates());
+  EXPECT_EQ(read_trace(buffer), sample_updates());
+}
+
+TEST(TraceIo, BinaryEmptyStream) {
+  std::stringstream buffer;
+  write_trace(buffer, {});
+  EXPECT_TRUE(read_trace(buffer).empty());
+}
+
+TEST(TraceIo, BinaryRejectsGarbage) {
+  std::stringstream buffer("this is not a trace file");
+  EXPECT_THROW(read_trace(buffer), SerializeError);
+}
+
+TEST(TraceIo, BinaryRejectsTruncation) {
+  std::stringstream buffer;
+  write_trace(buffer, sample_updates());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 3));
+  EXPECT_THROW(read_trace(truncated), SerializeError);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  std::stringstream buffer;
+  write_trace_csv(buffer, sample_updates());
+  EXPECT_EQ(read_trace_csv(buffer), sample_updates());
+}
+
+TEST(TraceIo, CsvRejectsBadDelta) {
+  std::stringstream buffer("source,dest,delta\n1,2,5\n");
+  EXPECT_THROW(read_trace_csv(buffer), SerializeError);
+}
+
+TEST(TraceIo, CsvEmptyInput) {
+  std::stringstream buffer("");
+  EXPECT_TRUE(read_trace_csv(buffer).empty());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dcs_trace_test.bin").string();
+  ZipfWorkloadConfig config;
+  config.u_pairs = 5000;
+  config.num_destinations = 50;
+  config.churn = 1;
+  const ZipfWorkload workload(config);
+  write_trace_file(path, workload.updates());
+  EXPECT_EQ(read_trace_file(path), workload.updates());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.bin"), SerializeError);
+}
+
+}  // namespace
+}  // namespace dcs

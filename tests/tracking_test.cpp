@@ -1,0 +1,232 @@
+// Tests for the Tracking Distinct-Count Sketch: incremental-state invariants,
+// equivalence with the basic estimator, merge/rebuild, serialization.
+#include "sketch/tracking_dcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/random.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+DcsParams small_params(std::uint64_t seed = 1) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = seed;
+  return params;
+}
+
+TEST(Tracking, EmptyAnswersEmpty) {
+  TrackingDcs tracker(small_params());
+  EXPECT_TRUE(tracker.top_k(5).entries.empty());
+  EXPECT_EQ(tracker.estimate_distinct_pairs(), 0u);
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, SmallStreamIsExact) {
+  TrackingDcs tracker(small_params());
+  for (Addr dest = 1; dest <= 4; ++dest)
+    for (Addr source = 0; source < dest; ++source)
+      tracker.update(dest, 500 + source, +1);
+  const TopKResult result = tracker.top_k(4);
+  ASSERT_EQ(result.entries.size(), 4u);
+  EXPECT_EQ(result.entries[0], (TopKEntry{4, 4}));
+  EXPECT_EQ(result.entries[1], (TopKEntry{3, 3}));
+  EXPECT_EQ(result.entries[2], (TopKEntry{2, 2}));
+  EXPECT_EQ(result.entries[3], (TopKEntry{1, 1}));
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, DeleteRemovesFromAnswer) {
+  TrackingDcs tracker(small_params());
+  tracker.update(1, 10, +1);
+  tracker.update(1, 11, +1);
+  tracker.update(2, 20, +1);
+  tracker.update(1, 11, -1);
+  const TopKResult result = tracker.top_k(2);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0], (TopKEntry{1, 1}));
+  EXPECT_EQ(result.entries[1], (TopKEntry{2, 1}));
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, KeyBitsBoundsAreEnforced) {
+  DcsParams params = small_params();
+  params.key_bits = 16;
+  TrackingDcs tracker(params);
+  EXPECT_NO_THROW(tracker.update_key(0xffff, +1));
+  EXPECT_THROW(tracker.update_key(0x10000, +1), std::invalid_argument);
+}
+
+TEST(Tracking, MatchesBasicEstimatorOnIdenticalState) {
+  // TrackTopk must return exactly what BaseTopk computes from scratch on the
+  // same counters — the paper's two estimators answer the same query.
+  const DcsParams params = small_params(42);
+  TrackingDcs tracker(params);
+  DistinctCountSketch basic(params);
+
+  Xoshiro256 rng(17);
+  std::vector<std::pair<Addr, Addr>> live;
+  for (int step = 0; step < 20'000; ++step) {
+    if (!live.empty() && rng.bounded(4) == 0) {
+      const std::size_t pick = rng.bounded(live.size());
+      const auto [dest, source] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      tracker.update(dest, source, -1);
+      basic.update(dest, source, -1);
+    } else {
+      const Addr dest = static_cast<Addr>(rng.bounded(200));
+      const Addr source = static_cast<Addr>(rng());
+      live.emplace_back(dest, source);
+      tracker.update(dest, source, +1);
+      basic.update(dest, source, +1);
+    }
+    if (step % 2500 == 0) {
+      const TopKResult from_tracking = tracker.top_k(10);
+      const TopKResult from_basic = basic.top_k(10);
+      ASSERT_EQ(from_tracking.entries, from_basic.entries) << "step " << step;
+      ASSERT_EQ(from_tracking.inference_level, from_basic.inference_level);
+      ASSERT_EQ(from_tracking.sample_size, from_basic.sample_size);
+    }
+  }
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, InvariantsHoldUnderRandomChurn) {
+  TrackingDcs tracker(small_params(7));
+  Xoshiro256 rng(29);
+  std::vector<std::pair<Addr, Addr>> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (!live.empty() && rng.bounded(3) == 0) {
+      const std::size_t pick = rng.bounded(live.size());
+      const auto [dest, source] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      tracker.update(dest, source, -1);
+    } else {
+      const Addr dest = static_cast<Addr>(rng.bounded(64));
+      const Addr source = static_cast<Addr>(rng());
+      live.emplace_back(dest, source);
+      tracker.update(dest, source, +1);
+    }
+  }
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, FullDrainLeavesEmptyTrackingState) {
+  TrackingDcs tracker(small_params(3));
+  std::vector<std::pair<Addr, Addr>> pairs;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    pairs.emplace_back(static_cast<Addr>(rng.bounded(32)),
+                       static_cast<Addr>(rng()));
+    tracker.update(pairs.back().first, pairs.back().second, +1);
+  }
+  for (const auto& [dest, source] : pairs) tracker.update(dest, source, -1);
+  EXPECT_TRUE(tracker.top_k(5).entries.empty());
+  EXPECT_EQ(tracker.estimate_distinct_pairs(), 0u);
+  for (int level = 0; level <= tracker.params().max_level; ++level) {
+    EXPECT_EQ(tracker.num_singletons(level), 0u) << "level " << level;
+    EXPECT_TRUE(tracker.heap(level).empty()) << "level " << level;
+  }
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, NumSingletonsMatchesLevelSamples) {
+  TrackingDcs tracker(small_params(11));
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 2000; ++i)
+    tracker.update(static_cast<Addr>(rng.bounded(100)),
+                   static_cast<Addr>(rng()), +1);
+  for (int level = 0; level <= tracker.params().max_level; ++level) {
+    EXPECT_EQ(tracker.num_singletons(level),
+              tracker.sketch().level_sample(level).size())
+        << "level " << level;
+  }
+}
+
+TEST(Tracking, MergeEqualsUnionStream) {
+  const DcsParams params = small_params(88);
+  TrackingDcs left(params), right(params), whole(params);
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 4000; ++i) {
+    const Addr dest = static_cast<Addr>(rng.bounded(128));
+    const Addr source = static_cast<Addr>(rng());
+    whole.update(dest, source, +1);
+    (i % 2 == 0 ? left : right).update(dest, source, +1);
+  }
+  left.merge(right);
+  EXPECT_TRUE(left.check_invariants());
+  EXPECT_EQ(left.top_k(10).entries, whole.top_k(10).entries);
+}
+
+TEST(Tracking, ConstructFromBasicSketch) {
+  const DcsParams params = small_params(66);
+  DistinctCountSketch basic(params);
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 3000; ++i)
+    basic.update(static_cast<Addr>(rng.bounded(64)), static_cast<Addr>(rng()),
+                 +1);
+  const TrackingDcs tracker(basic);
+  EXPECT_TRUE(tracker.check_invariants());
+  EXPECT_EQ(tracker.top_k(8).entries, basic.top_k(8).entries);
+}
+
+TEST(Tracking, SerializeRoundTripPreservesAnswers) {
+  TrackingDcs tracker(small_params(99));
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 3000; ++i)
+    tracker.update(static_cast<Addr>(rng.bounded(64)), static_cast<Addr>(rng()),
+                   rng.bounded(8) == 0 ? -1 : +1);
+
+  std::stringstream buffer;
+  {
+    BinaryWriter writer(buffer);
+    tracker.serialize(writer);
+  }
+  BinaryReader reader(buffer);
+  const TrackingDcs restored = TrackingDcs::deserialize(reader);
+  EXPECT_TRUE(restored.check_invariants());
+  EXPECT_EQ(tracker.top_k(10).entries, restored.top_k(10).entries);
+}
+
+TEST(Tracking, ContinuedUpdatesAfterRebuildStayConsistent) {
+  // rebuild() must leave state that further incremental updates keep exact.
+  const DcsParams params = small_params(3);
+  TrackingDcs tracker(params);
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 1000; ++i)
+    tracker.update(static_cast<Addr>(rng.bounded(32)), static_cast<Addr>(rng()),
+                   +1);
+  tracker.rebuild();
+  for (int i = 0; i < 1000; ++i)
+    tracker.update(static_cast<Addr>(rng.bounded(32)), static_cast<Addr>(rng()),
+                   +1);
+  EXPECT_TRUE(tracker.check_invariants());
+}
+
+TEST(Tracking, GroupsAboveMatchesBasic) {
+  const DcsParams params = small_params(12);
+  TrackingDcs tracker(params);
+  DistinctCountSketch basic(params);
+  ZipfWorkloadConfig config;
+  config.u_pairs = 20'000;
+  config.num_destinations = 400;
+  config.skew = 1.5;
+  const ZipfWorkload workload(config);
+  for (const FlowUpdate& u : workload.updates()) {
+    tracker.update(u.dest, u.source, u.delta);
+    basic.update(u.dest, u.source, u.delta);
+  }
+  const auto top = tracker.top_k(5);
+  ASSERT_FALSE(top.entries.empty());
+  const std::uint64_t tau = top.entries.back().estimate;
+  EXPECT_EQ(tracker.groups_above(tau), basic.groups_above(tau));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,99 @@
+// Tests for the Zipf distribution, the apportionment used by the workload
+// generator, and the bijective32 permutation.
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "stream/generator.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(ZipfDistribution, PmfSumsToOne) {
+  ZipfDistribution zipf(1000, 1.5);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 1000; ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistribution, PmfIsMonotoneDecreasing) {
+  ZipfDistribution zipf(500, 2.0);
+  for (std::size_t i = 1; i < 500; ++i)
+    EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1)) << "rank " << i;
+}
+
+TEST(ZipfDistribution, ZeroSkewIsUniform) {
+  ZipfDistribution zipf(100, 0.0);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_NEAR(zipf.pmf(i), 0.01, 1e-12);
+}
+
+TEST(ZipfDistribution, HigherSkewConcentratesMass) {
+  ZipfDistribution mild(1000, 1.0), extreme(1000, 2.5);
+  EXPECT_GT(extreme.pmf(0), mild.pmf(0));
+  // Paper §6.2: at z=2.5 more than 95% of mass sits in the top 5.
+  double top5 = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) top5 += extreme.pmf(i);
+  EXPECT_GT(top5, 0.95);
+}
+
+TEST(ZipfDistribution, SamplingMatchesPmf) {
+  ZipfDistribution zipf(50, 1.2);
+  Xoshiro256 rng(5);
+  std::vector<int> histogram(50, 0);
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) ++histogram[zipf(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = zipf.pmf(i) * kSamples;
+    EXPECT_NEAR(histogram[i], expected, 0.05 * expected) << "rank " << i;
+  }
+}
+
+TEST(ZipfDistribution, RejectsBadArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfDistribution, PmfOutOfRangeIsZero) {
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_EQ(zipf.pmf(10), 0.0);
+  EXPECT_EQ(zipf.pmf(1'000'000), 0.0);
+}
+
+TEST(ZipfApportion, SumsExactly) {
+  for (const std::uint64_t total : {1ull, 7ull, 1000ull, 123'457ull}) {
+    for (const double skew : {0.0, 1.0, 1.5, 2.5}) {
+      const auto counts = zipf_apportion(total, 100, skew);
+      const std::uint64_t sum =
+          std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+      EXPECT_EQ(sum, total) << "total=" << total << " skew=" << skew;
+    }
+  }
+}
+
+TEST(ZipfApportion, RespectsRankOrder) {
+  const auto counts = zipf_apportion(100'000, 50, 1.5);
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    EXPECT_LE(counts[i], counts[i - 1] + 1) << "rank " << i;
+}
+
+TEST(ZipfApportion, RejectsZeroParts) {
+  EXPECT_THROW(zipf_apportion(10, 0, 1.0), std::invalid_argument);
+}
+
+TEST(Bijective32, IsInjectiveOnLargeSample) {
+  std::set<std::uint32_t> outputs;
+  for (std::uint32_t x = 0; x < 200'000; ++x) outputs.insert(bijective32(x));
+  EXPECT_EQ(outputs.size(), 200'000u);
+}
+
+TEST(Bijective32, IsDeterministic) {
+  for (std::uint32_t x : {0u, 1u, 12345u, 0xffffffffu})
+    EXPECT_EQ(bijective32(x), bijective32(x));
+}
+
+}  // namespace
+}  // namespace dcs

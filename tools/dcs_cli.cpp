@@ -1,0 +1,348 @@
+// dcs_cli — command-line front end for the Distinct-Count Sketch library.
+//
+// Subcommands:
+//   generate  --out trace.bin [--u N] [--d N] [--z SKEW] [--churn N]
+//             [--noise N] [--seed N] [--csv]
+//       Write a synthetic Zipf flow-update trace (binary, or CSV with --csv).
+//
+//   info      --trace trace.bin
+//       Print update/insert/delete counts and exact distinct statistics.
+//
+//   topk      --trace trace.bin [--k N] [--r N] [--s N] [--seed N] [--exact]
+//       Stream the trace through a Tracking Distinct-Count Sketch (or the
+//       exact tracker with --exact) and print the top-k destinations by
+//       distinct-source frequency.
+//
+//   sketch    --trace trace.bin --out sketch.dcs [--r N] [--s N] [--seed N]
+//       Build a basic sketch from a trace and persist it.
+//
+//   merge     --out merged.dcs sketch1.dcs sketch2.dcs ...
+//       Merge persisted sketches (same params/seed) into one.
+//
+//   query     --sketch sketch.dcs [--k N] [--tau N]
+//       Load a persisted sketch and answer a top-k (or threshold) query.
+//
+//   diff      --base old.dcs --sketch new.dcs [--k N]
+//       Subtract an earlier snapshot and report the destinations with the
+//       most NEW distinct sources since it was taken (heavy-change query).
+//
+//   monitor   --trace trace.bin [--interval N] [--min-absolute N]
+//             [--factor F] [--by-source]
+//       Replay the trace through the DDoS monitor and print alerts.
+//
+//   convert   --in packets.txt --out trace.bin [--timeout N]
+//       Import a text packet log ("timestamp source dest flag" per line;
+//       addresses as dotted quads or integers; flag one of S/A/R/F/D) and
+//       run it through the handshake-tracking exporter to produce a flow-
+//       update trace. --timeout enables SYN-backlog reaping (ticks).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sstream>
+
+#include "baselines/exact_tracker.hpp"
+#include "common/options.hpp"
+#include "detection/ddos_monitor.hpp"
+#include "net/exporter.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+#include "stream/trace_io.hpp"
+
+namespace {
+
+using namespace dcs;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dcs_cli <generate|info|topk|sketch|merge|query|monitor> "
+               "[options]\n  (see the header of tools/dcs_cli.cpp for the full "
+               "option list)\n");
+  return 2;
+}
+
+DcsParams params_from(const Options& options) {
+  DcsParams params;
+  params.num_tables = static_cast<int>(options.integer("r", 3));
+  params.buckets_per_table = static_cast<std::uint32_t>(options.integer("s", 128));
+  params.seed = static_cast<std::uint64_t>(options.integer("seed", 0));
+  params.validate();
+  return params;
+}
+
+void print_entries(const std::vector<TopKEntry>& entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    std::printf("%2zu  dest=%08x  frequency~%llu\n", i + 1, entries[i].group,
+                static_cast<unsigned long long>(entries[i].estimate));
+}
+
+int cmd_generate(const Options& options) {
+  const std::string out = options.str("out", "");
+  if (out.empty()) return usage();
+  ZipfWorkloadConfig config;
+  config.u_pairs = static_cast<std::uint64_t>(options.integer("u", 1'000'000));
+  config.num_destinations =
+      static_cast<std::uint32_t>(options.integer("d", 50'000));
+  config.skew = options.real("z", 1.5);
+  config.churn = static_cast<std::uint32_t>(options.integer("churn", 0));
+  config.noise_pairs = static_cast<std::uint64_t>(options.integer("noise", 0));
+  config.seed = static_cast<std::uint64_t>(options.integer("seed", 1));
+  const ZipfWorkload workload(config);
+  if (options.flag("csv")) {
+    std::ofstream file(out);
+    if (!file) throw SerializeError("cannot open " + out);
+    write_trace_csv(file, workload.updates());
+  } else {
+    write_trace_file(out, workload.updates());
+  }
+  std::printf("wrote %zu updates (%llu distinct pairs, %u destinations, z=%.2f) to %s\n",
+              workload.updates().size(),
+              static_cast<unsigned long long>(workload.u_pairs()),
+              config.num_destinations, config.skew, out.c_str());
+  return 0;
+}
+
+int cmd_info(const Options& options) {
+  const std::string trace = options.str("trace", "");
+  if (trace.empty()) return usage();
+  const auto updates = read_trace_file(trace);
+  std::uint64_t inserts = 0, deletes = 0;
+  ExactTracker exact;
+  for (const FlowUpdate& u : updates) {
+    (u.delta > 0 ? inserts : deletes)++;
+    exact.update(u.dest, u.source, u.delta);
+  }
+  std::printf("updates: %zu (%llu inserts, %llu deletes)\n", updates.size(),
+              static_cast<unsigned long long>(inserts),
+              static_cast<unsigned long long>(deletes));
+  std::printf("net distinct (source,dest) pairs: %llu\n",
+              static_cast<unsigned long long>(exact.distinct_pairs()));
+  const auto top = exact.top_k(5).entries;
+  std::printf("exact top-%zu destinations:\n", top.size());
+  print_entries(top);
+  return 0;
+}
+
+int cmd_topk(const Options& options) {
+  const std::string trace = options.str("trace", "");
+  if (trace.empty()) return usage();
+  const auto updates = read_trace_file(trace);
+  const auto k = static_cast<std::size_t>(options.integer("k", 10));
+  if (options.flag("exact")) {
+    ExactTracker exact;
+    for (const FlowUpdate& u : updates) exact.update(u.dest, u.source, u.delta);
+    print_entries(exact.top_k(k).entries);
+    return 0;
+  }
+  TrackingDcs tracker(params_from(options));
+  for (const FlowUpdate& u : updates) tracker.update(u.dest, u.source, u.delta);
+  const TopKResult result = tracker.top_k(k);
+  std::printf("# sample=%llu inference_level=%d sketch=%.1f KiB\n",
+              static_cast<unsigned long long>(result.sample_size),
+              result.inference_level,
+              static_cast<double>(tracker.memory_bytes()) / 1024.0);
+  print_entries(result.entries);
+  return 0;
+}
+
+int cmd_sketch(const Options& options) {
+  const std::string trace = options.str("trace", "");
+  const std::string out = options.str("out", "");
+  if (trace.empty() || out.empty()) return usage();
+  const auto updates = read_trace_file(trace);
+  DistinctCountSketch sketch(params_from(options));
+  for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+  std::ofstream file(out, std::ios::binary);
+  if (!file) throw SerializeError("cannot open " + out);
+  BinaryWriter writer(file);
+  sketch.serialize(writer);
+  std::printf("sketched %zu updates into %s (%.1f KiB)\n", updates.size(),
+              out.c_str(), static_cast<double>(sketch.memory_bytes()) / 1024.0);
+  return 0;
+}
+
+DistinctCountSketch load_sketch(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw SerializeError("cannot open " + path);
+  BinaryReader reader(file);
+  return DistinctCountSketch::deserialize(reader);
+}
+
+int cmd_merge(const Options& options, const std::vector<std::string>& inputs) {
+  const std::string out = options.str("out", "");
+  if (out.empty() || inputs.empty()) return usage();
+  DistinctCountSketch merged = load_sketch(inputs.front());
+  for (std::size_t i = 1; i < inputs.size(); ++i)
+    merged.merge(load_sketch(inputs[i]));
+  std::ofstream file(out, std::ios::binary);
+  if (!file) throw SerializeError("cannot open " + out);
+  BinaryWriter writer(file);
+  merged.serialize(writer);
+  std::printf("merged %zu sketches into %s\n", inputs.size(), out.c_str());
+  return 0;
+}
+
+int cmd_query(const Options& options) {
+  const std::string path = options.str("sketch", "");
+  if (path.empty()) return usage();
+  const DistinctCountSketch sketch = load_sketch(path);
+  if (const auto tau = options.raw("tau")) {
+    const auto entries = sketch.groups_above(std::stoull(*tau));
+    std::printf("# %zu destinations with frequency >= %s\n", entries.size(),
+                tau->c_str());
+    print_entries(entries);
+    return 0;
+  }
+  const auto k = static_cast<std::size_t>(options.integer("k", 10));
+  print_entries(sketch.top_k(k).entries);
+  return 0;
+}
+
+int cmd_diff(const Options& options) {
+  const std::string base_path = options.str("base", "");
+  const std::string sketch_path = options.str("sketch", "");
+  if (base_path.empty() || sketch_path.empty()) return usage();
+  DistinctCountSketch current = load_sketch(sketch_path);
+  current.subtract(load_sketch(base_path));
+  const auto k = static_cast<std::size_t>(options.integer("k", 10));
+  std::printf("# destinations by NEW distinct sources since the base snapshot\n");
+  print_entries(current.top_k(k).entries);
+  return 0;
+}
+
+Addr parse_address(const std::string& token) {
+  if (token.find('.') == std::string::npos)
+    return static_cast<Addr>(std::stoul(token));
+  // Dotted quad.
+  Addr value = 0;
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const std::size_t dot = token.find('.', start);
+    const std::string part = token.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    const unsigned long parsed = std::stoul(part);
+    if (parsed > 255) throw std::invalid_argument("bad octet: " + token);
+    value = (value << 8) | static_cast<Addr>(parsed);
+    if (dot == std::string::npos) {
+      if (octet != 3) throw std::invalid_argument("bad address: " + token);
+      break;
+    }
+    start = dot + 1;
+  }
+  return value;
+}
+
+int cmd_convert(const Options& options) {
+  const std::string in_path = options.str("in", "");
+  const std::string out_path = options.str("out", "");
+  if (in_path.empty() || out_path.empty()) return usage();
+  std::ifstream in(in_path);
+  if (!in) throw SerializeError("cannot open " + in_path);
+
+  const auto timeout = static_cast<std::uint64_t>(options.integer("timeout", 0));
+  FlowUpdateExporter exporter(1000, timeout);
+  std::vector<FlowUpdate> updates;
+  std::string line;
+  std::uint64_t line_number = 0, packets = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::uint64_t timestamp;
+    std::string source, dest, flag;
+    if (!(row >> timestamp >> source >> dest >> flag))
+      throw std::invalid_argument("line " + std::to_string(line_number) +
+                                  ": expected 'timestamp source dest flag'");
+    Packet packet;
+    packet.timestamp = timestamp;
+    packet.source = parse_address(source);
+    packet.dest = parse_address(dest);
+    switch (flag.empty() ? '?' : flag[0]) {
+      case 'S': packet.type = PacketType::kSyn; break;
+      case 'A': packet.type = PacketType::kAck; break;
+      case 'R': packet.type = PacketType::kRst; break;
+      case 'F': packet.type = PacketType::kFin; break;
+      case 'D': packet.type = PacketType::kData; break;
+      default:
+        throw std::invalid_argument("line " + std::to_string(line_number) +
+                                    ": unknown flag '" + flag + "'");
+    }
+    ++packets;
+    exporter.observe(packet,
+                     [&updates](const FlowUpdate& u) { updates.push_back(u); });
+  }
+  write_trace_file(out_path, updates);
+  std::printf("converted %llu packets into %zu flow updates -> %s\n",
+              static_cast<unsigned long long>(packets), updates.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_monitor(const Options& options) {
+  const std::string trace = options.str("trace", "");
+  if (trace.empty()) return usage();
+  const auto updates = read_trace_file(trace);
+  DdosMonitorConfig config;
+  config.sketch = params_from(options);
+  config.check_interval =
+      static_cast<std::uint64_t>(options.integer("interval", 2048));
+  config.min_absolute =
+      static_cast<std::uint64_t>(options.integer("min-absolute", 512));
+  config.alarm_factor = options.real("factor", 8.0);
+  if (options.flag("by-source"))
+    config.rank_by = DdosMonitorConfig::RankBy::kSource;
+  DdosMonitor monitor(config);
+  monitor.ingest(updates);
+  monitor.check_now();
+  for (const Alert& alert : monitor.alerts())
+    std::printf("[%llu] %s %s=%08x estimate=%llu baseline=%.0f\n",
+                static_cast<unsigned long long>(alert.stream_position),
+                alert.kind == Alert::Kind::kRaised ? "RAISED " : "cleared",
+                options.flag("by-source") ? "source" : "dest", alert.subject,
+                static_cast<unsigned long long>(alert.estimated_frequency),
+                alert.baseline);
+  std::printf("%zu alerts, %zu active alarms after %zu updates\n",
+              monitor.alerts().size(), monitor.active_alarms().size(),
+              updates.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const dcs::Options options(argc - 1, argv + 1);
+  // Positional arguments (for merge): everything not starting with "--" and
+  // not a flag value.
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Skip the flag's value if it has one.
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0)
+        ++i;
+      continue;
+    }
+    positional.emplace_back(argv[i]);
+  }
+
+  try {
+    if (command == "generate") return cmd_generate(options);
+    if (command == "info") return cmd_info(options);
+    if (command == "topk") return cmd_topk(options);
+    if (command == "sketch") return cmd_sketch(options);
+    if (command == "merge") return cmd_merge(options, positional);
+    if (command == "query") return cmd_query(options);
+    if (command == "diff") return cmd_diff(options);
+    if (command == "monitor") return cmd_monitor(options);
+    if (command == "convert") return cmd_convert(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_cli %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  return usage();
+}
