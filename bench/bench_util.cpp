@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <memory>
+#include <numeric>
 
+#include "common/stats.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
 
@@ -67,6 +69,36 @@ std::vector<AccuracyCell> accuracy_row(const Scale& scale,
 AccuracyCell accuracy_cell(const Scale& scale, const DcsParams& params,
                            double skew, std::size_t k, bool use_tracking) {
   return accuracy_row(scale, params, skew, {k}, use_tracking)[0];
+}
+
+TimingSummary summarize_samples(std::vector<double> samples) {
+  TimingSummary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  summary.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                 static_cast<double>(samples.size());
+  summary.p50 = percentile(samples, 0.50);
+  summary.p90 = percentile(samples, 0.90);
+  summary.p99 = percentile(samples, 0.99);
+  return summary;
+}
+
+TimingSummary summarize_histogram(const obs::HistogramSnapshot& hist) {
+  TimingSummary summary;
+  summary.count = hist.count;
+  summary.mean = hist.mean();
+  summary.p50 = hist.quantile(0.50);
+  summary.p90 = hist.quantile(0.90);
+  summary.p99 = hist.quantile(0.99);
+  return summary;
+}
+
+std::vector<std::string> summary_cells(const TimingSummary& summary,
+                                       int decimals) {
+  return {format_double(summary.mean, decimals),
+          format_double(summary.p50, decimals),
+          format_double(summary.p90, decimals),
+          format_double(summary.p99, decimals)};
 }
 
 void print_row(const std::vector<std::string>& cells, int width) {

@@ -11,6 +11,7 @@
 
 #include "common/options.hpp"
 #include "metrics/accuracy.hpp"
+#include "obs/metrics.hpp"
 #include "sketch/dcs_params.hpp"
 #include "stream/generator.hpp"
 
@@ -48,6 +49,29 @@ std::vector<AccuracyCell> accuracy_row(const Scale& scale,
 /// Single-k convenience wrapper around accuracy_row.
 AccuracyCell accuracy_cell(const Scale& scale, const DcsParams& params,
                            double skew, std::size_t k, bool use_tracking);
+
+/// Distribution summary for repeated timing measurements. Benchmarks report
+/// p50/p90/p99 alongside the mean — a mean alone hides the tail behavior
+/// that matters for a real-time monitor.
+struct TimingSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Exact summary of raw samples via the shared dcs::percentile helper.
+TimingSummary summarize_samples(std::vector<double> samples);
+
+/// Approximate summary read off an obs::Histogram snapshot (log2 buckets) —
+/// for benchmarks that accumulate through the telemetry histogram instead
+/// of storing every sample.
+TimingSummary summarize_histogram(const obs::HistogramSnapshot& hist);
+
+/// "mean/p50/p90/p99" cells for print_row.
+std::vector<std::string> summary_cells(const TimingSummary& summary,
+                                       int decimals = 2);
 
 /// Fixed-width column printing helpers.
 void print_row(const std::vector<std::string>& cells, int width = 12);

@@ -20,15 +20,22 @@ namespace {
 using namespace dcs;
 
 /// Stream all updates, issuing a top-1 query every `query_period` updates
-/// (0 = never); returns mean µs per update (queries amortized in, as in the
-/// paper's experiment).
+/// (0 = never); returns the distribution of per-update µs measured over
+/// fixed-size chunks (queries amortized in, as in the paper's experiment).
+/// The chunk percentiles expose the query-latency spikes that the paper's
+/// mean-only Figure 9 averages away.
 template <typename Sketch>
-double run_mix(const std::vector<FlowUpdate>& updates,
-               std::uint64_t query_period, DcsParams params) {
+bench::TimingSummary run_mix(const std::vector<FlowUpdate>& updates,
+                             std::uint64_t query_period, DcsParams params) {
+  constexpr std::uint64_t kChunk = 4096;
   Sketch sketch(params);
+  std::vector<double> chunk_us;
+  chunk_us.reserve(updates.size() / kChunk + 1);
   Stopwatch watch;
   std::uint64_t since_query = 0;
+  std::uint64_t in_chunk = 0;
   std::uint64_t checksum = 0;
+  double chunk_start = 0.0;
   for (const FlowUpdate& u : updates) {
     sketch.update(u.dest, u.source, u.delta);
     if (query_period != 0 && ++since_query >= query_period) {
@@ -36,11 +43,20 @@ double run_mix(const std::vector<FlowUpdate>& updates,
       const TopKResult result = sketch.top_k(1);
       if (!result.entries.empty()) checksum ^= result.entries[0].group;
     }
+    if (++in_chunk == kChunk) {
+      const double now = watch.elapsed_us();
+      chunk_us.push_back((now - chunk_start) / static_cast<double>(kChunk));
+      chunk_start = now;
+      in_chunk = 0;
+    }
   }
-  const double total_us = watch.elapsed_us();
+  if (in_chunk > 0) {
+    chunk_us.push_back((watch.elapsed_us() - chunk_start) /
+                       static_cast<double>(in_chunk));
+  }
   // Keep the queries from being optimized away.
   if (checksum == 0xdeadbeef) std::printf("#\n");
-  return total_us / static_cast<double>(updates.size());
+  return bench::summarize_samples(std::move(chunk_us));
 }
 
 }  // namespace
@@ -84,15 +100,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(updates.size()),
               scale.num_destinations, params.num_tables,
               params.buckets_per_table);
-  print_row({"query_freq", "basic_us", "tracking_us"}, 14);
+  print_row({"query_freq", "basic_mean", "basic_p50", "basic_p90", "basic_p99",
+             "track_mean", "track_p50", "track_p90", "track_p99"},
+            12);
   for (const std::uint64_t period : periods) {
     const double freq = period == 0 ? 0.0 : 1.0 / static_cast<double>(period);
-    const double basic =
+    const TimingSummary basic =
         run_mix<dcs::DistinctCountSketch>(updates, period, params);
-    const double tracking = run_mix<dcs::TrackingDcs>(updates, period, params);
-    print_row({format_double(freq, 6), format_double(basic, 2),
-               format_double(tracking, 2)},
-              14);
+    const TimingSummary tracking =
+        run_mix<dcs::TrackingDcs>(updates, period, params);
+    std::vector<std::string> cells{format_double(freq, 6)};
+    for (const std::string& cell : summary_cells(basic)) cells.push_back(cell);
+    for (const std::string& cell : summary_cells(tracking))
+      cells.push_back(cell);
+    print_row(cells, 12);
   }
   return 0;
 }

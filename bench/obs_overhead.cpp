@@ -1,0 +1,126 @@
+// Telemetry overhead on the sketch update path: the instrumented hot loop
+// with metrics recording enabled vs. disabled at runtime.
+//
+//   build/bench/obs_overhead [--updates 400000] [--reps 7] [--threshold 5]
+//
+// Each rep streams the same workload through a fresh sketch twice —
+// once with obs::set_enabled(true), once with false — interleaved to cancel
+// thermal/frequency drift. The overhead compares the *minimum* per-update
+// time across reps (the least-interfered run; medians still reported),
+// which keeps the verdict stable on machines with scheduler noise. Exits
+// nonzero when the overhead exceeds --threshold percent (default 5, the
+// budget in docs/OBSERVABILITY.md).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+namespace {
+
+using namespace dcs;
+
+/// One timed pass of the full update stream; ns per update.
+template <typename Sketch>
+double run_pass(const std::vector<FlowUpdate>& updates, DcsParams params) {
+  Sketch sketch(params);
+  Stopwatch watch;
+  for (const FlowUpdate& u : updates) sketch.update(u.dest, u.source, u.delta);
+  return watch.elapsed_us() * 1000.0 / static_cast<double>(updates.size());
+}
+
+struct OverheadRow {
+  bench::TimingSummary enabled;
+  bench::TimingSummary disabled;
+  double on_min = 0.0;
+  double off_min = 0.0;
+  double overhead_pct = 0.0;  // (on_min - off_min) / off_min
+};
+
+template <typename Sketch>
+OverheadRow measure(const std::vector<FlowUpdate>& updates, DcsParams params,
+                    std::uint64_t reps) {
+  std::vector<double> on_ns, off_ns;
+  // Warm-up pass so neither mode pays first-touch page faults.
+  obs::set_enabled(false);
+  run_pass<Sketch>(updates, params);
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    obs::set_enabled(true);
+    on_ns.push_back(run_pass<Sketch>(updates, params));
+    obs::set_enabled(false);
+    off_ns.push_back(run_pass<Sketch>(updates, params));
+  }
+  obs::set_enabled(true);
+  OverheadRow row;
+  row.on_min = *std::min_element(on_ns.begin(), on_ns.end());
+  row.off_min = *std::min_element(off_ns.begin(), off_ns.end());
+  row.enabled = bench::summarize_samples(std::move(on_ns));
+  row.disabled = bench::summarize_samples(std::move(off_ns));
+  if (row.off_min > 0.0)
+    row.overhead_pct = (row.on_min - row.off_min) / row.off_min * 100.0;
+  return row;
+}
+
+void print_overhead_row(const char* path, const OverheadRow& row) {
+  using namespace dcs::bench;
+  print_row({path, format_double(row.off_min, 1),
+             format_double(row.on_min, 1),
+             format_double(row.disabled.p50, 1),
+             format_double(row.enabled.p50, 1),
+             format_double(row.overhead_pct, 2)},
+            16);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcs::bench;
+
+  const Options options(argc, argv);
+  const Scale scale = Scale::resolve(options);
+  const auto num_updates = static_cast<std::uint64_t>(
+      options.integer("updates", scale.full ? 2'000'000 : 400'000));
+  const auto reps =
+      static_cast<std::uint64_t>(options.integer("reps", scale.full ? 11 : 7));
+  const double threshold = options.real("threshold", 5.0);
+
+  DcsParams params;
+  params.num_tables = static_cast<int>(options.integer("r", 3));
+  params.buckets_per_table =
+      static_cast<std::uint32_t>(options.integer("s", 128));
+  params.seed = 7;
+
+  ZipfWorkloadConfig config;
+  config.u_pairs = num_updates;
+  config.num_destinations = scale.num_destinations;
+  config.skew = 1.5;
+  config.churn = 0.25;  // exercise the delete path too
+  config.seed = 11;
+  const ZipfWorkload workload(config);
+  const std::vector<FlowUpdate>& updates = workload.updates();
+
+  std::printf(
+      "# telemetry overhead: ns/update, min over %llu reps of %zu updates "
+      "(budget %.1f%%)\n",
+      static_cast<unsigned long long>(reps), updates.size(), threshold);
+  print_row({"path", "off_min", "on_min", "off_p50", "on_p50", "overhead%"},
+            16);
+
+  const OverheadRow basic =
+      measure<dcs::DistinctCountSketch>(updates, params, reps);
+  print_overhead_row("basic_update", basic);
+  const OverheadRow tracking =
+      measure<dcs::TrackingDcs>(updates, params, reps);
+  print_overhead_row("tracking_update", tracking);
+
+  const double worst = basic.overhead_pct > tracking.overhead_pct
+                           ? basic.overhead_pct
+                           : tracking.overhead_pct;
+  std::printf("\nworst-case overhead (min vs min): %.2f%% (budget %.1f%%)\n",
+              worst, threshold);
+  return worst <= threshold ? 0 : 1;
+}

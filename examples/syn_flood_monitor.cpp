@@ -2,16 +2,24 @@
 // exporter -> DdosMonitor (Tracking Distinct-Count Sketch + baselines).
 //
 //   build/examples/syn_flood_monitor [--flood 20000] [--sessions 10000]
+//                                    [--metrics-out metrics.prom]
+//                                    [--metrics-format prom|json]
+//                                    [--alerts-out alerts.json]
 //
-// The run prints every alert the monitor raises; the expected outcome is a
-// single kRaised alert naming the flood victim once the attack window opens,
-// followed by no false alarms on background destinations.
+// The run prints every alert the monitor raises (as structured event
+// records); the expected outcome is a single RAISED alert naming the flood
+// victim once the attack window opens, followed by no false alarms on
+// background destinations. --metrics-out dumps a runtime-telemetry snapshot
+// after every check epoch and at exit; --alerts-out writes the typed alert
+// event log as JSON.
 #include <cstdio>
 
 #include "common/options.hpp"
+#include "detection/alert_log.hpp"
 #include "detection/ddos_monitor.hpp"
 #include "net/exporter.hpp"
 #include "net/scenarios.hpp"
+#include "obs/export.hpp"
 
 int main(int argc, char** argv) {
   using namespace dcs;
@@ -46,18 +54,26 @@ int main(int argc, char** argv) {
   config.check_interval = 2048;
   config.min_absolute = 1000;
   DdosMonitor monitor(config);
+
+  // Optional telemetry: refresh the metrics snapshot at every check epoch.
+  const std::string metrics_out = options.str("metrics-out", "");
+  const obs::ExportFormat metrics_format =
+      obs::parse_format(options.str("metrics-format", "prom"));
+  if (!metrics_out.empty())
+    monitor.set_check_callback([&](const DdosMonitor&) {
+      obs::write_snapshot_file(metrics_out, metrics_format,
+                               obs::Registry::global().snapshot());
+    });
+
   monitor.ingest(updates);
   monitor.check_now();
 
-  // 4. Report.
-  for (const Alert& alert : monitor.alerts()) {
-    std::printf("[alert] %s dest=%08x estimated_half_open=%llu baseline=%.0f (at update %llu)\n",
-                alert.kind == Alert::Kind::kRaised ? "RAISED " : "cleared",
-                alert.subject,
-                static_cast<unsigned long long>(alert.estimated_frequency),
-                alert.baseline,
-                static_cast<unsigned long long>(alert.stream_position));
-  }
+  // 4. Report: every alert as a structured event record.
+  for (const Alert& alert : monitor.alerts())
+    std::printf("[alert] %s\n", format_alert(alert).c_str());
+
+  const std::string alerts_out = options.str("alerts-out", "");
+  if (!alerts_out.empty()) write_alerts_json(alerts_out, monitor.alerts());
 
   const auto active = monitor.active_alarms();
   std::printf("\nactive alarms: %zu\n", active.size());

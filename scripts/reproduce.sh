@@ -23,7 +23,7 @@ benches=(
   fig8a_recall fig8b_relative_error fig9_update_time table2_costs
   space_analysis ablation_rs ablation_stopping ablation_deletions
   ablation_correction detection_quality distributed_costs
-  baseline_comparison window_costs pipeline_throughput
+  baseline_comparison window_costs pipeline_throughput obs_overhead
 )
 for bench in "${benches[@]}"; do
   echo "== ${bench} =="

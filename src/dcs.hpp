@@ -13,12 +13,16 @@
 #pragma once
 
 #include "baselines/exact_tracker.hpp"
+#include "detection/alert_log.hpp"
 #include "detection/ddos_monitor.hpp"
 #include "detection/epoch_change.hpp"
 #include "distributed/concurrent_monitor.hpp"
 #include "distributed/sharded_monitor.hpp"
 #include "metrics/accuracy.hpp"
 #include "net/exporter.hpp"
+#include "obs/export.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
 #include "net/scenarios.hpp"
 #include "sim/agents.hpp"
 #include "sim/simulator.hpp"

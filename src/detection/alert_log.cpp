@@ -1,0 +1,67 @@
+#include "detection/alert_log.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace dcs {
+
+namespace {
+
+const char* kind_name(Alert::Kind kind) {
+  return kind == Alert::Kind::kRaised ? "raised" : "cleared";
+}
+
+}  // namespace
+
+std::string format_alert(const Alert& alert, const std::string& subject_role) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof buffer,
+                "%-7s %s=%08x estimate=%" PRIu64
+                " baseline=%.0f threshold=%.0f epoch=%" PRIu64
+                " at update %" PRIu64,
+                alert.kind == Alert::Kind::kRaised ? "RAISED" : "cleared",
+                subject_role.c_str(), alert.subject,
+                alert.estimated_frequency, alert.baseline, alert.threshold,
+                alert.epoch, alert.stream_position);
+  return buffer;
+}
+
+std::string alert_to_json(const Alert& alert,
+                          const std::string& subject_role) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"kind\":\"%s\",\"%s\":\"%08x\",\"estimate\":%" PRIu64
+                ",\"baseline\":%.1f,\"threshold\":%.1f,\"epoch\":%" PRIu64
+                ",\"stream_position\":%" PRIu64 "}",
+                kind_name(alert.kind),
+                obs::json_escape(subject_role).c_str(), alert.subject,
+                alert.estimated_frequency, alert.baseline, alert.threshold,
+                alert.epoch, alert.stream_position);
+  return buffer;
+}
+
+std::string alerts_to_json(const std::vector<Alert>& alerts,
+                           const std::string& subject_role) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += alert_to_json(alerts[i], subject_role);
+  }
+  out += alerts.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+void write_alerts_json(const std::string& path,
+                       const std::vector<Alert>& alerts,
+                       const std::string& subject_role) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open alert log " + path);
+  file << alerts_to_json(alerts, subject_role);
+  if (!file) throw std::runtime_error("failed writing alert log " + path);
+}
+
+}  // namespace dcs

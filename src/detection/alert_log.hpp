@@ -1,0 +1,39 @@
+// Structured alert event log.
+//
+// DdosMonitor records every raise/clear decision as a typed Alert (epoch,
+// subject, estimated distinct-source count, baseline, threshold, stream
+// position). This header renders those records for consumption outside the
+// process: one canonical human-readable line, and a JSON array sharing the
+// escaping rules of the obs/ JSON exporter so a single pipeline can ingest
+// both metric snapshots and alert events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detection/ddos_monitor.hpp"
+
+namespace dcs {
+
+/// One line, no trailing newline:
+///   "RAISED  dest=0000beef estimate=8192 baseline=12 threshold=512
+///    epoch=4 at update 8192"
+/// `subject_role` names the ranked endpoint ("dest" or "source").
+std::string format_alert(const Alert& alert,
+                         const std::string& subject_role = "dest");
+
+/// JSON object for one alert event.
+std::string alert_to_json(const Alert& alert,
+                          const std::string& subject_role = "dest");
+
+/// JSON array of all events, newline-separated elements, trailing newline.
+std::string alerts_to_json(const std::vector<Alert>& alerts,
+                           const std::string& subject_role = "dest");
+
+/// Write alerts_to_json to `path` (truncating); throws std::runtime_error on
+/// I/O failure.
+void write_alerts_json(const std::string& path,
+                       const std::vector<Alert>& alerts,
+                       const std::string& subject_role = "dest");
+
+}  // namespace dcs

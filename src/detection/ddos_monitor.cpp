@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/instruments.hpp"
+
 namespace dcs {
 
 DdosMonitor::DdosMonitor(DdosMonitorConfig config)
@@ -31,50 +33,79 @@ void DdosMonitor::ingest(const std::vector<FlowUpdate>& updates) {
 
 void DdosMonitor::check_now() { check(); }
 
+double DdosMonitor::alarm_threshold(double baseline) const {
+  const double learned = std::max(config_.alarm_factor * baseline,
+                                  static_cast<double>(config_.min_absolute));
+  return std::min(learned, static_cast<double>(config_.absolute_alarm));
+}
+
 void DdosMonitor::check() {
-  const TopKResult result = tracker_.top_k(config_.top_k);
-  const bool warming_up = ++checks_run_ <= config_.warmup_checks;
-  for (const TopKEntry& entry : result.entries) {
-    double& baseline = baselines_.try_emplace(entry.group, 0.0).first->second;
-    const double estimate = static_cast<double>(entry.estimate);
-    const bool over_baseline =
-        !warming_up &&
-        ((estimate > config_.alarm_factor * baseline &&
-          entry.estimate >= config_.min_absolute) ||
-         entry.estimate >= config_.absolute_alarm);
+  std::uint64_t raised = 0, cleared = 0;
+  {
+    obs::ScopedTimer timer(obs::MonitorMetrics::get().check_ns);
+    const TopKResult result = tracker_.top_k(config_.top_k);
+    const bool warming_up = ++checks_run_ <= config_.warmup_checks;
+    for (const TopKEntry& entry : result.entries) {
+      double& baseline = baselines_.try_emplace(entry.group, 0.0).first->second;
+      const double estimate = static_cast<double>(entry.estimate);
+      const bool over_baseline =
+          !warming_up &&
+          ((estimate > config_.alarm_factor * baseline &&
+            entry.estimate >= config_.min_absolute) ||
+           entry.estimate >= config_.absolute_alarm);
 
-    bool& alarmed = alarmed_.try_emplace(entry.group, false).first->second;
-    if (over_baseline && !alarmed) {
-      alarmed = true;
-      alerts_.push_back({Alert::Kind::kRaised, entry.group, entry.estimate,
-                         baseline, ingested_});
-    } else if (!over_baseline && alarmed) {
-      alarmed = false;
-      alerts_.push_back({Alert::Kind::kCleared, entry.group, entry.estimate,
-                         baseline, ingested_});
+      bool& alarmed = alarmed_.try_emplace(entry.group, false).first->second;
+      if (over_baseline && !alarmed) {
+        alarmed = true;
+        ++raised;
+        alerts_.push_back({Alert::Kind::kRaised, entry.group, entry.estimate,
+                           baseline, ingested_, checks_run_,
+                           alarm_threshold(baseline)});
+      } else if (!over_baseline && alarmed) {
+        alarmed = false;
+        ++cleared;
+        alerts_.push_back({Alert::Kind::kCleared, entry.group, entry.estimate,
+                           baseline, ingested_, checks_run_,
+                           alarm_threshold(baseline)});
+      }
+
+      // Baselines adapt only while a subject is NOT alarmed, so a sustained
+      // attack cannot teach the profile that attack traffic is normal.
+      if (!alarmed)
+        baseline = (1.0 - config_.baseline_alpha) * baseline +
+                   config_.baseline_alpha * estimate;
     }
 
-    // Baselines adapt only while a subject is NOT alarmed, so a sustained
-    // attack cannot teach the profile that attack traffic is normal.
-    if (!alarmed)
-      baseline = (1.0 - config_.baseline_alpha) * baseline +
-                 config_.baseline_alpha * estimate;
-  }
-
-  // Subjects that dropped out of the top-k entirely have subsided: clear them.
-  for (auto& [subject, alarmed] : alarmed_) {
-    if (!alarmed) continue;
-    const bool still_listed =
-        std::any_of(result.entries.begin(), result.entries.end(),
-                    [subject = subject](const TopKEntry& e) {
-                      return e.group == subject;
-                    });
-    if (!still_listed) {
-      alarmed = false;
-      alerts_.push_back({Alert::Kind::kCleared, subject, 0,
-                         baselines_[subject], ingested_});
+    // Subjects that dropped out of the top-k entirely have subsided: clear
+    // them.
+    for (auto& [subject, alarmed] : alarmed_) {
+      if (!alarmed) continue;
+      const bool still_listed =
+          std::any_of(result.entries.begin(), result.entries.end(),
+                      [subject = subject](const TopKEntry& e) {
+                        return e.group == subject;
+                      });
+      if (!still_listed) {
+        alarmed = false;
+        ++cleared;
+        alerts_.push_back({Alert::Kind::kCleared, subject, 0,
+                           baselines_[subject], ingested_, checks_run_,
+                           alarm_threshold(baselines_[subject])});
+      }
     }
   }
+
+  if (obs::recording()) {
+    auto& metrics = obs::MonitorMetrics::get();
+    metrics.checks.inc();
+    metrics.alerts_raised.inc(raised);
+    metrics.alerts_cleared.inc(cleared);
+    metrics.active_alarms.set(static_cast<std::int64_t>(
+        std::count_if(alarmed_.begin(), alarmed_.end(),
+                      [](const auto& entry) { return entry.second; })));
+  }
+
+  if (on_check_) on_check_(*this);
 }
 
 std::vector<Addr> DdosMonitor::active_alarms() const {

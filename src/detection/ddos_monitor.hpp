@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +29,8 @@
 
 namespace dcs {
 
+/// One structured alert event. Every field needed to audit the decision is
+/// recorded at fire time; alert_log.hpp renders these as JSON or text.
 struct Alert {
   enum class Kind : std::uint8_t { kRaised, kCleared };
 
@@ -39,6 +42,11 @@ struct Alert {
   double baseline = 0.0;
   /// Stream position (number of updates ingested) when the alert fired.
   std::uint64_t stream_position = 0;
+  /// Check epoch (1-based count of monitor checks) when the alert fired.
+  std::uint64_t epoch = 0;
+  /// Effective alarm threshold at fire time:
+  /// min(max(alarm_factor * baseline, min_absolute), absolute_alarm).
+  double threshold = 0.0;
 };
 
 struct DdosMonitorConfig {
@@ -71,6 +79,11 @@ struct DdosMonitorConfig {
 
 class DdosMonitor {
  public:
+  /// Invoked after every completed check (periodic or forced) — the
+  /// monitor's "epoch" granularity. Used to dump telemetry snapshots or
+  /// stream alert events without polling.
+  using CheckCallback = std::function<void(const DdosMonitor&)>;
+
   explicit DdosMonitor(DdosMonitorConfig config = {});
 
   /// Ingest one flow update; may append alerts (check every check_interval).
@@ -82,6 +95,11 @@ class DdosMonitor {
   /// Force an immediate check (e.g. at end of stream).
   void check_now();
 
+  /// Register (or clear, with nullptr) the per-check callback.
+  void set_check_callback(CheckCallback callback) {
+    on_check_ = std::move(callback);
+  }
+
   const std::vector<Alert>& alerts() const noexcept { return alerts_; }
 
   /// Subjects currently in the alarmed state.
@@ -89,17 +107,20 @@ class DdosMonitor {
 
   const TrackingDcs& tracker() const noexcept { return tracker_; }
   std::uint64_t updates_ingested() const noexcept { return ingested_; }
+  std::uint64_t checks_run() const noexcept { return checks_run_; }
   const DdosMonitorConfig& config() const noexcept { return config_; }
   std::size_t memory_bytes() const;
 
  private:
   void check();
+  double alarm_threshold(double baseline) const;
 
   DdosMonitorConfig config_;
   TrackingDcs tracker_;
   std::unordered_map<Addr, double> baselines_;
   std::unordered_map<Addr, bool> alarmed_;
   std::vector<Alert> alerts_;
+  CheckCallback on_check_;
   std::uint64_t ingested_ = 0;
   std::uint64_t checks_run_ = 0;
 };

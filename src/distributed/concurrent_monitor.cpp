@@ -10,7 +10,7 @@ ConcurrentMonitor::ConcurrentMonitor(DcsParams params, std::size_t stripes)
     throw std::invalid_argument("ConcurrentMonitor: stripes >= 1");
   stripes_.reserve(stripes);
   for (std::size_t i = 0; i < stripes; ++i)
-    stripes_.push_back(std::make_unique<Stripe>(params));
+    stripes_.push_back(std::make_unique<Stripe>(params, i));
 }
 
 void ConcurrentMonitor::update(Addr group, Addr member, int delta) {
@@ -18,11 +18,15 @@ void ConcurrentMonitor::update(Addr group, Addr member, int delta) {
   const std::size_t index = static_cast<std::size_t>(
       reduce_range(route_(key), static_cast<std::uint32_t>(stripes_.size())));
   Stripe& stripe = *stripes_[index];
+  stripe.updates->inc();
   const std::lock_guard<std::mutex> lock(stripe.mutex);
   stripe.sketch.update(group, member, delta);
 }
 
 DistinctCountSketch ConcurrentMonitor::snapshot() const {
+  auto& metrics = obs::DistributedMetrics::get();
+  metrics.snapshots.inc();
+  obs::ScopedTimer timer(metrics.snapshot_ns);
   DistinctCountSketch merged(stripes_.front()->sketch.params());
   for (const auto& stripe : stripes_) {
     const std::lock_guard<std::mutex> lock(stripe->mutex);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "obs/instruments.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
 #include "stream/flow_update.hpp"
@@ -52,8 +53,13 @@ class ConcurrentMonitor {
   struct Stripe {
     mutable std::mutex mutex;
     DistinctCountSketch sketch;
+    /// dcs_concurrent_updates_total{stripe=...}; the counter itself is
+    /// atomic, so it is bumped outside the stripe lock.
+    obs::Counter* updates;
 
-    explicit Stripe(const DcsParams& params) : sketch(params) {}
+    Stripe(const DcsParams& params, std::size_t index)
+        : sketch(params),
+          updates(&obs::DistributedMetrics::stripe_updates(index)) {}
   };
 
   std::vector<std::unique_ptr<Stripe>> stripes_;

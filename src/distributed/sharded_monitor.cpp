@@ -9,22 +9,29 @@ ShardedMonitor::ShardedMonitor(DcsParams params, std::size_t num_shards)
   if (num_shards == 0)
     throw std::invalid_argument("ShardedMonitor: num_shards >= 1");
   shards_.reserve(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) shards_.emplace_back(params);
+  shard_counters_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(params);
+    shard_counters_.push_back(&obs::DistributedMetrics::shard_updates(i));
+  }
 }
 
 void ShardedMonitor::update(Addr group, Addr member, int delta) {
   const PairKey key = pack_pair(group, member);
   const std::size_t shard = static_cast<std::size_t>(
       reduce_range(route_(key), static_cast<std::uint32_t>(shards_.size())));
+  shard_counters_[shard]->inc();
   shards_[shard].update(group, member, delta);
 }
 
 void ShardedMonitor::update_at(std::size_t shard, Addr group, Addr member,
                                int delta) {
   shards_.at(shard).update(group, member, delta);
+  shard_counters_[shard]->inc();
 }
 
 DistinctCountSketch ShardedMonitor::collect() const {
+  obs::ScopedTimer timer(obs::DistributedMetrics::get().collect_ns);
   DistinctCountSketch merged(shards_.front().params());
   for (const DistinctCountSketch& shard : shards_) merged.merge(shard);
   return merged;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "obs/instruments.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
 #include "stream/flow_update.hpp"
@@ -52,6 +53,9 @@ class ShardedMonitor {
 
  private:
   std::vector<DistinctCountSketch> shards_;
+  /// Per-shard dcs_sharded_updates_total counters, resolved once at
+  /// construction so updates never touch the registry lock.
+  std::vector<obs::Counter*> shard_counters_;
   SeededHash route_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/instruments.hpp"
+
 namespace dcs {
 
 FlowUpdateExporter::FlowUpdateExporter(std::uint64_t interval_ticks,
@@ -30,6 +32,11 @@ void FlowUpdateExporter::expire_before(std::uint64_t now,
     // Stale queue entries (completed or timer-refreshed pairs) are skipped.
     if (it == half_open_.end() || it->second != opened) continue;
     half_open_.erase(it);
+    if (obs::recording()) {
+      auto& metrics = obs::ExporterMetrics::get();
+      metrics.timeout_reaps.inc();
+      metrics.half_open.set(static_cast<std::int64_t>(half_open_.size()));
+    }
     sink({pair_group(key), pair_member(key), -1});
   }
 }
@@ -37,12 +44,19 @@ void FlowUpdateExporter::expire_before(std::uint64_t now,
 void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
   roll_intervals(packet.timestamp);
   expire_before(packet.timestamp, sink);
+  const bool record = obs::recording();
+  if (record) obs::ExporterMetrics::get().packets.inc();
   const PairKey key = pack_pair(packet.source, packet.dest);
   switch (packet.type) {
     case PacketType::kSyn: {
       ++current_.syn;
       const auto [it, inserted] = half_open_.try_emplace(key, packet.timestamp);
       if (inserted) {
+        if (record) {
+          auto& metrics = obs::ExporterMetrics::get();
+          metrics.opens.inc();
+          metrics.half_open.set(static_cast<std::int64_t>(half_open_.size()));
+        }
         sink({packet.source, packet.dest, +1});
       } else {
         // Retransmitted SYN: refresh the server's SYN-RECEIVED timer.
@@ -56,6 +70,11 @@ void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
       const auto it = half_open_.find(key);
       if (it != half_open_.end()) {
         half_open_.erase(it);
+        if (record) {
+          auto& metrics = obs::ExporterMetrics::get();
+          metrics.closes.inc();
+          metrics.half_open.set(static_cast<std::int64_t>(half_open_.size()));
+        }
         sink({packet.source, packet.dest, -1});
       }
       break;
@@ -65,6 +84,11 @@ void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
       const auto it = half_open_.find(key);
       if (it != half_open_.end()) {
         half_open_.erase(it);
+        if (record) {
+          auto& metrics = obs::ExporterMetrics::get();
+          metrics.closes.inc();
+          metrics.half_open.set(static_cast<std::int64_t>(half_open_.size()));
+        }
         sink({packet.source, packet.dest, -1});
       }
       break;

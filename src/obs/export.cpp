@@ -1,0 +1,229 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace dcs::obs {
+
+ExportFormat parse_format(const std::string& name) {
+  if (name == "prom" || name == "prometheus") return ExportFormat::kPrometheus;
+  if (name == "json") return ExportFormat::kJson;
+  throw std::invalid_argument("unknown metrics format '" + name +
+                              "' (expected prom or json)");
+}
+
+namespace {
+
+std::string format_u64(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, v);
+  return buffer;
+}
+
+std::string format_i64(std::int64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRId64, v);
+  return buffer;
+}
+
+std::string format_quantile(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", v);
+  return buffer;
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+std::string prom_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Render `{k="v",...}` — with `extra` appended last — or "" when empty.
+std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + prom_escape(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// Emit `# HELP` / `# TYPE` once per family (the snapshot is sorted by
+/// name, so label variants of one family arrive consecutively).
+void family_header(std::string& out, std::string& last_family,
+                   const MetricId& id, const char* type) {
+  if (id.name == last_family) return;
+  last_family = id.name;
+  out += "# HELP " + id.name + " " + id.help + "\n";
+  out += "# TYPE " + id.name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const CounterSample& sample : snapshot.counters) {
+    family_header(out, last_family, sample.id, "counter");
+    out += sample.id.name + prom_labels(sample.id.labels) + " " +
+           format_u64(sample.value) + "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    family_header(out, last_family, sample.id, "gauge");
+    out += sample.id.name + prom_labels(sample.id.labels) + " " +
+           format_i64(sample.value) + "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    family_header(out, last_family, sample.id, "histogram");
+    const HistogramSnapshot& hist = sample.hist;
+    std::uint64_t cumulative = 0;
+    // Cumulative `le` buckets; empty buckets are elided (allowed by the
+    // format — the cumulative value is unchanged), +Inf always emitted.
+    for (int i = 0; i < HistogramSnapshot::kBuckets - 1; ++i) {
+      if (hist.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      cumulative += hist.buckets[static_cast<std::size_t>(i)];
+      out += sample.id.name + "_bucket" +
+             prom_labels(sample.id.labels,
+                         "le=\"" +
+                             format_u64(HistogramSnapshot::upper_bound(i)) +
+                             "\"") +
+             " " + format_u64(cumulative) + "\n";
+    }
+    out += sample.id.name + "_bucket" +
+           prom_labels(sample.id.labels, "le=\"+Inf\"") + " " +
+           format_u64(hist.count) + "\n";
+    out += sample.id.name + "_sum" + prom_labels(sample.id.labels) + " " +
+           format_u64(hist.sum) + "\n";
+    out += sample.id.name + "_count" + prom_labels(sample.id.labels) + " " +
+           format_u64(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const CounterSample& sample : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + json_escape(sample.id.name) +
+           "\",\"labels\":" + json_labels(sample.id.labels) +
+           ",\"value\":" + format_u64(sample.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  first = true;
+  for (const GaugeSample& sample : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\":\"" + json_escape(sample.id.name) +
+           "\",\"labels\":" + json_labels(sample.id.labels) +
+           ",\"value\":" + format_i64(sample.value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  first = true;
+  for (const HistogramSample& sample : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const HistogramSnapshot& hist = sample.hist;
+    out += "    {\"name\":\"" + json_escape(sample.id.name) +
+           "\",\"labels\":" + json_labels(sample.id.labels) +
+           ",\"count\":" + format_u64(hist.count) +
+           ",\"sum\":" + format_u64(hist.sum) +
+           ",\"p50\":" + format_quantile(hist.quantile(0.50)) +
+           ",\"p90\":" + format_quantile(hist.quantile(0.90)) +
+           ",\"p99\":" + format_quantile(hist.quantile(0.99)) +
+           ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "{\"le\":";
+      out += i >= HistogramSnapshot::kBuckets - 1
+                 ? "null"
+                 : format_u64(HistogramSnapshot::upper_bound(i));
+      out += ",\"count\":" +
+             format_u64(hist.buckets[static_cast<std::size_t>(i)]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render(const Snapshot& snapshot, ExportFormat format) {
+  return format == ExportFormat::kPrometheus ? to_prometheus(snapshot)
+                                             : to_json(snapshot);
+}
+
+void write_snapshot_file(const std::string& path, ExportFormat format,
+                         const Snapshot& snapshot) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open metrics file " + path);
+  file << render(snapshot, format);
+  if (!file) throw std::runtime_error("failed writing metrics file " + path);
+}
+
+}  // namespace dcs::obs

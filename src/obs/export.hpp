@@ -1,0 +1,38 @@
+// Snapshot exporters: Prometheus text exposition and JSON.
+//
+// Both formats render the same obs::Snapshot. The Prometheus output follows
+// the text exposition format (HELP/TYPE headers, cumulative `le` histogram
+// buckets, `_sum`/`_count` series) so a node-exporter textfile collector or
+// a scrape of a dumped file ingests it directly. The JSON output is a
+// self-describing document for dashboards and the golden-file tests, with
+// derived p50/p90/p99 included per histogram.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace dcs::obs {
+
+enum class ExportFormat : std::uint8_t { kPrometheus, kJson };
+
+/// Parse "prom"/"prometheus" or "json" (case-sensitive). Throws
+/// std::invalid_argument on anything else.
+ExportFormat parse_format(const std::string& name);
+
+std::string to_prometheus(const Snapshot& snapshot);
+std::string to_json(const Snapshot& snapshot);
+
+std::string render(const Snapshot& snapshot, ExportFormat format);
+
+/// Render and write to `path` (truncating). Throws std::runtime_error when
+/// the file cannot be written.
+void write_snapshot_file(const std::string& path, ExportFormat format,
+                         const Snapshot& snapshot);
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared with the alert event log.
+std::string json_escape(std::string_view text);
+
+}  // namespace dcs::obs

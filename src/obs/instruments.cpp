@@ -1,0 +1,145 @@
+#include "obs/instruments.hpp"
+
+#include <string>
+
+namespace dcs::obs {
+
+namespace {
+
+std::string index_label(std::size_t index, std::size_t max_label) {
+  return index >= max_label ? std::to_string(max_label) + "+"
+                            : std::to_string(index);
+}
+
+std::array<Counter*, SketchMetrics::kMaxLevelLabel + 1> make_level_hits() {
+  std::array<Counter*, SketchMetrics::kMaxLevelLabel + 1> counters{};
+  auto& registry = Registry::global();
+  for (int l = 0; l <= SketchMetrics::kMaxLevelLabel; ++l)
+    counters[static_cast<std::size_t>(l)] = &registry.counter(
+        "dcs_sketch_level_updates_total",
+        "Updates landing in each first-level geometric-hash bucket "
+        "(expected n/2^(level+1))",
+        {{"level", index_label(static_cast<std::size_t>(l),
+                               SketchMetrics::kMaxLevelLabel)}});
+  return counters;
+}
+
+}  // namespace
+
+SketchMetrics& SketchMetrics::get() {
+  static SketchMetrics instance{
+      Registry::global().counter(
+          "dcs_sketch_updates_total",
+          "Flow updates applied to basic distinct-count sketches"),
+      Registry::global().counter(
+          "dcs_sketch_deletes_total",
+          "Deletion (delta < 0) updates applied to basic sketches"),
+      Registry::global().counter(
+          "dcs_sketch_level_allocations_total",
+          "First-level buckets allocated lazily on first touch"),
+      Registry::global().counter(
+          "dcs_sketch_query_buckets_total",
+          "Second-level buckets classified during distinct-sample collection",
+          {{"class", "empty"}}),
+      Registry::global().counter(
+          "dcs_sketch_query_buckets_total",
+          "Second-level buckets classified during distinct-sample collection",
+          {{"class", "singleton"}}),
+      Registry::global().counter(
+          "dcs_sketch_query_buckets_total",
+          "Second-level buckets classified during distinct-sample collection",
+          {{"class", "collision"}}),
+      Registry::global().counter(
+          "dcs_sketch_recovery_failures_total",
+          "Singleton recoveries rejected by the defensive re-hash check"),
+      Registry::global().histogram(
+          "dcs_sketch_query_latency_ns",
+          "BaseTopk query latency (full sample reconstruction), ns"),
+      make_level_hits()};
+  return instance;
+}
+
+TrackingMetrics& TrackingMetrics::get() {
+  static TrackingMetrics instance{
+      Registry::global().counter(
+          "dcs_tracking_updates_total",
+          "Flow updates applied to tracking distinct-count sketches"),
+      Registry::global().counter(
+          "dcs_tracking_singletons_gained_total",
+          "Keys entering the maintained distinct sample (Fig. 6 transitions)"),
+      Registry::global().counter(
+          "dcs_tracking_singletons_lost_total",
+          "Keys leaving the maintained distinct sample (Fig. 6 transitions)"),
+      Registry::global().counter(
+          "dcs_tracking_heap_ops_total",
+          "Priority updates applied to the per-level top-destination heaps"),
+      Registry::global().histogram(
+          "dcs_tracking_query_latency_ns",
+          "TrackTopk query latency (O(k log k) heap read), ns")};
+  return instance;
+}
+
+ExporterMetrics& ExporterMetrics::get() {
+  static ExporterMetrics instance{
+      Registry::global().counter("dcs_exporter_packets_total",
+                                 "Packets observed by the flow exporter"),
+      Registry::global().counter(
+          "dcs_exporter_opens_total",
+          "+1 flow updates emitted (new half-open handshakes)"),
+      Registry::global().counter(
+          "dcs_exporter_closes_total",
+          "-1 flow updates emitted by handshake completion or RST abort"),
+      Registry::global().counter(
+          "dcs_exporter_timeout_reaps_total",
+          "-1 flow updates emitted by SYN-backlog timeout reaping"),
+      Registry::global().gauge(
+          "dcs_exporter_half_open_pairs",
+          "(client, server) pairs currently in the half-open state")};
+  return instance;
+}
+
+MonitorMetrics& MonitorMetrics::get() {
+  static MonitorMetrics instance{
+      Registry::global().counter("dcs_monitor_checks_total",
+                                 "Periodic top-k checks run by DDoS monitors"),
+      Registry::global().counter("dcs_monitor_alerts_raised_total",
+                                 "Alerts raised by DDoS monitors"),
+      Registry::global().counter("dcs_monitor_alerts_cleared_total",
+                                 "Alerts cleared by DDoS monitors"),
+      Registry::global().gauge("dcs_monitor_active_alarms",
+                               "Subjects currently in the alarmed state"),
+      Registry::global().histogram(
+          "dcs_monitor_check_latency_ns",
+          "Per-epoch monitor check latency (top-k query + baselines), ns")};
+  return instance;
+}
+
+Counter& DistributedMetrics::shard_updates(std::size_t shard) {
+  return Registry::global().counter(
+      "dcs_sharded_updates_total",
+      "Flow updates ingested per simulated edge-router shard",
+      {{"shard", index_label(shard, kMaxIndexLabel)}});
+}
+
+Counter& DistributedMetrics::stripe_updates(std::size_t stripe) {
+  return Registry::global().counter(
+      "dcs_concurrent_updates_total",
+      "Flow updates ingested per concurrent-monitor stripe",
+      {{"stripe", index_label(stripe, kMaxIndexLabel)}});
+}
+
+DistributedMetrics& DistributedMetrics::get() {
+  static DistributedMetrics instance{
+      Registry::global().counter(
+          "dcs_concurrent_snapshots_total",
+          "Stripe-merge snapshots taken by concurrent monitors"),
+      Registry::global().histogram(
+          "dcs_concurrent_snapshot_latency_ns",
+          "Concurrent-monitor snapshot (stripe merge) latency, ns"),
+      Registry::global().histogram(
+          "dcs_sharded_collect_latency_ns",
+          "Sharded-monitor collect (shard merge) latency, ns")};
+  return instance;
+}
+
+}  // namespace dcs::obs

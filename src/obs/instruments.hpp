@@ -1,0 +1,95 @@
+// Pre-registered metric bundles for the library's instrumented hot paths.
+//
+// Each subsystem gets one lazily-constructed bundle of references into the
+// global Registry (construct-on-first-use keeps static-init order safe).
+// Hot paths fetch the bundle once per call under `if (obs::recording())`,
+// so a disabled build pays one relaxed bool load and nothing else.
+//
+// The full catalog — name, type, labels, and which paper quantity each
+// metric tracks — is documented in docs/OBSERVABILITY.md; keep the two in
+// sync when adding metrics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace dcs::obs {
+
+/// DistinctCountSketch (paper §3-§4): update fan-out and query-side bucket
+/// classification.
+struct SketchMetrics {
+  Counter& updates;             // dcs_sketch_updates_total
+  Counter& deletes;             // dcs_sketch_deletes_total
+  Counter& level_allocations;   // dcs_sketch_level_allocations_total
+  Counter& query_empty;         // dcs_sketch_query_buckets_total{class=empty}
+  Counter& query_singleton;     // ...{class=singleton}
+  Counter& query_collision;     // ...{class=collision}
+  Counter& recovery_failures;   // dcs_sketch_recovery_failures_total
+  Histogram& query_ns;          // dcs_sketch_query_latency_ns
+
+  /// First-level geometric hash hits, labeled by level; levels beyond
+  /// kMaxLevelLabel fold into the final "32+" series.
+  static constexpr int kMaxLevelLabel = 32;
+  Counter& level_hits(int level) noexcept {
+    return *level_hits_[static_cast<std::size_t>(
+        level > kMaxLevelLabel ? kMaxLevelLabel : level)];
+  }
+
+  static SketchMetrics& get();
+
+  std::array<Counter*, kMaxLevelLabel + 1> level_hits_;
+};
+
+/// TrackingDcs (paper §5): Fig. 6 singleton-set churn and heap maintenance.
+struct TrackingMetrics {
+  Counter& updates;             // dcs_tracking_updates_total
+  Counter& singletons_gained;   // dcs_tracking_singletons_gained_total
+  Counter& singletons_lost;     // dcs_tracking_singletons_lost_total
+  Counter& heap_ops;            // dcs_tracking_heap_ops_total
+  Histogram& query_ns;          // dcs_tracking_query_latency_ns
+
+  static TrackingMetrics& get();
+};
+
+/// FlowUpdateExporter: handshake state machine and SYN-backlog reaping.
+struct ExporterMetrics {
+  Counter& packets;             // dcs_exporter_packets_total
+  Counter& opens;               // dcs_exporter_opens_total (+1 emissions)
+  Counter& closes;              // dcs_exporter_closes_total (-1, ACK/RST)
+  Counter& timeout_reaps;       // dcs_exporter_timeout_reaps_total (-1, timer)
+  Gauge& half_open;             // dcs_exporter_half_open_pairs
+
+  static ExporterMetrics& get();
+};
+
+/// DdosMonitor: per-epoch checks and the alert state machine.
+struct MonitorMetrics {
+  Counter& checks;              // dcs_monitor_checks_total
+  Counter& alerts_raised;       // dcs_monitor_alerts_raised_total
+  Counter& alerts_cleared;      // dcs_monitor_alerts_cleared_total
+  Gauge& active_alarms;         // dcs_monitor_active_alarms
+  Histogram& check_ns;          // dcs_monitor_check_latency_ns
+
+  static MonitorMetrics& get();
+};
+
+/// ShardedMonitor / ConcurrentMonitor: per-shard and per-stripe ingest.
+struct DistributedMetrics {
+  Counter& snapshots;           // dcs_concurrent_snapshots_total
+  Histogram& snapshot_ns;       // dcs_concurrent_snapshot_latency_ns
+  Histogram& collect_ns;        // dcs_sharded_collect_latency_ns
+
+  /// dcs_sharded_updates_total{shard=...}; indices beyond kMaxIndexLabel
+  /// fold into the final "32+" series. Takes the registry lock — resolve
+  /// once at construction, never per update.
+  static constexpr std::size_t kMaxIndexLabel = 32;
+  static Counter& shard_updates(std::size_t shard);
+  /// dcs_concurrent_updates_total{stripe=...}, same folding rule.
+  static Counter& stripe_updates(std::size_t stripe);
+
+  static DistributedMetrics& get();
+};
+
+}  // namespace dcs::obs

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/instruments.hpp"
+
 namespace dcs {
 
 namespace {
@@ -35,7 +37,10 @@ void DistinctCountSketch::check_key(PairKey key) const {
 
 void DistinctCountSketch::ensure_level(int level) {
   auto& storage = levels_[static_cast<std::size_t>(level)];
-  if (storage.empty()) storage.assign(params_.counters_per_level(), 0);
+  if (storage.empty()) {
+    storage.assign(params_.counters_per_level(), 0);
+    if (obs::recording()) obs::SketchMetrics::get().level_allocations.inc();
+  }
 }
 
 std::int64_t* DistinctCountSketch::counters_at(int level, int table,
@@ -66,11 +71,34 @@ void DistinctCountSketch::update_key(PairKey key, int delta) {
   check_key(key);
   const int level = level_of(key);
   ensure_level(level);
+  if (obs::recording()) {
+    ++pending_metrics_.updates;
+    if (delta < 0) ++pending_metrics_.deletes;
+    ++pending_metrics_.level_hits[static_cast<std::size_t>(
+        level > obs::SketchMetrics::kMaxLevelLabel
+            ? obs::SketchMetrics::kMaxLevelLabel
+            : level)];
+    if (pending_metrics_.updates >= kMetricsFlushInterval) flush_metrics();
+  }
   for (int j = 0; j < params_.num_tables; ++j) {
     CountSignatureView sig(counters_at(level, j, bucket_of(j, key)),
                            params_.key_bits);
     sig.add(key, delta);
   }
+}
+
+void DistinctCountSketch::flush_metrics() const {
+  if (pending_metrics_.updates == 0) return;
+  auto& metrics = obs::SketchMetrics::get();
+  metrics.updates.inc(pending_metrics_.updates);
+  if (pending_metrics_.deletes > 0)
+    metrics.deletes.inc(pending_metrics_.deletes);
+  for (std::size_t l = 0; l < pending_metrics_.level_hits.size(); ++l) {
+    if (pending_metrics_.level_hits[l] != 0)
+      metrics.level_hits(static_cast<int>(l)).inc(
+          pending_metrics_.level_hits[l]);
+  }
+  pending_metrics_ = {};
 }
 
 void DistinctCountSketch::apply_to_table(int level, int table, PairKey key,
@@ -94,16 +122,33 @@ std::vector<PairKey> DistinctCountSketch::level_sample(int level) const {
   std::vector<PairKey> sample;
   if (!level_allocated(level)) return sample;
   std::unordered_set<PairKey> seen;
+  // Classification tallies are batched locally and flushed once per level so
+  // instrumentation adds no atomics to the inner scan.
+  std::uint64_t empty = 0, singleton = 0, collision = 0, ghosts = 0;
   for (int j = 0; j < params_.num_tables; ++j) {
     for (std::uint32_t b = 0; b < params_.buckets_per_table; ++b) {
       const BucketClass cls = classify_bucket(level, j, b);
-      if (cls.state != BucketState::kSingleton) continue;
+      if (cls.state != BucketState::kSingleton) {
+        (cls.state == BucketState::kEmpty ? empty : collision)++;
+        continue;
+      }
+      ++singleton;
       // Defensive re-hash: a recovered key must map back to this very bucket.
       // Valid update streams can never fail this check; streams that delete
       // items they never inserted could fabricate "ghost" singletons.
-      if (level_of(cls.key) != level || bucket_of(j, cls.key) != b) continue;
+      if (level_of(cls.key) != level || bucket_of(j, cls.key) != b) {
+        ++ghosts;
+        continue;
+      }
       if (seen.insert(cls.key).second) sample.push_back(cls.key);
     }
+  }
+  if (obs::recording()) {
+    auto& metrics = obs::SketchMetrics::get();
+    metrics.query_empty.inc(empty);
+    metrics.query_singleton.inc(singleton);
+    metrics.query_collision.inc(collision);
+    metrics.recovery_failures.inc(ghosts);
   }
   return sample;
 }
@@ -186,6 +231,8 @@ double DistinctCountSketch::correction_factor(
 }
 
 TopKResult DistinctCountSketch::top_k(std::size_t k) const {
+  flush_metrics();  // query-time snapshots see every update so far
+  obs::ScopedTimer timer(obs::SketchMetrics::get().query_ns);
   const DistinctSample sample = collect_sample();
   TopKResult result;
   result.inference_level = sample.inference_level;
@@ -199,6 +246,7 @@ TopKResult DistinctCountSketch::top_k(std::size_t k) const {
 
 std::vector<TopKEntry> DistinctCountSketch::groups_above(
     std::uint64_t tau) const {
+  flush_metrics();
   const DistinctSample sample = collect_sample();
   const double scale =
       std::ldexp(correction_factor(sample.inference_level, sample.keys.size()),

@@ -21,6 +21,7 @@
 // unit tests verify unbiasedness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -147,6 +148,19 @@ class DistinctCountSketch final : public TopKEstimator {
                                   std::uint32_t bucket) const;
   void ensure_level(int level);
   void check_key(PairKey key) const;
+  void flush_metrics() const;
+
+  /// Update-path telemetry tallied locally (plain increments) and flushed
+  /// to the global registry every kMetricsFlushInterval updates and at
+  /// query time, keeping the per-update overhead inside the 5% budget
+  /// (bench/obs_overhead). Counts may lag the registry by one batch
+  /// between flushes. Mutable: queries flush from const paths.
+  struct PendingMetrics {
+    std::uint32_t updates = 0;
+    std::uint32_t deletes = 0;
+    std::array<std::uint32_t, 33> level_hits{};  // obs kMaxLevelLabel + 1
+  };
+  static constexpr std::uint32_t kMetricsFlushInterval = 1024;
 
   DcsParams params_;
   LevelHash level_hash_;
@@ -154,6 +168,7 @@ class DistinctCountSketch final : public TopKEstimator {
   /// levels_[l] is either empty (never touched) or a flat array of
   /// r * s * (key_bits + 1) counters.
   std::vector<std::vector<std::int64_t>> levels_;
+  mutable PendingMetrics pending_metrics_;
 };
 
 /// Shared by BaseTopk and the threshold query: count group occurrences in a

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/instruments.hpp"
+
 namespace dcs {
 
 TrackingDcs::TrackingDcs(DcsParams params)
@@ -31,6 +33,7 @@ void TrackingDcs::update(Addr group, Addr member, int delta) {
 void TrackingDcs::update_key(PairKey key, int delta) {
   if (params().key_bits < 64 && (key >> params().key_bits) != 0)
     throw std::invalid_argument("TrackingDcs: key does not fit in key_bits");
+  if (obs::recording()) obs::TrackingMetrics::get().updates.inc();
   const int level = sketch_.level_of(key);
   for (int j = 0; j < params().num_tables; ++j) {
     const std::uint32_t bucket = sketch_.bucket_of(j, key);
@@ -62,6 +65,11 @@ void TrackingDcs::singleton_gained(int level, PairKey key) {
     const Addr group = pair_group(key);
     for (int l = level; l >= 0; --l)
       heaps_[static_cast<std::size_t>(l)].add(group, +1);
+    if (obs::recording()) {
+      auto& metrics = obs::TrackingMetrics::get();
+      metrics.singletons_gained.inc();
+      metrics.heap_ops.inc(static_cast<std::uint64_t>(level) + 1);
+    }
   }
 }
 
@@ -75,6 +83,11 @@ void TrackingDcs::singleton_lost(int level, PairKey key) {
     const Addr group = pair_group(key);
     for (int l = level; l >= 0; --l)
       heaps_[static_cast<std::size_t>(l)].add(group, -1);
+    if (obs::recording()) {
+      auto& metrics = obs::TrackingMetrics::get();
+      metrics.singletons_lost.inc();
+      metrics.heap_ops.inc(static_cast<std::uint64_t>(level) + 1);
+    }
   }
 }
 
@@ -112,6 +125,7 @@ double TrackingDcs::correction_factor(int level,
 }
 
 TopKResult TrackingDcs::top_k(std::size_t k) const {
+  obs::ScopedTimer timer(obs::TrackingMetrics::get().query_ns);
   const auto [level, sample_size] = inference_level();
   TopKResult result;
   result.inference_level = level;

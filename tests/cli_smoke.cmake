@@ -28,6 +28,55 @@ run_cli(diff --base a.dcs --sketch b.dcs --k 3)
 run_cli(monitor --trace trace.bin --min-absolute 100)
 run_cli(monitor --trace trace.bin --by-source --min-absolute 100)
 
+# Telemetry export: the snapshot files must exist and carry the core
+# counters in both formats, and the alert log must be a JSON array.
+run_cli(topk --trace trace.bin --k 5 --metrics-out metrics.prom)
+file(READ ${WORK_DIR}/metrics.prom prom_text)
+foreach(needle
+    "# TYPE dcs_sketch_updates_total counter"
+    "# TYPE dcs_tracking_updates_total counter"
+    "dcs_tracking_updates_total [1-9]"
+    "# TYPE dcs_tracking_query_latency_ns histogram"
+    "dcs_tracking_query_latency_ns_count [1-9]")
+  if(NOT prom_text MATCHES "${needle}")
+    message(FATAL_ERROR "metrics.prom is missing '${needle}':\n${prom_text}")
+  endif()
+endforeach()
+
+run_cli(monitor --trace trace.bin --min-absolute 100
+  --metrics-out metrics.json --metrics-format json --alerts-out alerts.json)
+file(READ ${WORK_DIR}/metrics.json json_text)
+foreach(needle "dcs_monitor_checks_total" "dcs_tracking_updates_total"
+    "\"histograms\":")
+  if(NOT json_text MATCHES "${needle}")
+    message(FATAL_ERROR "metrics.json is missing '${needle}':\n${json_text}")
+  endif()
+endforeach()
+file(READ ${WORK_DIR}/alerts.json alerts_text)
+if(NOT alerts_text MATCHES "^\\[")
+  message(FATAL_ERROR "alerts.json is not a JSON array:\n${alerts_text}")
+endif()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # Both documents must parse as JSON, and the monitor counter must be a
+  # plain number.
+  string(JSON n_counters LENGTH "${json_text}" counters)
+  if(n_counters LESS 5)
+    message(FATAL_ERROR "metrics.json has only ${n_counters} counters")
+  endif()
+  string(JSON alerts_len LENGTH "${alerts_text}")
+  message(STATUS "metrics.json: ${n_counters} counters; "
+    "alerts.json: ${alerts_len} events")
+endif()
+
+# An unknown metrics format must fail cleanly.
+execute_process(COMMAND ${DCS_CLI} topk --trace trace.bin --metrics-out x
+    --metrics-format yaml
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE status
+  OUTPUT_QUIET ERROR_QUIET)
+if(status EQUAL 0)
+  message(FATAL_ERROR "unknown --metrics-format should fail")
+endif()
+
 # convert: text packet log -> trace, then query it.
 file(WRITE ${WORK_DIR}/packets.txt
 "# ts source dest flag

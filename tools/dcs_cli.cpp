@@ -27,8 +27,16 @@
 //       most NEW distinct sources since it was taken (heavy-change query).
 //
 //   monitor   --trace trace.bin [--interval N] [--min-absolute N]
-//             [--factor F] [--by-source]
+//             [--factor F] [--by-source] [--alerts-out alerts.json]
 //       Replay the trace through the DDoS monitor and print alerts.
+//       --alerts-out writes the structured alert event log as JSON.
+//
+//   Telemetry: `topk` and `monitor` accept
+//       --metrics-out <file> [--metrics-format prom|json]
+//   to dump a runtime-metrics snapshot (update/query counters, bucket
+//   classifications, latency histograms — see docs/OBSERVABILITY.md).
+//   `monitor` rewrites the file after every check epoch, so a scraper
+//   watching it sees the run progress live.
 //
 //   convert   --in packets.txt --out trace.bin [--timeout N]
 //       Import a text packet log ("timestamp source dest flag" per line;
@@ -45,8 +53,10 @@
 
 #include "baselines/exact_tracker.hpp"
 #include "common/options.hpp"
+#include "detection/alert_log.hpp"
 #include "detection/ddos_monitor.hpp"
 #include "net/exporter.hpp"
+#include "obs/export.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
 #include "stream/generator.hpp"
@@ -63,6 +73,28 @@ int usage() {
                "option list)\n");
   return 2;
 }
+
+/// --metrics-out <file> / --metrics-format {prom,json} (default prom).
+/// Inactive (dump() is a no-op) when --metrics-out is absent.
+struct MetricsSink {
+  std::string path;
+  obs::ExportFormat format = obs::ExportFormat::kPrometheus;
+
+  static MetricsSink from(const Options& options) {
+    MetricsSink sink;
+    sink.path = options.str("metrics-out", "");
+    sink.format = obs::parse_format(options.str("metrics-format", "prom"));
+    return sink;
+  }
+
+  bool active() const { return !path.empty(); }
+
+  void dump() const {
+    if (active())
+      obs::write_snapshot_file(path, format,
+                               obs::Registry::global().snapshot());
+  }
+};
 
 DcsParams params_from(const Options& options) {
   DcsParams params;
@@ -129,12 +161,14 @@ int cmd_info(const Options& options) {
 int cmd_topk(const Options& options) {
   const std::string trace = options.str("trace", "");
   if (trace.empty()) return usage();
+  const MetricsSink metrics = MetricsSink::from(options);
   const auto updates = read_trace_file(trace);
   const auto k = static_cast<std::size_t>(options.integer("k", 10));
   if (options.flag("exact")) {
     ExactTracker exact;
     for (const FlowUpdate& u : updates) exact.update(u.dest, u.source, u.delta);
     print_entries(exact.top_k(k).entries);
+    metrics.dump();
     return 0;
   }
   TrackingDcs tracker(params_from(options));
@@ -145,6 +179,7 @@ int cmd_topk(const Options& options) {
               result.inference_level,
               static_cast<double>(tracker.memory_bytes()) / 1024.0);
   print_entries(result.entries);
+  metrics.dump();
   return 0;
 }
 
@@ -284,6 +319,9 @@ int cmd_convert(const Options& options) {
 int cmd_monitor(const Options& options) {
   const std::string trace = options.str("trace", "");
   if (trace.empty()) return usage();
+  const MetricsSink metrics = MetricsSink::from(options);
+  const std::string alerts_out = options.str("alerts-out", "");
+  const std::string role = options.flag("by-source") ? "source" : "dest";
   const auto updates = read_trace_file(trace);
   DdosMonitorConfig config;
   config.sketch = params_from(options);
@@ -295,18 +333,20 @@ int cmd_monitor(const Options& options) {
   if (options.flag("by-source"))
     config.rank_by = DdosMonitorConfig::RankBy::kSource;
   DdosMonitor monitor(config);
+  // Refresh the snapshot file at every check epoch: a collector watching the
+  // file sees counters and latency histograms advance while the replay runs.
+  if (metrics.active())
+    monitor.set_check_callback(
+        [&metrics](const DdosMonitor&) { metrics.dump(); });
   monitor.ingest(updates);
   monitor.check_now();
   for (const Alert& alert : monitor.alerts())
-    std::printf("[%llu] %s %s=%08x estimate=%llu baseline=%.0f\n",
-                static_cast<unsigned long long>(alert.stream_position),
-                alert.kind == Alert::Kind::kRaised ? "RAISED " : "cleared",
-                options.flag("by-source") ? "source" : "dest", alert.subject,
-                static_cast<unsigned long long>(alert.estimated_frequency),
-                alert.baseline);
-  std::printf("%zu alerts, %zu active alarms after %zu updates\n",
+    std::printf("%s\n", format_alert(alert, role).c_str());
+  std::printf("%zu alerts, %zu active alarms after %zu updates (%llu checks)\n",
               monitor.alerts().size(), monitor.active_alarms().size(),
-              updates.size());
+              updates.size(),
+              static_cast<unsigned long long>(monitor.checks_run()));
+  if (!alerts_out.empty()) write_alerts_json(alerts_out, monitor.alerts(), role);
   return 0;
 }
 
