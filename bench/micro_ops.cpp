@@ -73,6 +73,24 @@ void BM_BasicUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_BasicUpdate);
 
+void BM_BasicUpdateBatch(benchmark::State& state) {
+  // Same stream as BM_BasicUpdate through the batched path; Arg = caller
+  // block size. Compare ns/op directly against BM_BasicUpdate.
+  const auto updates = bench_updates(100'000);
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  DistinctCountSketch sketch(bench_params());
+  const std::span<const FlowUpdate> all(updates);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(block, all.size() - i);
+    sketch.update_batch(all.subspan(i, n));
+    i = (i + n) % all.size();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_BasicUpdateBatch)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_TrackingUpdate(benchmark::State& state) {
   const auto updates = bench_updates(100'000);
   TrackingDcs sketch(bench_params());
@@ -84,6 +102,22 @@ void BM_TrackingUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrackingUpdate);
+
+void BM_TrackingUpdateBatch(benchmark::State& state) {
+  const auto updates = bench_updates(100'000);
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  TrackingDcs sketch(bench_params());
+  const std::span<const FlowUpdate> all(updates);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(block, all.size() - i);
+    sketch.update_batch(all.subspan(i, n));
+    i = (i + n) % all.size();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_TrackingUpdateBatch)->Arg(64)->Arg(1024);
 
 void BM_BasicTopK(benchmark::State& state) {
   const auto updates = bench_updates(200'000);
@@ -164,6 +198,37 @@ void BM_ConcurrentUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConcurrentUpdate)->Threads(1)->Threads(4);
+
+void BM_ConcurrentUpdateBatch(benchmark::State& state) {
+  // Bulk ingest through the stripe-partitioning batch path (one stripe lock
+  // per sub-batch) — contrast with BM_ConcurrentUpdate's lock-per-element.
+  const auto updates = bench_updates(100'000);
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  ConcurrentMonitor monitor(bench_params(), 16);
+  const std::span<const FlowUpdate> all(updates);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(block, all.size() - i);
+    monitor.update_batch(all.subspan(i, n));
+    i = (i + n) % all.size();
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(n));
+  }
+}
+BENCHMARK(BM_ConcurrentUpdateBatch)->Arg(256)->Arg(1024);
+
+void BM_ConcurrentPipelinedUpdate(benchmark::State& state) {
+  // Per-element ingest into the per-stripe batch queues (queue_capacity > 0):
+  // the stripe's sketch lock is taken once per full queue.
+  ConcurrentMonitor monitor(bench_params(), 16, /*queue_capacity=*/1024);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    monitor.update(static_cast<Addr>(rng.bounded(10'000)),
+                   static_cast<Addr>(rng()), +1);
+  }
+  monitor.flush();
+}
+BENCHMARK(BM_ConcurrentPipelinedUpdate);
 
 void BM_ExporterObserve(benchmark::State& state) {
   // Exporter throughput on a SYN/ACK mix.

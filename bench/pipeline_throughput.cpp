@@ -4,10 +4,29 @@
 // This is the number that decides whether the monitor keeps up with a given
 // link: the paper's premise is that all stages are cheap enough for ISP-edge
 // deployment.
+//
+// Each ingest stage is measured three ways where the API supports it:
+//   sequential — one call per element (update()/observe());
+//   batched    — caller-side blocks through the update_batch() fast path
+//                (hash precompute + prefetch + amortized telemetry, and for
+//                the concurrent monitor one stripe lock per block);
+//   pipelined  — ConcurrentMonitor per-stripe batch queues (queue_capacity >
+//                0): per-element enqueue, stripe lock once per full queue.
+// The pipelined/sequential ratio for the concurrent monitor is the headline
+// number: it is what a deployment gains from routing ingest through the
+// per-stripe batch queues instead of element-at-a-time lock-and-apply.
+//
+// Methodology for the sketch-ingest stages: one untimed warm-up pass
+// populates every sketch level and faults in the backing pages, then the
+// fastest of three timed passes over the same long-lived structure is
+// reported. A continuous monitor spends its life in that steady state;
+// single-shot cold runs mostly measure page faults, and best-of-N damps the
+// +/-10-20% timing jitter of a shared virtualized host.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
+#include "distributed/concurrent_monitor.hpp"
 #include "net/exporter.hpp"
 #include "net/scenarios.hpp"
 #include "sketch/tracking_dcs.hpp"
@@ -17,6 +36,12 @@ int main(int argc, char** argv) {
   using namespace dcs::bench;
   const Options options(argc, argv);
   const Scale scale = Scale::resolve(options);
+  const std::size_t block = 1024;   // caller-side batch (NIC-burst sized)
+  const std::size_t stripes = 16;
+  // Per-stripe queue depth for pipelined mode. Larger than the caller-side
+  // block: enqueueing is cheap, and a deeper queue hands update_batch()
+  // bigger level-sorted applies per stripe-lock acquisition.
+  const std::size_t queue_capacity = 4096;
 
   // Build a realistic packet mix: background sessions + a flood + a crowd.
   Timeline timeline(3);
@@ -33,8 +58,8 @@ int main(int argc, char** argv) {
 
   std::printf("# Pipeline throughput (%zu packets)\n", packets.size());
 
-  // Stage 1: exporter alone.
-  double exporter_mpps;
+  // Stage 1: exporter alone, element sink vs batch sink.
+  double exporter_mpps, exporter_batched_mpps;
   std::vector<FlowUpdate> updates;
   {
     FlowUpdateExporter exporter;
@@ -43,31 +68,95 @@ int main(int argc, char** argv) {
     for (const Packet& packet : packets)
       exporter.observe(packet,
                        [&updates](const FlowUpdate& u) { updates.push_back(u); });
+    exporter.finish_interval();
     exporter_mpps =
         static_cast<double>(packets.size()) / watch.elapsed_s() / 1e6;
   }
+  {
+    FlowUpdateExporter exporter;
+    std::size_t emitted = 0;
+    Stopwatch watch;
+    exporter.run_batched(
+        packets,
+        [&emitted](std::span<const FlowUpdate> ready) { emitted += ready.size(); },
+        block);
+    exporter_batched_mpps =
+        static_cast<double>(packets.size()) / watch.elapsed_s() / 1e6;
+    if (emitted != updates.size())
+      std::printf("# WARNING: batch sink emitted %zu != %zu updates\n", emitted,
+                  updates.size());
+  }
+
+  DcsParams params;
+  params.seed = 5;
+
+  // Warm-up + best-of-3 runner (see methodology note at the top). Repeated
+  // passes over the same linear sketch only grow its counts; per-update cost
+  // is unchanged, so re-ingesting the stream is a valid steady-state probe.
+  const auto steady_mups = [&updates](auto&& pass) {
+    pass();  // untimed: allocate levels, fault in pages
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      pass();
+      const double mups =
+          static_cast<double>(updates.size()) / watch.elapsed_s() / 1e6;
+      if (mups > best) best = mups;
+    }
+    return best;
+  };
+  const std::span<const FlowUpdate> all(updates);
 
   // Stage 2: tracking sketch alone (on the produced updates).
-  double sketch_mups;
+  double sketch_mups, sketch_batched_mups;
   {
-    DcsParams params;
-    params.seed = 5;
     TrackingDcs tracker(params);
-    Stopwatch watch;
-    for (const FlowUpdate& u : updates) tracker.update(u.dest, u.source, u.delta);
-    sketch_mups =
-        static_cast<double>(updates.size()) / watch.elapsed_s() / 1e6;
+    sketch_mups = steady_mups([&] {
+      for (const FlowUpdate& u : updates)
+        tracker.update(u.dest, u.source, u.delta);
+    });
+  }
+  {
+    TrackingDcs tracker(params);
+    sketch_batched_mups = steady_mups([&] {
+      for (std::size_t i = 0; i < all.size(); i += block)
+        tracker.update_batch(all.subspan(i, std::min(block, all.size() - i)));
+    });
+  }
+
+  // Stage 3: concurrent monitor ingest — the three modes. Same updates, same
+  // stripe count; only the locking/batching discipline changes.
+  double monitor_mups, monitor_batched_mups, monitor_pipelined_mups;
+  {
+    ConcurrentMonitor monitor(params, stripes);
+    monitor_mups = steady_mups([&] {
+      for (const FlowUpdate& u : updates)
+        monitor.update(u.dest, u.source, u.delta);
+    });
+  }
+  {
+    ConcurrentMonitor monitor(params, stripes);
+    monitor_batched_mups = steady_mups([&] {
+      for (std::size_t i = 0; i < all.size(); i += block)
+        monitor.update_batch(all.subspan(i, std::min(block, all.size() - i)));
+    });
+  }
+  {
+    ConcurrentMonitor monitor(params, stripes, queue_capacity);
+    monitor_pipelined_mups = steady_mups([&] {
+      for (const FlowUpdate& u : updates)
+        monitor.update(u.dest, u.source, u.delta);
+      monitor.flush();
+    });
   }
 
   // Composed: packets in, alerts-capable state out, query every 4096 updates.
-  double composed_mpps;
+  double composed_mpps, composed_batched_mpps;
+  std::uint64_t checksum = 0;
   {
     FlowUpdateExporter exporter;
-    DcsParams params;
-    params.seed = 5;
     TrackingDcs tracker(params);
     std::uint64_t since_query = 0;
-    std::uint64_t checksum = 0;
     Stopwatch watch;
     for (const Packet& packet : packets) {
       exporter.observe(packet, [&](const FlowUpdate& u) {
@@ -79,19 +168,60 @@ int main(int argc, char** argv) {
         }
       });
     }
+    exporter.finish_interval();  // keep the last partial SYN/FIN interval
+    checksum ^= exporter.intervals().size();
     composed_mpps =
         static_cast<double>(packets.size()) / watch.elapsed_s() / 1e6;
-    if (checksum == 0xdeadbeef) std::printf("#\n");
   }
+  // Composed, batched: exporter batch sink feeding the batched tracker path,
+  // query once per delivered block.
+  {
+    FlowUpdateExporter exporter;
+    TrackingDcs tracker(params);
+    std::uint64_t since_query = 0;
+    Stopwatch watch;
+    exporter.run_batched(
+        packets,
+        [&](std::span<const FlowUpdate> ready) {
+          tracker.update_batch(ready);
+          since_query += ready.size();
+          if (since_query >= 4096) {
+            since_query = 0;
+            const auto top = tracker.top_k(5);
+            if (!top.entries.empty()) checksum ^= top.entries[0].group;
+          }
+        },
+        block);
+    checksum ^= exporter.intervals().size();
+    composed_batched_mpps =
+        static_cast<double>(packets.size()) / watch.elapsed_s() / 1e6;
+  }
+  if (checksum == 0xdeadbeef) std::printf("#\n");
 
-  print_row({"stage", "M ops/s"}, 34);
-  print_row({"exporter (packets)", format_double(exporter_mpps, 2)}, 34);
-  print_row({"tracking sketch (updates)", format_double(sketch_mups, 2)}, 34);
+  print_row({"stage", "M ops/s"}, 38);
+  print_row({"exporter (packets)", format_double(exporter_mpps, 2)}, 38);
+  print_row({"exporter batched (packets)",
+             format_double(exporter_batched_mpps, 2)}, 38);
+  print_row({"tracking sketch (updates)", format_double(sketch_mups, 2)}, 38);
+  print_row({"tracking sketch batched (updates)",
+             format_double(sketch_batched_mups, 2)}, 38);
+  print_row({"concurrent sequential (updates)", format_double(monitor_mups, 2)},
+            38);
+  print_row({"concurrent batched (updates)",
+             format_double(monitor_batched_mups, 2)}, 38);
+  print_row({"concurrent pipelined (updates)",
+             format_double(monitor_pipelined_mups, 2)}, 38);
   print_row({"composed pipeline (packets)", format_double(composed_mpps, 2)},
-            34);
+            38);
+  print_row({"composed batched (packets)",
+             format_double(composed_batched_mpps, 2)}, 38);
   std::printf("\n%zu packets produced %zu flow updates (%.2f updates/packet)\n",
               packets.size(), updates.size(),
               static_cast<double>(updates.size()) /
                   static_cast<double>(packets.size()));
+  std::printf("batched ingest speedup over sequential (concurrent): %.2fx\n",
+              monitor_batched_mups / monitor_mups);
+  std::printf("pipelined ingest speedup over sequential (concurrent): %.2fx\n",
+              monitor_pipelined_mups / monitor_mups);
   return 0;
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace dcs {
@@ -33,6 +34,22 @@ inline int floor_log2(std::uint64_t x) noexcept {
 /// ceil(log2(x)) for x >= 1.
 inline int ceil_log2(std::uint64_t x) noexcept {
   return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Software-prefetch `bytes` starting at `address` into cache, hinting an
+/// upcoming read-modify-write. The batched sketch ingest computes all bucket
+/// addresses for a block of updates first, prefetches the touched
+/// count-signature lines, then applies — hiding the random-access latency
+/// that dominates the per-update path once the sketch outgrows L2.
+inline void prefetch_write(const void* address, std::size_t bytes = 64) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* p = static_cast<const char*>(address);
+  for (std::size_t offset = 0; offset < bytes; offset += 64)
+    __builtin_prefetch(p + offset, /*rw=*/1, /*locality=*/3);
+#else
+  (void)address;
+  (void)bytes;
+#endif
 }
 
 }  // namespace dcs

@@ -64,6 +64,13 @@ class SeededHash {
     return fmix64(seed_ ^ mix64(key));
   }
 
+  /// Hash a key whose mix64() the caller has already computed — batch ingest
+  /// hashes each key once and reuses the mix across the level hash and every
+  /// bucket hash. from_mixed(mix64(k)) == operator()(k) by construction.
+  std::uint64_t from_mixed(std::uint64_t mixed_key) const noexcept {
+    return fmix64(seed_ ^ mixed_key);
+  }
+
   std::uint64_t seed() const noexcept { return seed_; }
 
  private:
@@ -80,15 +87,23 @@ class LevelHash {
       : hash_(seed), max_level_(max_level) {}
 
   int operator()(std::uint64_t key) const noexcept {
-    const std::uint64_t h = hash_(key);
-    // h == 0 happens with probability 2^-64; fold it into the deepest level.
-    const int l = (h == 0) ? max_level_ : lsb_index(h);
-    return l > max_level_ ? max_level_ : l;
+    return level_from(hash_(key));
+  }
+
+  /// Level for a precomputed mix64(key) (see SeededHash::from_mixed).
+  int from_mixed(std::uint64_t mixed_key) const noexcept {
+    return level_from(hash_.from_mixed(mixed_key));
   }
 
   int max_level() const noexcept { return max_level_; }
 
  private:
+  int level_from(std::uint64_t h) const noexcept {
+    // h == 0 happens with probability 2^-64; fold it into the deepest level.
+    const int l = (h == 0) ? max_level_ : lsb_index(h);
+    return l > max_level_ ? max_level_ : l;
+  }
+
   SeededHash hash_;
   int max_level_;
 };
@@ -104,6 +119,12 @@ class BucketHashFamily {
 
   std::uint32_t bucket(int j, std::uint64_t key) const noexcept {
     return reduce_range(hashes_[static_cast<std::size_t>(j)](key), range_);
+  }
+
+  /// bucket(j, key) for a precomputed mix64(key) (see SeededHash::from_mixed).
+  std::uint32_t bucket_mixed(int j, std::uint64_t mixed_key) const noexcept {
+    return reduce_range(
+        hashes_[static_cast<std::size_t>(j)].from_mixed(mixed_key), range_);
   }
 
   int count() const noexcept { return static_cast<int>(hashes_.size()); }

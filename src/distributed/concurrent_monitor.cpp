@@ -1,16 +1,36 @@
 #include "distributed/concurrent_monitor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace dcs {
 
-ConcurrentMonitor::ConcurrentMonitor(DcsParams params, std::size_t stripes)
-    : route_(mix64(params.seed ^ 0x57a1be5cULL)) {
+ConcurrentMonitor::ConcurrentMonitor(DcsParams params, std::size_t stripes,
+                                     std::size_t queue_capacity)
+    : route_(mix64(params.seed ^ 0x57a1be5cULL)),
+      queue_capacity_(queue_capacity) {
   if (stripes == 0)
     throw std::invalid_argument("ConcurrentMonitor: stripes >= 1");
   stripes_.reserve(stripes);
-  for (std::size_t i = 0; i < stripes; ++i)
+  for (std::size_t i = 0; i < stripes; ++i) {
     stripes_.push_back(std::make_unique<Stripe>(params, i));
+    if (queue_capacity_ > 0) stripes_.back()->pending.reserve(queue_capacity_);
+  }
+}
+
+void ConcurrentMonitor::apply_batch(Stripe& stripe,
+                                    std::span<const FlowUpdate> ready) const {
+  if (ready.empty()) return;
+  // Per-stripe telemetry is tallied here, once per batch, so the enqueue
+  // fast path pays no atomic RMW per element.
+  stripe.updates->inc(ready.size());
+  if (obs::recording()) {
+    auto& metrics = obs::DistributedMetrics::get();
+    metrics.batch_applies.inc();
+    metrics.batch_fill.observe(ready.size());
+  }
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.sketch.update_batch(ready);
 }
 
 void ConcurrentMonitor::update(Addr group, Addr member, int delta) {
@@ -18,28 +38,93 @@ void ConcurrentMonitor::update(Addr group, Addr member, int delta) {
   const std::size_t index = static_cast<std::size_t>(
       reduce_range(route_(key), static_cast<std::uint32_t>(stripes_.size())));
   Stripe& stripe = *stripes_[index];
-  stripe.updates->inc();
-  const std::lock_guard<std::mutex> lock(stripe.mutex);
-  stripe.sketch.update(group, member, delta);
+  if (queue_capacity_ == 0) {
+    stripe.updates->inc();
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.sketch.update(group, member, delta);
+    return;
+  }
+  // Pipelined mode: enqueue under the (short, uncontended-by-design) queue
+  // mutex; the thread that fills the queue applies the whole batch, taking
+  // the sketch lock once per queue_capacity_ updates.
+  std::vector<FlowUpdate> ready;
+  {
+    const std::lock_guard<std::mutex> lock(stripe.queue_mutex);
+    stripe.pending.push_back(
+        {member, group, static_cast<std::int8_t>(delta)});
+    if (stripe.pending.size() < queue_capacity_) return;
+    ready.swap(stripe.pending);
+    stripe.pending.reserve(queue_capacity_);
+  }
+  apply_batch(stripe, ready);
+}
+
+void ConcurrentMonitor::update_batch(std::span<const FlowUpdate> updates) {
+  // Partition by stripe with no locks held, then take each stripe's sketch
+  // lock exactly once for its whole sub-batch.
+  std::vector<std::vector<FlowUpdate>> parts(stripes_.size());
+  const std::size_t expect = updates.size() / stripes_.size() + 1;
+  for (auto& part : parts) part.reserve(expect);
+  for (const FlowUpdate& u : updates) {
+    const PairKey key = pack_pair(u.dest, u.source);
+    parts[static_cast<std::size_t>(reduce_range(
+             route_(key), static_cast<std::uint32_t>(stripes_.size())))]
+        .push_back(u);
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].empty()) apply_batch(*stripes_[i], parts[i]);
+  }
+}
+
+void ConcurrentMonitor::drain_queues() const {
+  if (queue_capacity_ == 0) return;
+  for (const auto& stripe : stripes_) {
+    std::vector<FlowUpdate> ready;
+    {
+      const std::lock_guard<std::mutex> lock(stripe->queue_mutex);
+      ready.swap(stripe->pending);
+      stripe->pending.reserve(queue_capacity_);
+    }
+    apply_batch(*stripe, ready);
+  }
+}
+
+void ConcurrentMonitor::flush() { drain_queues(); }
+
+std::size_t ConcurrentMonitor::pending_updates() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->queue_mutex);
+    total += stripe->pending.size();
+  }
+  return total;
 }
 
 DistinctCountSketch ConcurrentMonitor::snapshot() const {
   auto& metrics = obs::DistributedMetrics::get();
   metrics.snapshots.inc();
   obs::ScopedTimer timer(metrics.snapshot_ns);
+  drain_queues();
+  // Consistent cut: hold every stripe lock (acquired in index order — the
+  // only multi-lock path, so no deadlock) while merging, so the result is
+  // the exact sum of all stripes at one common point in time.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) locks.emplace_back(stripe->mutex);
   DistinctCountSketch merged(stripes_.front()->sketch.params());
-  for (const auto& stripe : stripes_) {
-    const std::lock_guard<std::mutex> lock(stripe->mutex);
-    merged.merge(stripe->sketch);
-  }
+  for (const auto& stripe : stripes_) merged.merge(stripe->sketch);
   return merged;
 }
 
 std::size_t ConcurrentMonitor::memory_bytes() const {
   std::size_t bytes = 0;
   for (const auto& stripe : stripes_) {
-    const std::lock_guard<std::mutex> lock(stripe->mutex);
-    bytes += stripe->sketch.memory_bytes();
+    {
+      const std::lock_guard<std::mutex> lock(stripe->mutex);
+      bytes += stripe->sketch.memory_bytes();
+    }
+    const std::lock_guard<std::mutex> lock(stripe->queue_mutex);
+    bytes += stripe->pending.capacity() * sizeof(FlowUpdate);
   }
   return bytes;
 }

@@ -10,6 +10,17 @@
 // (update order is irrelevant to a linear structure), which the concurrency
 // tests verify against a single-threaded reference.
 //
+// Two ingest modes:
+//   * direct (queue_capacity == 0): update() takes its stripe's sketch lock
+//     for every element — lowest latency to visibility, highest lock traffic;
+//   * pipelined (queue_capacity > 0): update() appends to a per-stripe
+//     bounded batch queue under a cheap queue mutex and the stripe's sketch
+//     lock is taken once per full batch, applied via the prefetching
+//     DistinctCountSketch::update_batch. flush() (and every snapshot) drains
+//     the queues, so queries still observe everything enqueued before them.
+// Bulk callers should prefer update_batch(), which partitions a caller-side
+// block by stripe and takes each stripe lock exactly once regardless of mode.
+//
 // Queries are O(sketch size) because of the merge; this is the right
 // trade-off for a monitor that queries every few thousand updates. For
 // query-every-update workloads, use a single-threaded TrackingDcs.
@@ -18,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -31,13 +43,32 @@ namespace dcs {
 class ConcurrentMonitor {
  public:
   /// `stripes` should be >= the number of writer threads to keep contention
-  /// low; it does not affect the merged result.
-  ConcurrentMonitor(DcsParams params, std::size_t stripes);
+  /// low; it does not affect the merged result. `queue_capacity` selects the
+  /// ingest mode: 0 = direct (stripe lock per update), > 0 = pipelined
+  /// (per-stripe batch queues of that many updates, stripe lock per batch).
+  explicit ConcurrentMonitor(DcsParams params, std::size_t stripes,
+                             std::size_t queue_capacity = 0);
 
-  /// Thread-safe. Locks exactly one stripe.
+  /// Thread-safe. Direct mode: locks exactly one stripe. Pipelined mode:
+  /// enqueues under the stripe's queue mutex and applies a full batch at
+  /// most once. Deltas are stored as FlowUpdate deltas (±1 stream elements).
   void update(Addr group, Addr member, int delta);
 
-  /// Merge all stripes into one sketch (thread-safe snapshot).
+  /// Thread-safe bulk ingest: partition `updates` by stripe without locks,
+  /// then apply each stripe's sub-batch under its lock exactly once via the
+  /// batched sketch path. Bypasses the pending queues (no reordering hazard:
+  /// the sketch is linear).
+  void update_batch(std::span<const FlowUpdate> updates);
+
+  /// Drain every stripe's pending queue into its sketch. Called implicitly
+  /// by snapshot(); exposed so pipelined producers can bound staleness
+  /// without paying for a merge.
+  void flush();
+
+  /// Merge all stripes into one sketch. Drains pending queues first, then
+  /// acquires every stripe lock (fixed index order, same everywhere, so no
+  /// deadlock) before merging: the result is a consistent cut — for every
+  /// stripe, exactly the updates applied before one common point.
   DistinctCountSketch snapshot() const;
 
   /// Snapshot wrapped in tracking state, ready for top-k queries.
@@ -47,12 +78,19 @@ class ConcurrentMonitor {
   TopKResult top_k(std::size_t k) const { return snapshot().top_k(k); }
 
   std::size_t num_stripes() const noexcept { return stripes_.size(); }
+  std::size_t queue_capacity() const noexcept { return queue_capacity_; }
+  /// Updates enqueued but not yet applied (pipelined mode; 0 in direct mode).
+  std::size_t pending_updates() const;
   std::size_t memory_bytes() const;
 
  private:
   struct Stripe {
-    mutable std::mutex mutex;
+    mutable std::mutex mutex;  // guards sketch
     DistinctCountSketch sketch;
+    /// Pipelined-mode batch queue; guarded by queue_mutex, bounded by
+    /// ConcurrentMonitor::queue_capacity_.
+    mutable std::mutex queue_mutex;
+    std::vector<FlowUpdate> pending;
     /// dcs_concurrent_updates_total{stripe=...}; the counter itself is
     /// atomic, so it is bumped outside the stripe lock.
     obs::Counter* updates;
@@ -62,8 +100,14 @@ class ConcurrentMonitor {
           updates(&obs::DistributedMetrics::stripe_updates(index)) {}
   };
 
+  /// Apply a ready batch to the stripe's sketch under its lock.
+  void apply_batch(Stripe& stripe, std::span<const FlowUpdate> ready) const;
+  /// Swap out and apply every stripe's pending queue.
+  void drain_queues() const;
+
   std::vector<std::unique_ptr<Stripe>> stripes_;
   SeededHash route_;
+  std::size_t queue_capacity_;
 };
 
 }  // namespace dcs

@@ -18,6 +18,7 @@ void FlowUpdateExporter::roll_intervals(std::uint64_t timestamp) {
     intervals_.push_back(current_);
     current_ = IntervalCounts{};
     current_interval_start_ += interval_ticks_;
+    interval_dirty_ = false;
   }
 }
 
@@ -44,6 +45,7 @@ void FlowUpdateExporter::expire_before(std::uint64_t now,
 void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
   roll_intervals(packet.timestamp);
   expire_before(packet.timestamp, sink);
+  interval_dirty_ = true;
   const bool record = obs::recording();
   if (record) obs::ExporterMetrics::get().packets.inc();
   const PairKey key = pack_pair(packet.source, packet.dest);
@@ -80,6 +82,10 @@ void FlowUpdateExporter::observe(const Packet& packet, const UpdateSink& sink) {
       break;
     }
     case PacketType::kRst: {
+      // RST counts toward `fin`: the SYN-FIN CUSUM baseline (Wang et al.)
+      // pairs every connection-opening SYN with a terminating FIN *or* RST,
+      // so aborts must land in the same aggregate or every reset connection
+      // would read as a permanently unbalanced SYN.
       ++current_.fin;
       const auto it = half_open_.find(key);
       if (it != half_open_.end()) {
@@ -112,10 +118,37 @@ std::vector<FlowUpdate> FlowUpdateExporter::run(
   return updates;
 }
 
+std::size_t FlowUpdateExporter::run_batched(std::span<const Packet> packets,
+                                            const BatchSink& sink,
+                                            std::size_t block_updates) {
+  if (block_updates == 0)
+    throw std::invalid_argument("FlowUpdateExporter: block_updates >= 1");
+  std::vector<FlowUpdate> block;
+  block.reserve(block_updates);
+  std::size_t emitted = 0;
+  const auto buffer = [&](const FlowUpdate& u) { block.push_back(u); };
+  for (const Packet& packet : packets) {
+    observe(packet, buffer);
+    if (block.size() >= block_updates) {
+      emitted += block.size();
+      sink(block);
+      block.clear();
+    }
+  }
+  finish_interval();
+  if (!block.empty()) {
+    emitted += block.size();
+    sink(block);
+  }
+  return emitted;
+}
+
 void FlowUpdateExporter::finish_interval() {
+  if (!interval_dirty_) return;
   intervals_.push_back(current_);
   current_ = IntervalCounts{};
   current_interval_start_ += interval_ticks_;
+  interval_dirty_ = false;
 }
 
 }  // namespace dcs

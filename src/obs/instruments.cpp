@@ -138,7 +138,15 @@ DistributedMetrics& DistributedMetrics::get() {
           "Concurrent-monitor snapshot (stripe merge) latency, ns"),
       Registry::global().histogram(
           "dcs_sharded_collect_latency_ns",
-          "Sharded-monitor collect (shard merge) latency, ns")};
+          "Sharded-monitor collect (shard merge) latency, ns"),
+      Registry::global().counter(
+          "dcs_concurrent_batch_applies_total",
+          "Batches applied to concurrent-monitor stripes (queue flushes "
+          "plus bulk update_batch sub-batches)"),
+      Registry::global().histogram(
+          "dcs_concurrent_batch_fill_updates",
+          "Updates per batch applied to a concurrent-monitor stripe "
+          "(queue depth at flush time)")};
   return instance;
 }
 

@@ -80,6 +80,8 @@ struct DistributedMetrics {
   Counter& snapshots;           // dcs_concurrent_snapshots_total
   Histogram& snapshot_ns;       // dcs_concurrent_snapshot_latency_ns
   Histogram& collect_ns;        // dcs_sharded_collect_latency_ns
+  Counter& batch_applies;       // dcs_concurrent_batch_applies_total
+  Histogram& batch_fill;        // dcs_concurrent_batch_fill_updates
 
   /// dcs_sharded_updates_total{shard=...}; indices beyond kMaxIndexLabel
   /// fold into the final "32+" series. Takes the registry lock — resolve

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,27 @@ class DistinctCountSketch final : public TopKEstimator {
   /// Process an update for an already-packed key. Throws if the key does not
   /// fit in params().key_bits.
   void update_key(PairKey key, int delta);
+
+  /// Batched ingest: validate the whole span and precompute every level
+  /// hash up front, then apply level-major (counting-sorted) with the
+  /// touched count-signature lines software-prefetched ahead of the applies,
+  /// amortizing the telemetry tallies to once per span. The sketch is
+  /// linear, so reordering is sound and the final state is bit-identical to
+  /// calling update() once per element in order (tested via operator==).
+  /// A key that does not fit key_bits throws before anything is applied,
+  /// leaving the sketch unchanged for the entire span.
+  void update_batch(std::span<const FlowUpdate> updates);
+
+  /// Block size used by order-preserving batch consumers (TrackingDcs):
+  /// hashes for this many updates are computed and prefetched before any is
+  /// applied.
+  static constexpr std::size_t kBatchBlock = 64;
+  /// Rolling prefetch distance inside a block, in (update, table) targets:
+  /// target i + kPrefetchAhead is prefetched while target i is applied. Deep
+  /// enough to hide a memory round-trip behind several signature applies,
+  /// shallow enough that prefetched lines (a signature spans multiple cache
+  /// lines) are not evicted before use.
+  static constexpr std::size_t kPrefetchAhead = 8;
 
   // --- queries -----------------------------------------------------------
   /// BaseTopk (Fig. 3): approximate top-k groups by distinct-member count.
@@ -104,6 +126,16 @@ class DistinctCountSketch final : public TopKEstimator {
   /// classification to maintain its incremental state.
   void apply_to_table(int level, int table, PairKey key, int delta);
 
+  /// Prefetch the count-signature lines `key` touches at (level, table);
+  /// a no-op for unallocated levels. The batched tracking ingest resolves a
+  /// block's hashes first and prefetches here so the classify/apply reads
+  /// that follow overlap their memory latency.
+  void prefetch_bucket(int level, int table, PairKey key) const {
+    if (!level_allocated(level)) return;
+    prefetch_write(counters_at(level, table, bucket_of(table, key)),
+                   params_.signature_width() * sizeof(std::int64_t));
+  }
+
   // --- composition / persistence ------------------------------------------
   /// Add `other`'s counters into this sketch. Both sketches must have been
   /// built with identical parameters (including seed); throws otherwise.
@@ -155,10 +187,14 @@ class DistinctCountSketch final : public TopKEstimator {
   /// query time, keeping the per-update overhead inside the 5% budget
   /// (bench/obs_overhead). Counts may lag the registry by one batch
   /// between flushes. Mutable: queries flush from const paths.
+  /// `counts` packs the update tally (low 32 bits) and delete tally (high
+  /// 32 bits) so the per-update hot path pays one branchless add; the
+  /// level histogram has one slot per sketch level (max_level <= 63) so no
+  /// clamp is needed until flush time, where SketchMetrics::level_hits()
+  /// folds deep levels into its "32+" label.
   struct PendingMetrics {
-    std::uint32_t updates = 0;
-    std::uint32_t deletes = 0;
-    std::array<std::uint32_t, 33> level_hits{};  // obs kMaxLevelLabel + 1
+    std::uint64_t counts = 0;
+    std::array<std::uint32_t, 64> level_hits{};
   };
   static constexpr std::uint32_t kMetricsFlushInterval = 1024;
 

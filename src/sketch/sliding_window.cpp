@@ -28,7 +28,11 @@ void SlidingWindowSketch::ingest(const std::vector<FlowUpdate>& updates) {
 void SlidingWindowSketch::roll_epoch() {
   epochs_.push_back(std::move(current_epoch_));
   current_epoch_ = DistinctCountSketch(config_.sketch);
-  if (epochs_.size() >= config_.window_epochs) {
+  // Keep exactly the last `window_epochs` completed epochs. Evicting at
+  // `>=` here (the historical off-by-one) held only window_epochs - 1, which
+  // degenerated at window_epochs = 1 to a window covering nothing but the
+  // in-progress partial epoch.
+  if (epochs_.size() > config_.window_epochs) {
     // The oldest epoch leaves the window: subtract its contribution. The
     // window sketch is now exactly the sum of the remaining epochs.
     window_.subtract(epochs_.front());

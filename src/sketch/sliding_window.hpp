@@ -9,6 +9,11 @@
 // window's updates (a tested invariant) — no approximation beyond the base
 // sketch's own, no timestamps in buckets.
 //
+// Window semantics ("last W epochs"): the window always covers the last
+// `window_epochs` *completed* epochs plus the in-progress partial epoch, so
+// even at window_epochs = 1 a query right after an epoch boundary still sees
+// one full epoch of history (never an empty window).
+//
 // Memory is (window_epochs + 2) sketches; choose epoch granularity
 // accordingly. Deletions inside the window work as usual; a deletion whose
 // insertion has already expired leaves a net-negative pair, whose bucket
@@ -30,8 +35,8 @@ class SlidingWindowSketch {
     DcsParams sketch{};
     /// Updates per epoch (window granularity).
     std::uint64_t epoch_updates = 16'384;
-    /// Window length in epochs; the window covers the current (partial)
-    /// epoch plus the last `window_epochs - 1` completed ones.
+    /// Window length in completed epochs; the window covers the current
+    /// (partial) epoch plus the last `window_epochs` completed ones.
     std::size_t window_epochs = 8;
   };
 

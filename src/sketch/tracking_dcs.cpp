@@ -1,6 +1,7 @@
 #include "sketch/tracking_dcs.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,25 +36,56 @@ void TrackingDcs::update_key(PairKey key, int delta) {
     throw std::invalid_argument("TrackingDcs: key does not fit in key_bits");
   if (obs::recording()) obs::TrackingMetrics::get().updates.inc();
   const int level = sketch_.level_of(key);
-  for (int j = 0; j < params().num_tables; ++j) {
-    const std::uint32_t bucket = sketch_.bucket_of(j, key);
-    const BucketClass before = sketch_.classify_bucket(level, j, bucket);
-    sketch_.apply_to_table(level, j, key, delta);
-    const BucketClass after = sketch_.classify_bucket(level, j, bucket);
+  for (int j = 0; j < params().num_tables; ++j)
+    apply_tracked(level, j, key, delta);
+}
 
-    const bool was_singleton = before.state == BucketState::kSingleton;
-    const bool is_singleton = after.state == BucketState::kSingleton;
-    if (was_singleton && (!is_singleton || after.key != before.key))
-      singleton_lost(level, before.key);
-    if (is_singleton && (!was_singleton || before.key != after.key))
-      singleton_gained(level, after.key);
+void TrackingDcs::apply_tracked(int level, int j, PairKey key, int delta) {
+  const std::uint32_t bucket = sketch_.bucket_of(j, key);
+  const BucketClass before = sketch_.classify_bucket(level, j, bucket);
+  sketch_.apply_to_table(level, j, key, delta);
+  const BucketClass after = sketch_.classify_bucket(level, j, bucket);
 
-    const bool was_empty = before.state == BucketState::kEmpty;
-    const bool is_empty = after.state == BucketState::kEmpty;
-    auto& occupancy =
-        occupancy_[static_cast<std::size_t>(level)][static_cast<std::size_t>(j)];
-    if (was_empty && !is_empty) ++occupancy;
-    if (!was_empty && is_empty) --occupancy;
+  const bool was_singleton = before.state == BucketState::kSingleton;
+  const bool is_singleton = after.state == BucketState::kSingleton;
+  if (was_singleton && (!is_singleton || after.key != before.key))
+    singleton_lost(level, before.key);
+  if (is_singleton && (!was_singleton || before.key != after.key))
+    singleton_gained(level, after.key);
+
+  const bool was_empty = before.state == BucketState::kEmpty;
+  const bool is_empty = after.state == BucketState::kEmpty;
+  auto& occupancy =
+      occupancy_[static_cast<std::size_t>(level)][static_cast<std::size_t>(j)];
+  if (was_empty && !is_empty) ++occupancy;
+  if (!was_empty && is_empty) --occupancy;
+}
+
+void TrackingDcs::update_batch(std::span<const FlowUpdate> updates) {
+  constexpr std::size_t kBlock = DistinctCountSketch::kBatchBlock;
+  std::array<PairKey, kBlock> keys;
+  std::array<int, kBlock> levels;
+  for (std::size_t begin = 0; begin < updates.size(); begin += kBlock) {
+    const std::size_t block = std::min(kBlock, updates.size() - begin);
+    // Pass 1: hashes up front, prefetch every signature the block touches.
+    for (std::size_t i = 0; i < block; ++i) {
+      const FlowUpdate& u = updates[begin + i];
+      const PairKey key = pack_pair(u.dest, u.source);
+      if (params().key_bits < 64 && (key >> params().key_bits) != 0)
+        throw std::invalid_argument("TrackingDcs: key does not fit in key_bits");
+      keys[i] = key;
+      levels[i] = sketch_.level_of(key);
+      for (int j = 0; j < params().num_tables; ++j)
+        sketch_.prefetch_bucket(levels[i], j, key);
+    }
+    if (obs::recording())
+      obs::TrackingMetrics::get().updates.inc(block);
+    // Pass 2: the usual classify/apply/classify maintenance, in order (the
+    // tracking structures are order-sensitive within a bucket, so the block
+    // replays exactly the sequential schedule).
+    for (std::size_t i = 0; i < block; ++i)
+      for (int j = 0; j < params().num_tables; ++j)
+        apply_tracked(levels[i], j, keys[i], updates[begin + i].delta);
   }
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,14 @@ class TrackingDcs final : public TopKEstimator {
   // --- streaming updates ---------------------------------------------------
   void update(Addr group, Addr member, int delta) override;
   void update_key(PairKey key, int delta);
+
+  /// Batched ingest: per block of DistinctCountSketch::kBatchBlock updates,
+  /// precompute the level/bucket hashes and prefetch the touched signature
+  /// lines, then run the usual classify/apply/classify maintenance per
+  /// update in order. State (sketch counters, singleton maps, heaps) is
+  /// identical to calling update() per element; the per-update telemetry
+  /// tally is amortized to once per block.
+  void update_batch(std::span<const FlowUpdate> updates);
 
   // --- queries --------------------------------------------------------------
   /// TrackTopk (Fig. 7): O(k log k), no sample reconstruction.
@@ -93,6 +102,11 @@ class TrackingDcs final : public TopKEstimator {
 
  private:
   using SingletonMap = std::unordered_map<PairKey, std::uint32_t>;
+
+  /// One table's worth of update: classify before, apply, classify after,
+  /// and diff the two states into the incremental tracking structures.
+  /// Shared by the per-update and batched ingest paths.
+  void apply_tracked(int level, int table, PairKey key, int delta);
 
   /// `key` became a singleton in one more table of `level`'s bucket.
   void singleton_gained(int level, PairKey key);

@@ -19,6 +19,23 @@ run_cli(generate --out trace.csv --u 1000 --d 20 --csv)
 run_cli(info --trace trace.bin)
 run_cli(topk --trace trace.bin --k 5)
 run_cli(topk --trace trace.bin --k 5 --exact)
+# Batched ingest must print exactly what sequential ingest prints.
+execute_process(
+  COMMAND ${DCS_CLI} topk --trace trace.bin --k 5
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE seq_status
+  OUTPUT_VARIABLE seq_out ERROR_VARIABLE seq_err)
+execute_process(
+  COMMAND ${DCS_CLI} topk --trace trace.bin --k 5 --batch --block 100
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE batch_status
+  OUTPUT_VARIABLE batch_out ERROR_VARIABLE batch_err)
+if(NOT seq_status EQUAL 0 OR NOT batch_status EQUAL 0)
+  message(FATAL_ERROR "topk --batch smoke failed:\n${seq_err}\n${batch_err}")
+endif()
+if(NOT seq_out STREQUAL batch_out)
+  message(FATAL_ERROR "topk --batch output diverged from sequential:\n"
+    "sequential:\n${seq_out}\nbatched:\n${batch_out}")
+endif()
+run_cli(topk --trace trace.bin --k 5 --threads 3)
 run_cli(sketch --trace trace.bin --out a.dcs --seed 9)
 run_cli(sketch --trace trace.bin --out b.dcs --seed 9)
 run_cli(merge --out merged.dcs a.dcs b.dcs)

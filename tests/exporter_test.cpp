@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace dcs {
 namespace {
 
@@ -106,6 +108,67 @@ TEST(Exporter, EmptyIntervalsAreEmitted) {
 
 TEST(Exporter, RejectsZeroInterval) {
   EXPECT_THROW(FlowUpdateExporter(0), std::invalid_argument);
+}
+
+TEST(Exporter, DirectObserveKeepsLastIntervalAfterFinish) {
+  // Regression: callers driving observe() directly used to silently drop the
+  // trailing partial interval; finish_interval() is the documented fix.
+  FlowUpdateExporter exporter(10);
+  const auto sink = [](const FlowUpdate&) {};
+  exporter.observe({0, 1, 2, PacketType::kSyn}, sink);
+  exporter.observe({12, 3, 2, PacketType::kSyn}, sink);
+  exporter.observe({14, 3, 2, PacketType::kFin}, sink);
+  ASSERT_EQ(exporter.intervals().size(), 1u);  // [10,20) still in progress
+  exporter.finish_interval();
+  ASSERT_EQ(exporter.intervals().size(), 2u);
+  EXPECT_EQ(exporter.intervals()[1], (IntervalCounts{1, 1}));
+}
+
+TEST(Exporter, FinishIntervalIsIdempotent) {
+  FlowUpdateExporter exporter(10);
+  const auto sink = [](const FlowUpdate&) {};
+  exporter.observe({0, 1, 2, PacketType::kSyn}, sink);
+  exporter.finish_interval();
+  exporter.finish_interval();  // no packets since the flush: must be a no-op
+  EXPECT_EQ(exporter.intervals().size(), 1u);
+  // And with nothing observed at all, it emits nothing.
+  FlowUpdateExporter idle(10);
+  idle.finish_interval();
+  EXPECT_TRUE(idle.intervals().empty());
+}
+
+TEST(Exporter, RunBatchedMatchesRunExactly) {
+  std::vector<Packet> packets;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    packets.push_back({i * 3, static_cast<Addr>(i % 17), 2, PacketType::kSyn});
+    if (i % 4 == 0)
+      packets.push_back(
+          {i * 3 + 1, static_cast<Addr>(i % 17), 2, PacketType::kAck});
+  }
+  FlowUpdateExporter sequential(50);
+  const auto expected = sequential.run(packets);
+
+  FlowUpdateExporter batched(50);
+  std::vector<FlowUpdate> got;
+  std::size_t max_block = 0;
+  const std::size_t emitted = batched.run_batched(
+      packets,
+      [&](std::span<const FlowUpdate> block) {
+        max_block = std::max(max_block, block.size());
+        got.insert(got.end(), block.begin(), block.end());
+      },
+      /*block_updates=*/16);
+  EXPECT_EQ(emitted, expected.size());
+  EXPECT_EQ(got, expected);
+  EXPECT_LE(max_block, 16u + 1u);  // observe() emits at most one update each
+  EXPECT_EQ(batched.intervals(), sequential.intervals());
+}
+
+TEST(Exporter, RunBatchedRejectsZeroBlock) {
+  FlowUpdateExporter exporter;
+  EXPECT_THROW(
+      exporter.run_batched({}, [](std::span<const FlowUpdate>) {}, 0),
+      std::invalid_argument);
 }
 
 TEST(ExporterTimeout, HalfOpenEntryExpiresWithMinusOne) {

@@ -42,18 +42,18 @@ TEST(SlidingWindow, WindowEqualsSketchOfWindowUpdates) {
     window.update(u.dest, u.source, u.delta);
   }
 
-  // Window covers: the current partial epoch plus the last (W-1) completed
-  // epochs. At 1050 updates with epoch 100 and W=4: completed epochs 7-9
-  // plus the partial epoch = updates [700, 1050).
+  // Window covers: the current partial epoch plus the last W completed
+  // epochs. At 1050 updates with epoch 100 and W=4: completed epochs 6-9
+  // plus the partial epoch = updates [600, 1050).
   DistinctCountSketch expected(config.sketch);
-  for (std::size_t i = 700; i < all.size(); ++i)
+  for (std::size_t i = 600; i < all.size(); ++i)
     expected.update(all[i].dest, all[i].source, all[i].delta);
   EXPECT_TRUE(window.window() == expected);
-  EXPECT_EQ(window.completed_epochs_held(), 3u);
+  EXPECT_EQ(window.completed_epochs_held(), 4u);
 }
 
 TEST(SlidingWindow, OldTalkersExpire) {
-  const auto config = test_config(1000, 2);  // window = current + 1 epoch
+  const auto config = test_config(1000, 2);  // window = current + 2 epochs
   SlidingWindowSketch window(config);
 
   // Epoch 0: destination 7 gets 500 distinct sources.
@@ -63,8 +63,10 @@ TEST(SlidingWindow, OldTalkersExpire) {
     ASSERT_EQ(top.size(), 1u);
     EXPECT_EQ(top[0].group, 7u);
   }
-  // Epochs 1-3: quiet filler traffic to age 7 out of the window.
-  for (int epoch = 0; epoch < 3; ++epoch)
+  // Epochs 1-4: quiet filler traffic to age 7 out of the window (the window
+  // holds the last 2 completed epochs plus the partial one, so epoch 0 must
+  // fall at least 3 completed epochs behind the write position).
+  for (int epoch = 0; epoch < 4; ++epoch)
     for (Addr s = 0; s < 1000; ++s)
       window.update(100 + static_cast<Addr>(epoch), 10'000 + s, +1);
 
@@ -72,12 +74,12 @@ TEST(SlidingWindow, OldTalkersExpire) {
 }
 
 TEST(SlidingWindow, RecentTalkerDominates) {
-  const auto config = test_config(500, 3);  // window = current + 2 completed
+  const auto config = test_config(500, 3);  // window = current + 3 completed
   SlidingWindowSketch window(config);
   // Old heavy destination (epochs 0-3)...
   for (Addr s = 0; s < 2000; ++s) window.update(1, s, +1);
-  // ...aged out by two epochs of scattered filler (epochs 4-5)...
-  for (Addr s = 0; s < 1000; ++s)
+  // ...aged out by three epochs of scattered filler (epochs 4-6)...
+  for (Addr s = 0; s < 1500; ++s)
     window.update(50 + (s % 20), 100'000 + s, +1);
   // ...then a recent surge by another destination in the current epoch.
   for (Addr s = 0; s < 499; ++s) window.update(2, s, +1);
@@ -102,8 +104,47 @@ TEST(SlidingWindow, HoldsBoundedEpochCount) {
   for (int i = 0; i < 1000; ++i)
     window.update(static_cast<Addr>(rng.bounded(16)), static_cast<Addr>(rng()),
                   +1);
-  EXPECT_LE(window.completed_epochs_held(), 4u);  // window_epochs - 1
+  EXPECT_LE(window.completed_epochs_held(), 5u);  // window_epochs
   EXPECT_EQ(window.updates_ingested(), 1000u);
+}
+
+TEST(SlidingWindow, WindowOfOneEpochNeverEmptiesAtBoundary) {
+  // Regression for the eviction off-by-one: with W=1, rolling an epoch used
+  // to evict the epoch just completed, leaving the window covering only the
+  // (empty) partial epoch. "Last W epochs" means the window right after a
+  // boundary still holds one full epoch of history.
+  const auto config = test_config(10, 1);
+  SlidingWindowSketch window(config);
+  for (Addr s = 0; s < 10; ++s) window.update(3, s, +1);  // exactly epoch 0
+  EXPECT_EQ(window.completed_epochs_held(), 1u);
+  DistinctCountSketch expected(config.sketch);
+  for (Addr s = 0; s < 10; ++s) expected.update(3, s, +1);
+  EXPECT_TRUE(window.window() == expected) << "epoch 0 evicted too early";
+
+  // Finish epoch 1: epoch 0 now leaves the window.
+  for (Addr s = 0; s < 10; ++s) window.update(4, 100 + s, +1);
+  EXPECT_EQ(window.completed_epochs_held(), 1u);
+  DistinctCountSketch second(config.sketch);
+  for (Addr s = 0; s < 10; ++s) second.update(4, 100 + s, +1);
+  EXPECT_TRUE(window.window() == second);
+  EXPECT_EQ(window.window().estimate_frequency(3), 0u);
+}
+
+TEST(SlidingWindow, WindowOfTwoEpochsEvictsExactlyAtBoundary) {
+  const auto config = test_config(10, 2);
+  SlidingWindowSketch window(config);
+  // Three full epochs with disjoint destinations 0, 1, 2.
+  for (Addr epoch = 0; epoch < 3; ++epoch)
+    for (Addr s = 0; s < 10; ++s)
+      window.update(epoch, epoch * 100 + s, +1);
+  // Window = completed epochs 1-2 (epoch 0 evicted at the last boundary).
+  EXPECT_EQ(window.completed_epochs_held(), 2u);
+  EXPECT_EQ(window.window().estimate_frequency(0), 0u);
+  DistinctCountSketch expected(config.sketch);
+  for (Addr epoch = 1; epoch < 3; ++epoch)
+    for (Addr s = 0; s < 10; ++s)
+      expected.update(epoch, epoch * 100 + s, +1);
+  EXPECT_TRUE(window.window() == expected);
 }
 
 // Property sweep: at a random checkpoint of a random insert/delete stream,
@@ -140,10 +181,10 @@ TEST_P(SlidingWindowProperty, WindowIsExactAtRandomCheckpoint) {
     window.update(u.dest, u.source, u.delta);
   }
 
-  // Window start: the newest (window_epochs) * epoch boundary at or before
-  // the current position, minus the completed epochs actually held.
+  // Window start: the current partial epoch plus the last `window_epochs`
+  // completed epochs actually held.
   const std::size_t completed = total / epoch_updates;
-  const std::size_t held = std::min<std::size_t>(completed, window_epochs - 1);
+  const std::size_t held = std::min<std::size_t>(completed, window_epochs);
   const std::size_t window_start = (completed - held) * epoch_updates;
 
   DistinctCountSketch expected(config.sketch);

@@ -9,9 +9,13 @@
 //       Print update/insert/delete counts and exact distinct statistics.
 //
 //   topk      --trace trace.bin [--k N] [--r N] [--s N] [--seed N] [--exact]
+//             [--batch [--block N]] [--threads N]
 //       Stream the trace through a Tracking Distinct-Count Sketch (or the
 //       exact tracker with --exact) and print the top-k destinations by
-//       distinct-source frequency.
+//       distinct-source frequency. --batch ingests through the batched
+//       fast path in blocks of --block (default 1024) updates; --threads N
+//       ingests through a ConcurrentMonitor with N pipelined stripes fed by
+//       N real threads, then answers from a consistent snapshot.
 //
 //   sketch    --trace trace.bin --out sketch.dcs [--r N] [--s N] [--seed N]
 //       Build a basic sketch from a trace and persist it.
@@ -46,7 +50,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sstream>
@@ -55,6 +61,7 @@
 #include "common/options.hpp"
 #include "detection/alert_log.hpp"
 #include "detection/ddos_monitor.hpp"
+#include "distributed/concurrent_monitor.hpp"
 #include "net/exporter.hpp"
 #include "obs/export.hpp"
 #include "sketch/distinct_count_sketch.hpp"
@@ -171,8 +178,46 @@ int cmd_topk(const Options& options) {
     metrics.dump();
     return 0;
   }
+  if (const auto threads = static_cast<std::size_t>(options.integer("threads", 0));
+      threads > 0) {
+    // Multi-threaded ingest: one pipelined stripe per thread, each thread
+    // feeding a contiguous slice of the trace; the query runs on a
+    // consistent merged snapshot (all queues drained, all stripes locked).
+    ConcurrentMonitor monitor(params_from(options), threads,
+                              /*queue_capacity=*/1024);
+    const std::span<const FlowUpdate> all(updates);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (all.size() + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t begin = std::min(t * chunk, all.size());
+      const std::size_t end = std::min(begin + chunk, all.size());
+      workers.emplace_back([&monitor, slice = all.subspan(begin, end - begin)] {
+        for (const FlowUpdate& u : slice)
+          monitor.update(u.dest, u.source, u.delta);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const DistinctCountSketch merged = monitor.snapshot();
+    std::printf("# threads=%zu stripes=%zu sketch=%.1f KiB (merged snapshot)\n",
+                threads, monitor.num_stripes(),
+                static_cast<double>(merged.memory_bytes()) / 1024.0);
+    print_entries(merged.top_k(k).entries);
+    metrics.dump();
+    return 0;
+  }
   TrackingDcs tracker(params_from(options));
-  for (const FlowUpdate& u : updates) tracker.update(u.dest, u.source, u.delta);
+  if (options.flag("batch")) {
+    const auto block =
+        static_cast<std::size_t>(options.integer("block", 1024));
+    if (block == 0) throw std::invalid_argument("--block must be >= 1");
+    const std::span<const FlowUpdate> all(updates);
+    for (std::size_t i = 0; i < all.size(); i += block)
+      tracker.update_batch(all.subspan(i, std::min(block, all.size() - i)));
+  } else {
+    for (const FlowUpdate& u : updates)
+      tracker.update(u.dest, u.source, u.delta);
+  }
   const TopKResult result = tracker.top_k(k);
   std::printf("# sample=%llu inference_level=%d sketch=%.1f KiB\n",
               static_cast<unsigned long long>(result.sample_size),
@@ -309,6 +354,9 @@ int cmd_convert(const Options& options) {
     exporter.observe(packet,
                      [&updates](const FlowUpdate& u) { updates.push_back(u); });
   }
+  // Close the trailing partial SYN/FIN interval so its counts are not lost
+  // (observe() only rolls intervals when a later-interval packet arrives).
+  exporter.finish_interval();
   write_trace_file(out_path, updates);
   std::printf("converted %llu packets into %zu flow updates -> %s\n",
               static_cast<unsigned long long>(packets), updates.size(),
