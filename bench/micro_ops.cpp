@@ -247,6 +247,51 @@ void BM_ExporterObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_ExporterObserve);
 
+void BM_SketchMerge(benchmark::State& state) {
+  // Steady-state collector workload: a long-lived global sketch absorbing
+  // per-site epoch deltas. Cost is pure counter addition over the
+  // r x s x levels grid (the first merge allocates any missing levels; the
+  // loop then measures the allocation-free path). Args: {r, s}.
+  DcsParams params = bench_params(static_cast<std::uint32_t>(state.range(1)));
+  params.num_tables = static_cast<int>(state.range(0));
+
+  const auto updates = bench_updates(50'000);
+  DistinctCountSketch delta(params);
+  for (const auto& u : updates) delta.update(u.dest, u.source, u.delta);
+
+  DistinctCountSketch global(params);
+  global.merge(delta);  // pre-allocate every level the delta carries
+  for (auto _ : state) {
+    global.merge(delta);
+    benchmark::DoNotOptimize(global);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchMerge)
+    ->Args({3, 64})
+    ->Args({3, 256})
+    ->Args({3, 1024})
+    ->Args({5, 256});
+
+void BM_TrackingMergeRebuild(benchmark::State& state) {
+  // What the collector actually pays per shipped epoch: merge the delta
+  // into the tracking sketch *and* rebuild the singleton maps and heaps.
+  DcsParams params = bench_params(static_cast<std::uint32_t>(state.range(1)));
+  params.num_tables = static_cast<int>(state.range(0));
+
+  const auto updates = bench_updates(50'000);
+  DistinctCountSketch delta(params);
+  for (const auto& u : updates) delta.update(u.dest, u.source, u.delta);
+
+  TrackingDcs global(params);
+  for (auto _ : state) {
+    global.merge_sketch(delta);
+    benchmark::DoNotOptimize(global);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackingMergeRebuild)->Args({3, 64})->Args({3, 256});
+
 }  // namespace
 
 BENCHMARK_MAIN();

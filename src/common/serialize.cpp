@@ -1,18 +1,63 @@
 #include "common/serialize.hpp"
 
+#include <array>
+
 namespace dcs {
+
+namespace {
+
+// Lazily built 256-entry table for the reflected IEEE polynomial. Thread-safe
+// via magic-static initialization.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void write_header(BinaryWriter& w, std::uint32_t magic, std::uint8_t version) {
   w.u32(magic);
   w.u8(version);
 }
 
-void read_header(BinaryReader& r, std::uint32_t magic, std::uint8_t max_version) {
+std::uint8_t read_header(BinaryReader& r, std::uint32_t magic,
+                         std::uint8_t max_version) {
   const std::uint32_t got = r.u32();
   if (got != magic) throw SerializeError("bad magic");
   const std::uint8_t version = r.u8();
   if (version == 0 || version > max_version)
     throw SerializeError("unsupported version");
+  return version;
+}
+
+void write_crc_footer(BinaryWriter& w) {
+  const std::uint32_t crc = w.crc();
+  w.u32(crc);
+}
+
+void read_crc_footer(BinaryReader& r) {
+  const std::uint32_t computed = r.crc();
+  if (r.u32() != computed)
+    throw SerializeError("CRC mismatch: corrupted or truncated input");
 }
 
 }  // namespace dcs

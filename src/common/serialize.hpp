@@ -15,11 +15,19 @@
 
 namespace dcs {
 
-/// Thrown on malformed input (bad magic, truncated stream, absurd lengths).
+/// Thrown on malformed input (bad magic, truncated stream, absurd lengths,
+/// CRC mismatches).
 class SerializeError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`,
+/// continuing from `seed` (pass a previous return value to extend a running
+/// checksum; the default starts a fresh one). Table-driven, ~1 GB/s — fast
+/// enough for serialization paths, never on the per-update hot path.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
 
 class BinaryWriter {
  public:
@@ -44,13 +52,23 @@ class BinaryWriter {
     raw(v.data(), v.size() * sizeof(T));
   }
 
+  /// Running CRC-32 of every byte written so far (see crc_reset()).
+  std::uint32_t crc() const noexcept { return crc_; }
+
+  /// Restart the running CRC. Serializers call this before writing an
+  /// object body so the integrity footer covers exactly that object even
+  /// when several are written through one writer.
+  void crc_reset() noexcept { crc_ = 0; }
+
  private:
   void raw(const void* data, std::size_t n) {
     out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
     if (!out_) throw SerializeError("BinaryWriter: write failed");
+    crc_ = crc32(data, n, crc_);
   }
 
   std::ostream& out_;
+  std::uint32_t crc_ = 0;
 };
 
 class BinaryReader {
@@ -82,6 +100,12 @@ class BinaryReader {
     return v;
   }
 
+  /// Running CRC-32 of every byte read so far (see crc_reset()).
+  std::uint32_t crc() const noexcept { return crc_; }
+
+  /// Restart the running CRC (mirror of BinaryWriter::crc_reset()).
+  void crc_reset() noexcept { crc_ = 0; }
+
  private:
   template <typename T>
   T read_as() {
@@ -94,6 +118,7 @@ class BinaryReader {
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in_.gcount()) != n)
       throw SerializeError("BinaryReader: truncated input");
+    crc_ = crc32(data, n, crc_);
   }
 
   static void check_length(std::uint64_t n) {
@@ -102,10 +127,25 @@ class BinaryReader {
   }
 
   std::istream& in_;
+  std::uint32_t crc_ = 0;
 };
 
-/// Write/verify a 4-byte magic + 1-byte version header.
+/// Write/verify a 4-byte magic + 1-byte version header. read_header returns
+/// the version actually read so callers can branch on format revisions.
 void write_header(BinaryWriter& w, std::uint32_t magic, std::uint8_t version);
-void read_header(BinaryReader& r, std::uint32_t magic, std::uint8_t max_version);
+std::uint8_t read_header(BinaryReader& r, std::uint32_t magic,
+                         std::uint8_t max_version);
+
+/// Append the writer's running CRC as a u32 integrity footer. Pair with
+/// read_crc_footer: the serializer calls crc_reset() before the body,
+/// write_crc_footer after it; the deserializer mirrors with crc_reset /
+/// read_crc_footer and gets a SerializeError on any bit flip or truncation
+/// inside the covered span.
+void write_crc_footer(BinaryWriter& w);
+
+/// Read the u32 footer and compare against the reader's running CRC over the
+/// bytes consumed since its last crc_reset(). Throws SerializeError on
+/// mismatch.
+void read_crc_footer(BinaryReader& r);
 
 }  // namespace dcs

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "detection/ddos_monitor.hpp"
+#include "detection/alert_types.hpp"
 
 namespace dcs {
 

@@ -1,0 +1,32 @@
+// The structured alert event shared by every detection front end
+// (DdosMonitor, BaselineDetector, the src/service collector) and by the
+// alert_log renderers.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+/// One structured alert event. Every field needed to audit the decision is
+/// recorded at fire time; alert_log.hpp renders these as JSON or text.
+struct Alert {
+  enum class Kind : std::uint8_t { kRaised, kCleared };
+
+  Kind kind = Kind::kRaised;
+  /// The destination under suspected attack (or the scanning source when
+  /// ranking by source).
+  Addr subject = 0;
+  std::uint64_t estimated_frequency = 0;
+  double baseline = 0.0;
+  /// Stream position (number of updates ingested) when the alert fired.
+  std::uint64_t stream_position = 0;
+  /// Check epoch (1-based count of monitor checks) when the alert fired.
+  std::uint64_t epoch = 0;
+  /// Effective alarm threshold at fire time:
+  /// min(max(alarm_factor * baseline, min_absolute), absolute_alarm).
+  double threshold = 0.0;
+};
+
+}  // namespace dcs

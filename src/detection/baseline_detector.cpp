@@ -1,0 +1,101 @@
+#include "detection/baseline_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcs {
+
+void BaselineDetectorConfig::validate() const {
+  if (baseline_alpha <= 0.0 || baseline_alpha > 1.0)
+    throw std::invalid_argument("BaselineDetector: baseline_alpha in (0, 1]");
+  if (alarm_factor <= 1.0)
+    throw std::invalid_argument("BaselineDetector: alarm_factor > 1");
+}
+
+BaselineDetector::BaselineDetector(BaselineDetectorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+double BaselineDetector::alarm_threshold(double baseline) const {
+  const double learned = std::max(config_.alarm_factor * baseline,
+                                  static_cast<double>(config_.min_absolute));
+  return std::min(learned, static_cast<double>(config_.absolute_alarm));
+}
+
+BaselineDetector::Outcome BaselineDetector::observe(
+    const std::vector<TopKEntry>& entries, std::uint64_t stream_position) {
+  Outcome outcome;
+  const bool warming_up = ++checks_run_ <= config_.warmup_checks;
+  for (const TopKEntry& entry : entries) {
+    double& baseline = baselines_.try_emplace(entry.group, 0.0).first->second;
+    const double estimate = static_cast<double>(entry.estimate);
+    const bool over_baseline =
+        !warming_up &&
+        ((estimate > config_.alarm_factor * baseline &&
+          entry.estimate >= config_.min_absolute) ||
+         entry.estimate >= config_.absolute_alarm);
+
+    bool& alarmed = alarmed_.try_emplace(entry.group, false).first->second;
+    if (over_baseline && !alarmed) {
+      alarmed = true;
+      ++outcome.raised;
+      alerts_.push_back({Alert::Kind::kRaised, entry.group, entry.estimate,
+                         baseline, stream_position, checks_run_,
+                         alarm_threshold(baseline)});
+    } else if (!over_baseline && alarmed) {
+      alarmed = false;
+      ++outcome.cleared;
+      alerts_.push_back({Alert::Kind::kCleared, entry.group, entry.estimate,
+                         baseline, stream_position, checks_run_,
+                         alarm_threshold(baseline)});
+    }
+
+    // Baselines adapt only while a subject is NOT alarmed, so a sustained
+    // attack cannot teach the profile that attack traffic is normal.
+    if (!alarmed)
+      baseline = (1.0 - config_.baseline_alpha) * baseline +
+                 config_.baseline_alpha * estimate;
+  }
+
+  // Subjects that dropped out of the top-k entirely have subsided: clear
+  // them.
+  for (auto& [subject, alarmed] : alarmed_) {
+    if (!alarmed) continue;
+    const bool still_listed =
+        std::any_of(entries.begin(), entries.end(),
+                    [subject = subject](const TopKEntry& e) {
+                      return e.group == subject;
+                    });
+    if (!still_listed) {
+      alarmed = false;
+      ++outcome.cleared;
+      alerts_.push_back({Alert::Kind::kCleared, subject, 0,
+                         baselines_[subject], stream_position, checks_run_,
+                         alarm_threshold(baselines_[subject])});
+    }
+  }
+  return outcome;
+}
+
+std::vector<Addr> BaselineDetector::active_alarms() const {
+  std::vector<Addr> subjects;
+  for (const auto& [subject, alarmed] : alarmed_)
+    if (alarmed) subjects.push_back(subject);
+  std::sort(subjects.begin(), subjects.end());
+  return subjects;
+}
+
+std::size_t BaselineDetector::active_alarm_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(alarmed_.begin(), alarmed_.end(),
+                    [](const auto& entry) { return entry.second; }));
+}
+
+std::size_t BaselineDetector::memory_bytes() const {
+  return baselines_.size() * (sizeof(Addr) + sizeof(double) + 16) +
+         alarmed_.size() * (sizeof(Addr) + sizeof(bool) + 16) +
+         alerts_.capacity() * sizeof(Alert);
+}
+
+}  // namespace dcs

@@ -1,0 +1,81 @@
+// BaselineDetector — the EWMA-baseline alert state machine, factored out of
+// DdosMonitor so any component that can produce a periodic top-k view can
+// run the paper's detection logic over it.
+//
+// DdosMonitor feeds it from its own Tracking-DCS every check_interval
+// updates; the sketch-shipping collector (src/service) feeds it from the
+// *merged* multi-site tracker after every epoch delta it ingests. The state
+// machine itself is unchanged either way: per-subject EWMA baselines that
+// learn only while a subject is un-alarmed, a relative alarm factor, an
+// absolute floor, an optional absolute ceiling, and warmup checks during
+// which baselines learn silently.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "detection/alert_types.hpp"
+#include "sketch/top_k.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs {
+
+struct BaselineDetectorConfig {
+  /// EWMA smoothing for per-subject baselines (0 < alpha <= 1).
+  double baseline_alpha = 0.05;
+  /// Alarm when estimate > alarm_factor * baseline ...
+  double alarm_factor = 8.0;
+  /// ... and estimate >= min_absolute (suppresses noise on cold start).
+  std::uint64_t min_absolute = 512;
+  /// Hard ceiling (the paper's footnote-3 threshold query f_v >= τ): an
+  /// estimate at or above this alarms regardless of the learned baseline.
+  /// Catches slow-ramp attacks that train the EWMA along with them.
+  /// Default: disabled.
+  std::uint64_t absolute_alarm = UINT64_MAX;
+  /// Checks during which baselines learn but no alerts fire (profile
+  /// bootstrap over known-good traffic, §2's "baseline profiles ... created
+  /// over longer periods of time").
+  std::uint64_t warmup_checks = 0;
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+class BaselineDetector {
+ public:
+  /// Alert deltas produced by one observe() call.
+  struct Outcome {
+    std::uint64_t raised = 0;
+    std::uint64_t cleared = 0;
+  };
+
+  explicit BaselineDetector(BaselineDetectorConfig config = {});
+
+  /// Run one check epoch over the current top-k candidates. Appends raise /
+  /// clear events to alerts(); `stream_position` is recorded in each event
+  /// for auditability (updates ingested, or updates merged for a collector).
+  Outcome observe(const std::vector<TopKEntry>& entries,
+                  std::uint64_t stream_position);
+
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+
+  /// Subjects currently in the alarmed state, ascending.
+  std::vector<Addr> active_alarms() const;
+  std::size_t active_alarm_count() const;
+
+  std::uint64_t checks_run() const noexcept { return checks_run_; }
+  const BaselineDetectorConfig& config() const noexcept { return config_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  double alarm_threshold(double baseline) const;
+
+  BaselineDetectorConfig config_;
+  std::unordered_map<Addr, double> baselines_;
+  std::unordered_map<Addr, bool> alarmed_;
+  std::vector<Alert> alerts_;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace dcs

@@ -1,6 +1,5 @@
 #include "detection/ddos_monitor.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "obs/instruments.hpp"
@@ -8,15 +7,11 @@
 namespace dcs {
 
 DdosMonitor::DdosMonitor(DdosMonitorConfig config)
-    : config_(config), tracker_(config.sketch) {
+    : config_(config), tracker_(config.sketch), detector_(config.detector()) {
   if (config.top_k == 0)
     throw std::invalid_argument("DdosMonitor: top_k >= 1");
   if (config.check_interval == 0)
     throw std::invalid_argument("DdosMonitor: check_interval >= 1");
-  if (config.baseline_alpha <= 0.0 || config.baseline_alpha > 1.0)
-    throw std::invalid_argument("DdosMonitor: baseline_alpha in (0, 1]");
-  if (config.alarm_factor <= 1.0)
-    throw std::invalid_argument("DdosMonitor: alarm_factor > 1");
 }
 
 void DdosMonitor::ingest(const FlowUpdate& update) {
@@ -33,94 +28,28 @@ void DdosMonitor::ingest(const std::vector<FlowUpdate>& updates) {
 
 void DdosMonitor::check_now() { check(); }
 
-double DdosMonitor::alarm_threshold(double baseline) const {
-  const double learned = std::max(config_.alarm_factor * baseline,
-                                  static_cast<double>(config_.min_absolute));
-  return std::min(learned, static_cast<double>(config_.absolute_alarm));
-}
-
 void DdosMonitor::check() {
-  std::uint64_t raised = 0, cleared = 0;
+  BaselineDetector::Outcome outcome;
   {
     obs::ScopedTimer timer(obs::MonitorMetrics::get().check_ns);
     const TopKResult result = tracker_.top_k(config_.top_k);
-    const bool warming_up = ++checks_run_ <= config_.warmup_checks;
-    for (const TopKEntry& entry : result.entries) {
-      double& baseline = baselines_.try_emplace(entry.group, 0.0).first->second;
-      const double estimate = static_cast<double>(entry.estimate);
-      const bool over_baseline =
-          !warming_up &&
-          ((estimate > config_.alarm_factor * baseline &&
-            entry.estimate >= config_.min_absolute) ||
-           entry.estimate >= config_.absolute_alarm);
-
-      bool& alarmed = alarmed_.try_emplace(entry.group, false).first->second;
-      if (over_baseline && !alarmed) {
-        alarmed = true;
-        ++raised;
-        alerts_.push_back({Alert::Kind::kRaised, entry.group, entry.estimate,
-                           baseline, ingested_, checks_run_,
-                           alarm_threshold(baseline)});
-      } else if (!over_baseline && alarmed) {
-        alarmed = false;
-        ++cleared;
-        alerts_.push_back({Alert::Kind::kCleared, entry.group, entry.estimate,
-                           baseline, ingested_, checks_run_,
-                           alarm_threshold(baseline)});
-      }
-
-      // Baselines adapt only while a subject is NOT alarmed, so a sustained
-      // attack cannot teach the profile that attack traffic is normal.
-      if (!alarmed)
-        baseline = (1.0 - config_.baseline_alpha) * baseline +
-                   config_.baseline_alpha * estimate;
-    }
-
-    // Subjects that dropped out of the top-k entirely have subsided: clear
-    // them.
-    for (auto& [subject, alarmed] : alarmed_) {
-      if (!alarmed) continue;
-      const bool still_listed =
-          std::any_of(result.entries.begin(), result.entries.end(),
-                      [subject = subject](const TopKEntry& e) {
-                        return e.group == subject;
-                      });
-      if (!still_listed) {
-        alarmed = false;
-        ++cleared;
-        alerts_.push_back({Alert::Kind::kCleared, subject, 0,
-                           baselines_[subject], ingested_, checks_run_,
-                           alarm_threshold(baselines_[subject])});
-      }
-    }
+    outcome = detector_.observe(result.entries, ingested_);
   }
 
   if (obs::recording()) {
     auto& metrics = obs::MonitorMetrics::get();
     metrics.checks.inc();
-    metrics.alerts_raised.inc(raised);
-    metrics.alerts_cleared.inc(cleared);
-    metrics.active_alarms.set(static_cast<std::int64_t>(
-        std::count_if(alarmed_.begin(), alarmed_.end(),
-                      [](const auto& entry) { return entry.second; })));
+    metrics.alerts_raised.inc(outcome.raised);
+    metrics.alerts_cleared.inc(outcome.cleared);
+    metrics.active_alarms.set(
+        static_cast<std::int64_t>(detector_.active_alarm_count()));
   }
 
   if (on_check_) on_check_(*this);
 }
 
-std::vector<Addr> DdosMonitor::active_alarms() const {
-  std::vector<Addr> subjects;
-  for (const auto& [subject, alarmed] : alarmed_)
-    if (alarmed) subjects.push_back(subject);
-  std::sort(subjects.begin(), subjects.end());
-  return subjects;
-}
-
 std::size_t DdosMonitor::memory_bytes() const {
-  return tracker_.memory_bytes() +
-         baselines_.size() * (sizeof(Addr) + sizeof(double) + 16) +
-         alarmed_.size() * (sizeof(Addr) + sizeof(bool) + 16) +
-         alerts_.capacity() * sizeof(Alert);
+  return tracker_.memory_bytes() + detector_.memory_bytes();
 }
 
 }  // namespace dcs

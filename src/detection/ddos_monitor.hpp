@@ -21,33 +21,14 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "detection/alert_types.hpp"
+#include "detection/baseline_detector.hpp"
 #include "sketch/tracking_dcs.hpp"
 #include "stream/flow_update.hpp"
 
 namespace dcs {
-
-/// One structured alert event. Every field needed to audit the decision is
-/// recorded at fire time; alert_log.hpp renders these as JSON or text.
-struct Alert {
-  enum class Kind : std::uint8_t { kRaised, kCleared };
-
-  Kind kind = Kind::kRaised;
-  /// The destination under suspected attack (or the scanning source when
-  /// ranking by source).
-  Addr subject = 0;
-  std::uint64_t estimated_frequency = 0;
-  double baseline = 0.0;
-  /// Stream position (number of updates ingested) when the alert fired.
-  std::uint64_t stream_position = 0;
-  /// Check epoch (1-based count of monitor checks) when the alert fired.
-  std::uint64_t epoch = 0;
-  /// Effective alarm threshold at fire time:
-  /// min(max(alarm_factor * baseline, min_absolute), absolute_alarm).
-  double threshold = 0.0;
-};
 
 struct DdosMonitorConfig {
   /// Which endpoint to rank: destinations (DDoS victims) or sources
@@ -75,6 +56,13 @@ struct DdosMonitorConfig {
   /// bootstrap over known-good traffic, §2's "baseline profiles ... created
   /// over longer periods of time").
   std::uint64_t warmup_checks = 0;
+
+  /// The threshold/baseline subset of this config, as consumed by the
+  /// underlying BaselineDetector state machine.
+  BaselineDetectorConfig detector() const noexcept {
+    return {baseline_alpha, alarm_factor, min_absolute, absolute_alarm,
+            warmup_checks};
+  }
 };
 
 class DdosMonitor {
@@ -100,29 +88,29 @@ class DdosMonitor {
     on_check_ = std::move(callback);
   }
 
-  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  const std::vector<Alert>& alerts() const noexcept {
+    return detector_.alerts();
+  }
 
   /// Subjects currently in the alarmed state.
-  std::vector<Addr> active_alarms() const;
+  std::vector<Addr> active_alarms() const { return detector_.active_alarms(); }
 
   const TrackingDcs& tracker() const noexcept { return tracker_; }
   std::uint64_t updates_ingested() const noexcept { return ingested_; }
-  std::uint64_t checks_run() const noexcept { return checks_run_; }
+  std::uint64_t checks_run() const noexcept { return detector_.checks_run(); }
   const DdosMonitorConfig& config() const noexcept { return config_; }
   std::size_t memory_bytes() const;
 
  private:
   void check();
-  double alarm_threshold(double baseline) const;
 
   DdosMonitorConfig config_;
   TrackingDcs tracker_;
-  std::unordered_map<Addr, double> baselines_;
-  std::unordered_map<Addr, bool> alarmed_;
-  std::vector<Alert> alerts_;
+  /// The alert state machine proper; shared (by type) with the src/service
+  /// collector, which runs it over the merged multi-site view.
+  BaselineDetector detector_;
   CheckCallback on_check_;
   std::uint64_t ingested_ = 0;
-  std::uint64_t checks_run_ = 0;
 };
 
 }  // namespace dcs

@@ -150,4 +150,55 @@ DistributedMetrics& DistributedMetrics::get() {
   return instance;
 }
 
+CollectorMetrics& CollectorMetrics::get() {
+  static CollectorMetrics instance{
+      Registry::global().counter(
+          "dcs_collector_frames_total",
+          "Wire frames decoded by sketch-shipping collectors"),
+      Registry::global().counter(
+          "dcs_collector_frame_errors_total",
+          "Malformed frames or payloads rejected (connection dropped)"),
+      Registry::global().counter(
+          "dcs_collector_deltas_total",
+          "Per-epoch sketch deltas merged into the global tracker"),
+      Registry::global().counter(
+          "dcs_collector_duplicate_deltas_total",
+          "Retransmitted deltas deduplicated by per-site epoch tracking"),
+      Registry::global().counter(
+          "dcs_collector_dropped_epochs_total",
+          "Site epochs lost to spool overflow or agent restarts (gaps in "
+          "the per-site epoch sequence)"),
+      Registry::global().counter(
+          "dcs_collector_rejected_hellos_total",
+          "Site handshakes rejected for sketch-parameter mismatch"),
+      Registry::global().gauge("dcs_collector_connected_sites",
+                               "Site agents currently connected"),
+      Registry::global().histogram(
+          "dcs_collector_merge_latency_ns",
+          "Delta merge + tracking rebuild + detection check latency, ns")};
+  return instance;
+}
+
+AgentMetrics& AgentMetrics::get() {
+  static AgentMetrics instance{
+      Registry::global().counter(
+          "dcs_agent_epochs_sealed_total",
+          "Epoch sketch deltas sealed and spooled by site agents"),
+      Registry::global().counter(
+          "dcs_agent_epochs_shipped_total",
+          "Epoch deltas acknowledged by a collector"),
+      Registry::global().counter(
+          "dcs_agent_epochs_dropped_total",
+          "Epoch deltas evicted from a full spool (degraded mode)"),
+      Registry::global().counter(
+          "dcs_agent_reconnects_total",
+          "Collector connection attempts after the first"),
+      Registry::global().counter(
+          "dcs_agent_io_errors_total",
+          "Send/receive failures that dropped a collector connection"),
+      Registry::global().gauge("dcs_agent_spool_depth",
+                               "Epoch deltas awaiting collector ack")};
+  return instance;
+}
+
 }  // namespace dcs::obs

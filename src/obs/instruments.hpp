@@ -94,4 +94,30 @@ struct DistributedMetrics {
   static DistributedMetrics& get();
 };
 
+/// src/service collector: frame ingest, delta merging, site liveness.
+struct CollectorMetrics {
+  Counter& frames;              // dcs_collector_frames_total
+  Counter& frame_errors;        // dcs_collector_frame_errors_total
+  Counter& deltas;              // dcs_collector_deltas_total
+  Counter& duplicate_deltas;    // dcs_collector_duplicate_deltas_total
+  Counter& dropped_epochs;      // dcs_collector_dropped_epochs_total
+  Counter& rejected_hellos;     // dcs_collector_rejected_hellos_total
+  Gauge& connected_sites;       // dcs_collector_connected_sites
+  Histogram& merge_ns;          // dcs_collector_merge_latency_ns
+
+  static CollectorMetrics& get();
+};
+
+/// src/service site agent: epoch lifecycle and degraded-mode accounting.
+struct AgentMetrics {
+  Counter& epochs_sealed;       // dcs_agent_epochs_sealed_total
+  Counter& epochs_shipped;      // dcs_agent_epochs_shipped_total
+  Counter& epochs_dropped;      // dcs_agent_epochs_dropped_total
+  Counter& reconnects;          // dcs_agent_reconnects_total
+  Counter& io_errors;           // dcs_agent_io_errors_total
+  Gauge& spool_depth;           // dcs_agent_spool_depth
+
+  static AgentMetrics& get();
+};
+
 }  // namespace dcs::obs

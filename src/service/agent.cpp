@@ -1,0 +1,301 @@
+#include "service/agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+
+namespace dcs::service {
+
+namespace {
+
+std::string serialize_sketch(const DistinctCountSketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  sketch.serialize(writer);
+  return std::move(out).str();
+}
+
+}  // namespace
+
+SiteAgent::SiteAgent(SiteAgentConfig config)
+    : config_(std::move(config)),
+      current_(config_.params),
+      current_epoch_(config_.first_epoch),
+      jitter_(config_.jitter_seed) {
+  if (config_.epoch_updates == 0)
+    throw std::invalid_argument("SiteAgent: epoch_updates must be > 0");
+  if (config_.spool_epochs == 0)
+    throw std::invalid_argument("SiteAgent: spool_epochs must be > 0");
+  if (config_.first_epoch == 0)
+    throw std::invalid_argument("SiteAgent: first_epoch must be >= 1");
+  if (config_.backoff_jitter < 0.0 || config_.backoff_jitter > 1.0)
+    throw std::invalid_argument("SiteAgent: backoff_jitter must be in [0,1]");
+  stats_.current_epoch = current_epoch_;
+}
+
+SiteAgent::~SiteAgent() {
+  // Abrupt: no Bye, no drain — the collector sees a vanished peer, exactly
+  // like a crashed agent. The churn test relies on this.
+  running_.store(false, std::memory_order_release);
+  cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
+}
+
+void SiteAgent::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  sender_ = std::thread([this] { sender_loop(); });
+}
+
+void SiteAgent::stop(int drain_timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  flush(drain_timeout_ms);
+  stopping_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  // Give the sender a moment to send Bye, then cut it off.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::milliseconds(drain_timeout_ms),
+                 [&] { return !running_.load(std::memory_order_acquire); });
+  }
+  running_.store(false, std::memory_order_release);
+  cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
+}
+
+void SiteAgent::ingest(const FlowUpdate& update) {
+  ingest(update.dest, update.source, update.delta);
+}
+
+void SiteAgent::ingest(Addr dest, Addr source, int delta) {
+  current_.update(dest, source, delta);
+  if (++current_updates_ >= config_.epoch_updates) seal_epoch();
+}
+
+void SiteAgent::seal_epoch() {
+  if (current_updates_ == 0) return;
+  SpooledEpoch sealed;
+  sealed.epoch = current_epoch_;
+  sealed.updates = current_updates_;
+  sealed.blob =
+      serialize_sketch(std::exchange(current_, DistinctCountSketch(config_.params)));
+  current_updates_ = 0;
+  ++current_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spool_.size() >= config_.spool_epochs) {
+      // Collector unreachable for too long: shed the *oldest* epoch — the
+      // newest data matters most for detection — and account the loss.
+      spool_.pop_front();
+      ++stats_.epochs_dropped;
+      if (obs::recording()) obs::AgentMetrics::get().epochs_dropped.inc();
+    }
+    spool_.push_back(std::move(sealed));
+    ++stats_.epochs_sealed;
+    stats_.spool_depth = spool_.size();
+    stats_.current_epoch = current_epoch_;
+    if (obs::recording()) {
+      obs::AgentMetrics::get().epochs_sealed.inc();
+      obs::AgentMetrics::get().spool_depth.set(
+          static_cast<std::int64_t>(spool_.size()));
+    }
+  }
+  cv_.notify_all();
+}
+
+bool SiteAgent::flush(int timeout_ms) {
+  seal_epoch();
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return spool_.empty() || stats_.rejected ||
+           !running_.load(std::memory_order_acquire);
+  }) && spool_.empty();
+}
+
+SiteAgent::Stats SiteAgent::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t SiteAgent::next_backoff_ms() {
+  backoff_ms_ = backoff_ms_ == 0
+                    ? config_.backoff_initial_ms
+                    : std::min(backoff_ms_ * 2, config_.backoff_max_ms);
+  // Symmetric jitter: delay * (1 ± jitter), so a fleet of agents spreads
+  // its reconnect attempts instead of stampeding in sync.
+  const double spread = 1.0 + config_.backoff_jitter * (2.0 * jitter_.uniform() - 1.0);
+  return static_cast<std::uint64_t>(static_cast<double>(backoff_ms_) * spread);
+}
+
+void SiteAgent::sender_loop() {
+  bool first_attempt = true;
+  while (running_.load(std::memory_order_acquire)) {
+    if (!first_attempt) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.reconnects;
+      }
+      if (obs::recording()) obs::AgentMetrics::get().reconnects.inc();
+      const auto delay = std::chrono::milliseconds(next_backoff_ms());
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, delay,
+                   [&] { return !running_.load(std::memory_order_acquire); });
+      if (!running_.load(std::memory_order_acquire)) break;
+    }
+    first_attempt = false;
+    if (!run_connection()) {
+      // Parameter mismatch: retrying can never succeed.
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.rejected = true;
+      cv_.notify_all();
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+  running_.store(false, std::memory_order_release);
+  cv_.notify_all();
+}
+
+bool SiteAgent::run_connection() {
+  auto socket = tcp_connect(config_.collector_host, config_.collector_port,
+                            config_.io_timeout_ms);
+  if (!socket) return true;  // unreachable — back off and retry
+  socket->set_timeouts(static_cast<std::uint64_t>(config_.io_timeout_ms),
+                       static_cast<std::uint64_t>(config_.io_timeout_ms));
+
+  FrameDecoder decoder;
+  char buffer[16 * 1024];
+  const auto io_error = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.io_errors;
+    stats_.connected = false;
+    if (obs::recording()) obs::AgentMetrics::get().io_errors.inc();
+    return true;  // transient — retry with backoff
+  };
+
+  /// Block until one Ack arrives (or timeout/error). nullopt = connection
+  /// is dead.
+  const auto await_ack = [&]() -> std::optional<Ack> {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(config_.io_timeout_ms);
+    for (;;) {
+      if (auto frame = decoder.next()) {
+        if (frame->type != MsgType::kAck)
+          throw WireError("agent: expected Ack");
+        return Ack::decode(frame->payload);
+      }
+      if (!running_.load(std::memory_order_acquire) ||
+          std::chrono::steady_clock::now() >= deadline)
+        return std::nullopt;
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.closed || got.error) return std::nullopt;
+      if (got.bytes > 0) decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  try {
+    Hello hello;
+    hello.site_id = config_.site_id;
+    hello.params_fingerprint = config_.params.fingerprint();
+    hello.epoch_updates = config_.epoch_updates;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      hello.first_epoch =
+          spool_.empty() ? stats_.current_epoch : spool_.front().epoch;
+      hello.dropped_epochs = stats_.epochs_dropped;
+    }
+    if (!socket->send_all(encode_frame(MsgType::kHello, hello.encode())))
+      return io_error();
+    const auto hello_ack = await_ack();
+    if (!hello_ack) return io_error();
+    if (hello_ack->status == AckStatus::kRejected) return false;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.connected = true;
+    }
+    backoff_ms_ = 0;  // healthy connection resets the backoff schedule
+
+    while (running_.load(std::memory_order_acquire)) {
+      // Peek (don't pop) the oldest spooled epoch: it stays queued until
+      // the collector acks it, so a drop mid-flight retransmits.
+      std::optional<SpooledEpoch> head;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (spool_.empty()) {
+          if (stopping_.load(std::memory_order_acquire)) break;
+          const bool woke = cv_.wait_for(
+              lock, std::chrono::milliseconds(config_.heartbeat_interval_ms),
+              [&] {
+                return !spool_.empty() ||
+                       !running_.load(std::memory_order_acquire) ||
+                       stopping_.load(std::memory_order_acquire);
+              });
+          if (!woke) {
+            // Idle: snapshot the fields under the lock, send outside it.
+            Heartbeat beat;
+            beat.site_id = config_.site_id;
+            beat.current_epoch = stats_.current_epoch;
+            beat.spooled_epochs = 0;
+            beat.dropped_epochs = stats_.epochs_dropped;
+            lock.unlock();
+            if (!socket->send_all(
+                    encode_frame(MsgType::kHeartbeat, beat.encode())))
+              return io_error();
+          }
+          continue;
+        }
+        head = spool_.front();
+      }
+
+      SnapshotDelta delta;
+      delta.site_id = config_.site_id;
+      delta.epoch = head->epoch;
+      delta.updates = head->updates;
+      delta.sketch_blob = head->blob;
+      if (!socket->send_all(
+              encode_frame(MsgType::kSnapshotDelta, delta.encode())))
+        return io_error();
+      const auto ack = await_ack();
+      if (!ack) return io_error();
+      if (ack->status == AckStatus::kRejected) return false;
+      if (ack->epoch != head->epoch)
+        throw WireError("agent: ack for unexpected epoch");
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!spool_.empty() && spool_.front().epoch == head->epoch)
+          spool_.pop_front();
+        ++stats_.epochs_shipped;
+        stats_.spool_depth = spool_.size();
+        if (obs::recording()) {
+          obs::AgentMetrics::get().epochs_shipped.inc();
+          obs::AgentMetrics::get().spool_depth.set(
+              static_cast<std::int64_t>(spool_.size()));
+        }
+      }
+      cv_.notify_all();
+    }
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      Bye bye;
+      bye.site_id = config_.site_id;
+      socket->send_all(encode_frame(MsgType::kBye, bye.encode()));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.connected = false;
+    return true;
+  } catch (const WireError&) {
+    // Garbage from the collector side: drop the connection and retry.
+    return io_error();
+  }
+}
+
+}  // namespace dcs::service

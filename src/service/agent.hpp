@@ -1,0 +1,136 @@
+// SiteAgent: the per-router half of the sketch-shipping deployment.
+//
+// Wraps the existing ingest path (a local DistinctCountSketch) and, every
+// `epoch_updates` flow updates, seals the accumulated sketch into an
+// immutable per-epoch delta, serializes it (CRC-footered), and queues it on
+// a bounded spool. A background sender thread ships spooled deltas to the
+// collector and only pops one after the collector's Ack — so a connection
+// drop mid-flight retransmits, and the collector's epoch dedup makes the
+// retransmit harmless.
+//
+// Collector outages: the agent keeps ingesting and sealing; the spool
+// absorbs up to `spool_epochs` deltas, after which the *oldest* is dropped
+// (newest data is most valuable for detection) and counted. Reconnection
+// uses exponential backoff with jitter so a fleet of agents does not
+// reconnect in lockstep. All degraded-mode accounting (sealed / shipped /
+// dropped / reconnects / spool depth) is exported via obs and carried in
+// Hello/Heartbeat messages so the collector sees it too.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/random.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "stream/flow_update.hpp"
+
+namespace dcs::service {
+
+struct SiteAgentConfig {
+  std::uint64_t site_id = 1;
+  std::string collector_host = "127.0.0.1";
+  std::uint16_t collector_port = 0;
+  /// Must match the collector's params (fingerprint-checked at Hello).
+  DcsParams params;
+  /// Flow updates per epoch before the sketch is sealed and shipped.
+  std::uint64_t epoch_updates = 4096;
+  /// Epoch numbering starts here (set > 1 to resume after a restart; the
+  /// collector counts the gap as dropped epochs).
+  std::uint64_t first_epoch = 1;
+  /// Max sealed-but-unacked deltas held; beyond this the oldest is dropped.
+  std::size_t spool_epochs = 64;
+  std::uint64_t backoff_initial_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Uniform jitter fraction applied to each backoff delay (0..1).
+  double backoff_jitter = 0.2;
+  /// Send a Heartbeat after this long with nothing to ship.
+  std::uint64_t heartbeat_interval_ms = 500;
+  int io_timeout_ms = 2000;
+  /// Seed for backoff jitter (deterministic tests).
+  std::uint64_t jitter_seed = 0x5eedULL;
+};
+
+class SiteAgent {
+ public:
+  struct Stats {
+    std::uint64_t epochs_sealed = 0;
+    std::uint64_t epochs_shipped = 0;   ///< Acked (kOk or kDuplicate).
+    std::uint64_t epochs_dropped = 0;   ///< Evicted from a full spool.
+    std::uint64_t reconnects = 0;       ///< Connection attempts after the 1st.
+    std::uint64_t io_errors = 0;
+    std::size_t spool_depth = 0;
+    std::uint64_t current_epoch = 0;    ///< Epoch now accumulating.
+    bool connected = false;
+    /// Collector rejected our Hello (parameter mismatch) — permanent.
+    bool rejected = false;
+  };
+
+  explicit SiteAgent(SiteAgentConfig config);
+  /// Abrupt teardown: no Bye, no flush — indistinguishable from a crash on
+  /// the collector side. Call stop() first for a graceful exit.
+  ~SiteAgent();
+
+  SiteAgent(const SiteAgent&) = delete;
+  SiteAgent& operator=(const SiteAgent&) = delete;
+
+  /// Start the sender thread. Idempotent until stop().
+  void start();
+  /// Graceful stop: stops sealing, attempts to drain the spool within
+  /// `drain_timeout_ms`, sends Bye if connected, joins the sender.
+  void stop(int drain_timeout_ms = 2000);
+
+  // --- ingest (single producer) --------------------------------------------
+  /// Apply one flow update to the current epoch's sketch; seals the epoch
+  /// automatically every `epoch_updates` updates.
+  void ingest(const FlowUpdate& update);
+  void ingest(Addr dest, Addr source, int delta);
+
+  /// Seal the current epoch now even if under-full (no-op if empty).
+  void seal_epoch();
+
+  /// Seal, then block until the spool drains (all acked) or timeout.
+  /// Returns true if fully drained.
+  bool flush(int timeout_ms);
+
+  Stats stats() const;
+  const SiteAgentConfig& config() const noexcept { return config_; }
+
+ private:
+  struct SpooledEpoch {
+    std::uint64_t epoch = 0;
+    std::uint64_t updates = 0;
+    std::string blob;  ///< Serialized sketch delta.
+  };
+
+  void sender_loop();
+  /// One connection lifetime: connect, Hello, ship/heartbeat until error or
+  /// shutdown. Returns false if the collector rejected us (permanent).
+  bool run_connection();
+  std::uint64_t next_backoff_ms();
+
+  SiteAgentConfig config_;
+
+  // Ingest state — touched only by the ingesting thread.
+  DistinctCountSketch current_;
+  std::uint64_t current_updates_ = 0;
+  std::uint64_t current_epoch_;
+
+  std::thread sender_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};  ///< Graceful stop requested.
+
+  mutable std::mutex mutex_;           ///< Guards spool_ and stats_.
+  std::condition_variable cv_;
+  std::deque<SpooledEpoch> spool_;
+  Stats stats_;
+
+  Xoshiro256 jitter_;
+  std::uint64_t backoff_ms_ = 0;
+};
+
+}  // namespace dcs::service

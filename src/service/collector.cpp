@@ -1,0 +1,331 @@
+#include "service/collector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "service/wire.hpp"
+
+namespace dcs::service {
+
+namespace {
+
+DistinctCountSketch decode_sketch_blob(const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  BinaryReader reader(in);
+  return DistinctCountSketch::deserialize(reader);
+}
+
+}  // namespace
+
+/// One accepted site connection: its socket, decoder, and the thread that
+/// serves it. shared_ptr because stop() (holding conn_mutex_) and the
+/// serving thread both touch it.
+struct Collector::Connection {
+  TcpSocket socket;
+  FrameDecoder decoder;
+  std::thread thread;
+  /// Site id learned from the Hello; 0 until the handshake completes.
+  std::uint64_t site_id = 0;
+  bool hello_ok = false;
+  /// Set by serve() on exit so the accept loop can reap the thread.
+  std::atomic<bool> done{false};
+};
+
+Collector::Collector(CollectorConfig config)
+    : config_(std::move(config)),
+      merged_(config_.params),
+      detector_(config_.detection) {
+  if (config_.detection_top_k == 0)
+    throw std::invalid_argument("Collector: detection_top_k must be > 0");
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  auto listener = TcpListener::listen(config_.bind_address, config_.port);
+  if (!listener)
+    throw std::runtime_error("Collector: cannot bind " +
+                             config_.bind_address + ":" +
+                             std::to_string(config_.port));
+  listener_ = std::move(*listener);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Collector::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Shut the sockets down (not close: the serving threads still own the
+  // fds) to unblock their recvs, then join. The fds close when `conns`
+  // drops the last Connection references below, after every join.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& conn : conns) conn->socket.shutdown();
+  for (auto& conn : conns)
+    if (conn->thread.joinable()) conn->thread.join();
+}
+
+bool Collector::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint16_t Collector::port() const { return listener_.port(); }
+
+void Collector::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    // Reap connections whose serving thread has finished, so churn (agents
+    // restarting repeatedly) does not accumulate dead threads.
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      std::erase_if(connections_, [](const std::shared_ptr<Connection>& c) {
+        if (!c->done.load(std::memory_order_acquire)) return false;
+        if (c->thread.joinable()) c->thread.join();
+        return true;
+      });
+    }
+    auto socket = listener_.accept(config_.io_timeout_ms);
+    if (!socket) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(*socket);
+    conn->socket.set_timeouts(
+        static_cast<std::uint64_t>(config_.io_timeout_ms),
+        static_cast<std::uint64_t>(config_.io_timeout_ms));
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] { serve(conn); });
+  }
+}
+
+void Collector::serve(std::shared_ptr<Connection> conn) {
+  char buffer[64 * 1024];
+  bool failed = false;
+  while (running_.load(std::memory_order_acquire)) {
+    const RecvResult got = conn->socket.recv_some(buffer, sizeof buffer);
+    if (got.closed || got.error) break;
+    if (got.timed_out) continue;
+    conn->decoder.feed(buffer, got.bytes);
+    try {
+      while (auto frame = conn->decoder.next()) {
+        if (obs::recording()) obs::CollectorMetrics::get().frames.inc();
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          ++totals_.frames;
+        }
+        const std::string ack = handle_frame(*conn, frame->type,
+                                             frame->payload);
+        if (!ack.empty() && !conn->socket.send_all(ack)) {
+          failed = true;
+          break;
+        }
+      }
+    } catch (const WireError&) {
+      // Malformed frame or payload: the byte stream is unrecoverable.
+      // Count it, drop this connection, keep serving everyone else.
+      if (obs::recording()) obs::CollectorMetrics::get().frame_errors.inc();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++totals_.frame_errors;
+      failed = true;
+    }
+    if (failed) break;
+  }
+  // Tell the peer now (FIN), but leave the close to whoever destroys the
+  // Connection after this thread is joined — closing here would race with
+  // stop()'s concurrent shutdown on the same fd.
+  conn->socket.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (conn->hello_ok) {
+      auto it = sites_.find(conn->site_id);
+      if (it != sites_.end() && it->second.connected) {
+        it->second.connected = false;
+        --totals_.connected_sites;
+        if (obs::recording())
+          obs::CollectorMetrics::get().connected_sites.add(-1);
+      }
+    }
+    state_cv_.notify_all();
+  }
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string Collector::handle_frame(Connection& conn, MsgType type,
+                                    const std::string& payload) {
+  switch (type) {
+    case MsgType::kHello: {
+      const Hello hello = Hello::decode(payload);
+      Ack ack;
+      ack.epoch = 0;
+      if (hello.params_fingerprint != config_.params.fingerprint()) {
+        ack.status = AckStatus::kRejected;
+        if (obs::recording())
+          obs::CollectorMetrics::get().rejected_hellos.inc();
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++totals_.rejected_hellos;
+        return encode_frame(MsgType::kAck, ack.encode());
+      }
+      conn.site_id = hello.site_id;
+      conn.hello_ok = true;
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      SiteStats& site = sites_[hello.site_id];
+      site.site_id = hello.site_id;
+      if (!site.connected) {
+        site.connected = true;
+        ++totals_.connected_sites;
+        if (obs::recording())
+          obs::CollectorMetrics::get().connected_sites.add(1);
+      }
+      // A fresh agent resuming above last_epoch+1 (e.g. restart with a new
+      // first_epoch) is an epoch gap; account it like any other drop.
+      if (hello.first_epoch > site.last_epoch + 1) {
+        const std::uint64_t gap = hello.first_epoch - site.last_epoch - 1;
+        site.dropped_epochs += gap;
+        totals_.dropped_epochs += gap;
+        // Advance last_epoch past the gap so the first delta of the new
+        // connection does not count the same missing epochs again.
+        site.last_epoch = hello.first_epoch - 1;
+        if (obs::recording())
+          obs::CollectorMetrics::get().dropped_epochs.inc(gap);
+      }
+      state_cv_.notify_all();
+      return encode_frame(MsgType::kAck, ack.encode());
+    }
+    case MsgType::kSnapshotDelta:
+      return handle_delta(conn, payload);
+    case MsgType::kHeartbeat: {
+      Heartbeat::decode(payload);  // validation only; liveness is implicit
+      return {};
+    }
+    case MsgType::kAck:
+      throw WireError("collector: unexpected Ack from site");
+    case MsgType::kBye: {
+      Bye::decode(payload);
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++totals_.byes;
+      state_cv_.notify_all();
+      return {};
+    }
+  }
+  throw WireError("collector: unhandled message type");
+}
+
+std::string Collector::handle_delta(Connection& conn,
+                                    const std::string& payload) {
+  const SnapshotDelta delta = SnapshotDelta::decode(payload);
+  if (!conn.hello_ok) throw WireError("collector: delta before Hello");
+  if (delta.site_id != conn.site_id)
+    throw WireError("collector: delta site_id does not match Hello");
+  if (delta.epoch == 0) throw WireError("collector: delta epoch must be >= 1");
+
+  // Deserialize (and CRC-check) the blob before taking the state lock; a
+  // corrupt blob must never leave a half-merged global sketch.
+  DistinctCountSketch sketch = [&] {
+    try {
+      return decode_sketch_blob(delta.sketch_blob);
+    } catch (const SerializeError& error) {
+      throw WireError(std::string("collector: bad sketch blob: ") +
+                      error.what());
+    }
+  }();
+  if (sketch.params().fingerprint() != config_.params.fingerprint())
+    throw WireError("collector: delta sketch parameters mismatch");
+
+  Ack ack;
+  ack.epoch = delta.epoch;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  SiteStats& site = sites_[conn.site_id];
+  if (delta.epoch <= site.last_epoch) {
+    // Retransmit after a reconnect — already merged; ack so the site can
+    // drop it from its spool. Exactly-once merging from at-least-once
+    // delivery.
+    ack.status = AckStatus::kDuplicate;
+    ++site.duplicate_deltas;
+    ++totals_.duplicate_deltas;
+    if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
+    return encode_frame(MsgType::kAck, ack.encode());
+  }
+  if (delta.epoch > site.last_epoch + 1) {
+    const std::uint64_t gap = delta.epoch - site.last_epoch - 1;
+    site.dropped_epochs += gap;
+    totals_.dropped_epochs += gap;
+    if (obs::recording())
+      obs::CollectorMetrics::get().dropped_epochs.inc(gap);
+  }
+  {
+    obs::ScopedTimer timer(obs::CollectorMetrics::get().merge_ns);
+    merged_.merge_sketch(sketch);
+    if (config_.run_detection)
+      detector_.observe(merged_.top_k(config_.detection_top_k).entries,
+                        totals_.deltas_merged + 1);
+  }
+  site.last_epoch = delta.epoch;
+  ++site.epochs_merged;
+  site.updates_merged += delta.updates;
+  ++totals_.deltas_merged;
+  if (obs::recording()) obs::CollectorMetrics::get().deltas.inc();
+  state_cv_.notify_all();
+  return encode_frame(MsgType::kAck, ack.encode());
+}
+
+TopKResult Collector::top_k(std::size_t k) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return merged_.top_k(k);
+}
+
+std::uint64_t Collector::estimate_frequency(Addr group) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return merged_.estimate_frequency(group);
+}
+
+DistinctCountSketch Collector::merged_sketch() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return merged_.sketch();
+}
+
+std::vector<Alert> Collector::alerts() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return detector_.alerts();
+}
+
+std::size_t Collector::active_alarm_count() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return detector_.active_alarm_count();
+}
+
+Collector::Stats Collector::stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return totals_;
+}
+
+std::vector<Collector::SiteStats> Collector::site_stats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<SiteStats> out;
+  out.reserve(sites_.size());
+  for (const auto& [id, site] : sites_) out.push_back(site);
+  return out;
+}
+
+bool Collector::wait_for_deltas(std::uint64_t count, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  return state_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return totals_.deltas_merged >= count; });
+}
+
+bool Collector::wait_for_byes(std::uint64_t count, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  return state_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return totals_.byes >= count; });
+}
+
+}  // namespace dcs::service

@@ -1,0 +1,145 @@
+// Collector daemon: the central detector of the paper's distributed
+// deployment. Accepts any number of site-agent connections, merges their
+// per-epoch DistinctCountSketch deltas into one global TrackingDcs (sketch
+// linearity makes the merge order irrelevant), and runs the EWMA baseline
+// detector over the merged top-k after every merge.
+//
+// Fault model:
+//   * Site churn never blocks queries — connection handling and the merged
+//     state live behind separate synchronization; a site dying mid-frame
+//     just ends that connection's thread.
+//   * At-least-once delta delivery: a site retransmits un-acked epochs
+//     after reconnecting; the collector dedups by per-site last-merged
+//     epoch, so every epoch is merged exactly once.
+//   * Degraded-mode visibility: epoch-sequence gaps (spool overflow at the
+//     site, agent restart) are counted per site and exported via obs.
+//   * A malformed or malicious frame (bad magic/CRC/length, garbage sketch
+//     blob) tears down only its own connection; the merged view is
+//     untouched because validation happens before any merge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detection/baseline_detector.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/tracking_dcs.hpp"
+
+namespace dcs::service {
+
+struct CollectorConfig {
+  /// Sketch parameters every site must match (fingerprint-checked at Hello).
+  DcsParams params;
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via Collector::port().
+  std::uint16_t port = 0;
+  /// Run detection over the merged top-k after each delta merge.
+  bool run_detection = true;
+  BaselineDetectorConfig detection;
+  std::size_t detection_top_k = 10;
+  /// Poll/IO granularity; bounds stop() latency, not protocol timing.
+  int io_timeout_ms = 250;
+};
+
+class Collector {
+ public:
+  /// Per-site accounting, exposed for tests and operators.
+  struct SiteStats {
+    std::uint64_t site_id = 0;
+    std::uint64_t last_epoch = 0;      ///< Highest epoch merged.
+    std::uint64_t epochs_merged = 0;
+    std::uint64_t updates_merged = 0;  ///< Flow updates the deltas summarize.
+    /// Epochs missing from the sequence (site spool overflow or restart)
+    /// plus drops the site itself reported — the degraded-mode ledger.
+    std::uint64_t dropped_epochs = 0;
+    std::uint64_t duplicate_deltas = 0;
+    bool connected = false;
+  };
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t frame_errors = 0;
+    std::uint64_t deltas_merged = 0;
+    std::uint64_t duplicate_deltas = 0;
+    std::uint64_t dropped_epochs = 0;
+    std::uint64_t rejected_hellos = 0;
+    std::uint64_t byes = 0;
+    std::size_t connected_sites = 0;
+  };
+
+  explicit Collector(CollectorConfig config);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Bind + start the accept loop. Throws std::runtime_error if the bind
+  /// fails. Idempotent until stop().
+  void start();
+  /// Stop accepting, close all connections, join all threads. Merged state
+  /// remains queryable after stop().
+  void stop();
+
+  bool running() const;
+  std::uint16_t port() const;
+
+  // --- queries over the merged view (safe during site churn) ---------------
+  TopKResult top_k(std::size_t k) const;
+  std::uint64_t estimate_frequency(Addr group) const;
+  /// Copy of the merged basic sketch (for equality checks against a
+  /// reference sketch in tests).
+  DistinctCountSketch merged_sketch() const;
+  std::vector<Alert> alerts() const;
+  std::size_t active_alarm_count() const;
+
+  Stats stats() const;
+  std::vector<SiteStats> site_stats() const;
+
+  // --- test/tool synchronization -------------------------------------------
+  /// Block until `count` deltas have been merged (or timeout). Returns the
+  /// condition's truth at exit.
+  bool wait_for_deltas(std::uint64_t count, int timeout_ms) const;
+  /// Block until `count` Bye messages have arrived (or timeout).
+  bool wait_for_byes(std::uint64_t count, int timeout_ms) const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve(std::shared_ptr<Connection> conn);
+  /// Handle one decoded frame; returns the ack to send (empty = none).
+  std::string handle_frame(Connection& conn, MsgType type,
+                           const std::string& payload);
+  std::string handle_delta(Connection& conn, const std::string& payload);
+
+  CollectorConfig config_;
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  /// Connection threads, joined on stop(). Guarded by conn_mutex_.
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  /// Everything below is the merged/detection state, guarded by one mutex:
+  /// merges are rare (per epoch per site) and queries are cheap, so a
+  /// single lock keeps the invariant "detector observed every merge"
+  /// trivially true.
+  mutable std::mutex state_mutex_;
+  mutable std::condition_variable state_cv_;
+  TrackingDcs merged_;
+  BaselineDetector detector_;
+  std::map<std::uint64_t, SiteStats> sites_;
+  Stats totals_;
+};
+
+}  // namespace dcs::service

@@ -1,0 +1,188 @@
+#include "service/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dcs::service {
+
+namespace {
+
+timeval ms_to_timeval(std::uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
+
+bool make_addr(const std::string& address, std::uint16_t port,
+               sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  return inet_pton(AF_INET, address.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+  }
+  return *this;
+}
+
+void TcpSocket::set_timeouts(std::uint64_t recv_ms,
+                             std::uint64_t send_ms) noexcept {
+  const int fd = fd_.load();
+  if (fd < 0) return;
+  const timeval rcv = ms_to_timeval(recv_ms);
+  const timeval snd = ms_to_timeval(send_ms);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof rcv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof snd);
+}
+
+bool TcpSocket::send_all(const void* data, std::size_t size) noexcept {
+  const int fd = fd_.load();
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (sent > 0) {
+      cursor += sent;
+      remaining -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;  // timeout, reset, or closed peer — all fatal to the frame
+  }
+  return true;
+}
+
+RecvResult TcpSocket::recv_some(void* buffer, std::size_t capacity) noexcept {
+  const int fd = fd_.load();
+  RecvResult result;
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, capacity, 0);
+    if (got > 0) {
+      result.bytes = static_cast<std::size_t>(got);
+      return result;
+    }
+    if (got == 0) {
+      result.closed = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.timed_out = true;
+      return result;
+    }
+    result.error = true;
+    return result;
+  }
+}
+
+void TcpSocket::shutdown() noexcept {
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpSocket::close() noexcept {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::optional<TcpListener> TcpListener::listen(const std::string& address,
+                                               std::uint16_t port,
+                                               int backlog) {
+  sockaddr_in addr{};
+  if (!make_addr(address, port, addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<TcpSocket> TcpListener::accept(int timeout_ms) noexcept {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return std::nullopt;
+  return TcpSocket(conn);
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpSocket> tcp_connect(const std::string& address,
+                                     std::uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  if (!make_addr(address, port, addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  // Non-blocking connect so refusal/timeout never wedges the caller; the
+  // socket is switched back to blocking (with SO_*TIMEO) once connected.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return TcpSocket(fd);
+}
+
+}  // namespace dcs::service

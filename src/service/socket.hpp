@@ -1,0 +1,108 @@
+// Minimal RAII wrappers over POSIX TCP sockets — just enough transport for
+// the sketch-shipping protocol: a listener with timed accept, a timed
+// connect, and full-buffer send / some-bytes receive with socket-level
+// timeouts. No external dependencies; errors surface as return values (the
+// service layer treats every transport failure the same way: drop the
+// connection and let the reconnect/backoff logic recover).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dcs::service {
+
+/// Result of one receive attempt.
+struct RecvResult {
+  /// Bytes read into the buffer (0 with closed=false means timeout).
+  std::size_t bytes = 0;
+  /// Peer closed the connection (orderly EOF).
+  bool closed = false;
+  /// Hard transport error (connection reset, bad fd, ...).
+  bool error = false;
+  /// The receive timed out with no data (soft; retry is fine).
+  bool timed_out = false;
+};
+
+/// Move-only owner of a connected TCP socket.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) noexcept : fd_(fd) {}
+  ~TcpSocket() { close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  bool valid() const noexcept { return fd_.load() >= 0; }
+  int fd() const noexcept { return fd_.load(); }
+
+  /// Apply SO_RCVTIMEO / SO_SNDTIMEO (0 = block forever).
+  void set_timeouts(std::uint64_t recv_ms, std::uint64_t send_ms) noexcept;
+
+  /// Send the whole buffer; false on any transport error (SIGPIPE is
+  /// suppressed via MSG_NOSIGNAL).
+  bool send_all(const void* data, std::size_t size) noexcept;
+  bool send_all(const std::string& data) noexcept {
+    return send_all(data.data(), data.size());
+  }
+
+  /// Receive up to `capacity` bytes (at least one unless EOF/timeout).
+  RecvResult recv_some(void* buffer, std::size_t capacity) noexcept;
+
+  /// Disable further sends/receives, waking any thread blocked in
+  /// recv_some/send_all. Unlike close(), this leaves the fd valid, so it
+  /// is safe to call from another thread while the owner is mid-recv —
+  /// the owner (and only the owner) still calls close().
+  void shutdown() noexcept;
+
+  void close() noexcept;
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Listening socket bound to an IPv4 address. Construction may fail
+/// (address in use, permission) — use the factory.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen on `address:port` (port 0 picks an ephemeral port;
+  /// read it back via port()). Returns nullopt on failure.
+  static std::optional<TcpListener> listen(const std::string& address,
+                                           std::uint16_t port,
+                                           int backlog = 16);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait up to `timeout_ms` for a connection; nullopt on timeout or error.
+  std::optional<TcpSocket> accept(int timeout_ms) noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to `address:port`, waiting at most `timeout_ms`; nullopt on
+/// refusal/timeout (callers back off and retry).
+std::optional<TcpSocket> tcp_connect(const std::string& address,
+                                     std::uint16_t port, int timeout_ms);
+
+}  // namespace dcs::service

@@ -1,0 +1,189 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace dcs::service {
+
+namespace {
+
+bool valid_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint8_t>(MsgType::kBye);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+std::uint32_t get_u32(const char* data) {
+  std::uint32_t v;
+  std::memcpy(&v, data, sizeof v);
+  return v;
+}
+
+/// Encode a payload struct through a BinaryWriter-over-string.
+template <typename Fn>
+std::string encode_payload(Fn&& write_fields) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  write_fields(writer);
+  return std::move(out).str();
+}
+
+/// Decode a payload; any reader underflow or trailing garbage is a
+/// WireError (payload lengths are exact by construction).
+template <typename Fn>
+void decode_payload(const std::string& payload, Fn&& read_fields) {
+  std::istringstream in(payload, std::ios::binary);
+  BinaryReader reader(in);
+  try {
+    read_fields(reader);
+  } catch (const SerializeError& error) {
+    throw WireError(std::string("malformed payload: ") + error.what());
+  }
+  if (in.peek() != std::char_traits<char>::eof())
+    throw WireError("malformed payload: trailing bytes");
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes)
+    throw WireError("encode_frame: payload exceeds kMaxPayloadBytes");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size() + kFrameCrcBytes);
+  put_u32(frame, kWireMagic);
+  frame.push_back(static_cast<char>(kWireVersion));
+  frame.push_back(static_cast<char>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  // CRC covers everything after the magic: version, type, length, payload.
+  put_u32(frame, crc32(frame.data() + 4, frame.size() - 4));
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  if (get_u32(buffer_.data()) != kWireMagic)
+    throw WireError("frame: bad magic");
+  const auto version = static_cast<std::uint8_t>(buffer_[4]);
+  if (version != kWireVersion) throw WireError("frame: unsupported version");
+  const auto type = static_cast<std::uint8_t>(buffer_[5]);
+  if (!valid_type(type)) throw WireError("frame: unknown message type");
+  const std::uint32_t payload_len = get_u32(buffer_.data() + 6);
+  if (payload_len > kMaxPayloadBytes)
+    throw WireError("frame: oversized payload length");
+  const std::size_t total =
+      kFrameHeaderBytes + payload_len + kFrameCrcBytes;
+  if (buffer_.size() < total) return std::nullopt;
+  const std::uint32_t expected =
+      get_u32(buffer_.data() + kFrameHeaderBytes + payload_len);
+  const std::uint32_t computed =
+      crc32(buffer_.data() + 4, kFrameHeaderBytes - 4 + payload_len);
+  if (expected != computed) throw WireError("frame: CRC mismatch");
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload = buffer_.substr(kFrameHeaderBytes, payload_len);
+  buffer_.erase(0, total);
+  return frame;
+}
+
+std::string Hello::encode() const {
+  return encode_payload([&](BinaryWriter& w) {
+    w.u64(site_id);
+    w.u64(params_fingerprint);
+    w.u64(epoch_updates);
+    w.u64(first_epoch);
+    w.u64(dropped_epochs);
+  });
+}
+
+Hello Hello::decode(const std::string& payload) {
+  Hello hello;
+  decode_payload(payload, [&](BinaryReader& r) {
+    hello.site_id = r.u64();
+    hello.params_fingerprint = r.u64();
+    hello.epoch_updates = r.u64();
+    hello.first_epoch = r.u64();
+    hello.dropped_epochs = r.u64();
+  });
+  return hello;
+}
+
+std::string SnapshotDelta::encode() const {
+  return encode_payload([&](BinaryWriter& w) {
+    w.u64(site_id);
+    w.u64(epoch);
+    w.u64(updates);
+    w.str(sketch_blob);
+  });
+}
+
+SnapshotDelta SnapshotDelta::decode(const std::string& payload) {
+  SnapshotDelta delta;
+  decode_payload(payload, [&](BinaryReader& r) {
+    delta.site_id = r.u64();
+    delta.epoch = r.u64();
+    delta.updates = r.u64();
+    delta.sketch_blob = r.str();
+  });
+  return delta;
+}
+
+std::string Heartbeat::encode() const {
+  return encode_payload([&](BinaryWriter& w) {
+    w.u64(site_id);
+    w.u64(current_epoch);
+    w.u64(spooled_epochs);
+    w.u64(dropped_epochs);
+  });
+}
+
+Heartbeat Heartbeat::decode(const std::string& payload) {
+  Heartbeat heartbeat;
+  decode_payload(payload, [&](BinaryReader& r) {
+    heartbeat.site_id = r.u64();
+    heartbeat.current_epoch = r.u64();
+    heartbeat.spooled_epochs = r.u64();
+    heartbeat.dropped_epochs = r.u64();
+  });
+  return heartbeat;
+}
+
+std::string Ack::encode() const {
+  return encode_payload([&](BinaryWriter& w) {
+    w.u64(epoch);
+    w.u8(static_cast<std::uint8_t>(status));
+  });
+}
+
+Ack Ack::decode(const std::string& payload) {
+  Ack ack;
+  decode_payload(payload, [&](BinaryReader& r) {
+    ack.epoch = r.u64();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(AckStatus::kRejected))
+      throw WireError("ack: unknown status");
+    ack.status = static_cast<AckStatus>(status);
+  });
+  return ack;
+}
+
+std::string Bye::encode() const {
+  return encode_payload([&](BinaryWriter& w) { w.u64(site_id); });
+}
+
+Bye Bye::decode(const std::string& payload) {
+  Bye bye;
+  decode_payload(payload, [&](BinaryReader& r) { bye.site_id = r.u64(); });
+  return bye;
+}
+
+}  // namespace dcs::service

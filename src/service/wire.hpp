@@ -1,0 +1,170 @@
+// Wire protocol for sketch shipping (src/service).
+//
+// The paper's deployment (Fig. 1) is distributed: per-router monitors
+// observe flow updates locally; a central detector needs the *global*
+// distinct-source counts. Because the DCS is linear, a site never ships raw
+// flow updates — it ships its per-epoch sketch delta (a few hundred KiB at
+// most, independent of traffic volume) and the collector adds counters.
+//
+// Framing. Every message travels in one CRC-framed, length-prefixed frame:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic 0x57534344 ("DCSW"), little-endian
+//        4     1  protocol version (kWireVersion)
+//        5     1  message type (MsgType)
+//        6     4  payload length in bytes (<= kMaxPayloadBytes)
+//       10     n  payload (message-specific, see below)
+//    10 + n     4  CRC-32 over bytes [4, 10 + n) — version, type,
+//                  length and payload; the magic is covered by the
+//                  equality check itself
+//
+// A receiver rejects bad magic, unknown version/type, oversized length and
+// CRC mismatch with WireError *before* interpreting any payload byte, so a
+// malformed or malicious peer can tear down its own connection but never
+// corrupt collector state. Sketch payloads additionally carry the
+// common/serialize CRC footer — integrity is checked end to end, not just
+// per hop.
+//
+// Messages (all integers little-endian, encoded via common/serialize):
+//   Hello          site -> collector, once per connection. Carries the site
+//                  id, the DcsParams fingerprint (mergeability check), the
+//                  epoch size and the resume epoch. Acked (epoch = 0).
+//   SnapshotDelta  site -> collector. One epoch's sketch delta. Acked with
+//                  the epoch number; the site keeps the delta spooled until
+//                  the ack arrives, so a connection drop never loses an
+//                  epoch silently.
+//   Heartbeat      site -> collector, when idle. Liveness + degraded-mode
+//                  accounting (spool depth, epochs dropped so far).
+//   Ack            collector -> site. Status for a Hello or SnapshotDelta.
+//   Bye            site -> collector. Clean end of stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/serialize.hpp"
+
+namespace dcs::service {
+
+constexpr std::uint32_t kWireMagic = 0x57534344;  // "DCSW"
+constexpr std::uint8_t kWireVersion = 1;
+/// Sketch deltas are ~r*s*65*8 bytes per allocated level (~1.6 MiB at
+/// r=3, s=1024, 8 levels); 64 MiB leaves generous headroom while bounding
+/// what a garbage length prefix can make a receiver buffer.
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+constexpr std::size_t kFrameHeaderBytes = 10;
+constexpr std::size_t kFrameCrcBytes = 4;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kSnapshotDelta = 2,
+  kHeartbeat = 3,
+  kAck = 4,
+  kBye = 5,
+};
+
+/// Thrown on malformed frames and payloads. Subtype of SerializeError so
+/// transport and payload corruption surface through one catch.
+class WireError : public SerializeError {
+ public:
+  using SerializeError::SerializeError;
+};
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::string payload;
+};
+
+/// Assemble one frame (header + payload + CRC) ready to send.
+std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame parser for a TCP byte stream. feed() appends received
+/// bytes; next() pops the first complete frame, returns std::nullopt when
+/// more bytes are needed, and throws WireError on malformed input (the
+/// stream is unrecoverable after a throw — drop the connection).
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size);
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+// --- message payloads ------------------------------------------------------
+
+enum class AckStatus : std::uint8_t {
+  kOk = 0,
+  /// The epoch was already merged (a retransmit after reconnect); the site
+  /// treats it as shipped.
+  kDuplicate = 1,
+  /// Parameter fingerprint mismatch or malformed payload; the site cannot
+  /// usefully retry.
+  kRejected = 2,
+};
+
+struct Hello {
+  std::uint64_t site_id = 0;
+  /// DcsParams::fingerprint() of the site's sketch parameters; the
+  /// collector rejects a mismatch before any counters are merged.
+  std::uint64_t params_fingerprint = 0;
+  /// Updates per epoch at this site (informational; sites may differ).
+  std::uint64_t epoch_updates = 0;
+  /// First epoch this connection will ship (> 1 after an agent restart —
+  /// the collector counts the gap as dropped epochs).
+  std::uint64_t first_epoch = 1;
+  /// Epochs this site has dropped on spool overflow so far (degraded-mode
+  /// accounting survives reconnects).
+  std::uint64_t dropped_epochs = 0;
+
+  std::string encode() const;
+  static Hello decode(const std::string& payload);
+};
+
+struct SnapshotDelta {
+  std::uint64_t site_id = 0;
+  /// 1-based epoch number, strictly increasing per site.
+  std::uint64_t epoch = 0;
+  /// Flow updates summarized by this delta (for collector accounting).
+  std::uint64_t updates = 0;
+  /// DistinctCountSketch::serialize bytes (self-checksummed, v2 footer).
+  std::string sketch_blob;
+
+  std::string encode() const;
+  static SnapshotDelta decode(const std::string& payload);
+};
+
+struct Heartbeat {
+  std::uint64_t site_id = 0;
+  /// Epoch currently being accumulated at the site.
+  std::uint64_t current_epoch = 0;
+  std::uint64_t spooled_epochs = 0;
+  std::uint64_t dropped_epochs = 0;
+
+  std::string encode() const;
+  static Heartbeat decode(const std::string& payload);
+};
+
+struct Ack {
+  /// Epoch being acknowledged; 0 acknowledges a Hello.
+  std::uint64_t epoch = 0;
+  AckStatus status = AckStatus::kOk;
+
+  std::string encode() const;
+  static Ack decode(const std::string& payload);
+};
+
+struct Bye {
+  std::uint64_t site_id = 0;
+
+  std::string encode() const;
+  static Bye decode(const std::string& payload);
+};
+
+}  // namespace dcs::service

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "common/hash.hpp"
 
 namespace dcs {
 
@@ -26,6 +29,29 @@ std::uint64_t DcsParams::sample_target() const noexcept {
                             ? sample_target_fraction * s
                             : (1.0 + epsilon) * s / 16.0;
   return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(target)));
+}
+
+std::uint64_t DcsParams::fingerprint() const noexcept {
+  // Chained splitmix64 over every field; doubles are hashed by bit pattern,
+  // which is exact for round-tripped values (we never compare across FP
+  // rounding).
+  const auto fold = [](std::uint64_t acc, std::uint64_t v) {
+    return mix64(acc ^ v);
+  };
+  std::uint64_t h = 0x44435350ULL;  // "DCSP"
+  h = fold(h, static_cast<std::uint64_t>(num_tables));
+  h = fold(h, buckets_per_table);
+  h = fold(h, static_cast<std::uint64_t>(key_bits));
+  h = fold(h, static_cast<std::uint64_t>(max_level));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(epsilon) == sizeof(bits));
+  std::memcpy(&bits, &epsilon, sizeof bits);
+  h = fold(h, bits);
+  std::memcpy(&bits, &sample_target_fraction, sizeof bits);
+  h = fold(h, bits);
+  h = fold(h, collision_correction ? 1 : 0);
+  h = fold(h, seed);
+  return h;
 }
 
 DcsParams DcsParams::recommend(double epsilon, double delta,

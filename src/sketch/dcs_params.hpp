@@ -75,6 +75,12 @@ struct DcsParams {
   /// sampling level (Fig. 3 step 3 / Fig. 7 step 4).
   std::uint64_t sample_target() const noexcept;
 
+  /// Order-sensitive 64-bit digest of every field (including the seed).
+  /// Two sketches are mergeable iff their params are identical, so remote
+  /// peers exchange this fingerprint in their handshake and reject a
+  /// mismatch before any counters cross the wire (src/service).
+  std::uint64_t fingerprint() const noexcept;
+
   /// Conservative parameter choice implementing Theorems 4.4 / 5.1 literally:
   /// r = Θ(log(n/δ)), s = Θ(U·log((n+log m)/δ) / (f_k·ε²)). The constants in
   /// the paper's analysis are loose; §6.1's empirical defaults (r=3, s=128)

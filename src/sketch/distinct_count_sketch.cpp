@@ -13,7 +13,11 @@ namespace dcs {
 
 namespace {
 constexpr std::uint32_t kSketchMagic = 0x53434344;  // "DCCS"
-constexpr std::uint8_t kSketchVersion = 1;
+// v1: header + params + level bitmap + counters.
+// v2: v1 followed by a CRC-32 integrity footer over the whole blob, so
+//     truncated or bit-flipped snapshots (on disk or on the wire) are
+//     rejected instead of silently corrupting a merge.
+constexpr std::uint8_t kSketchVersion = 2;
 
 // Seed-derivation constants: keep the level hash and the bucket family
 // independent even though both derive from the same master seed.
@@ -411,6 +415,7 @@ void DistinctCountSketch::subtract(const DistinctCountSketch& other) {
 }
 
 void DistinctCountSketch::serialize(BinaryWriter& writer) const {
+  writer.crc_reset();  // footer covers the header too
   write_header(writer, kSketchMagic, kSketchVersion);
   writer.i32(params_.num_tables);
   writer.u32(params_.buckets_per_table);
@@ -426,10 +431,12 @@ void DistinctCountSketch::serialize(BinaryWriter& writer) const {
   writer.u64(allocated);
   for (const auto& level : levels_)
     if (!level.empty()) writer.pod_vector(level);
+  write_crc_footer(writer);
 }
 
 DistinctCountSketch DistinctCountSketch::deserialize(BinaryReader& reader) {
-  read_header(reader, kSketchMagic, kSketchVersion);
+  reader.crc_reset();
+  const std::uint8_t version = read_header(reader, kSketchMagic, kSketchVersion);
   DcsParams params;
   params.num_tables = reader.i32();
   params.buckets_per_table = reader.u32();
@@ -448,6 +455,8 @@ DistinctCountSketch DistinctCountSketch::deserialize(BinaryReader& reader) {
     if (sketch.levels_[l].size() != params.counters_per_level())
       throw SerializeError("DistinctCountSketch: level size mismatch");
   }
+  // v1 blobs predate the integrity footer; everything newer must verify.
+  if (version >= 2) read_crc_footer(reader);
   return sketch;
 }
 

@@ -245,6 +245,11 @@ void TrackingDcs::merge(const TrackingDcs& other) {
   rebuild();
 }
 
+void TrackingDcs::merge_sketch(const DistinctCountSketch& delta) {
+  sketch_.merge(delta);
+  rebuild();
+}
+
 void TrackingDcs::serialize(BinaryWriter& writer) const {
   // The tracking state is derived; persisting the linear sketch suffices.
   sketch_.serialize(writer);

@@ -74,6 +74,12 @@ class TrackingDcs final : public TopKEstimator {
   /// tracking state from the merged counters.
   void merge(const TrackingDcs& other);
 
+  /// Merge a *basic* sketch delta (e.g. one site's per-epoch snapshot
+  /// shipped over the wire by src/service) and rebuild. By linearity the
+  /// result is identical to having ingested the delta's update stream
+  /// directly, in any order relative to other sites' deltas.
+  void merge_sketch(const DistinctCountSketch& delta);
+
   /// Reconstruct singleton maps and heaps from the raw sketch counters.
   /// Used after merge/deserialize; O(sketch size).
   void rebuild();

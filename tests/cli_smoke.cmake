@@ -42,6 +42,30 @@ run_cli(merge --out merged.dcs a.dcs b.dcs)
 run_cli(query --sketch merged.dcs --k 3)
 run_cli(query --sketch merged.dcs --tau 100)
 run_cli(diff --base a.dcs --sketch b.dcs --k 3)
+
+# Serialize -> deserialize -> query round trip: the persisted sketch must
+# answer exactly what the live tracker answers on the same trace and
+# parameters (the CRC-footered blob neither loses nor distorts state).
+execute_process(
+  COMMAND ${DCS_CLI} topk --trace trace.bin --k 5 --seed 9
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE live_status
+  OUTPUT_VARIABLE live_out ERROR_VARIABLE live_err)
+execute_process(
+  COMMAND ${DCS_CLI} query --sketch a.dcs --k 5
+  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE persisted_status
+  OUTPUT_VARIABLE persisted_out ERROR_VARIABLE persisted_err)
+if(NOT live_status EQUAL 0 OR NOT persisted_status EQUAL 0)
+  message(FATAL_ERROR "round-trip smoke failed:\n${live_err}\n${persisted_err}")
+endif()
+string(REGEX MATCHALL "[0-9]+  dest=[0-9a-f]+  frequency~[0-9]+"
+  live_entries "${live_out}")
+string(REGEX MATCHALL "[0-9]+  dest=[0-9a-f]+  frequency~[0-9]+"
+  persisted_entries "${persisted_out}")
+if("${live_entries}" STREQUAL "" OR
+   NOT live_entries STREQUAL persisted_entries)
+  message(FATAL_ERROR "persisted-sketch query diverged from live topk:\n"
+    "live:\n${live_out}\npersisted:\n${persisted_out}")
+endif()
 run_cli(monitor --trace trace.bin --min-absolute 100)
 run_cli(monitor --trace trace.bin --by-source --min-absolute 100)
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -76,9 +77,53 @@ TEST(IndexedHeap, UnderflowThrows) {
 
 TEST(IndexedHeap, EraseMissingIsNoop) {
   Heap heap;
+  heap.erase(99);  // erase on an empty heap
+  EXPECT_TRUE(heap.empty());
   heap.add(1, 1);
-  heap.erase(99);
+  heap.erase(99);  // erase of a key that was never added
   EXPECT_EQ(heap.size(), 1u);
+  heap.erase(1);
+  heap.erase(1);  // double erase of the same key
+  EXPECT_TRUE(heap.empty());
+  EXPECT_TRUE(heap.validate());
+}
+
+TEST(IndexedHeap, UpdateKeyReordersHeap) {
+  Heap heap;
+  heap.add(1, 10);
+  heap.add(2, 20);
+  heap.add(3, 30);
+  EXPECT_EQ(heap.top().key, 3u);
+  heap.add(1, 25);  // 1: 10 -> 35, overtakes 3
+  EXPECT_EQ(heap.top().key, 1u);
+  EXPECT_EQ(heap.top().priority, 35);
+  heap.add(1, -30);  // 1: 35 -> 5, sinks below everyone
+  EXPECT_EQ(heap.top().key, 3u);
+  EXPECT_EQ(heap.priority(1), 5);
+  EXPECT_TRUE(heap.validate());
+}
+
+TEST(IndexedHeap, DestructivePopDrainIsTotallyOrdered) {
+  Heap heap;
+  for (std::uint32_t k = 0; k < 200; ++k) heap.add(k, (k * 53) % 97 + 1);
+  std::int64_t last_priority = std::numeric_limits<std::int64_t>::max();
+  std::uint32_t last_key = 0;
+  std::size_t popped = 0;
+  while (!heap.empty()) {
+    const auto top = heap.top();
+    // Strictly descending by priority; ties strictly ascending by key.
+    if (top.priority == last_priority)
+      EXPECT_GT(top.key, last_key);
+    else
+      EXPECT_LT(top.priority, last_priority);
+    last_priority = top.priority;
+    last_key = top.key;
+    heap.erase(top.key);
+    EXPECT_FALSE(heap.contains(top.key));
+    ++popped;
+  }
+  EXPECT_EQ(popped, 200u);
+  EXPECT_TRUE(heap.validate());
 }
 
 TEST(IndexedHeap, TopKLargerThanSizeReturnsAll) {

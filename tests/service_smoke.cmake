@@ -1,0 +1,61 @@
+# Loopback smoke test for the sketch-shipping tools: four dcs_agent
+# processes and one dcs_collector started concurrently, coordinated through
+# --port-file (the collector binds an ephemeral port and publishes it).
+# Invoked by ctest (see CMakeLists.txt).
+#
+# execute_process runs its COMMANDs as one concurrent pipeline; the
+# collector is listed last so OUTPUT_VARIABLE captures *its* stdout, and
+# RESULTS_VARIABLE yields every process's exit status.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(port_file ${WORK_DIR}/collector.port)
+
+set(agent_args --port-file ${port_file} --u 4000 --d 50 --epoch-updates 1000)
+execute_process(
+  COMMAND ${DCS_AGENT} --site 1 ${agent_args}
+  COMMAND ${DCS_AGENT} --site 2 ${agent_args}
+  COMMAND ${DCS_AGENT} --site 3 ${agent_args}
+  COMMAND ${DCS_AGENT} --site 4 ${agent_args}
+  COMMAND ${DCS_COLLECTOR} --port-file ${port_file} --sites 4
+          --timeout-ms 60000 --metrics-out ${WORK_DIR}/metrics.prom
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE collector_out
+  ERROR_VARIABLE err_out
+  RESULTS_VARIABLE statuses
+  TIMEOUT 90)
+
+foreach(status ${statuses})
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "service_smoke: a process failed (${statuses}):\n"
+      "${collector_out}\n${err_out}")
+  endif()
+endforeach()
+
+# All four sites must have said Bye, every delta merged exactly once, and
+# no frame or epoch ever lost on a healthy loopback. Duplicates are allowed
+# (not asserted zero): under sanitizer slowdowns an agent can hit its ack
+# deadline and retransmit — dedup is exactly what deltas=16 then proves.
+foreach(needle
+    "byes=4 deltas=16 duplicates=[0-9]+ dropped=0 frame_errors=0 rejected=0"
+    "site=1 epochs=4 updates=4000 dropped=0 last_epoch=4"
+    "site=4 epochs=4 updates=4000 dropped=0 last_epoch=4"
+    " 1  dest=")
+  if(NOT collector_out MATCHES "${needle}")
+    message(FATAL_ERROR "service_smoke: collector output missing "
+      "'${needle}':\n${collector_out}\n${err_out}")
+  endif()
+endforeach()
+
+# The collector's metric snapshot must carry the service counters.
+file(READ ${WORK_DIR}/metrics.prom prom_text)
+foreach(needle
+    "dcs_collector_deltas_total 16"
+    "dcs_collector_frame_errors_total 0"
+    "# TYPE dcs_collector_merge_latency_ns histogram")
+  if(NOT prom_text MATCHES "${needle}")
+    message(FATAL_ERROR "service_smoke: metrics.prom missing "
+      "'${needle}':\n${prom_text}")
+  endif()
+endforeach()
+
+message(STATUS "service_smoke: 4 agents, 16 deltas, clean merge")

@@ -1,0 +1,488 @@
+// Loopback integration tests for the src/service sketch-shipping subsystem:
+// collector + agents over real TCP on 127.0.0.1.
+//
+// The linearity contract under test: merging per-site, per-epoch sketch
+// deltas at the collector must be *bit-identical* to ingesting the
+// concatenated stream into a single sketch, regardless of how the deltas
+// interleave on the wire. Plus the fault-model guarantees: agent churn
+// never blocks collector queries, epoch retransmits merge exactly once,
+// and malformed frames are rejected without crashing anything.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "service/agent.hpp"
+#include "service/collector.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs::service {
+namespace {
+
+DcsParams small_params() {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = 17;
+  return params;
+}
+
+CollectorConfig collector_config() {
+  CollectorConfig config;
+  config.params = small_params();
+  config.io_timeout_ms = 50;  // keep stop() fast in tests
+  return config;
+}
+
+SiteAgentConfig agent_config(std::uint64_t site_id, std::uint16_t port) {
+  SiteAgentConfig config;
+  config.site_id = site_id;
+  config.collector_port = port;
+  config.params = small_params();
+  config.epoch_updates = 500;
+  config.backoff_initial_ms = 10;
+  config.backoff_max_ms = 100;
+  config.io_timeout_ms = 1000;
+  config.jitter_seed = site_id;
+  return config;
+}
+
+std::vector<FlowUpdate> zipf_updates(std::uint64_t pairs, std::uint64_t seed) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = pairs;
+  config.num_destinations = 40;
+  config.skew = 1.3;
+  config.seed = seed;
+  return ZipfWorkload(config).updates();
+}
+
+// --- wire-level unit tests --------------------------------------------------
+
+TEST(WireFraming, RoundTripsThroughDecoder) {
+  Hello hello;
+  hello.site_id = 42;
+  hello.params_fingerprint = 0xabcdef;
+  hello.first_epoch = 7;
+  const std::string frame = encode_frame(MsgType::kHello, hello.encode());
+
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kHello);
+  const Hello back = Hello::decode(decoded->payload);
+  EXPECT_EQ(back.site_id, 42u);
+  EXPECT_EQ(back.params_fingerprint, 0xabcdefu);
+  EXPECT_EQ(back.first_epoch, 7u);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireFraming, ReassemblesByteAtATime) {
+  Ack ack;
+  ack.epoch = 9;
+  ack.status = AckStatus::kDuplicate;
+  const std::string frame = encode_frame(MsgType::kAck, ack.encode());
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.feed(frame.data() + i, 1);
+    EXPECT_FALSE(decoder.next().has_value()) << "frame complete early at " << i;
+  }
+  decoder.feed(frame.data() + frame.size() - 1, 1);
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  const Ack back = Ack::decode(decoded->payload);
+  EXPECT_EQ(back.epoch, 9u);
+  EXPECT_EQ(back.status, AckStatus::kDuplicate);
+}
+
+TEST(WireFraming, RejectsMalformedFrames) {
+  const std::string good = encode_frame(MsgType::kHeartbeat,
+                                        Heartbeat{}.encode());
+  // Bad magic.
+  {
+    std::string bad = good;
+    bad[0] ^= 0x01;
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  // Unsupported version.
+  {
+    std::string bad = good;
+    bad[4] = 99;
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  // Unknown message type.
+  {
+    std::string bad = good;
+    bad[5] = 0;
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  // Oversized length prefix (claims > kMaxPayloadBytes).
+  {
+    std::string bad = good;
+    bad[6] = bad[7] = bad[8] = bad[9] = static_cast<char>(0xff);
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  // Corrupted payload byte -> CRC mismatch.
+  {
+    std::string bad = good;
+    bad[kFrameHeaderBytes] ^= 0x40;
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    EXPECT_THROW(decoder.next(), WireError);
+  }
+  // Truncated frame is not an error — just incomplete.
+  {
+    FrameDecoder decoder;
+    decoder.feed(good.data(), good.size() - 1);
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+}
+
+TEST(WireFraming, AckRejectsUnknownStatus) {
+  std::string payload = Ack{}.encode();
+  payload.back() = 17;  // status byte out of range
+  EXPECT_THROW(Ack::decode(payload), WireError);
+}
+
+// --- loopback integration ---------------------------------------------------
+
+/// The acceptance-criteria scenario: four agents split one stream; the
+/// collector's merged sketch must equal the single-sketch reference on the
+/// concatenated stream, bit for bit.
+TEST(ServiceLoopback, FourSiteMergeEqualsSingleSketchReference) {
+  Collector collector(collector_config());
+  collector.start();
+
+  const auto all_updates = zipf_updates(6000, 99);
+  DistinctCountSketch reference(small_params());
+  for (const auto& update : all_updates)
+    reference.update(update.dest, update.source, update.delta);
+
+  constexpr int kSites = 4;
+  const std::size_t share = all_updates.size() / kSites;
+  std::uint64_t total_epochs = 0;
+  std::vector<std::thread> threads;
+  for (int site = 0; site < kSites; ++site) {
+    const std::size_t begin = static_cast<std::size_t>(site) * share;
+    const std::size_t end = site == kSites - 1 ? all_updates.size()
+                                               : begin + share;
+    threads.emplace_back([&, begin, end, site] {
+      SiteAgent agent(agent_config(static_cast<std::uint64_t>(site + 1),
+                                   collector.port()));
+      agent.start();
+      for (std::size_t i = begin; i < end; ++i) agent.ingest(all_updates[i]);
+      EXPECT_TRUE(agent.flush(10000));
+      agent.stop();
+    });
+    const std::uint64_t site_updates = end - begin;
+    total_epochs += (site_updates + 499) / 500;  // ceil(updates / epoch size)
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_TRUE(collector.wait_for_deltas(total_epochs, 10000));
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.deltas_merged, total_epochs);
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.dropped_epochs, 0u);
+
+  // Linearity: the merged sketch is bit-identical to the reference.
+  EXPECT_TRUE(collector.merged_sketch() == reference);
+  const TrackingDcs tracking_reference(reference);
+  const auto merged_topk = collector.top_k(5);
+  const auto reference_topk = tracking_reference.top_k(5);
+  ASSERT_EQ(merged_topk.entries.size(), reference_topk.entries.size());
+  for (std::size_t i = 0; i < merged_topk.entries.size(); ++i) {
+    EXPECT_EQ(merged_topk.entries[i].group, reference_topk.entries[i].group);
+    EXPECT_EQ(merged_topk.entries[i].estimate,
+              reference_topk.entries[i].estimate);
+  }
+  collector.stop();
+}
+
+/// Killing an agent abruptly (destructor without Bye — a crash, as far as
+/// the collector can tell) must not block queries or corrupt the merged
+/// view, and a restarted agent resuming at a later epoch surfaces the gap
+/// in the per-site drop accounting.
+TEST(ServiceLoopback, AgentChurnKeepsCollectorConsistent) {
+  Collector collector(collector_config());
+  collector.start();
+
+  const auto updates = zipf_updates(3000, 7);
+  DistinctCountSketch expected(small_params());
+
+  // Phase 1: agent ships 2 epochs (1000 updates), is killed abruptly.
+  {
+    auto agent = std::make_unique<SiteAgent>(agent_config(1, collector.port()));
+    agent->start();
+    for (std::size_t i = 0; i < 1000; ++i) agent->ingest(updates[i]);
+    ASSERT_TRUE(agent->flush(10000));
+    for (std::size_t i = 0; i < 1000; ++i)
+      expected.update(updates[i].dest, updates[i].source, updates[i].delta);
+    agent.reset();  // no Bye, no graceful stop
+  }
+  ASSERT_TRUE(collector.wait_for_deltas(2, 10000));
+
+  // Queries keep working while the site is gone.
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  EXPECT_NO_THROW(collector.top_k(3));
+
+  // Phase 2: the site restarts but lost epochs 3-4 (crashed before
+  // shipping); it resumes at epoch 5.
+  {
+    auto config = agent_config(1, collector.port());
+    config.first_epoch = 5;
+    SiteAgent agent(config);
+    agent.start();
+    for (std::size_t i = 1000; i < 2000; ++i) agent.ingest(updates[i]);
+    ASSERT_TRUE(agent.flush(10000));
+    for (std::size_t i = 1000; i < 2000; ++i)
+      expected.update(updates[i].dest, updates[i].source, updates[i].delta);
+    agent.stop();
+  }
+  ASSERT_TRUE(collector.wait_for_deltas(4, 10000));
+
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  const auto sites = collector.site_stats();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].epochs_merged, 4u);
+  EXPECT_EQ(sites[0].last_epoch, 6u);
+  EXPECT_EQ(sites[0].dropped_epochs, 2u);  // the gap is visible, not silent
+  collector.stop();
+}
+
+/// A delta retransmitted after reconnect (at-least-once delivery) must
+/// merge exactly once; the duplicate is acked as such, not re-merged.
+TEST(ServiceLoopback, DuplicateDeltaMergesExactlyOnce) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  Collector collector(config);
+  collector.start();
+
+  DistinctCountSketch delta_sketch(small_params());
+  delta_sketch.update(1, 2, +1);
+  delta_sketch.update(1, 3, +1);
+  std::ostringstream blob_out(std::ios::binary);
+  BinaryWriter writer(blob_out);
+  delta_sketch.serialize(writer);
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(2000, 2000);
+  FrameDecoder decoder;
+  char buffer[4096];
+  const auto read_ack = [&]() -> Ack {
+    for (;;) {
+      if (auto frame = decoder.next()) {
+        EXPECT_EQ(frame->type, MsgType::kAck);
+        return Ack::decode(frame->payload);
+      }
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) {
+        ADD_FAILURE() << "connection lost awaiting ack";
+        return Ack{};
+      }
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 5;
+  hello.params_fingerprint = small_params().fingerprint();
+  ASSERT_TRUE(socket->send_all(encode_frame(MsgType::kHello, hello.encode())));
+  EXPECT_EQ(read_ack().status, AckStatus::kOk);
+
+  SnapshotDelta delta;
+  delta.site_id = 5;
+  delta.epoch = 1;
+  delta.updates = 2;
+  delta.sketch_blob = std::move(blob_out).str();
+  const std::string frame =
+      encode_frame(MsgType::kSnapshotDelta, delta.encode());
+  ASSERT_TRUE(socket->send_all(frame));
+  Ack first = read_ack();
+  EXPECT_EQ(first.status, AckStatus::kOk);
+  EXPECT_EQ(first.epoch, 1u);
+  ASSERT_TRUE(socket->send_all(frame));  // identical retransmit
+  Ack second = read_ack();
+  EXPECT_EQ(second.status, AckStatus::kDuplicate);
+
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.deltas_merged, 1u);
+  EXPECT_EQ(stats.duplicate_deltas, 1u);
+  EXPECT_TRUE(collector.merged_sketch() == delta_sketch);
+  collector.stop();
+}
+
+/// Malformed input — garbage bytes, bad CRC, oversized length, truncated
+/// payload, corrupt sketch blob — must drop only the offending connection;
+/// the collector keeps serving well-formed peers afterwards.
+TEST(ServiceLoopback, MalformedFramesAreRejectedWithoutCrashing) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  Collector collector(config);
+  collector.start();
+
+  const auto send_garbage = [&](std::string bytes) {
+    auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+    ASSERT_TRUE(socket.has_value());
+    ASSERT_TRUE(socket->send_all(bytes));
+    // Collector should close on us; wait for EOF (bounded by its timeout).
+    socket->set_timeouts(3000, 3000);
+    char buffer[256];
+    for (int i = 0; i < 100; ++i) {
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.closed || got.error) return;
+    }
+    ADD_FAILURE() << "collector never dropped the malformed connection";
+  };
+
+  send_garbage("this is not a frame at all, definitely no magic");
+  {
+    std::string bad = encode_frame(MsgType::kHello, Hello{}.encode());
+    bad[bad.size() - 1] ^= 0x01;  // corrupt the CRC itself
+    send_garbage(bad);
+  }
+  {
+    std::string bad = encode_frame(MsgType::kHello, Hello{}.encode());
+    bad[6] = bad[7] = bad[8] = bad[9] = static_cast<char>(0xff);
+    send_garbage(bad);
+  }
+  {
+    // Well-framed delta whose sketch blob is corrupt: the frame CRC is
+    // valid but the blob's own footer check must reject it.
+    Hello hello;
+    hello.site_id = 9;
+    hello.params_fingerprint = small_params().fingerprint();
+    DistinctCountSketch sketch(small_params());
+    sketch.update(4, 5, +1);
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    sketch.serialize(writer);
+    std::string blob = std::move(out).str();
+    blob[blob.size() / 2] ^= 0x20;
+    SnapshotDelta delta;
+    delta.site_id = 9;
+    delta.epoch = 1;
+    delta.sketch_blob = blob;
+    send_garbage(encode_frame(MsgType::kHello, hello.encode()) +
+                 encode_frame(MsgType::kSnapshotDelta, delta.encode()));
+  }
+
+  EXPECT_GE(collector.stats().frame_errors, 4u);
+  EXPECT_EQ(collector.stats().deltas_merged, 0u);
+
+  // A well-behaved agent still gets served.
+  SiteAgent agent(agent_config(1, collector.port()));
+  agent.start();
+  for (const auto& update : zipf_updates(600, 3)) agent.ingest(update);
+  EXPECT_TRUE(agent.flush(10000));
+  agent.stop();
+  EXPECT_GE(collector.stats().deltas_merged, 1u);
+  collector.stop();
+}
+
+/// A parameter-fingerprint mismatch is rejected at Hello, before any merge.
+TEST(ServiceLoopback, ParameterMismatchIsRejectedAtHello) {
+  Collector collector(collector_config());
+  collector.start();
+
+  auto config = agent_config(1, collector.port());
+  config.params.seed = 12345;  // different hash seeds cannot be merged
+  SiteAgent agent(config);
+  agent.start();
+  agent.ingest(1, 2, +1);
+  agent.seal_epoch();
+  EXPECT_FALSE(agent.flush(3000));
+  const auto stats = agent.stats();
+  EXPECT_TRUE(stats.rejected);
+  EXPECT_EQ(stats.epochs_shipped, 0u);
+  EXPECT_EQ(collector.stats().rejected_hellos, 1u);
+  EXPECT_EQ(collector.stats().deltas_merged, 0u);
+  agent.stop();
+  collector.stop();
+}
+
+/// With no collector reachable, the agent keeps ingesting, spools up to the
+/// bound, then sheds the *oldest* epochs and accounts every drop.
+TEST(ServiceAgent, SpoolOverflowDropsOldestAndCounts) {
+  // Grab an ephemeral port, then close the listener: connections to it are
+  // refused, so the agent can never drain.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::listen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+
+  auto config = agent_config(1, dead_port);
+  config.epoch_updates = 10;
+  config.spool_epochs = 3;
+  SiteAgent agent(config);
+  agent.start();
+  for (int i = 0; i < 80; ++i)
+    agent.ingest(static_cast<Addr>(i % 4), static_cast<Addr>(i), +1);
+
+  const auto stats = agent.stats();
+  EXPECT_EQ(stats.epochs_sealed, 8u);
+  EXPECT_EQ(stats.epochs_dropped, 5u);  // 8 sealed, spool holds 3
+  EXPECT_EQ(stats.spool_depth, 3u);
+  EXPECT_EQ(stats.epochs_shipped, 0u);
+  agent.stop(100);
+}
+
+/// Late-starting collector: the agent retries with backoff and delivers
+/// everything it still has spooled once the collector appears.
+TEST(ServiceLoopback, AgentSurvivesCollectorOutage) {
+  // Reserve a port for the future collector by binding and closing.
+  std::uint16_t port = 0;
+  {
+    auto listener = TcpListener::listen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.has_value());
+    port = listener->port();
+  }
+
+  auto config = agent_config(1, port);
+  SiteAgent agent(config);
+  agent.start();
+  const auto updates = zipf_updates(1500, 11);
+  DistinctCountSketch expected(small_params());
+  for (const auto& update : updates) {
+    agent.ingest(update);
+    expected.update(update.dest, update.source, update.delta);
+  }
+  agent.seal_epoch();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GT(agent.stats().spool_depth, 0u);  // nothing shipped yet
+
+  CollectorConfig collector_cfg = collector_config();
+  collector_cfg.port = port;
+  Collector collector(collector_cfg);
+  collector.start();
+
+  EXPECT_TRUE(agent.flush(15000));
+  agent.stop();
+  const auto stats = agent.stats();
+  EXPECT_EQ(stats.epochs_dropped, 0u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  collector.stop();
+}
+
+}  // namespace
+}  // namespace dcs::service

@@ -1,0 +1,119 @@
+// dcs_agent — per-router site agent for the sketch-shipping deployment.
+//
+// Generates a synthetic Zipf flow-update workload (the same generator the
+// experiments use), ingests it into a local sketch, seals an epoch delta
+// every --epoch-updates updates and ships it to a dcs_collector, then
+// flushes and exits. Nonzero exit if the collector rejected the handshake
+// or the spool could not be drained.
+//
+//   dcs_agent --port N | --port-file FILE [--host ADDR] [--site N]
+//             [--r N] [--s N] [--seed N] [--u N] [--d N] [--z F] [--wseed N]
+//             [--epoch-updates N] [--spool N] [--drain-ms N]
+//
+// --port-file polls for a file published by `dcs_collector --port-file`, so
+// both sides can be launched simultaneously with an ephemeral port.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/options.hpp"
+#include "service/agent.hpp"
+#include "stream/generator.hpp"
+
+namespace {
+
+using namespace dcs;
+
+std::uint16_t wait_for_port_file(const std::string& path, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    unsigned port = 0;
+    if (in >> port && port > 0 && port <= 65535)
+      return static_cast<std::uint16_t>(port);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Daemon hygiene: a peer (or a pipeline neighbour reading our stdout)
+  // vanishing must surface as a write error, not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  Options options(argc, argv);
+
+  service::SiteAgentConfig config;
+  config.site_id = static_cast<std::uint64_t>(options.integer("site", 1));
+  config.collector_host = options.str("host", "127.0.0.1");
+  config.params.num_tables = static_cast<int>(options.integer("r", 3));
+  config.params.buckets_per_table =
+      static_cast<std::uint32_t>(options.integer("s", 128));
+  config.params.seed = static_cast<std::uint64_t>(options.integer("seed", 0));
+  config.epoch_updates =
+      static_cast<std::uint64_t>(options.integer("epoch-updates", 2048));
+  config.spool_epochs =
+      static_cast<std::size_t>(options.integer("spool", 64));
+  config.jitter_seed = config.site_id;
+
+  const int drain_ms = static_cast<int>(options.integer("drain-ms", 15000));
+
+  try {
+    config.params.validate();
+    config.collector_port =
+        static_cast<std::uint16_t>(options.integer("port", 0));
+    const std::string port_file = options.str("port-file", "");
+    if (config.collector_port == 0 && !port_file.empty())
+      config.collector_port = wait_for_port_file(port_file, drain_ms);
+    if (config.collector_port == 0) {
+      std::fprintf(stderr, "dcs_agent: no collector port (--port or "
+                           "--port-file required)\n");
+      return 2;
+    }
+
+    ZipfWorkloadConfig workload_config;
+    workload_config.u_pairs =
+        static_cast<std::uint64_t>(options.integer("u", 20000));
+    workload_config.num_destinations =
+        static_cast<std::uint32_t>(options.integer("d", 200));
+    workload_config.skew = options.real("z", 1.2);
+    workload_config.seed = static_cast<std::uint64_t>(
+        options.integer("wseed", static_cast<std::int64_t>(config.site_id)));
+    const ZipfWorkload workload(workload_config);
+
+    service::SiteAgent agent(config);
+    agent.start();
+    for (const FlowUpdate& update : workload.updates()) agent.ingest(update);
+    const bool drained = agent.flush(drain_ms);
+    agent.stop(drain_ms);
+
+    const auto stats = agent.stats();
+    std::printf("site=%llu sealed=%llu shipped=%llu dropped=%llu "
+                "reconnects=%llu io_errors=%llu rejected=%d\n",
+                static_cast<unsigned long long>(config.site_id),
+                static_cast<unsigned long long>(stats.epochs_sealed),
+                static_cast<unsigned long long>(stats.epochs_shipped),
+                static_cast<unsigned long long>(stats.epochs_dropped),
+                static_cast<unsigned long long>(stats.reconnects),
+                static_cast<unsigned long long>(stats.io_errors),
+                stats.rejected ? 1 : 0);
+    if (stats.rejected) {
+      std::fprintf(stderr, "dcs_agent: collector rejected handshake "
+                           "(parameter mismatch)\n");
+      return 1;
+    }
+    if (!drained) {
+      std::fprintf(stderr, "dcs_agent: spool not drained before timeout\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_agent: %s\n", error.what());
+    return 1;
+  }
+}

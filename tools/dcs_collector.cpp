@@ -1,0 +1,119 @@
+// dcs_collector — central detector for the sketch-shipping deployment.
+//
+// Binds a TCP port (0 = ephemeral), accepts site-agent connections
+// (dcs_agent), merges their per-epoch sketch deltas into one global
+// tracking sketch, runs EWMA-baseline detection over the merged top-k, and
+// exits after every expected site said Bye (or on timeout).
+//
+//   dcs_collector [--port N] [--bind ADDR] [--port-file FILE] [--sites N]
+//                 [--timeout-ms N] [--k N] [--r N] [--s N] [--seed N]
+//                 [--min-absolute N] [--factor F] [--no-detection]
+//                 [--metrics-out FILE] [--metrics-format prom|json]
+//
+// --port-file atomically publishes the bound port (written under a temp
+// name, then renamed) so agents started concurrently can discover it.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/options.hpp"
+#include "obs/export.hpp"
+#include "service/collector.hpp"
+
+namespace {
+
+using namespace dcs;
+
+void publish_port(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Daemon hygiene: a peer vanishing mid-write must surface as an error on
+  // the socket (or stdout), not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  Options options(argc, argv);
+
+  service::CollectorConfig config;
+  config.params.num_tables = static_cast<int>(options.integer("r", 3));
+  config.params.buckets_per_table =
+      static_cast<std::uint32_t>(options.integer("s", 128));
+  config.params.seed = static_cast<std::uint64_t>(options.integer("seed", 0));
+  config.bind_address = options.str("bind", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(options.integer("port", 0));
+  config.run_detection = !options.flag("no-detection");
+  config.detection.min_absolute =
+      static_cast<std::uint64_t>(options.integer("min-absolute", 512));
+  config.detection.alarm_factor = options.real("factor", 8.0);
+  config.detection_top_k =
+      static_cast<std::size_t>(options.integer("k", 5));
+
+  const auto sites = static_cast<std::uint64_t>(options.integer("sites", 1));
+  const int timeout_ms = static_cast<int>(options.integer("timeout-ms", 30000));
+
+  try {
+    config.params.validate();
+    service::Collector collector(config);
+    collector.start();
+    std::printf("listening on %s:%u\n", config.bind_address.c_str(),
+                collector.port());
+    std::fflush(stdout);
+    const std::string port_file = options.str("port-file", "");
+    if (!port_file.empty()) publish_port(port_file, collector.port());
+
+    const bool all_done = collector.wait_for_byes(sites, timeout_ms);
+    collector.stop();
+
+    const auto stats = collector.stats();
+    std::printf(
+        "byes=%llu deltas=%llu duplicates=%llu dropped=%llu "
+        "frame_errors=%llu rejected=%llu\n",
+        static_cast<unsigned long long>(stats.byes),
+        static_cast<unsigned long long>(stats.deltas_merged),
+        static_cast<unsigned long long>(stats.duplicate_deltas),
+        static_cast<unsigned long long>(stats.dropped_epochs),
+        static_cast<unsigned long long>(stats.frame_errors),
+        static_cast<unsigned long long>(stats.rejected_hellos));
+    for (const auto& site : collector.site_stats())
+      std::printf("site=%llu epochs=%llu updates=%llu dropped=%llu "
+                  "last_epoch=%llu\n",
+                  static_cast<unsigned long long>(site.site_id),
+                  static_cast<unsigned long long>(site.epochs_merged),
+                  static_cast<unsigned long long>(site.updates_merged),
+                  static_cast<unsigned long long>(site.dropped_epochs),
+                  static_cast<unsigned long long>(site.last_epoch));
+    const auto result = collector.top_k(config.detection_top_k);
+    for (std::size_t i = 0; i < result.entries.size(); ++i)
+      std::printf("%2zu  dest=%08x  frequency~%llu\n", i + 1,
+                  result.entries[i].group,
+                  static_cast<unsigned long long>(result.entries[i].estimate));
+    std::printf("alerts=%zu active_alarms=%zu\n", collector.alerts().size(),
+                collector.active_alarm_count());
+
+    const std::string metrics_out = options.str("metrics-out", "");
+    if (!metrics_out.empty())
+      obs::write_snapshot_file(metrics_out,
+                               obs::parse_format(
+                                   options.str("metrics-format", "prom")),
+                               obs::Registry::global().snapshot());
+
+    if (!all_done) {
+      std::fprintf(stderr, "dcs_collector: timed out waiting for %llu sites\n",
+                   static_cast<unsigned long long>(sites));
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_collector: %s\n", error.what());
+    return 1;
+  }
+}
