@@ -1,6 +1,14 @@
 #include "common/serialize.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace dcs {
 
@@ -58,6 +66,80 @@ void read_crc_footer(BinaryReader& r) {
   const std::uint32_t computed = r.crc();
   if (r.u32() != computed)
     throw SerializeError("CRC mismatch: corrupted or truncated input");
+}
+
+namespace {
+
+/// fsync an fd, timing the call; throws SerializeError on failure.
+void fsync_timed(int fd, const std::string& what, std::uint64_t* fsync_ns) {
+  const auto start = std::chrono::steady_clock::now();
+  if (::fsync(fd) != 0)
+    throw SerializeError("atomic_write_file: fsync failed for " + what);
+  if (fsync_ns) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    *fsync_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+}
+
+/// RAII fd so error paths cannot leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::uint64_t* fsync_ns) {
+  if (fsync_ns) *fsync_ns = 0;
+  const std::string tmp = path + ".tmp";
+  {
+    Fd file;
+    file.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (file.fd < 0)
+      throw SerializeError("atomic_write_file: cannot create " + tmp);
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ::ssize_t n =
+          ::write(file.fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::remove(tmp.c_str());
+        throw SerializeError("atomic_write_file: write failed for " + tmp);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    try {
+      fsync_timed(file.fd, tmp, fsync_ns);
+    } catch (...) {
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SerializeError("atomic_write_file: rename to " + path + " failed");
+  }
+  // The rename is only durable once the directory entry is: fsync the parent.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  Fd dirfd;
+  dirfd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd.fd < 0)
+    throw SerializeError("atomic_write_file: cannot open directory " + dir);
+  fsync_timed(dirfd.fd, dir, fsync_ns);
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buffer).str();
 }
 
 }  // namespace dcs

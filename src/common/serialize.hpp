@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <cstring>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dcs {
@@ -147,5 +149,25 @@ void write_crc_footer(BinaryWriter& w);
 /// bytes consumed since its last crc_reset(). Throws SerializeError on
 /// mismatch.
 void read_crc_footer(BinaryReader& r);
+
+// --- durable file I/O -------------------------------------------------------
+//
+// Helpers for state that must survive a crash (service checkpoints, epoch
+// journals). They only move bytes; integrity framing (magic/version header +
+// CRC footer) stays with the serializers above.
+
+/// Atomically publish `bytes` at `path`: write to `path + ".tmp"`, fsync the
+/// file, rename over `path`, then fsync the containing directory so the
+/// rename itself is durable. A crash at any point leaves either the old file
+/// or the new one — never a torn mix. Throws SerializeError on any I/O
+/// failure (the temp file is removed best-effort). If `fsync_ns` is non-null
+/// it receives the time spent in the two fsync calls.
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::uint64_t* fsync_ns = nullptr);
+
+/// Read a whole file into memory. Returns std::nullopt if the file does not
+/// exist or cannot be read — corruption handling belongs to the caller's
+/// CRC checks, not here.
+std::optional<std::string> read_file_bytes(const std::string& path);
 
 }  // namespace dcs

@@ -92,6 +92,77 @@ std::size_t BaselineDetector::active_alarm_count() const {
                     [](const auto& entry) { return entry.second; }));
 }
 
+namespace {
+
+constexpr std::uint32_t kDetectorMagic = 0x54444344;  // "DCDT"
+constexpr std::uint8_t kDetectorVersion = 1;
+
+}  // namespace
+
+void BaselineDetector::serialize(BinaryWriter& writer) const {
+  writer.crc_reset();
+  write_header(writer, kDetectorMagic, kDetectorVersion);
+  writer.u64(checks_run_);
+
+  // Hash-map iteration order is not deterministic; sort by subject so the
+  // same state always produces the same bytes (checkpoint equality tests
+  // rely on this).
+  std::vector<Addr> subjects;
+  subjects.reserve(baselines_.size());
+  for (const auto& [subject, baseline] : baselines_) subjects.push_back(subject);
+  std::sort(subjects.begin(), subjects.end());
+  writer.u64(subjects.size());
+  for (const Addr subject : subjects) {
+    writer.u32(subject);
+    writer.f64(baselines_.at(subject));
+    const auto alarmed = alarmed_.find(subject);
+    writer.u8(alarmed != alarmed_.end() && alarmed->second ? 1 : 0);
+  }
+
+  writer.u64(alerts_.size());
+  for (const Alert& alert : alerts_) {
+    writer.u8(static_cast<std::uint8_t>(alert.kind));
+    writer.u32(alert.subject);
+    writer.u64(alert.estimated_frequency);
+    writer.f64(alert.baseline);
+    writer.u64(alert.stream_position);
+    writer.u64(alert.epoch);
+    writer.f64(alert.threshold);
+  }
+  write_crc_footer(writer);
+}
+
+BaselineDetector BaselineDetector::deserialize(BinaryReader& reader,
+                                               BaselineDetectorConfig config) {
+  reader.crc_reset();
+  read_header(reader, kDetectorMagic, kDetectorVersion);
+  BaselineDetector detector(config);
+  detector.checks_run_ = reader.u64();
+  const std::uint64_t subjects = reader.u64();
+  for (std::uint64_t i = 0; i < subjects; ++i) {
+    const Addr subject = reader.u32();
+    detector.baselines_[subject] = reader.f64();
+    detector.alarmed_[subject] = reader.u8() != 0;
+  }
+  const std::uint64_t alerts = reader.u64();
+  for (std::uint64_t i = 0; i < alerts; ++i) {
+    Alert alert;
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(Alert::Kind::kCleared))
+      throw SerializeError("BaselineDetector: unknown alert kind");
+    alert.kind = static_cast<Alert::Kind>(kind);
+    alert.subject = reader.u32();
+    alert.estimated_frequency = reader.u64();
+    alert.baseline = reader.f64();
+    alert.stream_position = reader.u64();
+    alert.epoch = reader.u64();
+    alert.threshold = reader.f64();
+    detector.alerts_.push_back(alert);
+  }
+  read_crc_footer(reader);
+  return detector;
+}
+
 std::size_t BaselineDetector::memory_bytes() const {
   return baselines_.size() * (sizeof(Addr) + sizeof(double) + 16) +
          alarmed_.size() * (sizeof(Addr) + sizeof(bool) + 16) +

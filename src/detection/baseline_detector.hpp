@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "detection/alert_types.hpp"
 #include "sketch/top_k.hpp"
 #include "stream/flow_update.hpp"
@@ -67,6 +68,14 @@ class BaselineDetector {
   std::uint64_t checks_run() const noexcept { return checks_run_; }
   const BaselineDetectorConfig& config() const noexcept { return config_; }
   std::size_t memory_bytes() const;
+
+  /// Serialize the mutable state (baselines, alarm flags, alert history,
+  /// check count) in deterministic (sorted-subject) order. The config is
+  /// NOT serialized — deserialize() takes it from the caller, so persisted
+  /// state can be resumed under updated thresholds.
+  void serialize(BinaryWriter& writer) const;
+  static BaselineDetector deserialize(BinaryReader& reader,
+                                      BaselineDetectorConfig config = {});
 
  private:
   double alarm_threshold(double baseline) const;

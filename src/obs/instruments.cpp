@@ -196,8 +196,51 @@ AgentMetrics& AgentMetrics::get() {
       Registry::global().counter(
           "dcs_agent_io_errors_total",
           "Send/receive failures that dropped a collector connection"),
+      Registry::global().counter(
+          "dcs_agent_resume_skips_total",
+          "Spooled epochs dropped without re-shipping because the "
+          "collector's Hello ack watermark already covered them"),
       Registry::global().gauge("dcs_agent_spool_depth",
                                "Epoch deltas awaiting collector ack")};
+  return instance;
+}
+
+CheckpointMetrics& CheckpointMetrics::get() {
+  static CheckpointMetrics instance{
+      Registry::global().counter(
+          "dcs_checkpoint_generations_total",
+          "Checkpoint generations written durably by collectors"),
+      Registry::global().counter(
+          "dcs_checkpoint_bytes_written_total",
+          "Bytes of checkpoint state written (before journal rotation)"),
+      Registry::global().counter(
+          "dcs_checkpoint_journal_records_total",
+          "Delta records appended to the epoch journal (fsync'd before ack)"),
+      Registry::global().counter(
+          "dcs_checkpoint_recoveries_total",
+          "Collector starts that restored state from a checkpoint/journal"),
+      Registry::global().counter(
+          "dcs_checkpoint_corrupt_generations_total",
+          "Checkpoint generations skipped at recovery (CRC or decode "
+          "failure; fell back to an older generation)"),
+      Registry::global().counter(
+          "dcs_checkpoint_replayed_epochs_total",
+          "Journaled epoch deltas re-merged during recovery"),
+      Registry::global().counter(
+          "dcs_checkpoint_replay_deduped_total",
+          "Journaled records skipped during replay (already covered by the "
+          "loaded checkpoint's watermarks)"),
+      Registry::global().counter(
+          "dcs_checkpoint_post_recovery_duplicates_total",
+          "Re-shipped pre-crash epochs acked-but-not-merged after a "
+          "recovery (watermark dedup; nonzero means agents retransmitted, "
+          "zero double-merges)"),
+      Registry::global().histogram(
+          "dcs_checkpoint_write_latency_ns",
+          "Checkpoint encode + atomic publish latency, ns"),
+      Registry::global().histogram(
+          "dcs_checkpoint_fsync_latency_ns",
+          "fsync latency for journal appends and checkpoint publishes, ns")};
   return instance;
 }
 

@@ -115,9 +115,28 @@ struct AgentMetrics {
   Counter& epochs_dropped;      // dcs_agent_epochs_dropped_total
   Counter& reconnects;          // dcs_agent_reconnects_total
   Counter& io_errors;           // dcs_agent_io_errors_total
+  Counter& resume_skips;        // dcs_agent_resume_skips_total
   Gauge& spool_depth;           // dcs_agent_spool_depth
 
   static AgentMetrics& get();
+};
+
+/// src/service collector durability: checkpoint generations, epoch journal,
+/// and crash recovery.
+struct CheckpointMetrics {
+  Counter& generations;          // dcs_checkpoint_generations_total
+  Counter& bytes_written;        // dcs_checkpoint_bytes_written_total
+  Counter& journal_records;      // dcs_checkpoint_journal_records_total
+  Counter& recoveries;           // dcs_checkpoint_recoveries_total
+  Counter& corrupt_skipped;      // dcs_checkpoint_corrupt_generations_total
+  Counter& replayed_epochs;      // dcs_checkpoint_replayed_epochs_total
+  Counter& replay_deduped;       // dcs_checkpoint_replay_deduped_total
+  Counter& post_recovery_duplicates;
+                                 // dcs_checkpoint_post_recovery_duplicates_total
+  Histogram& write_ns;           // dcs_checkpoint_write_latency_ns
+  Histogram& fsync_ns;           // dcs_checkpoint_fsync_latency_ns
+
+  static CheckpointMetrics& get();
 };
 
 }  // namespace dcs::obs

@@ -221,7 +221,26 @@ bool SiteAgent::run_connection() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.connected = true;
+      // The Hello ack carries the collector's resume watermark: everything
+      // at or below it is already durably merged (the collector restarted
+      // from its checkpoint after our ack was lost with the connection).
+      // Prune instead of re-shipping — the bytes would only come back
+      // kDuplicate.
+      while (!spool_.empty() && spool_.front().epoch <= hello_ack->epoch) {
+        spool_.pop_front();
+        ++stats_.epochs_shipped;
+        ++stats_.resume_skips;
+        if (obs::recording()) {
+          obs::AgentMetrics::get().epochs_shipped.inc();
+          obs::AgentMetrics::get().resume_skips.inc();
+        }
+      }
+      stats_.spool_depth = spool_.size();
+      if (obs::recording())
+        obs::AgentMetrics::get().spool_depth.set(
+            static_cast<std::int64_t>(spool_.size()));
     }
+    cv_.notify_all();
     backoff_ms_ = 0;  // healthy connection resets the backoff schedule
 
     while (running_.load(std::memory_order_acquire)) {

@@ -59,8 +59,13 @@ class SiteAgent {
  public:
   struct Stats {
     std::uint64_t epochs_sealed = 0;
-    std::uint64_t epochs_shipped = 0;   ///< Acked (kOk or kDuplicate).
+    std::uint64_t epochs_shipped = 0;   ///< Acked (kOk or kDuplicate) or
+                                        ///< skipped via resume watermark.
     std::uint64_t epochs_dropped = 0;   ///< Evicted from a full spool.
+    /// Spooled epochs dropped without re-shipping because the collector's
+    /// Hello-ack watermark showed them already durably merged (collector
+    /// restarted from its checkpoint). Subset of epochs_shipped.
+    std::uint64_t resume_skips = 0;
     std::uint64_t reconnects = 0;       ///< Connection attempts after the 1st.
     std::uint64_t io_errors = 0;
     std::size_t spool_depth = 0;

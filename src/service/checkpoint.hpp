@@ -1,0 +1,116 @@
+// Durable checkpoints for the sketch-shipping collector.
+//
+// The collector is the single point of merged state in the paper's
+// distributed deployment: lose it and every site's history — and the DDoS
+// baseline profiles learned from it — silently resets, exactly the blind
+// spot a patient attacker waits for. This module makes that state crash-safe
+// with the classic checkpoint + write-ahead-journal pair:
+//
+//   state-dir/
+//     checkpoint-<G>.dcsc   full snapshot: merged sketch counters, per-site
+//                           epoch watermarks, collector totals, detector
+//                           (EWMA baseline) state. Written atomically
+//                           (temp + fsync + rename + dir fsync) with a
+//                           versioned header and a CRC-32 footer.
+//     journal-<G>.dcsj      every delta merged while checkpoint G was the
+//                           newest generation, appended and fsync'd BEFORE
+//                           the site is acked (see epoch_journal.hpp).
+//
+// Recovery = newest checkpoint whose CRC verifies (falling back generation
+// by generation on corruption) + replay of every journal generation at or
+// after it, deduped by the per-site watermarks. Because the DCS is linear,
+// the recovered counters are bit-identical to an uninterrupted run's — a
+// property the recovery oracle tests assert exactly, not approximately.
+//
+// Retention: the collector keeps the two newest generations (plus their
+// journals), so a crash *during* a checkpoint write — or a checkpoint that
+// lands corrupt on disk — still has a complete previous generation to fall
+// back to. Older generations are pruned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sketch/distinct_count_sketch.hpp"
+
+namespace dcs::service {
+
+/// Per-site recovery watermark: everything the collector must remember about
+/// a site to dedup re-shipped epochs and keep its degraded-mode ledger.
+struct SiteWatermark {
+  std::uint64_t site_id = 0;
+  std::uint64_t last_epoch = 0;
+  std::uint64_t epochs_merged = 0;
+  std::uint64_t updates_merged = 0;
+  std::uint64_t dropped_epochs = 0;
+  std::uint64_t duplicate_deltas = 0;
+
+  friend bool operator==(const SiteWatermark&, const SiteWatermark&) = default;
+};
+
+/// One full checkpoint: the collector's merged/detection state at a moment
+/// when exactly `deltas_merged` deltas had been merged.
+struct CheckpointState {
+  std::uint64_t generation = 0;
+  /// Merged basic sketch; the tracking structures are rebuilt on load
+  /// (TrackingDcs(sketch)), which by linearity reproduces them exactly.
+  DistinctCountSketch sketch;
+  /// Sorted by site_id (deterministic bytes for identical state).
+  std::vector<SiteWatermark> sites;
+  std::uint64_t deltas_merged = 0;
+  std::uint64_t duplicate_deltas = 0;
+  std::uint64_t dropped_epochs = 0;
+  std::uint64_t byes = 0;
+  /// BaselineDetector::serialize bytes; empty when detection is off.
+  std::string detector_blob;
+};
+
+class CheckpointStore {
+ public:
+  /// Creates `dir` (and parents) if missing. Throws std::runtime_error if
+  /// the directory cannot be created.
+  explicit CheckpointStore(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::string checkpoint_path(std::uint64_t generation) const;
+  std::string journal_path(std::uint64_t generation) const;
+
+  /// Serialize + atomically publish checkpoint `state.generation`. Returns
+  /// the byte size written; `fsync_ns` (if non-null) receives fsync time.
+  /// Throws SerializeError on I/O failure.
+  std::uint64_t write(const CheckpointState& state,
+                      std::uint64_t* fsync_ns = nullptr) const;
+
+  /// Newest checkpoint that decodes cleanly, walking back over corrupt or
+  /// truncated generations (each skip counted into `corrupt_skipped` when
+  /// non-null). std::nullopt when no generation is loadable.
+  std::optional<CheckpointState> load_latest(
+      std::uint64_t* corrupt_skipped = nullptr) const;
+
+  /// Generations present on disk (by file name), ascending.
+  std::vector<std::uint64_t> checkpoint_generations() const;
+  std::vector<std::uint64_t> journal_generations() const;
+  /// Highest generation number referenced by any checkpoint or journal
+  /// file, 0 if none — new checkpoints must be numbered above this even if
+  /// the newest file is corrupt.
+  std::uint64_t max_generation() const;
+
+  /// Delete checkpoint and journal files with generation < keep_from.
+  void prune_below(std::uint64_t keep_from) const;
+
+  /// Encode/decode one checkpoint (exposed for corruption tests). decode
+  /// throws SerializeError on any malformed input and never partially
+  /// applies.
+  static std::string encode(const CheckpointState& state);
+  static CheckpointState decode(const std::string& bytes);
+
+ private:
+  std::vector<std::uint64_t> generations_matching(const char* prefix,
+                                                  const char* suffix) const;
+
+  std::string dir_;
+};
+
+}  // namespace dcs::service

@@ -42,6 +42,9 @@ Collector::Collector(CollectorConfig config)
       detector_(config_.detection) {
   if (config_.detection_top_k == 0)
     throw std::invalid_argument("Collector: detection_top_k must be > 0");
+  if (config_.checkpoint_every == 0)
+    throw std::invalid_argument("Collector: checkpoint_every must be > 0");
+  if (!config_.state_dir.empty()) recover();
 }
 
 Collector::~Collector() { stop(); }
@@ -73,6 +76,19 @@ void Collector::stop() {
   for (auto& conn : conns) conn->socket.shutdown();
   for (auto& conn : conns)
     if (conn->thread.joinable()) conn->thread.join();
+  // Clean shutdown: fold the journal tail into a final checkpoint so the
+  // next start replays nothing. Best-effort — the journal already holds
+  // every acked delta, so a failed write here loses no data.
+  if (store_) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (deltas_since_checkpoint_ > 0) {
+      try {
+        write_checkpoint_locked();
+      } catch (const std::exception&) {
+        // keep the journal; recovery will replay it
+      }
+    }
+  }
 }
 
 bool Collector::running() const {
@@ -198,6 +214,10 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
         if (obs::recording())
           obs::CollectorMetrics::get().dropped_epochs.inc(gap);
       }
+      // Resume watermark: the highest epoch already durable/merged for this
+      // site. The agent prunes spooled epochs at or below it instead of
+      // re-shipping them after a collector restart.
+      ack.epoch = site.last_epoch;
       state_cv_.notify_all();
       return encode_frame(MsgType::kAck, ack.encode());
     }
@@ -253,10 +273,57 @@ std::string Collector::handle_delta(Connection& conn,
     ++site.duplicate_deltas;
     ++totals_.duplicate_deltas;
     if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
+    const auto watermark = recovered_watermarks_.find(conn.site_id);
+    if (watermark != recovered_watermarks_.end() &&
+        delta.epoch <= watermark->second) {
+      // A pre-crash epoch re-shipped after our restart: the watermark dedup
+      // working as designed. Counted separately as the double-merge oracle.
+      ++totals_.post_recovery_duplicates;
+      if (obs::recording())
+        obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
+    }
     return encode_frame(MsgType::kAck, ack.encode());
   }
-  if (delta.epoch > site.last_epoch + 1) {
-    const std::uint64_t gap = delta.epoch - site.last_epoch - 1;
+  // Durability barrier: the delta must hit the journal (fsync'd) BEFORE it
+  // is merged or acked. If the append fails the connection is dropped
+  // without an ack, the agent keeps the epoch spooled, and no state moved.
+  if (store_) {
+    try {
+      std::uint64_t fsync_ns = 0;
+      journal_.append({conn.site_id, delta.epoch, delta.updates,
+                       delta.sketch_blob},
+                      &fsync_ns);
+      ++totals_.journal_records;
+      if (obs::recording()) {
+        obs::CheckpointMetrics::get().journal_records.inc();
+        obs::CheckpointMetrics::get().fsync_ns.observe(fsync_ns);
+      }
+    } catch (const std::runtime_error& error) {
+      throw WireError(std::string("collector: journal append failed: ") +
+                      error.what());
+    }
+  }
+  merge_delta_locked(conn.site_id, delta.epoch, delta.updates, sketch);
+  if (store_ && ++deltas_since_checkpoint_ >= config_.checkpoint_every) {
+    try {
+      write_checkpoint_locked();
+    } catch (const std::exception&) {
+      // A failed checkpoint is not fatal and must not fail the delta (it is
+      // already durable in the journal): keep journaling, retry at the next
+      // merge.
+    }
+  }
+  state_cv_.notify_all();
+  return encode_frame(MsgType::kAck, ack.encode());
+}
+
+void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
+                                   std::uint64_t updates,
+                                   const DistinctCountSketch& sketch) {
+  SiteStats& site = sites_[site_id];
+  site.site_id = site_id;
+  if (epoch > site.last_epoch + 1) {
+    const std::uint64_t gap = epoch - site.last_epoch - 1;
     site.dropped_epochs += gap;
     totals_.dropped_epochs += gap;
     if (obs::recording())
@@ -269,13 +336,158 @@ std::string Collector::handle_delta(Connection& conn,
       detector_.observe(merged_.top_k(config_.detection_top_k).entries,
                         totals_.deltas_merged + 1);
   }
-  site.last_epoch = delta.epoch;
+  site.last_epoch = epoch;
   ++site.epochs_merged;
-  site.updates_merged += delta.updates;
+  site.updates_merged += updates;
   ++totals_.deltas_merged;
   if (obs::recording()) obs::CollectorMetrics::get().deltas.inc();
-  state_cv_.notify_all();
-  return encode_frame(MsgType::kAck, ack.encode());
+}
+
+void Collector::recover() {
+  store_ = std::make_unique<CheckpointStore>(config_.state_dir);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+
+  std::uint64_t corrupt_skipped = 0;
+  auto loaded = store_->load_latest(&corrupt_skipped);
+  totals_.corrupt_generations_skipped = corrupt_skipped;
+  if (obs::recording() && corrupt_skipped > 0)
+    obs::CheckpointMetrics::get().corrupt_skipped.inc(corrupt_skipped);
+
+  bool restored = false;
+  std::uint64_t replay_from = 0;
+  if (loaded) {
+    if (loaded->sketch.params().fingerprint() != config_.params.fingerprint())
+      throw std::runtime_error(
+          "Collector: checkpoint in state_dir was written with different "
+          "sketch parameters");
+    generation_ = loaded->generation;
+    replay_from = loaded->generation;
+    merged_ = TrackingDcs(loaded->sketch);
+    totals_.deltas_merged = loaded->deltas_merged;
+    totals_.duplicate_deltas = loaded->duplicate_deltas;
+    totals_.dropped_epochs = loaded->dropped_epochs;
+    totals_.byes = loaded->byes;
+    for (const SiteWatermark& watermark : loaded->sites) {
+      SiteStats site;
+      site.site_id = watermark.site_id;
+      site.last_epoch = watermark.last_epoch;
+      site.epochs_merged = watermark.epochs_merged;
+      site.updates_merged = watermark.updates_merged;
+      site.dropped_epochs = watermark.dropped_epochs;
+      site.duplicate_deltas = watermark.duplicate_deltas;
+      sites_[watermark.site_id] = site;
+    }
+    if (!loaded->detector_blob.empty()) {
+      std::istringstream in(loaded->detector_blob, std::ios::binary);
+      BinaryReader reader(in);
+      detector_ = BaselineDetector::deserialize(reader, config_.detection);
+    }
+    restored = true;
+  }
+
+  // Replay every journal generation at or after the loaded checkpoint, in
+  // order. Records at or below a site's watermark were already covered by a
+  // newer checkpoint (possible when falling back a generation) — dedup,
+  // never double-merge. Replaying through merge_delta_locked re-runs the
+  // detector over the exact observe() sequence of the uninterrupted run.
+  for (const std::uint64_t gen : store_->journal_generations()) {
+    if (gen < replay_from) continue;
+    const auto replayed = EpochJournal::replay(store_->journal_path(gen));
+    for (const EpochJournal::Record& record : replayed.records) {
+      SiteStats& site = sites_[record.site_id];
+      site.site_id = record.site_id;
+      if (record.epoch <= site.last_epoch) {
+        ++totals_.replay_deduped;
+        if (obs::recording())
+          obs::CheckpointMetrics::get().replay_deduped.inc();
+        continue;
+      }
+      // The record CRC already verified the blob byte-for-byte; a decode
+      // failure here means the collector journaled garbage, which validation
+      // before append rules out. Treat defensively like a torn tail.
+      DistinctCountSketch sketch = [&]() -> DistinctCountSketch {
+        try {
+          return decode_sketch_blob(record.sketch_blob);
+        } catch (const SerializeError&) {
+          return DistinctCountSketch(config_.params);
+        }
+      }();
+      if (sketch.params().fingerprint() != config_.params.fingerprint())
+        continue;
+      merge_delta_locked(record.site_id, record.epoch, record.updates, sketch);
+      ++totals_.replayed_epochs;
+      if (obs::recording())
+        obs::CheckpointMetrics::get().replayed_epochs.inc();
+      restored = true;
+    }
+  }
+
+  if (restored) {
+    ++totals_.recoveries;
+    if (obs::recording()) obs::CheckpointMetrics::get().recoveries.inc();
+  }
+  for (const auto& [site_id, site] : sites_)
+    recovered_watermarks_[site_id] = site.last_epoch;
+
+  // Make the recovered state durable immediately: the journal tail folds
+  // into a fresh checkpoint generation and a clean journal, so a crash loop
+  // can never replay the same journal into divergent states.
+  write_checkpoint_locked();
+}
+
+void Collector::write_checkpoint_locked() {
+  if (!store_) return;
+  obs::ScopedTimer timer(obs::CheckpointMetrics::get().write_ns);
+
+  CheckpointState state;
+  // Number above every file present — even a corrupt newer generation —
+  // so a fallback recovery never overwrites evidence or reuses a name.
+  state.generation = std::max(generation_, store_->max_generation()) + 1;
+  state.sketch = merged_.sketch();
+  for (const auto& [site_id, site] : sites_)
+    state.sites.push_back({site_id, site.last_epoch, site.epochs_merged,
+                           site.updates_merged, site.dropped_epochs,
+                           site.duplicate_deltas});
+  state.deltas_merged = totals_.deltas_merged;
+  state.duplicate_deltas = totals_.duplicate_deltas;
+  state.dropped_epochs = totals_.dropped_epochs;
+  state.byes = totals_.byes;
+  if (config_.run_detection) {
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    detector_.serialize(writer);
+    state.detector_blob = std::move(out).str();
+  }
+
+  std::uint64_t fsync_ns = 0;
+  const std::uint64_t bytes = store_->write(state, &fsync_ns);
+  // Only after the checkpoint is durable: rotate to its journal and drop
+  // generations older than the previous one (kept as the corruption
+  // fallback).
+  journal_.close();
+  generation_ = state.generation;
+  journal_ = EpochJournal::open(store_->journal_path(generation_),
+                                config_.journal_fsync);
+  deltas_since_checkpoint_ = 0;
+  ++totals_.checkpoints_written;
+  if (generation_ >= 2) store_->prune_below(generation_ - 1);
+  if (obs::recording()) {
+    obs::CheckpointMetrics::get().generations.inc();
+    obs::CheckpointMetrics::get().bytes_written.inc(bytes);
+    obs::CheckpointMetrics::get().fsync_ns.observe(fsync_ns);
+  }
+}
+
+bool Collector::checkpoint_now() {
+  if (!store_) return false;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  write_checkpoint_locked();
+  return true;
+}
+
+std::uint64_t Collector::checkpoint_generation() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return generation_;
 }
 
 TopKResult Collector::top_k(std::size_t k) const {

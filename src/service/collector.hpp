@@ -16,6 +16,14 @@
 //   * A malformed or malicious frame (bad magic/CRC/length, garbage sketch
 //     blob) tears down only its own connection; the merged view is
 //     untouched because validation happens before any merge.
+//   * Crash safety (state_dir set): every merged delta is journaled and
+//     fsync'd *before* it is acked, and the full merged state (sketch +
+//     per-site watermarks + detector baselines) is checkpointed atomically
+//     every checkpoint_every merges. A restarted collector loads the newest
+//     valid checkpoint (falling back a generation on corruption), replays
+//     the journal, and resumes acking — the recovered counters are
+//     bit-identical to an uninterrupted run's by sketch linearity. See
+//     checkpoint.hpp / epoch_journal.hpp.
 #pragma once
 
 #include <atomic>
@@ -29,6 +37,8 @@
 #include <vector>
 
 #include "detection/baseline_detector.hpp"
+#include "service/checkpoint.hpp"
+#include "service/epoch_journal.hpp"
 #include "service/socket.hpp"
 #include "service/wire.hpp"
 #include "sketch/tracking_dcs.hpp"
@@ -47,6 +57,19 @@ struct CollectorConfig {
   std::size_t detection_top_k = 10;
   /// Poll/IO granularity; bounds stop() latency, not protocol timing.
   int io_timeout_ms = 250;
+
+  // --- durability (see checkpoint.hpp) --------------------------------------
+  /// Directory for checkpoints + the epoch journal. Empty disables
+  /// durability: a crash then loses all merged state (the pre-PR-4
+  /// behaviour).
+  std::string state_dir;
+  /// Write a checkpoint after this many delta merges since the last one.
+  std::uint64_t checkpoint_every = 64;
+  /// fsync the journal on every append, making "acked" imply "durable".
+  /// Turning this off trades the crash guarantee for merge latency: a crash
+  /// may lose the journal tail, and the sites that were acked for those
+  /// epochs will not retransmit them.
+  bool journal_fsync = true;
 };
 
 class Collector {
@@ -73,6 +96,17 @@ class Collector {
     std::uint64_t rejected_hellos = 0;
     std::uint64_t byes = 0;
     std::size_t connected_sites = 0;
+    // --- durability/recovery ledger (all zero when state_dir is empty) ------
+    std::uint64_t journal_records = 0;     ///< Appends this process lifetime.
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t recoveries = 0;          ///< 1 if this start restored state.
+    std::uint64_t corrupt_generations_skipped = 0;
+    std::uint64_t replayed_epochs = 0;     ///< Journal records re-merged.
+    std::uint64_t replay_deduped = 0;      ///< Journal records below watermark.
+    /// Re-shipped pre-crash epochs acked-but-not-merged after recovery: the
+    /// double-merge oracle — recovery is exactly-once iff the merged sketch
+    /// equals the reference while this only ever counts dedups.
+    std::uint64_t post_recovery_duplicates = 0;
   };
 
   explicit Collector(CollectorConfig config);
@@ -103,6 +137,13 @@ class Collector {
   Stats stats() const;
   std::vector<SiteStats> site_stats() const;
 
+  // --- durability ------------------------------------------------------------
+  /// Force a checkpoint now (instead of waiting for checkpoint_every).
+  /// Returns false when durability is disabled. Thread-safe.
+  bool checkpoint_now();
+  /// Generation of the newest durable checkpoint (0 = none yet).
+  std::uint64_t checkpoint_generation() const;
+
   // --- test/tool synchronization -------------------------------------------
   /// Block until `count` deltas have been merged (or timeout). Returns the
   /// condition's truth at exit.
@@ -119,6 +160,19 @@ class Collector {
   std::string handle_frame(Connection& conn, MsgType type,
                            const std::string& payload);
   std::string handle_delta(Connection& conn, const std::string& payload);
+
+  /// Merge one validated delta into the global state and run detection.
+  /// Caller holds state_mutex_. Shared by the live path and journal replay.
+  void merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
+                          std::uint64_t updates,
+                          const DistinctCountSketch& sketch);
+  /// Load newest valid checkpoint + replay journals; called from the ctor
+  /// when state_dir is configured. Ends by writing a fresh checkpoint so
+  /// the recovered state is itself durable and the journal starts clean.
+  void recover();
+  /// Write checkpoint generation_+1, rotate the journal, prune old
+  /// generations. Caller holds state_mutex_.
+  void write_checkpoint_locked();
 
   CollectorConfig config_;
 
@@ -140,6 +194,17 @@ class Collector {
   BaselineDetector detector_;
   std::map<std::uint64_t, SiteStats> sites_;
   Stats totals_;
+
+  /// Durability state, guarded by state_mutex_ (journal appends and
+  /// checkpoint writes happen inside the merge critical section — the fsync
+  /// cost is the price of "acked implies durable").
+  std::unique_ptr<CheckpointStore> store_;
+  EpochJournal journal_;
+  std::uint64_t generation_ = 0;            ///< Newest durable checkpoint.
+  std::uint64_t deltas_since_checkpoint_ = 0;
+  /// Per-site watermark at recovery time: duplicates at or below it are
+  /// re-shipped pre-crash epochs (counted as post_recovery_duplicates).
+  std::map<std::uint64_t, std::uint64_t> recovered_watermarks_;
 };
 
 }  // namespace dcs::service

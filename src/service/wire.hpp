@@ -152,7 +152,11 @@ struct Heartbeat {
 };
 
 struct Ack {
-  /// Epoch being acknowledged; 0 acknowledges a Hello.
+  /// For a SnapshotDelta ack: the epoch being acknowledged. For a Hello
+  /// ack: the collector's resume watermark — the highest epoch already
+  /// durably merged for this site (0 = none); the agent prunes spooled
+  /// epochs at or below it instead of re-shipping them after a collector
+  /// restart (they would only be acked kDuplicate anyway).
   std::uint64_t epoch = 0;
   AckStatus status = AckStatus::kOk;
 

@@ -1,0 +1,390 @@
+// Recovery oracle tests for the collector durability layer (src/service
+// checkpoint + epoch journal).
+//
+// The oracle is exact, not approximate: the DCS is linear, so state restored
+// from a checkpoint (plus journal replay) must reproduce the original
+// counters bit for bit — identical top-k (entries *and* estimates),
+// identical distinct-pair estimates, identical per-site watermarks. Any
+// drift, however small, means recovery silently changed what the detector
+// sees, which is exactly the failure mode a patient attacker waits for.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detection/baseline_detector.hpp"
+#include "service/checkpoint.hpp"
+#include "service/collector.hpp"
+#include "service/epoch_journal.hpp"
+#include "service/agent.hpp"
+#include "sketch/tracking_dcs.hpp"
+#include "stream/generator.hpp"
+
+namespace dcs::service {
+namespace {
+
+/// Fresh per-test scratch directory under gtest's temp root.
+std::string test_dir(const char* leaf) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) /
+                              (std::string(info->test_suite_name()) + "." +
+                               info->name() + "." + leaf);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<FlowUpdate> zipf_updates(std::uint64_t pairs, double skew,
+                                     std::uint64_t seed) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = pairs;
+  config.num_destinations = 60;
+  config.skew = skew;
+  config.seed = seed;
+  return ZipfWorkload(config).updates();
+}
+
+std::string serialize_sketch(const DistinctCountSketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  sketch.serialize(writer);
+  return std::move(out).str();
+}
+
+void expect_tracking_equal(const DistinctCountSketch& restored,
+                           const DistinctCountSketch& original,
+                           const std::vector<FlowUpdate>& updates) {
+  ASSERT_TRUE(restored == original);
+  const TrackingDcs a(restored);
+  const TrackingDcs b(original);
+  const auto top_a = a.top_k(10);
+  const auto top_b = b.top_k(10);
+  EXPECT_EQ(top_a.entries, top_b.entries);
+  EXPECT_EQ(a.estimate_distinct_pairs(), b.estimate_distinct_pairs());
+  for (std::size_t i = 0; i < updates.size(); i += 97)
+    EXPECT_EQ(a.estimate_frequency(updates[i].dest),
+              b.estimate_frequency(updates[i].dest))
+        << "dest " << updates[i].dest;
+}
+
+// --- checkpoint round trips --------------------------------------------------
+
+/// Grid over sketch geometry and workload skew, with deletions: a checkpoint
+/// written and re-loaded must reproduce every query answer exactly.
+TEST(RecoveryProperty, CheckpointRoundTripGrid) {
+  for (const int r : {2, 3}) {
+    for (const std::uint32_t s : {32u, 128u}) {
+      for (const double skew : {0.8, 1.3}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "r=" << r << " s=" << s << " skew=" << skew);
+        DcsParams params;
+        params.num_tables = r;
+        params.buckets_per_table = s;
+        params.seed = 17;
+
+        const auto updates =
+            zipf_updates(4000, skew, 1000 + static_cast<std::uint64_t>(s));
+        DistinctCountSketch sketch(params);
+        for (const auto& update : updates)
+          sketch.update(update.dest, update.source, update.delta);
+        // Deletions: remove every 7th pair again, exercising negative
+        // counters through the checkpoint path.
+        for (std::size_t i = 0; i < updates.size(); i += 7)
+          sketch.update(updates[i].dest, updates[i].source, -updates[i].delta);
+
+        CheckpointState state;
+        state.generation = 3;
+        state.sketch = sketch;
+        state.sites = {{1, 8, 8, 4000, 1, 2}, {9, 5, 4, 2000, 0, 0}};
+        state.deltas_merged = 12;
+        state.duplicate_deltas = 2;
+        state.dropped_epochs = 1;
+        state.byes = 1;
+
+        const CheckpointStore store(test_dir("grid"));
+        store.write(state);
+        std::uint64_t corrupt = 0;
+        const auto loaded = store.load_latest(&corrupt);
+        ASSERT_TRUE(loaded.has_value());
+        EXPECT_EQ(corrupt, 0u);
+        EXPECT_EQ(loaded->generation, 3u);
+        EXPECT_EQ(loaded->sites, state.sites);
+        EXPECT_EQ(loaded->deltas_merged, 12u);
+        EXPECT_EQ(loaded->duplicate_deltas, 2u);
+        EXPECT_EQ(loaded->dropped_epochs, 1u);
+        EXPECT_EQ(loaded->byes, 1u);
+        expect_tracking_equal(loaded->sketch, sketch, updates);
+      }
+    }
+  }
+}
+
+/// Detector state must survive the round trip behaviorally: the restored
+/// detector carries the same alert history and, fed the same subsequent
+/// observations, makes the same decisions as the original.
+TEST(RecoveryProperty, DetectorStateRoundTrip) {
+  BaselineDetectorConfig config;
+  config.min_absolute = 100;
+  config.alarm_factor = 4.0;
+  BaselineDetector detector(config);
+
+  std::vector<TopKEntry> quiet = {{1, 120}, {2, 80}, {3, 60}};
+  for (std::uint64_t check = 1; check <= 20; ++check)
+    detector.observe(quiet, check * 1000);
+  std::vector<TopKEntry> attack = {{1, 9000}, {2, 80}, {3, 60}};
+  detector.observe(attack, 21000);
+  ASSERT_EQ(detector.active_alarm_count(), 1u);
+  ASSERT_FALSE(detector.alerts().empty());
+
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  detector.serialize(writer);
+  std::istringstream in(std::move(out).str(), std::ios::binary);
+  BinaryReader reader(in);
+  BaselineDetector restored = BaselineDetector::deserialize(reader, config);
+
+  EXPECT_EQ(restored.checks_run(), detector.checks_run());
+  EXPECT_EQ(restored.active_alarms(), detector.active_alarms());
+  ASSERT_EQ(restored.alerts().size(), detector.alerts().size());
+  for (std::size_t i = 0; i < restored.alerts().size(); ++i) {
+    const Alert& a = restored.alerts()[i];
+    const Alert& b = detector.alerts()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.subject, b.subject);
+    EXPECT_EQ(a.estimated_frequency, b.estimated_frequency);
+    EXPECT_EQ(a.baseline, b.baseline);
+    EXPECT_EQ(a.stream_position, b.stream_position);
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.threshold, b.threshold);
+  }
+
+  // Behavioral equivalence going forward: both see the attack subside and
+  // clear the alarm on the same check with identical event fields.
+  std::vector<TopKEntry> subsided = {{1, 110}, {2, 80}, {3, 60}};
+  const auto original_out = detector.observe(subsided, 22000);
+  const auto restored_out = restored.observe(subsided, 22000);
+  EXPECT_EQ(original_out.raised, restored_out.raised);
+  EXPECT_EQ(original_out.cleared, restored_out.cleared);
+  EXPECT_EQ(restored.active_alarm_count(), detector.active_alarm_count());
+  EXPECT_EQ(restored.alerts().size(), detector.alerts().size());
+}
+
+/// Identical detector state must serialize to identical bytes (the
+/// unordered_map iteration order is normalized away) — a prerequisite for
+/// comparing checkpoint files across runs.
+TEST(RecoveryProperty, DetectorSerializationIsDeterministic) {
+  const auto build = [] {
+    BaselineDetector detector;
+    std::vector<TopKEntry> entries = {{40, 700}, {10, 900}, {30, 650}};
+    for (std::uint64_t check = 1; check <= 10; ++check)
+      detector.observe(entries, check * 500);
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    detector.serialize(writer);
+    return std::move(out).str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// --- journal round trips -----------------------------------------------------
+
+TEST(RecoveryProperty, JournalRoundTrip) {
+  const std::string dir = test_dir("journal");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/journal-00000001.dcsj";
+
+  DcsParams params;
+  params.num_tables = 2;
+  params.buckets_per_table = 32;
+  params.seed = 5;
+
+  std::vector<EpochJournal::Record> written;
+  {
+    auto journal = EpochJournal::open(path);
+    for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
+      DistinctCountSketch sketch(params);
+      for (std::uint64_t i = 0; i < 50; ++i)
+        sketch.update(static_cast<Addr>(epoch * 10 + i % 7),
+                      static_cast<Addr>(i), +1);
+      EpochJournal::Record record;
+      record.site_id = 3 + epoch % 2;
+      record.epoch = epoch;
+      record.updates = 50;
+      record.sketch_blob = serialize_sketch(sketch);
+      journal.append(record);
+      written.push_back(std::move(record));
+    }
+    EXPECT_EQ(journal.appended_records(), 5u);
+    journal.close();
+  }
+
+  const auto replayed = EpochJournal::replay(path);
+  EXPECT_FALSE(replayed.truncated_tail);
+  ASSERT_EQ(replayed.records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    EXPECT_EQ(replayed.records[i].site_id, written[i].site_id);
+    EXPECT_EQ(replayed.records[i].epoch, written[i].epoch);
+    EXPECT_EQ(replayed.records[i].updates, written[i].updates);
+    EXPECT_EQ(replayed.records[i].sketch_blob, written[i].sketch_blob);
+  }
+
+  // A journal that never existed is empty, not an error.
+  const auto missing = EpochJournal::replay(dir + "/journal-00000099.dcsj");
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_FALSE(missing.truncated_tail);
+}
+
+// --- collector-level recovery ------------------------------------------------
+
+/// Checkpoint + journal tail assembled on disk by hand (as a crash would
+/// leave them): a new collector must recover checkpoint state *and* re-merge
+/// the journaled deltas that no checkpoint covers.
+TEST(RecoveryProperty, CollectorRecoversCheckpointPlusJournalTail) {
+  CollectorConfig config;
+  config.params.num_tables = 3;
+  config.params.buckets_per_table = 64;
+  config.params.seed = 17;
+  config.run_detection = false;
+  config.state_dir = test_dir("state");
+  config.checkpoint_every = 1000;  // only the explicit writes below
+
+  const auto updates = zipf_updates(2000, 1.2, 99);
+  DistinctCountSketch expected(config.params);
+  std::vector<std::string> blobs;  // four epoch deltas, 500 updates each
+  for (int e = 0; e < 4; ++e) {
+    DistinctCountSketch delta(config.params);
+    for (std::size_t i = static_cast<std::size_t>(e) * 500;
+         i < static_cast<std::size_t>(e + 1) * 500; ++i) {
+      delta.update(updates[i].dest, updates[i].source, updates[i].delta);
+      expected.update(updates[i].dest, updates[i].source, updates[i].delta);
+    }
+    blobs.push_back(serialize_sketch(delta));
+  }
+
+  {
+    const CheckpointStore store(config.state_dir);
+    // Checkpoint generation 1 covers epochs 1-2...
+    CheckpointState state;
+    state.generation = 1;
+    state.sketch = DistinctCountSketch(config.params);
+    for (std::size_t i = 0; i < 1000; ++i)
+      state.sketch.update(updates[i].dest, updates[i].source,
+                          updates[i].delta);
+    state.sites = {{7, 2, 2, 1000, 0, 0}};
+    state.deltas_merged = 2;
+    store.write(state);
+    // ... and the generation-1 journal holds epochs 1-3: 1-2 overlap the
+    // checkpoint (must be deduped on replay), 3 is the un-checkpointed tail.
+    auto journal = EpochJournal::open(store.journal_path(1));
+    for (std::uint64_t epoch = 1; epoch <= 3; ++epoch)
+      journal.append({7, epoch, 500, blobs[epoch - 1]});
+  }
+
+  Collector collector(config);  // recovery runs in the constructor
+  auto stats = collector.stats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.replayed_epochs, 1u);  // epoch 3
+  EXPECT_EQ(stats.replay_deduped, 2u);   // epochs 1-2, covered by checkpoint
+  EXPECT_EQ(stats.deltas_merged, 3u);
+  EXPECT_GE(collector.checkpoint_generation(), 2u);  // recovery re-checkpoints
+
+  // Live traffic continues seamlessly: ship epoch 4 through a real agent
+  // connection? Not needed here — merge via a second recovery ingredient is
+  // covered by the loopback test below. Verify the recovered view first.
+  {
+    DistinctCountSketch through_epoch3(config.params);
+    for (std::size_t i = 0; i < 1500; ++i)
+      through_epoch3.update(updates[i].dest, updates[i].source,
+                            updates[i].delta);
+    EXPECT_TRUE(collector.merged_sketch() == through_epoch3);
+  }
+  const auto sites = collector.site_stats();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].site_id, 7u);
+  EXPECT_EQ(sites[0].last_epoch, 3u);
+  EXPECT_EQ(sites[0].epochs_merged, 3u);
+  EXPECT_EQ(sites[0].updates_merged, 1500u);
+}
+
+/// Full loopback cycle: agents ship epochs to a durable collector, the
+/// collector stops (graceful = final checkpoint), and a fresh collector over
+/// the same state directory answers every query exactly like the original —
+/// and exactly like a single-sketch reference ingest of the whole stream.
+TEST(RecoveryProperty, CollectorRestartReproducesQueriesExactly) {
+  CollectorConfig config;
+  config.params.num_tables = 3;
+  config.params.buckets_per_table = 64;
+  config.params.seed = 17;
+  config.io_timeout_ms = 50;
+  config.detection.min_absolute = 200;
+  config.state_dir = test_dir("state");
+  config.checkpoint_every = 3;  // several generations over 12 deltas
+
+  const auto updates = zipf_updates(6000, 1.3, 41);
+  DistinctCountSketch expected(config.params);
+  for (const auto& update : updates)
+    expected.update(update.dest, update.source, update.delta);
+
+  TopKResult top_before;
+  std::vector<Collector::SiteStats> sites_before;
+  std::vector<Alert> alerts_before;
+  {
+    Collector collector(config);
+    collector.start();
+    std::vector<std::unique_ptr<SiteAgent>> agents;
+    for (std::uint64_t site = 1; site <= 2; ++site) {
+      SiteAgentConfig agent_config;
+      agent_config.site_id = site;
+      agent_config.collector_port = collector.port();
+      agent_config.params = config.params;
+      agent_config.epoch_updates = 500;
+      agent_config.jitter_seed = site;
+      agents.push_back(std::make_unique<SiteAgent>(agent_config));
+      agents.back()->start();
+    }
+    for (std::size_t i = 0; i < updates.size(); ++i)
+      agents[i % 2]->ingest(updates[i]);
+    for (auto& agent : agents) {
+      ASSERT_TRUE(agent->flush(10000));
+      agent->stop();
+    }
+    ASSERT_TRUE(collector.wait_for_deltas(12, 10000));
+    collector.stop();
+    top_before = collector.top_k(10);
+    sites_before = collector.site_stats();
+    alerts_before = collector.alerts();
+    EXPECT_TRUE(collector.merged_sketch() == expected);
+  }
+
+  Collector recovered(config);
+  EXPECT_EQ(recovered.stats().recoveries, 1u);
+  EXPECT_TRUE(recovered.merged_sketch() == expected);
+
+  const auto top_after = recovered.top_k(10);
+  EXPECT_EQ(top_after.entries, top_before.entries);
+  for (const auto& entry : top_before.entries)
+    EXPECT_EQ(recovered.estimate_frequency(entry.group), entry.estimate);
+
+  const auto sites_after = recovered.site_stats();
+  ASSERT_EQ(sites_after.size(), sites_before.size());
+  for (std::size_t i = 0; i < sites_after.size(); ++i) {
+    EXPECT_EQ(sites_after[i].site_id, sites_before[i].site_id);
+    EXPECT_EQ(sites_after[i].last_epoch, sites_before[i].last_epoch);
+    EXPECT_EQ(sites_after[i].epochs_merged, sites_before[i].epochs_merged);
+    EXPECT_EQ(sites_after[i].updates_merged, sites_before[i].updates_merged);
+    EXPECT_EQ(sites_after[i].dropped_epochs, sites_before[i].dropped_epochs);
+  }
+
+  // Detector state came back too: same alert history, same active alarms.
+  ASSERT_EQ(recovered.alerts().size(), alerts_before.size());
+  for (std::size_t i = 0; i < alerts_before.size(); ++i) {
+    EXPECT_EQ(recovered.alerts()[i].kind, alerts_before[i].kind);
+    EXPECT_EQ(recovered.alerts()[i].subject, alerts_before[i].subject);
+    EXPECT_EQ(recovered.alerts()[i].epoch, alerts_before[i].epoch);
+  }
+}
+
+}  // namespace
+}  // namespace dcs::service

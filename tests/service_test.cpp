@@ -10,9 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "service/agent.hpp"
@@ -482,6 +485,209 @@ TEST(ServiceLoopback, AgentSurvivesCollectorOutage) {
   EXPECT_GE(stats.reconnects, 1u);
   EXPECT_TRUE(collector.merged_sketch() == expected);
   collector.stop();
+}
+
+/// Duplicate-delivery regression across a collector restart: four sites
+/// whose delta acks were lost in the crash re-ship every pre-checkpoint
+/// epoch to the recovered collector. Each re-ship must be acked kDuplicate
+/// without re-merging (counted by the post-recovery dedup oracle), and the
+/// merged sketch must equal the reference of every unique epoch exactly.
+TEST(ServiceRecovery, ReshippedPreCheckpointEpochsAreAckedNotRemerged) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  config.state_dir = ::testing::TempDir() +
+                     "ServiceRecovery.ReshippedPreCheckpointEpochs.state";
+  std::filesystem::remove_all(config.state_dir);
+  config.checkpoint_every = 2;
+
+  // Per-site, per-epoch deltas: 4 sites x 3 epochs, each its own sketch.
+  DistinctCountSketch expected(small_params());
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> blobs;
+  for (std::uint64_t site = 1; site <= 4; ++site)
+    for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+      DistinctCountSketch delta(small_params());
+      for (std::uint64_t i = 0; i < 40; ++i) {
+        const auto dest = static_cast<Addr>(site * 100 + i % 6);
+        const auto source = static_cast<Addr>(epoch * 1000 + i);
+        delta.update(dest, source, +1);
+        expected.update(dest, source, +1);
+      }
+      std::ostringstream out(std::ios::binary);
+      BinaryWriter writer(out);
+      delta.serialize(writer);
+      blobs[{site, epoch}] = std::move(out).str();
+    }
+
+  /// One raw-socket site connection (the agent path is covered elsewhere;
+  /// raw frames let the test re-ship exactly what it wants).
+  struct RawSite {
+    std::optional<TcpSocket> socket;
+    FrameDecoder decoder;
+    char buffer[4096];
+
+    Ack read_ack() {
+      for (;;) {
+        if (auto frame = decoder.next()) {
+          EXPECT_EQ(frame->type, MsgType::kAck);
+          return Ack::decode(frame->payload);
+        }
+        const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+        if (got.bytes == 0) {
+          ADD_FAILURE() << "connection lost awaiting ack";
+          return Ack{};
+        }
+        decoder.feed(buffer, got.bytes);
+      }
+    }
+
+    Ack hello(std::uint64_t site_id, std::uint16_t port) {
+      socket = tcp_connect("127.0.0.1", port, 1000);
+      EXPECT_TRUE(socket.has_value());
+      socket->set_timeouts(3000, 3000);
+      Hello greeting;
+      greeting.site_id = site_id;
+      greeting.params_fingerprint = small_params().fingerprint();
+      EXPECT_TRUE(
+          socket->send_all(encode_frame(MsgType::kHello, greeting.encode())));
+      return read_ack();
+    }
+
+    Ack ship(std::uint64_t site_id, std::uint64_t epoch,
+             const std::string& blob) {
+      SnapshotDelta delta;
+      delta.site_id = site_id;
+      delta.epoch = epoch;
+      delta.updates = 40;
+      delta.sketch_blob = blob;
+      EXPECT_TRUE(socket->send_all(
+          encode_frame(MsgType::kSnapshotDelta, delta.encode())));
+      return read_ack();
+    }
+  };
+
+  // Phase 1: all 12 epochs land and are durable (journal fsync per merge),
+  // then the collector goes away. stop() checkpoints, but even without that
+  // every acked epoch is covered by the journal.
+  {
+    Collector collector(config);
+    collector.start();
+    for (std::uint64_t site = 1; site <= 4; ++site) {
+      RawSite raw;
+      EXPECT_EQ(raw.hello(site, collector.port()).status, AckStatus::kOk);
+      for (std::uint64_t epoch = 1; epoch <= 3; ++epoch)
+        EXPECT_EQ(raw.ship(site, epoch, blobs[{site, epoch}]).status,
+                  AckStatus::kOk);
+    }
+    ASSERT_TRUE(collector.wait_for_deltas(12, 10000));
+    collector.stop();
+    ASSERT_TRUE(collector.merged_sketch() == expected);
+  }
+
+  // Phase 2: recovered collector. Every site reconnects believing nothing
+  // was delivered (lost acks) and re-ships epochs 1-3, then ships epoch 4.
+  Collector recovered(config);
+  EXPECT_EQ(recovered.stats().recoveries, 1u);
+  ASSERT_TRUE(recovered.merged_sketch() == expected);
+  recovered.start();
+
+  for (std::uint64_t site = 1; site <= 4; ++site) {
+    RawSite raw;
+    const Ack hello_ack = raw.hello(site, recovered.port());
+    EXPECT_EQ(hello_ack.status, AckStatus::kOk);
+    EXPECT_EQ(hello_ack.epoch, 3u);  // resume watermark from the checkpoint
+    for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+      const Ack ack = raw.ship(site, epoch, blobs[{site, epoch}]);
+      EXPECT_EQ(ack.status, AckStatus::kDuplicate);
+      EXPECT_EQ(ack.epoch, epoch);
+    }
+    DistinctCountSketch fresh(small_params());
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      const auto dest = static_cast<Addr>(site * 100 + i % 6);
+      fresh.update(dest, static_cast<Addr>(4000 + i), +1);
+      expected.update(dest, static_cast<Addr>(4000 + i), +1);
+    }
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    fresh.serialize(writer);
+    EXPECT_EQ(raw.ship(site, 4, std::move(out).str()).status, AckStatus::kOk);
+  }
+
+  const auto stats = recovered.stats();
+  EXPECT_EQ(stats.post_recovery_duplicates, 12u);  // the dedup oracle
+  EXPECT_EQ(stats.duplicate_deltas, 12u);
+  EXPECT_EQ(stats.deltas_merged, 16u);  // 12 recovered + 4 fresh, no doubles
+  EXPECT_TRUE(recovered.merged_sketch() == expected);
+  const auto sites = recovered.site_stats();
+  ASSERT_EQ(sites.size(), 4u);
+  for (const auto& site : sites) {
+    EXPECT_EQ(site.last_epoch, 4u);
+    EXPECT_EQ(site.epochs_merged, 4u);
+    EXPECT_EQ(site.duplicate_deltas, 3u);
+  }
+  recovered.stop();
+}
+
+/// The Hello-ack resume watermark end to end with a real agent: spooled
+/// epochs at or below the recovered collector's watermark are pruned
+/// locally (counted as resume_skips), never re-shipped.
+TEST(ServiceRecovery, AgentPrunesSpooledEpochsBelowResumeWatermark) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  config.state_dir =
+      ::testing::TempDir() + "ServiceRecovery.AgentPrunes.state";
+  std::filesystem::remove_all(config.state_dir);
+
+  const auto updates = zipf_updates(2000, 23);
+
+  // Phase 1: the agent ships epochs 1-2, which become durable; the
+  // collector then "crashes" (goes away) before the agent can ship more.
+  std::uint16_t port = 0;
+  {
+    Collector collector(config);
+    collector.start();
+    port = collector.port();
+    auto cfg = agent_config(7, port);
+    SiteAgent agent(cfg);
+    agent.start();
+    for (std::size_t i = 0; i < 1000; ++i) agent.ingest(updates[i]);
+    ASSERT_TRUE(agent.flush(10000));
+    agent.stop();
+    ASSERT_TRUE(collector.wait_for_deltas(2, 10000));
+    collector.stop();
+  }
+
+  // Phase 2: a restarted agent re-seals the same epochs 1-2 (same data,
+  // deterministic workload) plus new epochs 3-4 while the collector is
+  // still down — so all four sit in its spool.
+  auto cfg = agent_config(7, port);
+  SiteAgent agent(cfg);
+  for (std::size_t i = 0; i < 2000; ++i) agent.ingest(updates[i]);
+  agent.seal_epoch();
+  ASSERT_EQ(agent.stats().spool_depth, 4u);
+
+  // Recovered collector on the same port: its Hello ack says "epochs <= 2
+  // are already durable here", and the agent ships only 3-4.
+  config.port = port;
+  Collector recovered(config);
+  EXPECT_EQ(recovered.stats().recoveries, 1u);
+  recovered.start();
+  agent.start();
+  EXPECT_TRUE(agent.flush(15000));
+  agent.stop();
+
+  const auto stats = agent.stats();
+  EXPECT_EQ(stats.resume_skips, 2u);
+  EXPECT_EQ(stats.epochs_shipped, 4u);  // 2 skipped + 2 shipped count alike
+  const auto collector_stats = recovered.stats();
+  EXPECT_EQ(collector_stats.deltas_merged, 4u);  // 2 recovered + 2 fresh
+  EXPECT_EQ(collector_stats.duplicate_deltas, 0u);
+  EXPECT_EQ(collector_stats.post_recovery_duplicates, 0u);
+
+  DistinctCountSketch expected(small_params());
+  for (std::size_t i = 0; i < 2000; ++i)
+    expected.update(updates[i].dest, updates[i].source, updates[i].delta);
+  EXPECT_TRUE(recovered.merged_sketch() == expected);
+  recovered.stop();
 }
 
 }  // namespace

@@ -8,15 +8,25 @@
 //   dcs_collector [--port N] [--bind ADDR] [--port-file FILE] [--sites N]
 //                 [--timeout-ms N] [--k N] [--r N] [--s N] [--seed N]
 //                 [--min-absolute N] [--factor F] [--no-detection]
+//                 [--state-dir DIR] [--checkpoint-every N]
+//                 [--crash-after-deltas N]
 //                 [--metrics-out FILE] [--metrics-format prom|json]
 //
 // --port-file atomically publishes the bound port (written under a temp
 // name, then renamed) so agents started concurrently can discover it.
+//
+// --state-dir enables crash-safe checkpointing (see src/service/
+// checkpoint.hpp): restart with the same directory and the collector
+// resumes from its last checkpoint + journal instead of an empty sketch.
+// --crash-after-deltas is fault injection for the recovery smoke test: once
+// that many deltas have merged the process raises SIGKILL against itself —
+// no destructors, no flush, the real crash the durability layer exists for.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/options.hpp"
 #include "obs/export.hpp"
@@ -56,13 +66,32 @@ int main(int argc, char** argv) {
   config.detection.alarm_factor = options.real("factor", 8.0);
   config.detection_top_k =
       static_cast<std::size_t>(options.integer("k", 5));
+  config.state_dir = options.str("state-dir", "");
+  config.checkpoint_every =
+      static_cast<std::uint64_t>(options.integer("checkpoint-every", 64));
 
   const auto sites = static_cast<std::uint64_t>(options.integer("sites", 1));
   const int timeout_ms = static_cast<int>(options.integer("timeout-ms", 30000));
+  const auto crash_after =
+      static_cast<std::uint64_t>(options.integer("crash-after-deltas", 0));
 
   try {
     config.params.validate();
     service::Collector collector(config);
+    {
+      const auto stats = collector.stats();
+      if (stats.recoveries > 0)
+        std::printf("recovered generation=%llu replayed=%llu "
+                    "replay_deduped=%llu corrupt_skipped=%llu "
+                    "deltas_restored=%llu\n",
+                    static_cast<unsigned long long>(
+                        collector.checkpoint_generation()),
+                    static_cast<unsigned long long>(stats.replayed_epochs),
+                    static_cast<unsigned long long>(stats.replay_deduped),
+                    static_cast<unsigned long long>(
+                        stats.corrupt_generations_skipped),
+                    static_cast<unsigned long long>(stats.deltas_merged));
+    }
     collector.start();
     std::printf("listening on %s:%u\n", config.bind_address.c_str(),
                 collector.port());
@@ -70,8 +99,21 @@ int main(int argc, char** argv) {
     const std::string port_file = options.str("port-file", "");
     if (!port_file.empty()) publish_port(port_file, collector.port());
 
+    // Fault injection for the recovery smoke test: SIGKILL ourselves once
+    // enough deltas merged. A watcher thread (not a hook in the merge path)
+    // keeps the library clean; overshooting by an in-flight delta is fine —
+    // the test only needs the crash to land between checkpoints.
+    std::thread crash_watcher;
+    if (crash_after > 0)
+      crash_watcher = std::thread([&collector, crash_after] {
+        while (collector.stats().deltas_merged < crash_after)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::raise(SIGKILL);
+      });
+
     const bool all_done = collector.wait_for_byes(sites, timeout_ms);
     collector.stop();
+    if (crash_watcher.joinable()) crash_watcher.detach();
 
     const auto stats = collector.stats();
     std::printf(
@@ -83,6 +125,15 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.dropped_epochs),
         static_cast<unsigned long long>(stats.frame_errors),
         static_cast<unsigned long long>(stats.rejected_hellos));
+    if (!config.state_dir.empty())
+      std::printf("checkpoints=%llu generation=%llu journal_records=%llu "
+                  "post_recovery_duplicates=%llu\n",
+                  static_cast<unsigned long long>(stats.checkpoints_written),
+                  static_cast<unsigned long long>(
+                      collector.checkpoint_generation()),
+                  static_cast<unsigned long long>(stats.journal_records),
+                  static_cast<unsigned long long>(
+                      stats.post_recovery_duplicates));
     for (const auto& site : collector.site_stats())
       std::printf("site=%llu epochs=%llu updates=%llu dropped=%llu "
                   "last_epoch=%llu\n",
