@@ -1,0 +1,212 @@
+// Overload-protection costs: what admission control adds to the accept
+// path, and what a shed costs relative to the merge it avoided.
+//
+//   build/bench/overload_shed [--deltas 40] [--iters 2000000] [--site-rate 20]
+//
+// Part 1 micro-benchmarks AdmissionController::try_admit on a synthetic
+// clock: the disabled-config fast path, a token-bucket admit, a
+// token-bucket shed, and a byte-budget shed. These bound the per-delta
+// overhead the knobs add when the collector is *not* overloaded — the
+// price everyone pays for the protection.
+//
+// Part 2 runs a live loopback collector with a tight per-site rate limit
+// and ships real deltas from a raw socket, separating ack round-trips
+// into admitted (decode + merge + tracking rebuild + detection in the
+// path) and shed (admission NACK right after decode). A shed still pays
+// the transfer and frame decode — admission charges the *decoded* delta —
+// so the shed/merged ratio is the fraction of a delta's cost the
+// collector cannot refuse; everything past that (merge, tracking
+// rebuild, detection, and the journal fsync when durable) is what
+// shedding saves under a burst.
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/stopwatch.hpp"
+#include "service/admission.hpp"
+#include "service/collector.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::service;
+
+double micro_ns(AdmissionController& admission, std::uint64_t iters,
+                bool vary_site, std::uint64_t bytes) {
+  const auto t0 = AdmissionController::Clock::time_point{};
+  Stopwatch watch;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const auto decision =
+        admission.try_admit(vary_site ? i % 64 : 1, bytes, t0);
+    if (decision.admitted) admission.release(bytes);
+  }
+  return watch.elapsed_ns() / static_cast<double>(iters);
+}
+
+DcsParams bench_params() {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = 11;
+  return params;
+}
+
+std::string delta_frame(std::uint64_t epoch, const std::string& blob) {
+  SnapshotDelta delta;
+  delta.site_id = 1;
+  delta.epoch = epoch;
+  delta.updates = 1;
+  delta.sketch_blob = blob;
+  return encode_frame(MsgType::kSnapshotDelta, delta.encode());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const auto deltas =
+      static_cast<std::uint64_t>(options.integer("deltas", 40));
+  const auto iters =
+      static_cast<std::uint64_t>(options.integer("iters", 2'000'000));
+
+  std::printf("== admission micro (try_admit + release, %llu iters) ==\n",
+              static_cast<unsigned long long>(iters));
+  {
+    AdmissionController off{AdmissionConfig{}};
+    AdmissionConfig token;
+    token.site_rate_per_sec = 1.0;  // frozen clock: bucket never refills
+    token.site_burst = 1e18;        // ...but this deep burst always admits
+    AdmissionController token_admit{token};
+    AdmissionConfig starved = token;
+    starved.site_burst = 1.0;  // one admit, then every call sheds
+    AdmissionController token_shed{starved};
+    (void)token_shed.try_admit(1, 1, {});
+    AdmissionConfig budget;
+    budget.max_inflight_bytes = 1;  // every nonzero charge sheds
+    AdmissionController budget_shed{budget};
+
+    bench::print_row({"path", "ns/decision"});
+    bench::print_row(
+        {"disabled", bench::format_double(micro_ns(off, iters, true, 1))});
+    bench::print_row(
+        {"token admit",
+         bench::format_double(micro_ns(token_admit, iters, true, 1))});
+    bench::print_row(
+        {"token shed",
+         bench::format_double(micro_ns(token_shed, iters, false, 1))});
+    bench::print_row(
+        {"budget shed",
+         bench::format_double(micro_ns(budget_shed, iters, true, 2))});
+  }
+
+  std::printf("\n== live shed vs merge (loopback, %llu admitted deltas) ==\n",
+              static_cast<unsigned long long>(deltas));
+  try {
+    CollectorConfig config;
+    config.params = bench_params();
+    config.run_detection = true;
+    config.io_timeout_ms = 20;
+    // Low enough that the hammer loop genuinely outruns the bucket even
+    // though each admitted round-trip costs a full merge (~10 ms here).
+    config.admission.site_rate_per_sec = options.real("site-rate", 20.0);
+    config.admission.site_burst = 1.0;
+    config.admission.min_retry_after_ms = 1;
+    Collector collector(config);
+    collector.start();
+
+    auto socket = tcp_connect("127.0.0.1", collector.port(), 2000);
+    if (!socket) {
+      std::fprintf(stderr, "overload_shed: connect failed\n");
+      return 1;
+    }
+    socket->set_timeouts(5000, 5000);
+    FrameDecoder decoder;
+    char buffer[1 << 16];
+    const auto read_ack = [&]() -> std::optional<Ack> {
+      for (;;) {
+        if (auto frame = decoder.next()) return Ack::decode(frame->payload);
+        const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+        if (got.bytes == 0) return std::nullopt;
+        decoder.feed(buffer, got.bytes);
+      }
+    };
+
+    Hello hello;
+    hello.site_id = 1;
+    hello.params_fingerprint = config.params.fingerprint();
+    if (!socket->send_all(encode_frame(MsgType::kHello, hello.encode())) ||
+        !read_ack()) {
+      std::fprintf(stderr, "overload_shed: handshake failed\n");
+      return 1;
+    }
+
+    // A realistically-sized delta (thousands of distinct pairs → several
+    // allocated levels), so the merged row reflects a real epoch's cost
+    // rather than a near-empty blob's.
+    DistinctCountSketch sketch(bench_params());
+    for (std::uint64_t i = 0; i < 5000; ++i)
+      sketch.update(static_cast<Addr>(i % 16), static_cast<Addr>(i), +1);
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    sketch.serialize(writer);
+    const std::string blob = std::move(out).str();
+
+    std::vector<double> merged_us;
+    std::vector<double> shed_us;
+    // Hammer without honoring retry_after: every refusal is a measured
+    // shed round-trip, every admit a measured merge round-trip.
+    for (std::uint64_t epoch = 1; epoch <= deltas;) {
+      const std::string frame = delta_frame(epoch, blob);
+      Stopwatch watch;
+      if (!socket->send_all(frame)) break;
+      const auto ack = read_ack();
+      const double us = watch.elapsed_ns() / 1e3;
+      if (!ack) break;
+      if (ack->status == AckStatus::kOk) {
+        merged_us.push_back(us);
+        ++epoch;
+      } else if (ack->status == AckStatus::kRetryLater) {
+        shed_us.push_back(us);
+      } else {
+        std::fprintf(stderr, "overload_shed: unexpected ack status\n");
+        return 1;
+      }
+    }
+    Bye bye;
+    bye.site_id = 1;
+    socket->send_all(encode_frame(MsgType::kBye, bye.encode()));
+    collector.stop();
+
+    const auto merged = bench::summarize_samples(merged_us);
+    const auto shed = bench::summarize_samples(shed_us);
+    bench::print_row({"ack path", "count", "mean us", "p50", "p90", "p99"});
+    bench::print_row({"merged", std::to_string(merged.count),
+                      bench::format_double(merged.mean),
+                      bench::format_double(merged.p50),
+                      bench::format_double(merged.p90),
+                      bench::format_double(merged.p99)});
+    bench::print_row({"shed", std::to_string(shed.count),
+                      bench::format_double(shed.mean),
+                      bench::format_double(shed.p50),
+                      bench::format_double(shed.p90),
+                      bench::format_double(shed.p99)});
+    const auto stats = collector.stats();
+    std::printf("\nmerged=%llu shed=%llu  (shed/merged p50 cost ratio: %s)\n",
+                static_cast<unsigned long long>(stats.deltas_merged),
+                static_cast<unsigned long long>(stats.shed_deltas),
+                merged.p50 > 0.0
+                    ? bench::format_double(shed.p50 / merged.p50, 4).c_str()
+                    : "n/a");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "overload_shed: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -175,7 +175,25 @@ CollectorMetrics& CollectorMetrics::get() {
                                "Site agents currently connected"),
       Registry::global().histogram(
           "dcs_collector_merge_latency_ns",
-          "Delta merge + tracking rebuild + detection check latency, ns")};
+          "Delta merge + tracking rebuild + detection check latency, ns"),
+      Registry::global().counter(
+          "dcs_collector_shed_deltas_total",
+          "Deltas NACKed kRetryLater by admission control (re-shipped by "
+          "the site later; shed, not lost)"),
+      Registry::global().counter(
+          "dcs_collector_shed_bytes_total",
+          "Payload bytes of deltas shed by admission control"),
+      Registry::global().counter(
+          "dcs_collector_deadline_drops_total",
+          "Connections dropped for holding a partial frame past the frame "
+          "deadline (slow-loris defense)"),
+      Registry::global().counter(
+          "dcs_collector_idle_reaped_total",
+          "Connections reaped after the idle timeout with no traffic"),
+      Registry::global().gauge(
+          "dcs_collector_inflight_bytes",
+          "Delta bytes admitted but not yet merged and released (bounded "
+          "by the admission budget)")};
   return instance;
 }
 
@@ -201,7 +219,11 @@ AgentMetrics& AgentMetrics::get() {
           "Spooled epochs dropped without re-shipping because the "
           "collector's Hello ack watermark already covered them"),
       Registry::global().gauge("dcs_agent_spool_depth",
-                               "Epoch deltas awaiting collector ack")};
+                               "Epoch deltas awaiting collector ack"),
+      Registry::global().counter(
+          "dcs_agent_nacks_total",
+          "kRetryLater NACKs received from collector admission control "
+          "(epoch kept spooled; next ship delayed by retry_after_ms)")};
   return instance;
 }
 

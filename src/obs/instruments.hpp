@@ -94,7 +94,8 @@ struct DistributedMetrics {
   static DistributedMetrics& get();
 };
 
-/// src/service collector: frame ingest, delta merging, site liveness.
+/// src/service collector: frame ingest, delta merging, site liveness, and
+/// the overload ledger (admission sheds, deadline/idle connection drops).
 struct CollectorMetrics {
   Counter& frames;              // dcs_collector_frames_total
   Counter& frame_errors;        // dcs_collector_frame_errors_total
@@ -104,6 +105,11 @@ struct CollectorMetrics {
   Counter& rejected_hellos;     // dcs_collector_rejected_hellos_total
   Gauge& connected_sites;       // dcs_collector_connected_sites
   Histogram& merge_ns;          // dcs_collector_merge_latency_ns
+  Counter& shed_deltas;         // dcs_collector_shed_deltas_total
+  Counter& shed_bytes;          // dcs_collector_shed_bytes_total
+  Counter& deadline_drops;      // dcs_collector_deadline_drops_total
+  Counter& idle_reaped;         // dcs_collector_idle_reaped_total
+  Gauge& inflight_bytes;        // dcs_collector_inflight_bytes
 
   static CollectorMetrics& get();
 };
@@ -117,6 +123,7 @@ struct AgentMetrics {
   Counter& io_errors;           // dcs_agent_io_errors_total
   Counter& resume_skips;        // dcs_agent_resume_skips_total
   Gauge& spool_depth;           // dcs_agent_spool_depth
+  Counter& nacks;               // dcs_agent_nacks_total
 
   static AgentMetrics& get();
 };

@@ -288,6 +288,26 @@ bool SiteAgent::run_connection() {
       if (ack->status == AckStatus::kRejected) return false;
       if (ack->epoch != head->epoch)
         throw WireError("agent: ack for unexpected epoch");
+      if (ack->status == AckStatus::kRetryLater) {
+        // The collector shed this delta under overload. Honor the
+        // retry_after contract: keep the epoch at the head of the spool
+        // (nothing is lost) and wait before re-shipping. The hint is
+        // clamped so a byzantine collector can neither make us spin
+        // (floor 1 ms) nor wedge us forever (ceiling backoff_max_ms),
+        // and the wait wakes immediately on stop().
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.nacks;
+        }
+        if (obs::recording()) obs::AgentMetrics::get().nacks.inc();
+        const std::uint64_t wait_ms = std::min<std::uint64_t>(
+            std::max<std::uint32_t>(ack->retry_after_ms, 1),
+            config_.backoff_max_ms);
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                     [&] { return !running_.load(std::memory_order_acquire); });
+        continue;
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!spool_.empty() && spool_.front().epoch == head->epoch)

@@ -66,6 +66,11 @@ class SiteAgent {
     /// Hello-ack watermark showed them already durably merged (collector
     /// restarted from its checkpoint). Subset of epochs_shipped.
     std::uint64_t resume_skips = 0;
+    /// kRetryLater NACKs received from the collector's admission control.
+    /// Each one kept its epoch spooled and delayed the next ship attempt by
+    /// the collector's retry_after_ms hint — overload costs latency here,
+    /// never data.
+    std::uint64_t nacks = 0;
     std::uint64_t reconnects = 0;       ///< Connection attempts after the 1st.
     std::uint64_t io_errors = 0;
     std::size_t spool_depth = 0;

@@ -38,12 +38,27 @@ struct Collector::Connection {
 
 Collector::Collector(CollectorConfig config)
     : config_(std::move(config)),
+      admission_(config_.admission),
       merged_(config_.params),
       detector_(config_.detection) {
   if (config_.detection_top_k == 0)
     throw std::invalid_argument("Collector: detection_top_k must be > 0");
   if (config_.checkpoint_every == 0)
     throw std::invalid_argument("Collector: checkpoint_every must be > 0");
+  if (config_.admission.max_inflight_bytes != 0) {
+    // A single frame larger than the whole budget could never admit and
+    // would be NACKed forever — a livelock the operator must resolve by
+    // raising the budget or lowering the frame cap.
+    const std::uint64_t frame_cap =
+        config_.max_frame_bytes != 0 &&
+                config_.max_frame_bytes < kMaxPayloadBytes
+            ? config_.max_frame_bytes
+            : kMaxPayloadBytes;
+    if (frame_cap > config_.admission.max_inflight_bytes)
+      throw std::invalid_argument(
+          "Collector: admission.max_inflight_bytes must cover at least one "
+          "max-size frame (raise the budget or lower max_frame_bytes)");
+  }
   if (!config_.state_dir.empty()) recover();
 }
 
@@ -125,36 +140,71 @@ void Collector::accept_loop() {
 }
 
 void Collector::serve(std::shared_ptr<Connection> conn) {
+  using Clock = std::chrono::steady_clock;
   char buffer[64 * 1024];
   bool failed = false;
+  if (config_.max_frame_bytes != 0)
+    conn->decoder.set_max_payload(config_.max_frame_bytes);
+  // Deadline bookkeeping. frame_start marks when the *oldest incomplete*
+  // frame began arriving and is deliberately not refreshed by later bytes:
+  // a slow-loris peer dribbling one byte per poll hits the deadline just
+  // like one that stalls outright. last_activity is refreshed by any bytes
+  // (heartbeats count) and backs the idle reaper.
+  Clock::time_point last_activity = Clock::now();
+  bool frame_pending = false;
+  Clock::time_point frame_start{};
   while (running_.load(std::memory_order_acquire)) {
     const RecvResult got = conn->socket.recv_some(buffer, sizeof buffer);
     if (got.closed || got.error) break;
-    if (got.timed_out) continue;
-    conn->decoder.feed(buffer, got.bytes);
-    try {
-      while (auto frame = conn->decoder.next()) {
-        if (obs::recording()) obs::CollectorMetrics::get().frames.inc();
-        {
-          std::lock_guard<std::mutex> lock(state_mutex_);
-          ++totals_.frames;
-        }
-        const std::string ack = handle_frame(*conn, frame->type,
-                                             frame->payload);
-        if (!ack.empty() && !conn->socket.send_all(ack)) {
-          failed = true;
-          break;
-        }
+    const Clock::time_point now = Clock::now();
+    if (!got.timed_out && got.bytes > 0) {
+      last_activity = now;
+      if (!frame_pending) {
+        frame_pending = true;
+        frame_start = now;
       }
-    } catch (const WireError&) {
-      // Malformed frame or payload: the byte stream is unrecoverable.
-      // Count it, drop this connection, keep serving everyone else.
-      if (obs::recording()) obs::CollectorMetrics::get().frame_errors.inc();
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      ++totals_.frame_errors;
-      failed = true;
+      conn->decoder.feed(buffer, got.bytes);
+      try {
+        while (auto frame = conn->decoder.next()) {
+          if (obs::recording()) obs::CollectorMetrics::get().frames.inc();
+          {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++totals_.frames;
+          }
+          const std::string ack = handle_frame(*conn, frame->type,
+                                               frame->payload);
+          if (!ack.empty() && !conn->socket.send_all(ack)) {
+            failed = true;
+            break;
+          }
+        }
+        if (conn->decoder.buffered() == 0) frame_pending = false;
+      } catch (const WireError&) {
+        // Malformed frame or payload: the byte stream is unrecoverable.
+        // Count it, drop this connection, keep serving everyone else.
+        if (obs::recording()) obs::CollectorMetrics::get().frame_errors.inc();
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++totals_.frame_errors;
+        failed = true;
+      }
+      if (failed) break;
     }
-    if (failed) break;
+    if (config_.frame_deadline_ms > 0 && frame_pending &&
+        now - frame_start >
+            std::chrono::milliseconds(config_.frame_deadline_ms)) {
+      if (obs::recording()) obs::CollectorMetrics::get().deadline_drops.inc();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++totals_.deadline_drops;
+      break;
+    }
+    if (config_.idle_timeout_ms > 0 &&
+        now - last_activity >
+            std::chrono::milliseconds(config_.idle_timeout_ms)) {
+      if (obs::recording()) obs::CollectorMetrics::get().idle_reaped.inc();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++totals_.idle_reaped;
+      break;
+    }
   }
   // Tell the peer now (FIN), but leave the close to whoever destroys the
   // Connection after this thread is joined — closing here would race with
@@ -248,6 +298,62 @@ std::string Collector::handle_delta(Connection& conn,
     throw WireError("collector: delta site_id does not match Hello");
   if (delta.epoch == 0) throw WireError("collector: delta epoch must be >= 1");
 
+  Ack ack;
+  ack.epoch = delta.epoch;
+
+  // Duplicate pre-check before admission: a retransmit costs nothing to
+  // ack and must never be shed — post-recovery re-ships have to drain even
+  // when the collector is saturated, or reconnect storms wedge on a full
+  // budget.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    SiteStats& site = sites_[conn.site_id];
+    site.site_id = conn.site_id;
+    if (delta.epoch <= site.last_epoch) {
+      // Retransmit after a reconnect — already merged; ack so the site can
+      // drop it from its spool. Exactly-once merging from at-least-once
+      // delivery.
+      ack.status = AckStatus::kDuplicate;
+      ++site.duplicate_deltas;
+      ++totals_.duplicate_deltas;
+      if (obs::recording())
+        obs::CollectorMetrics::get().duplicate_deltas.inc();
+      const auto watermark = recovered_watermarks_.find(conn.site_id);
+      if (watermark != recovered_watermarks_.end() &&
+          delta.epoch <= watermark->second) {
+        // A pre-crash epoch re-shipped after our restart: the watermark
+        // dedup working as designed. Counted separately as the double-merge
+        // oracle.
+        ++totals_.post_recovery_duplicates;
+        if (obs::recording())
+          obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
+      }
+      return encode_frame(MsgType::kAck, ack.encode());
+    }
+  }
+
+  // Admission: charge the frame's bytes against the global in-flight
+  // budget and the site's token bucket before the expensive deserialize.
+  // A shed is an honest NACK — the epoch stays in the site's spool and
+  // returns after retry_after_ms; nothing is merged, nothing is lost.
+  const AdmissionDecision decision = admission_.try_admit(
+      conn.site_id, payload.size(), std::chrono::steady_clock::now());
+  if (!decision.admitted) {
+    ack.status = AckStatus::kRetryLater;
+    ack.retry_after_ms = decision.retry_after_ms;
+    if (obs::recording()) {
+      obs::CollectorMetrics::get().shed_deltas.inc();
+      obs::CollectorMetrics::get().shed_bytes.inc(payload.size());
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++totals_.shed_deltas;
+    totals_.shed_bytes += payload.size();
+    return encode_frame(MsgType::kAck, ack.encode());
+  }
+  // Released on every exit from here (ack sent, duplicate race, or a
+  // throw on a bad blob) — the budget can never leak.
+  InflightCharge charge(&admission_, payload.size());
+
   // Deserialize (and CRC-check) the blob before taking the state lock; a
   // corrupt blob must never leave a half-merged global sketch.
   DistinctCountSketch sketch = [&] {
@@ -261,27 +367,16 @@ std::string Collector::handle_delta(Connection& conn,
   if (sketch.params().fingerprint() != config_.params.fingerprint())
     throw WireError("collector: delta sketch parameters mismatch");
 
-  Ack ack;
-  ack.epoch = delta.epoch;
   std::lock_guard<std::mutex> lock(state_mutex_);
   SiteStats& site = sites_[conn.site_id];
   if (delta.epoch <= site.last_epoch) {
-    // Retransmit after a reconnect — already merged; ack so the site can
-    // drop it from its spool. Exactly-once merging from at-least-once
-    // delivery.
+    // Lost the race with another connection of the same site between the
+    // pre-check and here (admitted but already merged): dedup, never
+    // double-merge. The charge guard releases the admitted bytes.
     ack.status = AckStatus::kDuplicate;
     ++site.duplicate_deltas;
     ++totals_.duplicate_deltas;
     if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
-    const auto watermark = recovered_watermarks_.find(conn.site_id);
-    if (watermark != recovered_watermarks_.end() &&
-        delta.epoch <= watermark->second) {
-      // A pre-crash epoch re-shipped after our restart: the watermark dedup
-      // working as designed. Counted separately as the double-merge oracle.
-      ++totals_.post_recovery_duplicates;
-      if (obs::recording())
-        obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
-    }
     return encode_frame(MsgType::kAck, ack.encode());
   }
   // Durability barrier: the delta must hit the journal (fsync'd) BEFORE it
@@ -518,6 +613,18 @@ std::size_t Collector::active_alarm_count() const {
 Collector::Stats Collector::stats() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return totals_;
+}
+
+std::size_t Collector::connection_count() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  std::size_t live = 0;
+  for (const auto& conn : connections_)
+    if (!conn->done.load(std::memory_order_acquire)) ++live;
+  return live;
+}
+
+std::uint64_t Collector::inflight_bytes() const {
+  return admission_.inflight_bytes();
 }
 
 std::vector<Collector::SiteStats> Collector::site_stats() const {

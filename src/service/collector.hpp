@@ -24,6 +24,14 @@
 //     the journal, and resumes acking — the recovered counters are
 //     bit-identical to an uninterrupted run's by sketch linearity. See
 //     checkpoint.hpp / epoch_journal.hpp.
+//   * Overload protection (see admission.hpp): per-connection frame
+//     deadlines kill slow-loris peers that dribble a frame forever, an idle
+//     timeout reaps silent connections (live agents heartbeat well inside
+//     it), a receive-side frame cap bounds what one peer can make us
+//     buffer, and an admission controller bounds total in-flight delta
+//     bytes + per-site delta rate. Sheds are honest: the site gets
+//     Ack{kRetryLater, retry_after_ms} and re-ships from its spool later,
+//     so overload degrades latency, never exactly-once delivery.
 #pragma once
 
 #include <atomic>
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "detection/baseline_detector.hpp"
+#include "service/admission.hpp"
 #include "service/checkpoint.hpp"
 #include "service/epoch_journal.hpp"
 #include "service/socket.hpp"
@@ -70,6 +79,25 @@ struct CollectorConfig {
   /// may lose the journal tail, and the sites that were acked for those
   /// epochs will not retransmit them.
   bool journal_fsync = true;
+
+  // --- overload protection (see admission.hpp) ------------------------------
+  /// In-flight byte budget + per-site rate limits. Defaults disable both
+  /// (the pre-overload behaviour); tools enable them via flags.
+  AdmissionConfig admission;
+  /// A connection holding a partial frame older than this is dropped: the
+  /// slow-loris defense. The clock starts when the first byte of a frame
+  /// arrives and is NOT reset by later bytes, so dribbling one byte per
+  /// poll cannot extend the deadline. 0 disables.
+  int frame_deadline_ms = 5000;
+  /// A connection with no traffic at all for this long is reaped. Healthy
+  /// agents heartbeat every ~500 ms even when idle, so anything quiet this
+  /// long is dead or hostile. 0 disables.
+  int idle_timeout_ms = 15000;
+  /// Receive-side per-frame payload cap, clamped to kMaxPayloadBytes;
+  /// 0 keeps the protocol-wide cap. Bounds per-connection buffering under
+  /// oversized-frame abuse (an announced length above the cap kills the
+  /// connection before the payload is buffered).
+  std::uint32_t max_frame_bytes = 0;
 };
 
 class Collector {
@@ -107,6 +135,15 @@ class Collector {
     /// double-merge oracle — recovery is exactly-once iff the merged sketch
     /// equals the reference while this only ever counts dedups.
     std::uint64_t post_recovery_duplicates = 0;
+    // --- overload ledger ------------------------------------------------------
+    /// Deltas NACKed kRetryLater by admission control (not merged, not lost:
+    /// the site re-ships them).
+    std::uint64_t shed_deltas = 0;
+    std::uint64_t shed_bytes = 0;
+    /// Connections dropped for holding a partial frame past frame_deadline_ms.
+    std::uint64_t deadline_drops = 0;
+    /// Connections reaped after idle_timeout_ms of silence.
+    std::uint64_t idle_reaped = 0;
   };
 
   explicit Collector(CollectorConfig config);
@@ -136,6 +173,13 @@ class Collector {
 
   Stats stats() const;
   std::vector<SiteStats> site_stats() const;
+
+  /// Live entries in the connection table (reaped/done ones excluded).
+  /// Overload tests assert this shrinks after deadline/idle drops.
+  std::size_t connection_count() const;
+  /// Delta bytes admitted but not yet merged+released — the shipping-path
+  /// RSS proxy the chaos harness asserts stays under the admission budget.
+  std::uint64_t inflight_bytes() const;
 
   // --- durability ------------------------------------------------------------
   /// Force a checkpoint now (instead of waiting for checkpoint_every).
@@ -175,6 +219,7 @@ class Collector {
   void write_checkpoint_locked();
 
   CollectorConfig config_;
+  AdmissionController admission_;
 
   TcpListener listener_;
   std::thread accept_thread_;

@@ -78,7 +78,7 @@ std::optional<Frame> FrameDecoder::next() {
   const auto type = static_cast<std::uint8_t>(buffer_[5]);
   if (!valid_type(type)) throw WireError("frame: unknown message type");
   const std::uint32_t payload_len = get_u32(buffer_.data() + 6);
-  if (payload_len > kMaxPayloadBytes)
+  if (payload_len > max_payload_)
     throw WireError("frame: oversized payload length");
   const std::size_t total =
       kFrameHeaderBytes + payload_len + kFrameCrcBytes;
@@ -161,6 +161,7 @@ std::string Ack::encode() const {
   return encode_payload([&](BinaryWriter& w) {
     w.u64(epoch);
     w.u8(static_cast<std::uint8_t>(status));
+    w.u32(retry_after_ms);
   });
 }
 
@@ -169,9 +170,10 @@ Ack Ack::decode(const std::string& payload) {
   decode_payload(payload, [&](BinaryReader& r) {
     ack.epoch = r.u64();
     const std::uint8_t status = r.u8();
-    if (status > static_cast<std::uint8_t>(AckStatus::kRejected))
+    if (status > static_cast<std::uint8_t>(AckStatus::kRetryLater))
       throw WireError("ack: unknown status");
     ack.status = static_cast<AckStatus>(status);
+    ack.retry_after_ms = r.u32();
   });
   return ack;
 }

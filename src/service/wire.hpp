@@ -37,7 +37,15 @@
 //   Heartbeat      site -> collector, when idle. Liveness + degraded-mode
 //                  accounting (spool depth, epochs dropped so far).
 //   Ack            collector -> site. Status for a Hello or SnapshotDelta.
+//                  Carries the resume watermark (Hello) or the acked epoch
+//                  (SnapshotDelta), plus a retry_after_ms hint when the
+//                  collector sheds a delta under overload (kRetryLater).
 //   Bye            site -> collector. Clean end of stream.
+//
+// Version history:
+//   v1  Hello/SnapshotDelta/Heartbeat/Ack/Bye; Ack = {epoch, status}.
+//   v2  Ack gained retry_after_ms and AckStatus::kRetryLater — the overload
+//       admission controller's honest NACK (shed, not silently dropped).
 #pragma once
 
 #include <cstdint>
@@ -50,7 +58,7 @@
 namespace dcs::service {
 
 constexpr std::uint32_t kWireMagic = 0x57534344;  // "DCSW"
-constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kWireVersion = 2;
 /// Sketch deltas are ~r*s*65*8 bytes per allocated level (~1.6 MiB at
 /// r=3, s=1024, 8 levels); 64 MiB leaves generous headroom while bounding
 /// what a garbage length prefix can make a receiver buffer.
@@ -93,8 +101,19 @@ class FrameDecoder {
   /// Bytes buffered but not yet consumed (diagnostics).
   std::size_t buffered() const noexcept { return buffer_.size(); }
 
+  /// Lower the acceptable payload size below the protocol-wide
+  /// kMaxPayloadBytes (values above it are clamped). A frame announcing a
+  /// larger payload throws WireError from next() *before* any of it is
+  /// buffered past the header — the receiver-side memory bound under
+  /// oversized-frame abuse.
+  void set_max_payload(std::uint32_t cap) noexcept {
+    max_payload_ = cap < kMaxPayloadBytes ? cap : kMaxPayloadBytes;
+  }
+  std::uint32_t max_payload() const noexcept { return max_payload_; }
+
  private:
   std::string buffer_;
+  std::uint32_t max_payload_ = kMaxPayloadBytes;
 };
 
 // --- message payloads ------------------------------------------------------
@@ -107,6 +126,11 @@ enum class AckStatus : std::uint8_t {
   /// Parameter fingerprint mismatch or malformed payload; the site cannot
   /// usefully retry.
   kRejected = 2,
+  /// Shed by the collector's overload admission control. The epoch was NOT
+  /// merged; the site must keep it spooled and re-ship it no sooner than
+  /// Ack::retry_after_ms from now. Principled shedding: the loss is
+  /// negotiated, never silent.
+  kRetryLater = 3,
 };
 
 struct Hello {
@@ -159,6 +183,9 @@ struct Ack {
   /// restart (they would only be acked kDuplicate anyway).
   std::uint64_t epoch = 0;
   AckStatus status = AckStatus::kOk;
+  /// Only meaningful with kRetryLater: the earliest the site may re-ship
+  /// the shed epoch, in milliseconds from receipt. 0 otherwise.
+  std::uint32_t retry_after_ms = 0;
 
   std::string encode() const;
   static Ack decode(const std::string& payload);

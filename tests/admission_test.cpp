@@ -1,0 +1,207 @@
+// AdmissionController unit tests. All decisions take an explicit
+// time_point, so these tests drive a purely synthetic clock — no sleeps,
+// no flakiness — and pin down the exact shed/admit boundaries the service
+// relies on.
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <utility>
+
+namespace dcs::service {
+namespace {
+
+using Clock = AdmissionController::Clock;
+
+Clock::time_point t0() { return Clock::time_point{}; }
+
+Clock::time_point after_ms(std::int64_t ms) {
+  return t0() + std::chrono::milliseconds(ms);
+}
+
+TEST(Admission, DisabledConfigAdmitsEverything) {
+  AdmissionController admission{AdmissionConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    const auto decision = admission.try_admit(1, 1u << 20, t0());
+    EXPECT_TRUE(decision.admitted);
+    EXPECT_EQ(decision.retry_after_ms, 0u);
+  }
+  EXPECT_EQ(admission.inflight_bytes(), 1000ull << 20);
+}
+
+TEST(Admission, ByteBudgetShedsAtTheBoundary) {
+  AdmissionConfig config;
+  config.max_inflight_bytes = 1000;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(1, 600, t0()).admitted);
+  EXPECT_TRUE(admission.try_admit(2, 400, t0()).admitted);  // exactly full
+  EXPECT_EQ(admission.inflight_bytes(), 1000u);
+
+  const auto shed = admission.try_admit(3, 1, t0());
+  EXPECT_FALSE(shed.admitted);
+  // Budget sheds cannot predict drain time: the hint is the ceiling.
+  EXPECT_EQ(shed.retry_after_ms, config.max_retry_after_ms);
+
+  admission.release(400);
+  EXPECT_EQ(admission.inflight_bytes(), 600u);
+  EXPECT_TRUE(admission.try_admit(3, 400, t0()).admitted);
+}
+
+TEST(Admission, ReleaseNeverUnderflows) {
+  AdmissionConfig config;
+  config.max_inflight_bytes = 100;
+  AdmissionController admission{config};
+  admission.release(50);  // spurious release: clamp, don't wrap
+  EXPECT_EQ(admission.inflight_bytes(), 0u);
+  EXPECT_TRUE(admission.try_admit(1, 100, t0()).admitted);
+}
+
+TEST(Admission, TokenBucketAllowsBurstThenSheds) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 10.0;
+  config.site_burst = 3.0;
+  AdmissionController admission{config};
+
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(admission.try_admit(7, 100, t0()).admitted) << i;
+  const auto shed = admission.try_admit(7, 100, t0());
+  EXPECT_FALSE(shed.admitted);
+  // Empty bucket at 10/s refills one whole token in 100 ms.
+  EXPECT_GE(shed.retry_after_ms, config.min_retry_after_ms);
+  EXPECT_LE(shed.retry_after_ms, 100u);
+}
+
+TEST(Admission, TokenBucketRefillsOverTime) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 10.0;  // one token per 100 ms
+  config.site_burst = 1.0;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(7, 1, t0()).admitted);
+  EXPECT_FALSE(admission.try_admit(7, 1, after_ms(50)).admitted);
+  EXPECT_TRUE(admission.try_admit(7, 1, after_ms(200)).admitted);
+  // Refill caps at the burst depth: a long quiet spell does not bank more
+  // than `site_burst` tokens.
+  EXPECT_FALSE(admission.try_admit(7, 1, after_ms(201)).admitted);
+  EXPECT_TRUE(admission.try_admit(7, 1, after_ms(10'000)).admitted);
+  EXPECT_FALSE(admission.try_admit(7, 1, after_ms(10'001)).admitted);
+}
+
+TEST(Admission, SitesHaveIndependentBuckets) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 10.0;
+  config.site_burst = 1.0;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(1, 1, t0()).admitted);
+  EXPECT_FALSE(admission.try_admit(1, 1, t0()).admitted);
+  // Site 1 exhausting its bucket must not affect site 2.
+  EXPECT_TRUE(admission.try_admit(2, 1, t0()).admitted);
+}
+
+TEST(Admission, GlobalBudgetTrumpsSiteTokens) {
+  AdmissionConfig config;
+  config.max_inflight_bytes = 100;
+  config.site_rate_per_sec = 1000.0;
+  config.site_burst = 1000.0;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(1, 100, t0()).admitted);
+  // Plenty of tokens left, but the collector as a whole is full — and the
+  // shed must NOT consume a token (the site is not at fault).
+  EXPECT_FALSE(admission.try_admit(1, 100, t0()).admitted);
+  admission.release(100);
+  EXPECT_TRUE(admission.try_admit(1, 100, t0()).admitted);
+}
+
+TEST(Admission, RetryHintIsClampedToConfiguredRange) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 0.001;  // one token per ~17 minutes
+  config.site_burst = 1.0;
+  config.min_retry_after_ms = 20;
+  config.max_retry_after_ms = 500;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(1, 1, t0()).admitted);
+  const auto shed = admission.try_admit(1, 1, t0());
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.retry_after_ms, 500u);  // ceiling, not 17 minutes
+
+  // A fast-refilling bucket computes a sub-ms wait: floored to min.
+  AdmissionConfig fast = config;
+  fast.site_rate_per_sec = 10'000.0;
+  AdmissionController quick{fast};
+  EXPECT_TRUE(quick.try_admit(1, 1, t0()).admitted);
+  const auto soon = quick.try_admit(1, 1, t0());
+  EXPECT_FALSE(soon.admitted);
+  EXPECT_EQ(soon.retry_after_ms, 20u);
+}
+
+TEST(Admission, BurstClampsUpToOneWhenRateLimited) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 10.0;
+  config.site_burst = 0.0;  // misconfigured: would never admit anything
+  AdmissionController admission{config};
+  EXPECT_TRUE(admission.try_admit(1, 1, t0()).admitted);
+}
+
+TEST(Admission, ForgetIdleSitesPrunesOnlyStaleBuckets) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 10.0;
+  config.site_burst = 1.0;
+  AdmissionController admission{config};
+
+  EXPECT_TRUE(admission.try_admit(1, 1, t0()).admitted);
+  EXPECT_TRUE(admission.try_admit(2, 1, after_ms(5'000)).admitted);
+  admission.forget_idle_sites(after_ms(1'000));
+  // Site 1's bucket was dropped: it starts fresh with a full burst even
+  // though its old bucket was empty. Site 2's (empty) bucket survived.
+  EXPECT_TRUE(admission.try_admit(1, 1, after_ms(5'000)).admitted);
+  EXPECT_FALSE(admission.try_admit(2, 1, after_ms(5'000)).admitted);
+}
+
+TEST(Admission, InflightChargeReleasesOnDestruction) {
+  AdmissionConfig config;
+  config.max_inflight_bytes = 100;
+  AdmissionController admission{config};
+
+  ASSERT_TRUE(admission.try_admit(1, 80, t0()).admitted);
+  {
+    InflightCharge charge(&admission, 80);
+    EXPECT_EQ(admission.inflight_bytes(), 80u);
+    EXPECT_FALSE(admission.try_admit(2, 80, t0()).admitted);
+  }
+  EXPECT_EQ(admission.inflight_bytes(), 0u);
+  EXPECT_TRUE(admission.try_admit(2, 80, t0()).admitted);
+  admission.release(80);
+
+  // Move transfers ownership exactly once.
+  ASSERT_TRUE(admission.try_admit(1, 60, t0()).admitted);
+  {
+    InflightCharge outer;
+    {
+      InflightCharge inner(&admission, 60);
+      outer = std::move(inner);
+    }  // inner destroyed moved-from: no release yet
+    EXPECT_EQ(admission.inflight_bytes(), 60u);
+  }
+  EXPECT_EQ(admission.inflight_bytes(), 0u);
+}
+
+TEST(Admission, ConfigValidationNormalizesRetryRange) {
+  AdmissionConfig config;
+  config.site_rate_per_sec = 1.0;
+  config.site_burst = 1.0;
+  config.min_retry_after_ms = 300;
+  config.max_retry_after_ms = 100;  // inverted: ceiling raised to the floor
+  AdmissionController admission{config};
+  EXPECT_TRUE(admission.try_admit(1, 1, t0()).admitted);
+  const auto shed = admission.try_admit(1, 1, t0());
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.retry_after_ms, 300u);
+}
+
+}  // namespace
+}  // namespace dcs::service

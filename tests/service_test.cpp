@@ -159,8 +159,54 @@ TEST(WireFraming, RejectsMalformedFrames) {
 
 TEST(WireFraming, AckRejectsUnknownStatus) {
   std::string payload = Ack{}.encode();
-  payload.back() = 17;  // status byte out of range
+  payload[8] = 17;  // status byte (after the u64 epoch) out of range
   EXPECT_THROW(Ack::decode(payload), WireError);
+}
+
+TEST(WireFraming, AckRoundTripsRetryAfter) {
+  Ack nack;
+  nack.epoch = 41;
+  nack.status = AckStatus::kRetryLater;
+  nack.retry_after_ms = 750;
+  const Ack back = Ack::decode(nack.encode());
+  EXPECT_EQ(back.epoch, 41u);
+  EXPECT_EQ(back.status, AckStatus::kRetryLater);
+  EXPECT_EQ(back.retry_after_ms, 750u);
+}
+
+/// The receive-side cap boundary, tested at the decoder so no multi-MiB
+/// allocations are needed: a payload of exactly the cap passes; one byte
+/// over is rejected at the header, before any payload is buffered.
+TEST(WireFraming, ReceiverPayloadCapBoundary) {
+  const std::string at_cap(256, 'x');
+  const std::string frame = encode_frame(MsgType::kHeartbeat, at_cap);
+
+  FrameDecoder decoder;
+  decoder.set_max_payload(256);
+  decoder.feed(frame.data(), frame.size());
+  const auto ok = decoder.next();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->payload.size(), 256u);
+
+  const std::string over = encode_frame(MsgType::kHeartbeat,
+                                        std::string(257, 'x'));
+  FrameDecoder capped;
+  capped.set_max_payload(256);
+  // Header alone is enough to reject: the decoder must throw without ever
+  // seeing (or buffering) the announced payload.
+  capped.feed(over.data(), kFrameHeaderBytes);
+  try {
+    capped.next();
+    FAIL() << "oversized announcement accepted";
+  } catch (const WireError& error) {
+    EXPECT_STREQ(error.what(), "frame: oversized payload length");
+  }
+
+  // The cap clamps to the protocol-wide maximum; it can never be raised
+  // above kMaxPayloadBytes.
+  FrameDecoder wide;
+  wide.set_max_payload(~0u);
+  EXPECT_EQ(wide.max_payload(), kMaxPayloadBytes);
 }
 
 // --- loopback integration ---------------------------------------------------
@@ -688,6 +734,340 @@ TEST(ServiceRecovery, AgentPrunesSpooledEpochsBelowResumeWatermark) {
     expected.update(updates[i].dest, updates[i].source, updates[i].delta);
   EXPECT_TRUE(recovered.merged_sketch() == expected);
   recovered.stop();
+}
+
+// --- overload protection ----------------------------------------------------
+//
+// Wire-level abuse against a live collector: slow-loris partial frames,
+// stalls, oversized announcements, heartbeat floods, and admission sheds.
+// The contract throughout: the abuser's connection dies (and the table
+// shrinks), everyone else keeps merging, and anything shed is re-shipped —
+// overload costs latency, never data.
+
+/// Wait until the collector's live-connection count drops to `want`.
+bool wait_for_connections(const Collector& collector, std::size_t want,
+                          int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (collector.connection_count() <= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return collector.connection_count() <= want;
+}
+
+TEST(ServiceOverload, PartialHeaderStallHitsFrameDeadline) {
+  CollectorConfig config = collector_config();
+  config.frame_deadline_ms = 100;
+  config.idle_timeout_ms = 0;  // isolate: only the frame deadline may fire
+  Collector collector(config);
+  collector.start();
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(2000, 2000);
+  // Four header bytes, then silence: an incomplete frame that will never
+  // finish. The deadline, not a byte count, must kill it.
+  const std::uint32_t magic = kWireMagic;
+  ASSERT_TRUE(socket->send_all(&magic, sizeof magic));
+  ASSERT_TRUE(wait_for_connections(collector, 1, 2000));
+
+  char c;
+  const RecvResult got = socket->recv_some(&c, 1);  // blocks until the FIN
+  EXPECT_TRUE(got.closed || got.error);
+  EXPECT_TRUE(wait_for_connections(collector, 0, 2000));
+  EXPECT_EQ(collector.stats().deadline_drops, 1u);
+  EXPECT_EQ(collector.stats().idle_reaped, 0u);
+  collector.stop();
+}
+
+TEST(ServiceOverload, DribbledBytesCannotEvadeTheDeadline) {
+  CollectorConfig config = collector_config();
+  config.frame_deadline_ms = 150;
+  config.idle_timeout_ms = 0;
+  Collector collector(config);
+  collector.start();
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(200, 200);
+  // Classic slow-loris: keep the connection "active" with one byte of a
+  // valid frame every 30 ms. Activity must NOT reset the frame clock.
+  const std::string frame = encode_frame(MsgType::kHello, Hello{}.encode());
+  bool dropped = false;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (!socket->send_all(frame.data() + i, 1)) {
+      dropped = true;
+      break;
+    }
+    char c;
+    const RecvResult got = socket->recv_some(&c, 1);
+    if (got.closed || got.error) {
+      dropped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_TRUE(dropped) << "collector never dropped the dribbling peer";
+  EXPECT_TRUE(wait_for_connections(collector, 0, 2000));
+  EXPECT_EQ(collector.stats().deadline_drops, 1u);
+  collector.stop();
+}
+
+TEST(ServiceOverload, SilentConnectionIsIdleReaped) {
+  CollectorConfig config = collector_config();
+  config.frame_deadline_ms = 0;  // isolate: only the idle reaper may fire
+  config.idle_timeout_ms = 100;
+  Collector collector(config);
+  collector.start();
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(2000, 2000);
+  char c;
+  const RecvResult got = socket->recv_some(&c, 1);
+  EXPECT_TRUE(got.closed || got.error);
+  EXPECT_TRUE(wait_for_connections(collector, 0, 2000));
+  EXPECT_EQ(collector.stats().idle_reaped, 1u);
+  EXPECT_EQ(collector.stats().deadline_drops, 0u);
+  collector.stop();
+}
+
+TEST(ServiceOverload, OversizedAnnouncementDropsConnectionNotCollector) {
+  CollectorConfig config = collector_config();
+  // A real delta frame for small_params() is ~1 MiB, so a 2 MiB cap admits
+  // legitimate traffic while rejecting the abuser below.
+  config.max_frame_bytes = 2u << 20;
+  Collector collector(config);
+  collector.start();
+
+  // Hand-build a header announcing 4 MiB (over the 2 MiB receive cap but
+  // far under the protocol cap, so only the per-collector limit rejects).
+  std::string header;
+  const auto put_u32 = [&header](std::uint32_t v) {
+    header.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u32(kWireMagic);
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(MsgType::kSnapshotDelta));
+  put_u32(4u << 20);
+
+  auto abuser = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(abuser.has_value());
+  abuser->set_timeouts(2000, 2000);
+  ASSERT_TRUE(abuser->send_all(header));
+  char c;
+  const RecvResult got = abuser->recv_some(&c, 1);
+  EXPECT_TRUE(got.closed || got.error);
+  EXPECT_TRUE(wait_for_connections(collector, 0, 2000));
+  EXPECT_EQ(collector.stats().frame_errors, 1u);
+
+  // The collector itself is unharmed: a well-behaved agent still merges.
+  SiteAgent agent(agent_config(1, collector.port()));
+  agent.start();
+  for (const auto& update : zipf_updates(1000, 5))
+    agent.ingest(update);
+  EXPECT_TRUE(agent.flush(15000));
+  agent.stop();
+  EXPECT_GT(collector.stats().deltas_merged, 0u);
+  collector.stop();
+}
+
+TEST(ServiceOverload, HeartbeatFloodNeitherStallsNorKills) {
+  CollectorConfig config = collector_config();
+  config.frame_deadline_ms = 200;
+  Collector collector(config);
+  collector.start();
+
+  // One connection interleaving a heartbeat flood with real deltas: many
+  // complete frames arriving back to back must never trip the partial-
+  // frame deadline, and the deltas in between must all merge.
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(3000, 3000);
+  FrameDecoder decoder;
+  char buffer[4096];
+  const auto read_ack = [&]() -> Ack {
+    for (;;) {
+      if (auto frame = decoder.next()) {
+        EXPECT_EQ(frame->type, MsgType::kAck);
+        return Ack::decode(frame->payload);
+      }
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) {
+        ADD_FAILURE() << "connection lost awaiting ack";
+        return Ack{};
+      }
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 3;
+  hello.params_fingerprint = small_params().fingerprint();
+  ASSERT_TRUE(socket->send_all(encode_frame(MsgType::kHello, hello.encode())));
+  EXPECT_EQ(read_ack().status, AckStatus::kOk);
+
+  DistinctCountSketch expected(small_params());
+  Heartbeat beat;
+  beat.site_id = 3;
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    // 100 heartbeats in one burst, batched into as few sends as the stack
+    // allows — the decoder sees multiple frames per recv.
+    std::string burst;
+    for (int i = 0; i < 100; ++i) {
+      beat.current_epoch = epoch;
+      burst += encode_frame(MsgType::kHeartbeat, beat.encode());
+    }
+    ASSERT_TRUE(socket->send_all(burst));
+
+    DistinctCountSketch delta(small_params());
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      const auto dest = static_cast<Addr>(i % 4);
+      const auto source = static_cast<Addr>(epoch * 1000 + i);
+      delta.update(dest, source, +1);
+      expected.update(dest, source, +1);
+    }
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    delta.serialize(writer);
+    SnapshotDelta ship;
+    ship.site_id = 3;
+    ship.epoch = epoch;
+    ship.updates = 50;
+    ship.sketch_blob = std::move(out).str();
+    ASSERT_TRUE(
+        socket->send_all(encode_frame(MsgType::kSnapshotDelta, ship.encode())));
+    const Ack ack = read_ack();
+    EXPECT_EQ(ack.status, AckStatus::kOk);
+    EXPECT_EQ(ack.epoch, epoch);
+  }
+
+  const auto stats = collector.stats();
+  EXPECT_GE(stats.frames, 304u);  // hello + 300 heartbeats + 3 deltas
+  EXPECT_EQ(stats.deadline_drops, 0u);
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.deltas_merged, 3u);
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  collector.stop();
+}
+
+TEST(ServiceOverload, ShedDeltasAreNackedAndReshippedExactlyOnce) {
+  CollectorConfig config = collector_config();
+  config.admission.site_rate_per_sec = 5.0;  // ~one admit per 200 ms
+  config.admission.site_burst = 1.0;
+  config.admission.min_retry_after_ms = 10;
+  config.admission.max_retry_after_ms = 300;
+  Collector collector(config);
+  collector.start();
+
+  // Raw site shipping 4 epochs as fast as NACKs allow: every shed must
+  // come back kRetryLater with a usable hint, and honoring the hint must
+  // eventually land every epoch exactly once.
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(3000, 3000);
+  FrameDecoder decoder;
+  char buffer[4096];
+  const auto read_ack = [&]() -> Ack {
+    for (;;) {
+      if (auto frame = decoder.next()) return Ack::decode(frame->payload);
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) {
+        ADD_FAILURE() << "connection lost awaiting ack";
+        return Ack{};
+      }
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 9;
+  hello.params_fingerprint = small_params().fingerprint();
+  ASSERT_TRUE(socket->send_all(encode_frame(MsgType::kHello, hello.encode())));
+  EXPECT_EQ(read_ack().status, AckStatus::kOk);
+
+  DistinctCountSketch expected(small_params());
+  std::uint64_t nacks = 0;
+  for (std::uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    DistinctCountSketch delta(small_params());
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      const auto dest = static_cast<Addr>(i % 3);
+      const auto source = static_cast<Addr>(epoch * 500 + i);
+      delta.update(dest, source, +1);
+      expected.update(dest, source, +1);
+    }
+    std::ostringstream out(std::ios::binary);
+    BinaryWriter writer(out);
+    delta.serialize(writer);
+    SnapshotDelta ship;
+    ship.site_id = 9;
+    ship.epoch = epoch;
+    ship.updates = 30;
+    ship.sketch_blob = std::move(out).str();
+    const std::string frame =
+        encode_frame(MsgType::kSnapshotDelta, ship.encode());
+
+    for (int attempt = 0;; ++attempt) {
+      ASSERT_LT(attempt, 100) << "epoch " << epoch << " never admitted";
+      ASSERT_TRUE(socket->send_all(frame));
+      const Ack ack = read_ack();
+      ASSERT_EQ(ack.epoch, epoch);
+      if (ack.status == AckStatus::kOk) break;
+      ASSERT_EQ(ack.status, AckStatus::kRetryLater);
+      ASSERT_GT(ack.retry_after_ms, 0u);
+      ++nacks;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(ack.retry_after_ms));
+    }
+  }
+
+  const auto stats = collector.stats();
+  EXPECT_GT(stats.shed_deltas, 0u);
+  EXPECT_EQ(nacks, stats.shed_deltas);
+  EXPECT_EQ(stats.deltas_merged, 4u);
+  EXPECT_EQ(stats.duplicate_deltas, 0u);  // a shed is not a duplicate
+  EXPECT_EQ(stats.dropped_epochs, 0u);    // and never a gap
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  collector.stop();
+}
+
+TEST(ServiceOverload, AgentBacksOffOnNackWithoutSpillingItsSpool) {
+  CollectorConfig config = collector_config();
+  config.admission.site_rate_per_sec = 10.0;
+  config.admission.site_burst = 2.0;
+  config.admission.min_retry_after_ms = 10;
+  config.admission.max_retry_after_ms = 200;
+  Collector collector(config);
+  collector.start();
+
+  // A real agent sealing epochs far faster than the bucket admits. The
+  // NACK path must delay shipping without ever evicting a spooled epoch,
+  // and the final merged sketch must equal the reference bit for bit.
+  SiteAgentConfig agent_cfg = agent_config(1, collector.port());
+  agent_cfg.epoch_updates = 200;
+  agent_cfg.spool_epochs = 256;
+  SiteAgent agent(agent_cfg);
+  agent.start();
+
+  const auto updates = zipf_updates(4000, 77);
+  DistinctCountSketch expected(small_params());
+  for (const auto& update : updates) {
+    agent.ingest(update);
+    expected.update(update.dest, update.source, update.delta);
+  }
+  EXPECT_TRUE(agent.flush(30000));
+  agent.stop();
+
+  const auto agent_stats = agent.stats();
+  EXPECT_GT(agent_stats.nacks, 0u);
+  EXPECT_EQ(agent_stats.epochs_dropped, 0u);
+  const auto stats = collector.stats();
+  EXPECT_GT(stats.shed_deltas, 0u);
+  EXPECT_EQ(stats.dropped_epochs, 0u);
+  EXPECT_EQ(stats.post_recovery_duplicates, 0u);
+  EXPECT_TRUE(collector.merged_sketch() == expected);
+  collector.stop();
 }
 
 }  // namespace

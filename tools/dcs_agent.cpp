@@ -27,6 +27,26 @@ namespace {
 
 using namespace dcs;
 
+void print_usage() {
+  std::printf(
+      "usage: dcs_agent (--port N | --port-file FILE) [options]\n"
+      "  --port N            collector TCP port\n"
+      "  --port-file FILE    poll FILE for the port dcs_collector published\n"
+      "  --host ADDR         collector host (default 127.0.0.1)\n"
+      "  --site N            site id carried in every message (default 1)\n"
+      "  --r N               sketch tables (must match collector; default 3)\n"
+      "  --s N               buckets per table (must match; default 128)\n"
+      "  --seed N            sketch hash seed (must match; default 0)\n"
+      "  --u N               workload update pairs to generate (default 20000)\n"
+      "  --d N               workload distinct destinations (default 200)\n"
+      "  --z F               workload Zipf skew (default 1.2)\n"
+      "  --wseed N           workload seed (default = site id)\n"
+      "  --epoch-updates N   updates per sealed epoch delta (default 2048)\n"
+      "  --spool N           max sealed-but-unacked epochs held (default 64)\n"
+      "  --drain-ms N        flush/stop timeout on exit (default 15000)\n"
+      "  --help              print this help\n");
+}
+
 std::uint16_t wait_for_port_file(const std::string& path, int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
@@ -47,6 +67,10 @@ int main(int argc, char** argv) {
   // vanishing must surface as a write error, not kill the process.
   std::signal(SIGPIPE, SIG_IGN);
   Options options(argc, argv);
+  if (options.flag("help")) {
+    print_usage();
+    return 0;
+  }
 
   service::SiteAgentConfig config;
   config.site_id = static_cast<std::uint64_t>(options.integer("site", 1));

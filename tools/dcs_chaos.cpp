@@ -1,0 +1,397 @@
+// dcs_chaos — deterministic overload/fault soak driver for the collector.
+//
+// Runs one in-process Collector with tight overload limits, N real
+// SiteAgents shipping seeded Zipf workloads over real loopback sockets,
+// and a set of hostile raw connections exercising the fault profiles the
+// overload layer exists for:
+//
+//   slow-loris   dribbles one byte of a frame per interval forever —
+//                must hit the frame deadline and be dropped
+//   stall        connects and never sends — must be idle-reaped
+//   oversized    announces a frame payload above the receive cap — must be
+//                rejected at the header, before any payload is buffered
+//   burst        the agents themselves: shipping faster than the per-site
+//                token bucket admits, so deltas are shed (NACKed) and
+//                re-shipped — honest backpressure under overload
+//
+// The run is an asserting harness, not a demo: it samples the in-flight
+// bytes gauge and the state-lock wait the whole time, and after the faults
+// clear it checks the merged sketch is *bit-for-bit* equal to a reference
+// built by ingesting every site's workload into one local sketch — sketch
+// linearity means overload may delay epochs but must never lose, duplicate,
+// or reorder-corrupt them. Exit 0 iff every assertion holds.
+//
+//   dcs_chaos [--sites N] [--u N] [--epoch-updates N] [--seed N]
+//             [--budget N] [--site-rate R] [--site-burst N]
+//             [--frame-deadline-ms N] [--idle-timeout-ms N]
+//             [--loris N] [--stall N] [--oversize N] [--drain-ms N]
+//             [--verbose] [--help]
+//
+// Everything is seeded and bounded, so the chaos_smoke ctest runs it as-is;
+// raise --sites/--u for a longer soak.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/options.hpp"
+#include "service/agent.hpp"
+#include "service/collector.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+#include "stream/generator.hpp"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::service;
+using Clock = std::chrono::steady_clock;
+
+void print_usage() {
+  std::printf(
+      "usage: dcs_chaos [options]\n"
+      "  --sites N            real site agents (default 4)\n"
+      "  --u N                workload update pairs per site (default 20000)\n"
+      "  --epoch-updates N    updates per sealed epoch (default 500)\n"
+      "  --seed N             base seed; site i uses seed+i (default 42)\n"
+      "  --budget N           admission in-flight byte budget (default 16 MiB)\n"
+      "  --site-rate R        per-site admissions/sec (default 15)\n"
+      "  --site-burst N       per-site burst depth (default 4)\n"
+      "  --frame-deadline-ms N  slow-loris deadline (default 250)\n"
+      "  --idle-timeout-ms N  idle reap timeout (default 600)\n"
+      "  --loris N            slow-loris connections (default 2)\n"
+      "  --stall N            stalled connections (default 2)\n"
+      "  --oversize N         oversized-frame connections (default 2)\n"
+      "  --drain-ms N         post-fault drain budget (default 60000)\n"
+      "  --verbose            print per-phase progress\n"
+      "  --help               print this help\n");
+}
+
+DcsParams chaos_params(std::uint64_t seed) {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = seed;
+  return params;
+}
+
+std::vector<FlowUpdate> site_workload(std::uint64_t site, std::uint64_t u,
+                                      std::uint64_t base_seed) {
+  ZipfWorkloadConfig config;
+  config.u_pairs = u;
+  config.num_destinations = 40;
+  config.skew = 1.3;
+  config.seed = base_seed + site;
+  return ZipfWorkload(config).updates();
+}
+
+std::string serialize_sketch(const DistinctCountSketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  sketch.serialize(writer);
+  return std::move(out).str();
+}
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (ok) return;
+  ++failures;
+  std::fprintf(stderr, "dcs_chaos: FAIL %s\n", what);
+}
+
+/// Dribble a frame one byte at a time so the deadline — not the byte
+/// count — is what kills us. A well-formed Hello frame is used so only
+/// pacing, never content, triggers the drop.
+void run_slow_loris(std::uint16_t port, std::atomic<bool>& active) {
+  auto socket = tcp_connect("127.0.0.1", port, 1000);
+  if (!socket) return;
+  socket->set_timeouts(200, 200);
+  Hello hello;
+  hello.site_id = 900;
+  const std::string frame = encode_frame(MsgType::kHello, hello.encode());
+  for (std::size_t i = 0; i < frame.size() && active.load(); ++i) {
+    if (!socket->send_all(frame.data() + i, 1)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    // Detect the collector dropping us: a FIN turns recv into closed.
+    char c;
+    const RecvResult got = socket->recv_some(&c, 1);
+    if (got.closed || got.error) return;
+  }
+}
+
+/// Connect and never speak; the idle reaper must shed us.
+void run_stall(std::uint16_t port, std::atomic<bool>& active) {
+  auto socket = tcp_connect("127.0.0.1", port, 1000);
+  if (!socket) return;
+  socket->set_timeouts(200, 200);
+  while (active.load()) {
+    char c;
+    const RecvResult got = socket->recv_some(&c, 1);
+    if (got.closed || got.error) return;
+  }
+}
+
+/// Announce a payload above the collector's receive cap (but inside the
+/// protocol-wide 64 MiB cap, so only the per-collector limit rejects it).
+/// The collector must kill the connection at the header — long before the
+/// announced bytes could be buffered.
+void run_oversize(std::uint16_t port, std::uint32_t announce) {
+  auto socket = tcp_connect("127.0.0.1", port, 1000);
+  if (!socket) return;
+  socket->set_timeouts(1000, 1000);
+  std::string header;
+  const auto put_u32 = [&header](std::uint32_t v) {
+    header.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u32(kWireMagic);
+  header.push_back(static_cast<char>(kWireVersion));
+  header.push_back(static_cast<char>(MsgType::kSnapshotDelta));
+  put_u32(announce);
+  socket->send_all(header);
+  char c;
+  while (true) {
+    const RecvResult got = socket->recv_some(&c, 1);
+    if (got.closed || got.error) return;  // dropped, as required
+    if (got.timed_out) return;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Options options(argc, argv);
+  if (options.flag("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto sites = static_cast<std::uint64_t>(options.integer("sites", 4));
+  const auto u = static_cast<std::uint64_t>(options.integer("u", 20000));
+  const auto epoch_updates =
+      static_cast<std::uint64_t>(options.integer("epoch-updates", 500));
+  const auto seed = static_cast<std::uint64_t>(options.integer("seed", 42));
+  const auto budget = static_cast<std::uint64_t>(
+      options.integer("budget", 16ll << 20));
+  // Low enough that draining a spooled burst genuinely exceeds it even on
+  // a loaded single-core runner, where merge cost alone throttles sites.
+  const double site_rate = options.real("site-rate", 15.0);
+  const double site_burst = options.real("site-burst", 4.0);
+  const int frame_deadline_ms =
+      static_cast<int>(options.integer("frame-deadline-ms", 250));
+  const int idle_timeout_ms =
+      static_cast<int>(options.integer("idle-timeout-ms", 600));
+  const auto loris = static_cast<std::size_t>(options.integer("loris", 2));
+  const auto stall = static_cast<std::size_t>(options.integer("stall", 2));
+  const auto oversize =
+      static_cast<std::size_t>(options.integer("oversize", 2));
+  const int drain_ms = static_cast<int>(options.integer("drain-ms", 60000));
+  const bool verbose = options.flag("verbose");
+
+  const DcsParams params = chaos_params(seed);
+
+  CollectorConfig config;
+  config.params = params;
+  config.io_timeout_ms = 25;
+  config.frame_deadline_ms = frame_deadline_ms;
+  config.idle_timeout_ms = idle_timeout_ms;
+  config.max_frame_bytes = 8u << 20;
+  config.admission.max_inflight_bytes = budget;
+  config.admission.site_rate_per_sec = site_rate;
+  config.admission.site_burst = site_burst;
+  // Keep shed-retry hints well under the idle timeout: an agent waiting
+  // out a NACK sends nothing, and must not be reaped for honoring the
+  // hint we gave it.
+  config.admission.max_retry_after_ms = static_cast<std::uint32_t>(
+      std::max(idle_timeout_ms / 3, 10));
+
+  try {
+    Collector collector(config);
+    collector.start();
+    const std::uint16_t port = collector.port();
+    if (verbose) std::printf("collector on 127.0.0.1:%u\n", port);
+
+    // Sampler: the run-long watchdogs. max_inflight proves the admission
+    // budget actually bounds shipping-path memory; max_stall_ns proves no
+    // collector thread holds the state lock (the resource every query and
+    // merge shares) anywhere near the frame deadline even mid-fault.
+    std::atomic<bool> sampling{true};
+    std::atomic<std::uint64_t> max_inflight{0};
+    std::atomic<std::uint64_t> max_stall_ns{0};
+    std::thread sampler([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        const std::uint64_t inflight = collector.inflight_bytes();
+        std::uint64_t seen = max_inflight.load(std::memory_order_relaxed);
+        while (inflight > seen &&
+               !max_inflight.compare_exchange_weak(seen, inflight)) {
+        }
+        const auto before = Clock::now();
+        (void)collector.stats();  // acquires the state lock
+        const auto waited = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - before)
+                .count());
+        std::uint64_t seen_ns = max_stall_ns.load(std::memory_order_relaxed);
+        while (waited > seen_ns &&
+               !max_stall_ns.compare_exchange_weak(seen_ns, waited)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    // Fault connections, concurrent with the honest agents.
+    std::atomic<bool> faults_active{true};
+    std::vector<std::thread> fault_threads;
+    for (std::size_t i = 0; i < loris; ++i)
+      fault_threads.emplace_back(
+          [&, port] { run_slow_loris(port, faults_active); });
+    for (std::size_t i = 0; i < stall; ++i)
+      fault_threads.emplace_back([&, port] { run_stall(port, faults_active); });
+    for (std::size_t i = 0; i < oversize; ++i)
+      fault_threads.emplace_back([port] { run_oversize(port, 32u << 20); });
+
+    // Honest agents: seeded workloads, spool sized so shedding can only
+    // delay epochs, never evict them — the exactly-once assertion below
+    // depends on zero spool drops.
+    std::vector<std::unique_ptr<SiteAgent>> agents;
+    for (std::uint64_t site = 1; site <= sites; ++site) {
+      SiteAgentConfig agent_config;
+      agent_config.site_id = site;
+      agent_config.collector_port = port;
+      agent_config.params = params;
+      agent_config.epoch_updates = epoch_updates;
+      agent_config.spool_epochs = 1 << 14;
+      agent_config.backoff_initial_ms = 10;
+      agent_config.backoff_max_ms = 200;
+      agent_config.heartbeat_interval_ms = 100;
+      agent_config.io_timeout_ms = 2000;
+      agent_config.jitter_seed = seed + site;
+      agents.push_back(std::make_unique<SiteAgent>(agent_config));
+      agents.back()->start();
+    }
+    for (std::uint64_t site = 1; site <= sites; ++site)
+      for (const FlowUpdate& update : site_workload(site, u, seed))
+        agents[site - 1]->ingest(update);
+
+    // Wait until every fault profile has been observed shedding.
+    const auto fault_deadline =
+        Clock::now() + std::chrono::milliseconds(drain_ms);
+    for (;;) {
+      const auto stats = collector.stats();
+      if (stats.deadline_drops >= loris && stats.idle_reaped >= stall &&
+          stats.frame_errors >= oversize)
+        break;
+      if (Clock::now() >= fault_deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    faults_active.store(false);
+    for (auto& thread : fault_threads) thread.join();
+    if (verbose) std::printf("faults cleared\n");
+
+    // Faults over: the agents must now converge. flush() returns true only
+    // when every sealed epoch has been acked.
+    bool all_drained = true;
+    for (auto& agent : agents) all_drained &= agent->flush(drain_ms);
+    for (auto& agent : agents) agent->stop(drain_ms);
+
+    // Quiesce: every live connection gone before the final accounting.
+    const auto quiesce_deadline =
+        Clock::now() + std::chrono::milliseconds(drain_ms);
+    while (collector.connection_count() > 0 &&
+           Clock::now() < quiesce_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+
+    const auto stats = collector.stats();
+    const auto merged = collector.merged_sketch();
+    const auto topk = collector.top_k(10);
+    collector.stop();
+
+    // Reference: one local sketch over every site's exact workload. By
+    // linearity the merged collector sketch must equal it bit-for-bit no
+    // matter how overload delayed or reordered delivery.
+    DistinctCountSketch reference(params);
+    for (std::uint64_t site = 1; site <= sites; ++site)
+      for (const FlowUpdate& update : site_workload(site, u, seed))
+        reference.update(update.dest, update.source, update.delta);
+    const auto ref_topk = TrackingDcs(reference).top_k(10);
+
+    std::uint64_t total_nacks = 0;
+    std::uint64_t total_dropped = 0;
+    for (auto& agent : agents) {
+      const auto agent_stats = agent->stats();
+      total_nacks += agent_stats.nacks;
+      total_dropped += agent_stats.epochs_dropped;
+    }
+
+    std::printf(
+        "deltas=%llu shed=%llu shed_bytes=%llu deadline_drops=%llu "
+        "idle_reaped=%llu frame_errors=%llu duplicates=%llu dropped=%llu "
+        "nacks=%llu max_inflight=%llu max_stall_ms=%.2f\n",
+        static_cast<unsigned long long>(stats.deltas_merged),
+        static_cast<unsigned long long>(stats.shed_deltas),
+        static_cast<unsigned long long>(stats.shed_bytes),
+        static_cast<unsigned long long>(stats.deadline_drops),
+        static_cast<unsigned long long>(stats.idle_reaped),
+        static_cast<unsigned long long>(stats.frame_errors),
+        static_cast<unsigned long long>(stats.duplicate_deltas),
+        static_cast<unsigned long long>(stats.dropped_epochs),
+        static_cast<unsigned long long>(total_nacks),
+        static_cast<unsigned long long>(max_inflight.load()),
+        static_cast<double>(max_stall_ns.load()) / 1e6);
+
+    // --- liveness and bounded memory ---------------------------------------
+    expect(all_drained, "every agent drained its spool after faults cleared");
+    expect(max_inflight.load() <= budget,
+           "in-flight bytes stayed under the admission budget");
+    expect(max_stall_ns.load() <=
+               static_cast<std::uint64_t>(frame_deadline_ms) * 1'000'000ull,
+           "state lock never blocked a thread past the frame deadline");
+    // --- each fault profile was detected and shed --------------------------
+    expect(stats.deadline_drops >= loris,
+           "slow-loris connections hit the frame deadline");
+    expect(stats.idle_reaped >= stall, "stalled connections were idle-reaped");
+    expect(stats.frame_errors >= oversize,
+           "oversized frames were rejected at the header");
+    expect(site_rate <= 0.0 || stats.shed_deltas > 0,
+           "burst shipping was shed by the token bucket");
+    expect(site_rate <= 0.0 || total_nacks > 0,
+           "agents observed kRetryLater NACKs");
+    // --- overload cost latency, never data ---------------------------------
+    expect(total_dropped == 0, "no agent spilled its spool");
+    expect(stats.dropped_epochs == 0, "zero gap epochs across the episode");
+    expect(stats.post_recovery_duplicates == 0,
+           "no post-recovery duplicate merges");
+    // --- exact convergence: the whole point --------------------------------
+    expect(serialize_sketch(merged) == serialize_sketch(reference),
+           "merged sketch equals the uninterrupted reference bit-for-bit");
+    expect(topk.entries.size() == ref_topk.entries.size(),
+           "top-k size matches the reference");
+    for (std::size_t i = 0;
+         i < std::min(topk.entries.size(), ref_topk.entries.size()); ++i) {
+      expect(topk.entries[i].group == ref_topk.entries[i].group &&
+                 topk.entries[i].estimate == ref_topk.entries[i].estimate,
+             "top-k entry matches the reference");
+    }
+
+    if (failures == 0) {
+      std::printf("dcs_chaos: OK\n");
+      return 0;
+    }
+    std::fprintf(stderr, "dcs_chaos: %d assertion(s) failed\n", failures);
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_chaos: %s\n", error.what());
+    return 1;
+  }
+}

@@ -73,11 +73,51 @@ namespace {
 
 using namespace dcs;
 
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: dcs_cli <command> [options]\n"
+      "\n"
+      "commands: generate convert info topk sketch merge query diff monitor\n"
+      "\n"
+      "sketch shaping (topk, sketch, merge, query, diff, monitor):\n"
+      "  --r N               second-level tables (default 3)\n"
+      "  --s N               buckets per table (default 128)\n"
+      "  --seed N            hash seed (default 0); sketches only merge/diff\n"
+      "                      when built with identical --r/--s/--seed\n"
+      "telemetry (topk, monitor):\n"
+      "  --metrics-out FILE  write a runtime-metrics snapshot\n"
+      "  --metrics-format F  prom|json (default prom)\n"
+      "\n"
+      "generate --out trace.bin  synthetic Zipf flow-update workload\n"
+      "  --u N               distinct (source, dest) pairs (default 1000000)\n"
+      "  --d N               distinct destinations (default 50000)\n"
+      "  --z F               Zipf skew (default 1.5)\n"
+      "  --churn N           extra insert+delete rounds per pair (default 0)\n"
+      "  --noise N           net-zero noise pairs (default 0)\n"
+      "  --csv               write CSV text instead of the binary format\n"
+      "convert --in packets.txt --out trace.bin  import a text packet log\n"
+      "  --timeout N         reap half-open entries older than N ticks\n"
+      "info --trace trace.bin    trace statistics\n"
+      "topk --trace trace.bin    approximate (or --exact) top-k\n"
+      "  --k N               entries to print (default 10)\n"
+      "  --exact             use the exact tracker instead of the sketch\n"
+      "sketch --trace trace.bin --out router0.dcs   persist a sketch\n"
+      "merge --out all.dcs a.dcs b.dcs ...          add sketches counter-wise\n"
+      "query --sketch all.dcs    query a persisted sketch\n"
+      "  --tau N             threshold query instead of top-k\n"
+      "diff --base old.dcs --sketch new.dcs   rank by new distinct sources\n"
+      "monitor --trace trace.bin  alert replay through the DDoS monitor\n"
+      "  --interval N        updates per check epoch (default 2048)\n"
+      "  --min-absolute N    detection floor, distinct sources (default 512)\n"
+      "  --factor F          alarm factor over baseline (default 8.0)\n"
+      "  --by-source         rank sources by distinct destinations\n"
+      "  --alerts-out FILE   write the typed alert event log as JSON\n"
+      "  --help              print this help\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dcs_cli <generate|info|topk|sketch|merge|query|monitor> "
-               "[options]\n  (see the header of tools/dcs_cli.cpp for the full "
-               "option list)\n");
+  print_usage(stderr);
   return 2;
 }
 
@@ -403,6 +443,10 @@ int cmd_monitor(const Options& options) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    print_usage(stdout);
+    return 0;
+  }
   const dcs::Options options(argc - 1, argv + 1);
   // Positional arguments (for merge): everything not starting with "--" and
   // not a flag value.

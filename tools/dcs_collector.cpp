@@ -10,6 +10,9 @@
 //                 [--min-absolute N] [--factor F] [--no-detection]
 //                 [--state-dir DIR] [--checkpoint-every N]
 //                 [--crash-after-deltas N]
+//                 [--max-inflight-bytes N] [--site-rate R] [--site-burst N]
+//                 [--frame-deadline-ms N] [--idle-timeout-ms N]
+//                 [--max-frame-bytes N]
 //                 [--metrics-out FILE] [--metrics-format prom|json]
 //
 // --port-file atomically publishes the bound port (written under a temp
@@ -21,6 +24,13 @@
 // --crash-after-deltas is fault injection for the recovery smoke test: once
 // that many deltas have merged the process raises SIGKILL against itself —
 // no destructors, no flush, the real crash the durability layer exists for.
+//
+// The overload knobs (see src/service/admission.hpp and docs/RUNBOOK.md)
+// bound what misbehaving or overloaded sites can cost the collector:
+// --max-inflight-bytes caps admitted-but-unmerged delta bytes globally,
+// --site-rate/--site-burst rate-limit each site's deltas (token bucket),
+// --frame-deadline-ms drops slow-loris connections, --idle-timeout-ms reaps
+// silent ones, and --max-frame-bytes lowers the receive-side frame cap.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +45,39 @@
 namespace {
 
 using namespace dcs;
+
+void print_usage() {
+  std::printf(
+      "usage: dcs_collector [options]\n"
+      "  --port N              TCP port to bind (0 = ephemeral; default 0)\n"
+      "  --bind ADDR           bind address (default 127.0.0.1)\n"
+      "  --port-file FILE      atomically publish the bound port to FILE\n"
+      "  --sites N             exit after N sites said Bye (default 1)\n"
+      "  --timeout-ms N        max wait for the Byes (default 30000)\n"
+      "  --k N                 detection top-k (default 5)\n"
+      "  --r N                 sketch tables (default 3)\n"
+      "  --s N                 buckets per table (default 128)\n"
+      "  --seed N              sketch hash seed (default 0)\n"
+      "  --min-absolute N      detection floor, distinct sources (default 512)\n"
+      "  --factor F            detection alarm factor over baseline (default 8)\n"
+      "  --no-detection        disable the EWMA baseline detector\n"
+      "  --state-dir DIR       enable crash-safe checkpointing in DIR\n"
+      "  --checkpoint-every N  merges between checkpoints (default 64)\n"
+      "  --crash-after-deltas N  fault injection: SIGKILL self after N merges\n"
+      "  --max-inflight-bytes N  global budget for admitted-but-unmerged\n"
+      "                          delta bytes (0 = unlimited; default 0)\n"
+      "  --site-rate R         per-site delta admissions/sec (0 = off)\n"
+      "  --site-burst N        per-site token-bucket burst depth (default 8)\n"
+      "  --frame-deadline-ms N   drop a connection holding a partial frame\n"
+      "                          this long (slow-loris; 0 = off; default 5000)\n"
+      "  --idle-timeout-ms N   reap a silent connection after N ms\n"
+      "                        (0 = off; default 15000)\n"
+      "  --max-frame-bytes N   receive-side frame payload cap (0 = protocol\n"
+      "                        64 MiB cap; default 0)\n"
+      "  --metrics-out FILE    write a metrics snapshot on exit\n"
+      "  --metrics-format F    prom|json (default prom)\n"
+      "  --help                print this help\n");
+}
 
 void publish_port(const std::string& path, std::uint16_t port) {
   const std::string tmp = path + ".tmp";
@@ -52,6 +95,10 @@ int main(int argc, char** argv) {
   // the socket (or stdout), not kill the process.
   std::signal(SIGPIPE, SIG_IGN);
   Options options(argc, argv);
+  if (options.flag("help")) {
+    print_usage();
+    return 0;
+  }
 
   service::CollectorConfig config;
   config.params.num_tables = static_cast<int>(options.integer("r", 3));
@@ -69,6 +116,16 @@ int main(int argc, char** argv) {
   config.state_dir = options.str("state-dir", "");
   config.checkpoint_every =
       static_cast<std::uint64_t>(options.integer("checkpoint-every", 64));
+  config.admission.max_inflight_bytes =
+      static_cast<std::uint64_t>(options.integer("max-inflight-bytes", 0));
+  config.admission.site_rate_per_sec = options.real("site-rate", 0.0);
+  config.admission.site_burst = options.real("site-burst", 8.0);
+  config.frame_deadline_ms =
+      static_cast<int>(options.integer("frame-deadline-ms", 5000));
+  config.idle_timeout_ms =
+      static_cast<int>(options.integer("idle-timeout-ms", 15000));
+  config.max_frame_bytes =
+      static_cast<std::uint32_t>(options.integer("max-frame-bytes", 0));
 
   const auto sites = static_cast<std::uint64_t>(options.integer("sites", 1));
   const int timeout_ms = static_cast<int>(options.integer("timeout-ms", 30000));
@@ -125,6 +182,12 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.dropped_epochs),
         static_cast<unsigned long long>(stats.frame_errors),
         static_cast<unsigned long long>(stats.rejected_hellos));
+    std::printf("shed=%llu shed_bytes=%llu deadline_drops=%llu "
+                "idle_reaped=%llu\n",
+                static_cast<unsigned long long>(stats.shed_deltas),
+                static_cast<unsigned long long>(stats.shed_bytes),
+                static_cast<unsigned long long>(stats.deadline_drops),
+                static_cast<unsigned long long>(stats.idle_reaped));
     if (!config.state_dir.empty())
       std::printf("checkpoints=%llu generation=%llu journal_records=%llu "
                   "post_recovery_duplicates=%llu\n",
