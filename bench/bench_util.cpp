@@ -1,9 +1,13 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <memory>
 #include <numeric>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
@@ -110,6 +114,64 @@ std::string format_double(double value, int decimals) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
   return buffer;
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  localtime_r(&now, &parts);
+  char buffer[16];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%d", &parts);
+  date_ = buffer;
+}
+
+void JsonReport::value(const std::string& section, const std::string& key,
+                       double v) {
+  auto it = std::find_if(sections_.begin(), sections_.end(),
+                         [&](const Section& s) { return s.name == section; });
+  if (it == sections_.end()) {
+    sections_.push_back({section, {}});
+    it = std::prev(sections_.end());
+  }
+  auto entry = std::find_if(it->values.begin(), it->values.end(),
+                            [&](const auto& kv) { return kv.first == key; });
+  if (entry == it->values.end())
+    it->values.emplace_back(key, v);
+  else
+    entry->second = v;
+}
+
+std::string JsonReport::render() const {
+  // Doubles are rendered with %.6g: enough precision for ns-scale timings
+  // while keeping NaN/Inf out (JSON has no literal for them — clamp to 0).
+  const auto number = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "0";
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.6g", v);
+    return buffer;
+  };
+  std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n  \"date\": \"" +
+                    date_ + "\",\n  \"results\": {";
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    out += s == 0 ? "\n" : ",\n";
+    out += "    \"" + sections_[s].name + "\": {";
+    const auto& values = sections_[s].values;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "      \"" + values[i].first + "\": " + number(values[i].second);
+    }
+    out += values.empty() ? "}" : "\n    }";
+  }
+  out += sections_.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string JsonReport::write(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/BENCH_" + date_ + ".json";
+  atomic_write_file(path, render());
+  return path;
 }
 
 }  // namespace dcs::bench

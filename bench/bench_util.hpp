@@ -77,4 +77,33 @@ std::vector<std::string> summary_cells(const TimingSummary& summary,
 void print_row(const std::vector<std::string>& cells, int width = 12);
 std::string format_double(double value, int decimals = 3);
 
+/// Machine-readable companion to the printed tables: collects named scalar
+/// results and writes them as `BENCH_<YYYY-MM-DD>.json` so runs can be
+/// archived and diffed without scraping stdout. Sections preserve insertion
+/// order; re-used (section, key) pairs overwrite.
+///
+///   {"bench": "obs_overhead", "date": "2026-08-08",
+///    "results": {"basic_update": {"off_min_ns": 60.1, ...}, ...}}
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void value(const std::string& section, const std::string& key, double v);
+
+  std::string render() const;
+
+  /// Write `dir`/BENCH_<date>.json (atomic rename, see atomic_write_file);
+  /// returns the path written. Throws on I/O failure.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string bench_name_;
+  std::string date_;
+  std::vector<Section> sections_;
+};
+
 }  // namespace dcs::bench

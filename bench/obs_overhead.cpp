@@ -1,7 +1,12 @@
 // Telemetry overhead on the sketch update path: the instrumented hot loop
-// with metrics recording enabled vs. disabled at runtime.
+// with metrics recording enabled vs. disabled at runtime. A second section
+// measures the epoch tracing layer (obs/trace.hpp) against the collector's
+// real per-epoch work — decode + merge of a shipped delta blob — with its
+// own 5% budget, and the whole run is summarized to BENCH_<date>.json.
 //
 //   build/bench/obs_overhead [--updates 1000000] [--reps 15] [--threshold 12]
+//                            [--epochs 300] [--trace-threshold 5]
+//                            [--json-dir DIR]
 //
 // Each rep streams the same workload through a fresh sketch twice —
 // once with obs::set_enabled(true), once with false — interleaved so the
@@ -29,11 +34,15 @@
 // that host noise does not fail the gate.
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "sketch/tracking_dcs.hpp"
 
@@ -78,6 +87,73 @@ OverheadRow measure(const std::vector<FlowUpdate>& updates, DcsParams params,
   row.off_min = *std::min_element(off_ns.begin(), off_ns.end());
   std::vector<double> deltas(on_ns.size());
   for (std::size_t i = 0; i < on_ns.size(); ++i) deltas[i] = on_ns[i] - off_ns[i];
+  row.paired_delta_ns = bench::summarize_samples(std::move(deltas)).p50;
+  row.enabled = bench::summarize_samples(std::move(on_ns));
+  row.disabled = bench::summarize_samples(std::move(off_ns));
+  if (row.off_min > 0.0)
+    row.overhead_pct = row.paired_delta_ns / row.off_min * 100.0;
+  return row;
+}
+
+/// One timed pass of `epochs` simulated collector epochs: decode the delta
+/// blob and merge it — the real per-epoch work — then, exactly as the
+/// collector's delta path does when telemetry records, stamp the trace,
+/// observe every stage span plus freshness, and publish to the ring.
+/// Returns ns per epoch. With obs::set_enabled(false) the whole tracing
+/// block folds to one relaxed load and a branch, so the enabled/disabled
+/// paired delta isolates the full tracing cost per epoch.
+double run_epoch_pass(const std::string& blob, DcsParams params,
+                      std::uint64_t epochs, obs::TraceRing& ring) {
+  using obs::TraceStage;
+  DistinctCountSketch accumulator(params);
+  obs::TraceMetrics& metrics = obs::TraceMetrics::get();
+  Stopwatch watch;
+  for (std::uint64_t epoch = 1; epoch <= epochs; ++epoch) {
+    std::istringstream in(blob, std::ios::binary);
+    BinaryReader reader(in);
+    const DistinctCountSketch delta = DistinctCountSketch::deserialize(reader);
+    accumulator.merge(delta);
+    if (obs::recording()) {
+      obs::EpochTrace trace;
+      trace.site_id = 1;
+      trace.epoch = epoch;
+      trace.updates = 1;
+      trace.bytes = blob.size();
+      std::uint64_t prev = 0;
+      for (std::size_t stage = 0; stage < obs::kTraceStageCount; ++stage) {
+        const std::uint64_t now = obs::unix_now_ns();
+        trace.stage_unix_ns[stage] = now;
+        metrics.observe_span(static_cast<TraceStage>(stage), prev, now);
+        prev = now;
+      }
+      trace.freshness_ns =
+          prev - trace.stamp(TraceStage::kSealed);
+      metrics.detection_freshness_ns.observe(trace.freshness_ns);
+      ring.push(trace);
+    }
+  }
+  return watch.elapsed_us() * 1000.0 / static_cast<double>(epochs);
+}
+
+OverheadRow measure_tracing(const std::string& blob, DcsParams params,
+                            std::uint64_t epochs, std::uint64_t reps) {
+  obs::TraceRing ring(256);
+  std::vector<double> on_ns, off_ns;
+  obs::set_enabled(false);
+  run_epoch_pass(blob, params, epochs, ring);  // warm-up
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    obs::set_enabled(true);
+    on_ns.push_back(run_epoch_pass(blob, params, epochs, ring));
+    obs::set_enabled(false);
+    off_ns.push_back(run_epoch_pass(blob, params, epochs, ring));
+  }
+  obs::set_enabled(true);
+  OverheadRow row;
+  row.on_min = *std::min_element(on_ns.begin(), on_ns.end());
+  row.off_min = *std::min_element(off_ns.begin(), off_ns.end());
+  std::vector<double> deltas(on_ns.size());
+  for (std::size_t i = 0; i < on_ns.size(); ++i)
+    deltas[i] = on_ns[i] - off_ns[i];
   row.paired_delta_ns = bench::summarize_samples(std::move(deltas)).p50;
   row.enabled = bench::summarize_samples(std::move(on_ns));
   row.disabled = bench::summarize_samples(std::move(off_ns));
@@ -146,5 +222,72 @@ int main(int argc, char** argv) {
   std::printf(
       "\nworst-case overhead (median paired delta): %.2f%% (budget %.1f%%)\n",
       worst, threshold);
-  return worst <= threshold ? 0 : 1;
+
+  // --- epoch tracing overhead on the collector's merge path ---------------
+  // Denominator: one epoch of real collector work (decode the shipped delta
+  // blob, merge it). Numerator: the full per-epoch tracing block (eight
+  // stamps, span observations, freshness, ring publish). The epoch path
+  // runs thousands of times per second at most, so the budget is tighter
+  // than the per-update one: 5%.
+  const auto epochs = static_cast<std::uint64_t>(
+      options.integer("epochs", scale.full ? 1000 : 300));
+  const double trace_threshold = options.real("trace-threshold", 5.0);
+  dcs::DistinctCountSketch epoch_delta(params);
+  {
+    ZipfWorkloadConfig epoch_config;
+    epoch_config.u_pairs = 2048;  // one default agent epoch
+    epoch_config.num_destinations = 200;
+    epoch_config.skew = 1.2;
+    epoch_config.seed = 23;
+    const ZipfWorkload epoch_workload(epoch_config);
+    for (const FlowUpdate& u : epoch_workload.updates())
+      epoch_delta.update(u.dest, u.source, u.delta);
+  }
+  std::ostringstream blob_out(std::ios::binary);
+  BinaryWriter blob_writer(blob_out);
+  epoch_delta.serialize(blob_writer);
+  const std::string blob = std::move(blob_out).str();
+
+  std::printf(
+      "\n# epoch tracing overhead: ns/epoch (decode+merge %zu-byte delta) "
+      "over %llu paired reps of %llu epochs (budget %.1f%%)\n",
+      blob.size(), static_cast<unsigned long long>(reps),
+      static_cast<unsigned long long>(epochs), trace_threshold);
+  print_row({"path", "off_min", "on_min", "off_p50", "on_p50", "delta_ns",
+             "overhead%"},
+            16);
+  const OverheadRow trace_row = measure_tracing(blob, params, epochs, reps);
+  print_overhead_row("epoch_trace", trace_row);
+  std::printf(
+      "\ntracing overhead (median paired delta): %.2f%% (budget %.1f%%)\n",
+      trace_row.overhead_pct, trace_threshold);
+
+  // Machine-readable companion (ROADMAP item 5): BENCH_<date>.json next to
+  // the text output, or under --json-dir.
+  bench::JsonReport report("obs_overhead");
+  const auto record = [&report](const std::string& section,
+                                const OverheadRow& row) {
+    report.value(section, "off_min_ns", row.off_min);
+    report.value(section, "on_min_ns", row.on_min);
+    report.value(section, "off_p50_ns", row.disabled.p50);
+    report.value(section, "on_p50_ns", row.enabled.p50);
+    report.value(section, "paired_delta_ns", row.paired_delta_ns);
+    report.value(section, "overhead_pct", row.overhead_pct);
+  };
+  record("basic_update", basic);
+  record("tracking_update", tracking);
+  record("epoch_trace", trace_row);
+  report.value("budgets", "update_threshold_pct", threshold);
+  report.value("budgets", "trace_threshold_pct", trace_threshold);
+  try {
+    const std::string path = report.write(options.str("json-dir", "."));
+    std::printf("json: %s\n", path.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "obs_overhead: json write failed: %s\n",
+                 error.what());
+  }
+
+  const bool update_ok = worst <= threshold;
+  const bool trace_ok = trace_row.overhead_pct <= trace_threshold;
+  return update_ok && trace_ok ? 0 : 1;
 }

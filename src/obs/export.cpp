@@ -1,9 +1,12 @@
 #include "obs/export.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+
+#include "common/serialize.hpp"
 
 namespace dcs::obs {
 
@@ -224,6 +227,43 @@ void write_snapshot_file(const std::string& path, ExportFormat format,
   if (!file) throw std::runtime_error("cannot open metrics file " + path);
   file << render(snapshot, format);
   if (!file) throw std::runtime_error("failed writing metrics file " + path);
+}
+
+void write_snapshot_file_atomic(const std::string& path, ExportFormat format,
+                                const Snapshot& snapshot) {
+  atomic_write_file(path, render(snapshot, format));
+}
+
+void PeriodicSnapshotWriter::start(std::string path, ExportFormat format,
+                                   int interval_sec) {
+  if (interval_sec <= 0 || path.empty() || running_.load()) return;
+  path_ = std::move(path);
+  format_ = format;
+  interval_sec_ = interval_sec;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (running_.load(std::memory_order_relaxed)) {
+      if (cv_.wait_for(lock, std::chrono::seconds(interval_sec_), [this] {
+            return !running_.load(std::memory_order_relaxed);
+          }))
+        break;
+      try {
+        write_snapshot_file_atomic(path_, format_,
+                                   Registry::global().snapshot());
+        flushes_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        // Disk full / permissions: the next interval retries; the daemon
+        // must not die for telemetry.
+      }
+    }
+  });
+}
+
+void PeriodicSnapshotWriter::stop() {
+  if (!running_.exchange(false)) return;
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
 }
 
 }  // namespace dcs::obs

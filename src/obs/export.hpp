@@ -8,8 +8,12 @@
 // derived p50/p90/p99 included per histogram.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "obs/metrics.hpp"
 
@@ -31,8 +35,51 @@ std::string render(const Snapshot& snapshot, ExportFormat format);
 void write_snapshot_file(const std::string& path, ExportFormat format,
                          const Snapshot& snapshot);
 
+/// Like write_snapshot_file but crash-consistent: renders to a temp file,
+/// fsyncs and renames over `path` (common/serialize atomic_write_file), so
+/// a reader — or a post-mortem after SIGKILL — always sees a complete
+/// snapshot, never a torn one. Used by the tools' --metrics-every flush.
+void write_snapshot_file_atomic(const std::string& path, ExportFormat format,
+                                const Snapshot& snapshot);
+
 /// Escape a string for embedding in a JSON string literal (quotes,
 /// backslashes, control characters). Shared with the alert event log.
 std::string json_escape(std::string_view text);
+
+/// Background thread that re-renders the global registry to `path` (via
+/// write_snapshot_file_atomic) every `interval` seconds — the scrape-less
+/// fallback behind the tools' --metrics-every flag: a SIGKILLed process
+/// still leaves a complete, recent snapshot on disk. Write failures are
+/// swallowed (telemetry must never take the daemon down); stop() wakes the
+/// thread immediately.
+class PeriodicSnapshotWriter {
+ public:
+  PeriodicSnapshotWriter() = default;
+  ~PeriodicSnapshotWriter() { stop(); }
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// No-op when interval_sec <= 0 or path is empty.
+  void start(std::string path, ExportFormat format, int interval_sec);
+  void stop();
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Successful flushes so far (tests).
+  std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string path_;
+  ExportFormat format_ = ExportFormat::kPrometheus;
+  int interval_sec_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
 
 }  // namespace dcs::obs

@@ -1,0 +1,94 @@
+// Embedded HTTP/1.1 ops server — the live read path for telemetry.
+//
+// Metrics snapshots used to leave the process only on clean exit; this
+// server makes them scrapeable while the process runs. It is deliberately
+// tiny and dependency-free: a blocking accept loop on its own thread
+// (reusing the service-layer TcpListener/TcpSocket), GET-only, one
+// request per connection (`Connection: close`), bounded request size and
+// per-connection socket timeouts so a stuck scraper can stall at most one
+// scrape, never ingest.
+//
+// Every handler reads immutable snapshots (Registry::snapshot(),
+// TraceRing::snapshot(), collector stats copies) — a scrape can slow
+// another scrape, but by construction it cannot contend with the merge
+// path beyond the relaxed atomics those snapshots read.
+//
+// Routes are registered before start() as `path -> () -> HttpResponse`;
+// query strings are stripped before matching. Unknown path -> 404,
+// non-GET method -> 405, malformed/oversized/slow request -> 400 or drop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "service/socket.hpp"
+
+namespace dcs::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse()>;
+
+struct HttpServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via port().
+  std::uint16_t port = 0;
+  /// Socket recv/send timeout per request; a client slower than this gets
+  /// dropped (the accept loop serves requests serially).
+  int io_timeout_ms = 1000;
+  /// Upper bound on the buffered request head (request line + headers).
+  std::size_t max_request_bytes = 8192;
+};
+
+/// Ops-plane request accounting, registered in the global Registry so the
+/// ops server shows up in its own /metrics output.
+struct OpsMetrics {
+  Counter& requests;        // dcs_ops_requests_total
+  Counter& request_errors;  // dcs_ops_request_errors_total
+
+  static OpsMetrics& get();
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerConfig config = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for an exact path ("/metrics"). Must be called
+  /// before start().
+  void route(std::string path, HttpHandler handler);
+
+  /// Bind and spawn the accept loop. Throws std::runtime_error when the
+  /// address cannot be bound.
+  void start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(service::TcpSocket socket);
+
+  HttpServerConfig config_;
+  std::map<std::string, HttpHandler> routes_;
+  service::TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dcs::obs

@@ -223,7 +223,11 @@ AgentMetrics& AgentMetrics::get() {
       Registry::global().counter(
           "dcs_agent_nacks_total",
           "kRetryLater NACKs received from collector admission control "
-          "(epoch kept spooled; next ship delayed by retry_after_ms)")};
+          "(epoch kept spooled; next ship delayed by retry_after_ms)"),
+      Registry::global().histogram(
+          "dcs_agent_heartbeat_rtt_ns",
+          "Heartbeat send to Ack receipt round-trip time (v3 collectors "
+          "ack heartbeats; a free network-health probe)")};
   return instance;
 }
 

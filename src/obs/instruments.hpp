@@ -124,6 +124,7 @@ struct AgentMetrics {
   Counter& resume_skips;        // dcs_agent_resume_skips_total
   Gauge& spool_depth;           // dcs_agent_spool_depth
   Counter& nacks;               // dcs_agent_nacks_total
+  Histogram& heartbeat_rtt_ns;  // dcs_agent_heartbeat_rtt_ns
 
   static AgentMetrics& get();
 };

@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace dcs::obs {
+
+namespace {
+
+constexpr std::string_view kStageNames[kTraceStageCount] = {
+    "sealed",   "spooled",   "shipped", "received",
+    "admitted", "journaled", "merged",  "detector_evaluated",
+};
+
+}  // namespace
+
+std::string_view trace_stage_name(TraceStage stage) {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+bool EpochTrace::complete() const {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+    const std::uint64_t t = stage_unix_ns[i];
+    if (t == 0 || t < prev) return false;
+    prev = t;
+  }
+  return true;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::push(const EpochTrace& trace) noexcept {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  // Seqlock: odd while the slot is being rewritten. The data words are
+  // atomics too, so a racing reader sees at worst a stale word — never UB —
+  // and the sequence check rejects the torn copy.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  std::size_t w = 0;
+  slot.words[w++].store(trace.site_id, std::memory_order_relaxed);
+  slot.words[w++].store(trace.epoch, std::memory_order_relaxed);
+  slot.words[w++].store(trace.updates, std::memory_order_relaxed);
+  slot.words[w++].store(trace.bytes, std::memory_order_relaxed);
+  slot.words[w++].store(trace.freshness_ns, std::memory_order_relaxed);
+  slot.words[w++].store(trace.alerts_raised, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kTraceStageCount; ++i)
+    slot.words[w++].store(trace.stage_unix_ns[i], std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<EpochTrace> TraceRing::snapshot() const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t n = slots_.size();
+  const std::uint64_t begin = end > n ? end - n : 0;
+  std::vector<EpochTrace> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t ticket = begin; ticket < end; ++ticket) {
+    const Slot& slot = slots_[ticket % n];
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before != 2 * ticket + 2) continue;  // overwritten or in flight
+    EpochTrace trace;
+    std::size_t w = 0;
+    trace.site_id = slot.words[w++].load(std::memory_order_relaxed);
+    trace.epoch = slot.words[w++].load(std::memory_order_relaxed);
+    trace.updates = slot.words[w++].load(std::memory_order_relaxed);
+    trace.bytes = slot.words[w++].load(std::memory_order_relaxed);
+    trace.freshness_ns = slot.words[w++].load(std::memory_order_relaxed);
+    trace.alerts_raised = slot.words[w++].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kTraceStageCount; ++i)
+      trace.stage_unix_ns[i] =
+          slot.words[w++].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before)
+      continue;  // writer moved in while we copied
+    out.push_back(trace);
+  }
+  return out;
+}
+
+std::string traces_to_json(const std::vector<EpochTrace>& traces) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const EpochTrace& t = traces[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"site_id\": " << t.site_id << ", \"epoch\": " << t.epoch
+        << ", \"updates\": " << t.updates << ", \"bytes\": " << t.bytes
+        << ", \"complete\": " << (t.complete() ? "true" : "false")
+        << ", \"freshness_ns\": " << t.freshness_ns
+        << ", \"alerts_raised\": " << t.alerts_raised << ", \"stages\": {";
+    bool first = true;
+    for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+      if (t.stage_unix_ns[s] == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << kStageNames[s] << "\": " << t.stage_unix_ns[s];
+    }
+    out << "}}";
+  }
+  out << (traces.empty() ? "]\n" : "\n]\n");
+  return out.str();
+}
+
+std::uint64_t unix_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceMetrics::observe_span(TraceStage stage, std::uint64_t prev_unix_ns,
+                                std::uint64_t stage_unix_ns) {
+  if (prev_unix_ns == 0 || stage_unix_ns == 0) return;
+  const std::uint64_t span =
+      stage_unix_ns >= prev_unix_ns ? stage_unix_ns - prev_unix_ns : 0;
+  this->stage(stage).observe(span);
+}
+
+TraceMetrics& TraceMetrics::get() {
+  static TraceMetrics* instance = [] {
+    auto& registry = Registry::global();
+    auto* m = new TraceMetrics{
+        {},
+        registry.histogram(
+            "dcs_detection_freshness_ns",
+            "Epoch seal time to detector verdict, end to end (the "
+            "real-time detection SLO)"),
+    };
+    for (std::size_t i = 0; i < kTraceStageCount; ++i)
+      m->stage_ns[i] = &registry.histogram(
+          "dcs_trace_stage_ns",
+          "Time spent reaching each epoch pipeline stage from the "
+          "previous one",
+          {{"stage", std::string(kStageNames[i])}});
+    return m;
+  }();
+  return *instance;
+}
+
+}  // namespace dcs::obs

@@ -28,7 +28,12 @@ SiteAgent::SiteAgent(SiteAgentConfig config)
     : config_(std::move(config)),
       current_(config_.params),
       current_epoch_(config_.first_epoch),
-      jitter_(config_.jitter_seed) {
+      jitter_(config_.jitter_seed),
+      trace_ring_(config_.trace_capacity) {
+  // Eager registration so an agent-side scrape lists every stage family
+  // (and the heartbeat RTT histogram) before any epoch is sealed.
+  obs::TraceMetrics::get();
+  obs::AgentMetrics::get();
   if (config_.epoch_updates == 0)
     throw std::invalid_argument("SiteAgent: epoch_updates must be > 0");
   if (config_.spool_epochs == 0)
@@ -85,10 +90,19 @@ void SiteAgent::seal_epoch() {
   SpooledEpoch sealed;
   sealed.epoch = current_epoch_;
   sealed.updates = current_updates_;
+  const std::uint64_t seal_start_ns = obs::steady_now_ns();
   sealed.blob =
       serialize_sketch(std::exchange(current_, DistinctCountSketch(config_.params)));
+  // Origin stamps: the wall clock rides the wire (v3) so the collector can
+  // subtract across processes; the steady stamp is for agent-local spans.
+  sealed.seal_unix_ns = obs::unix_now_ns();
+  sealed.seal_steady_ns = obs::steady_now_ns();
   current_updates_ = 0;
   ++current_epoch_;
+  if (obs::recording())
+    obs::TraceMetrics::get()
+        .stage(obs::TraceStage::kSealed)
+        .observe(sealed.seal_steady_ns - seal_start_ns);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (spool_.size() >= config_.spool_epochs) {
@@ -98,6 +112,11 @@ void SiteAgent::seal_epoch() {
       ++stats_.epochs_dropped;
       if (obs::recording()) obs::AgentMetrics::get().epochs_dropped.inc();
     }
+    sealed.spool_unix_ns = obs::unix_now_ns();
+    if (obs::recording())
+      obs::TraceMetrics::get().observe_span(obs::TraceStage::kSpooled,
+                                            sealed.seal_unix_ns,
+                                            sealed.spool_unix_ns);
     spool_.push_back(std::move(sealed));
     ++stats_.epochs_sealed;
     stats_.spool_depth = spool_.size();
@@ -181,6 +200,11 @@ bool SiteAgent::run_connection() {
     return true;  // transient — retry with backoff
   };
 
+  // The version the collector frames its replies at; learned from the
+  // Hello ack and used to downgrade our own encoding for a v2 collector
+  // (no delta timestamps, no heartbeat acks to wait for).
+  std::uint8_t peer_version = kWireVersion;
+
   /// Block until one Ack arrives (or timeout/error). nullopt = connection
   /// is dead.
   const auto await_ack = [&]() -> std::optional<Ack> {
@@ -190,6 +214,7 @@ bool SiteAgent::run_connection() {
       if (auto frame = decoder.next()) {
         if (frame->type != MsgType::kAck)
           throw WireError("agent: expected Ack");
+        peer_version = frame->version;
         return Ack::decode(frame->payload);
       }
       if (!running_.load(std::memory_order_acquire) ||
@@ -266,9 +291,21 @@ bool SiteAgent::run_connection() {
             beat.spooled_epochs = 0;
             beat.dropped_epochs = stats_.epochs_dropped;
             lock.unlock();
+            const std::uint64_t sent_ns = obs::steady_now_ns();
             if (!socket->send_all(
                     encode_frame(MsgType::kHeartbeat, beat.encode())))
               return io_error();
+            if (peer_version >= 3) {
+              // A v3 collector acks heartbeats (epoch 0), turning frames
+              // we already exchange into a free network-RTT probe.
+              const auto beat_ack = await_ack();
+              if (!beat_ack) return io_error();
+              if (beat_ack->epoch != 0)
+                throw WireError("agent: heartbeat ack carries an epoch");
+              if (obs::recording())
+                obs::AgentMetrics::get().heartbeat_rtt_ns.observe(
+                    obs::steady_now_ns() - sent_ns);
+            }
           }
           continue;
         }
@@ -279,9 +316,22 @@ bool SiteAgent::run_connection() {
       delta.site_id = config_.site_id;
       delta.epoch = head->epoch;
       delta.updates = head->updates;
+      delta.seal_unix_ns = head->seal_unix_ns;
+      delta.seal_steady_ns = head->seal_steady_ns;
+      delta.spool_unix_ns = head->spool_unix_ns;
+      delta.ship_unix_ns = obs::unix_now_ns();  // fresh per send attempt
       delta.sketch_blob = head->blob;
-      if (!socket->send_all(
-              encode_frame(MsgType::kSnapshotDelta, delta.encode())))
+      // Speak the collector's dialect: a v2 peer gets a v2 payload (no
+      // timestamps) in a v2 frame.
+      const std::uint8_t wire_version =
+          peer_version < kWireVersion ? peer_version : kWireVersion;
+      if (obs::recording())
+        obs::TraceMetrics::get().observe_span(obs::TraceStage::kShipped,
+                                              delta.spool_unix_ns,
+                                              delta.ship_unix_ns);
+      if (!socket->send_all(encode_frame(MsgType::kSnapshotDelta,
+                                         delta.encode(wire_version),
+                                         wire_version)))
         return io_error();
       const auto ack = await_ack();
       if (!ack) return io_error();
@@ -307,6 +357,17 @@ bool SiteAgent::run_connection() {
         cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
                      [&] { return !running_.load(std::memory_order_acquire); });
         continue;
+      }
+      if (obs::recording()) {
+        obs::EpochTrace trace;
+        trace.site_id = config_.site_id;
+        trace.epoch = delta.epoch;
+        trace.updates = delta.updates;
+        trace.bytes = delta.sketch_blob.size();
+        trace.stamp(obs::TraceStage::kSealed) = delta.seal_unix_ns;
+        trace.stamp(obs::TraceStage::kSpooled) = delta.spool_unix_ns;
+        trace.stamp(obs::TraceStage::kShipped) = delta.ship_unix_ns;
+        trace_ring_.push(trace);
       }
       {
         std::lock_guard<std::mutex> lock(mutex_);

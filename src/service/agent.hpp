@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "common/random.hpp"
+#include "obs/trace.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "stream/flow_update.hpp"
 
@@ -53,6 +54,8 @@ struct SiteAgentConfig {
   int io_timeout_ms = 2000;
   /// Seed for backoff jitter (deterministic tests).
   std::uint64_t jitter_seed = 0x5eedULL;
+  /// Epoch traces retained for the ops plane's /traces endpoint.
+  std::size_t trace_capacity = 256;
 };
 
 class SiteAgent {
@@ -110,10 +113,18 @@ class SiteAgent {
   Stats stats() const;
   const SiteAgentConfig& config() const noexcept { return config_; }
 
+  /// Agent-side epoch traces (sealed/spooled/shipped stages), newest last.
+  std::vector<obs::EpochTrace> traces() const { return trace_ring_.snapshot(); }
+
  private:
   struct SpooledEpoch {
     std::uint64_t epoch = 0;
     std::uint64_t updates = 0;
+    // Origin stamps carried on the wire (v3) so the collector can compute
+    // end-to-end freshness for this epoch.
+    std::uint64_t seal_unix_ns = 0;
+    std::uint64_t seal_steady_ns = 0;
+    std::uint64_t spool_unix_ns = 0;
     std::string blob;  ///< Serialized sketch delta.
   };
 
@@ -141,6 +152,8 @@ class SiteAgent {
 
   Xoshiro256 jitter_;
   std::uint64_t backoff_ms_ = 0;
+
+  obs::TraceRing trace_ring_;
 };
 
 }  // namespace dcs::service

@@ -31,6 +31,10 @@ struct Collector::Connection {
   std::thread thread;
   /// Site id learned from the Hello; 0 until the handshake completes.
   std::uint64_t site_id = 0;
+  /// Version negotiated at Hello: min(ours, the site's). Every reply on
+  /// this connection is framed at it, and v3-only behaviour (heartbeat
+  /// acks) is gated on it so a v2 site's ack stream never desyncs.
+  std::uint8_t wire_version = kWireVersion;
   bool hello_ok = false;
   /// Set by serve() on exit so the accept loop can reap the thread.
   std::atomic<bool> done{false};
@@ -40,7 +44,12 @@ Collector::Collector(CollectorConfig config)
     : config_(std::move(config)),
       admission_(config_.admission),
       merged_(config_.params),
-      detector_(config_.detection) {
+      detector_(config_.detection),
+      trace_ring_(config_.trace_capacity) {
+  // Register every trace-stage histogram family up front: a scrape of a
+  // collector that has merged nothing yet must still list all pipeline
+  // stages (at count 0), not grow families as traffic arrives.
+  obs::TraceMetrics::get();
   if (config_.detection_top_k == 0)
     throw std::invalid_argument("Collector: detection_top_k must be > 0");
   if (config_.checkpoint_every == 0)
@@ -172,6 +181,7 @@ void Collector::serve(std::shared_ptr<Connection> conn) {
             ++totals_.frames;
           }
           const std::string ack = handle_frame(*conn, frame->type,
+                                               frame->version,
                                                frame->payload);
           if (!ack.empty() && !conn->socket.send_all(ack)) {
             failed = true;
@@ -227,10 +237,14 @@ void Collector::serve(std::shared_ptr<Connection> conn) {
 }
 
 std::string Collector::handle_frame(Connection& conn, MsgType type,
+                                    std::uint8_t version,
                                     const std::string& payload) {
   switch (type) {
     case MsgType::kHello: {
       const Hello hello = Hello::decode(payload);
+      // Negotiate down to the site's dialect: everything we send back on
+      // this connection is framed at min(ours, theirs).
+      conn.wire_version = version < kWireVersion ? version : kWireVersion;
       Ack ack;
       ack.epoch = 0;
       if (hello.params_fingerprint != config_.params.fingerprint()) {
@@ -239,7 +253,7 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
           obs::CollectorMetrics::get().rejected_hellos.inc();
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++totals_.rejected_hellos;
-        return encode_frame(MsgType::kAck, ack.encode());
+        return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
       }
       conn.site_id = hello.site_id;
       conn.hello_ok = true;
@@ -269,12 +283,21 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
       // re-shipping them after a collector restart.
       ack.epoch = site.last_epoch;
       state_cv_.notify_all();
-      return encode_frame(MsgType::kAck, ack.encode());
+      return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
     }
     case MsgType::kSnapshotDelta:
-      return handle_delta(conn, payload);
+      return handle_delta(conn, version, payload);
     case MsgType::kHeartbeat: {
-      Heartbeat::decode(payload);  // validation only; liveness is implicit
+      Heartbeat::decode(payload);  // validation; liveness is implicit
+      // v3 sites expect a heartbeat ack (epoch 0) and time it as a network
+      // RTT probe. A v2 site does NOT wait for one — acking would desync
+      // its request/response ack stream, so the gate is the negotiated
+      // version, not ours.
+      if (conn.wire_version >= 3) {
+        Ack ack;
+        ack.epoch = 0;
+        return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+      }
       return {};
     }
     case MsgType::kAck:
@@ -290,13 +313,30 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
   throw WireError("collector: unhandled message type");
 }
 
-std::string Collector::handle_delta(Connection& conn,
+std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
                                     const std::string& payload) {
-  const SnapshotDelta delta = SnapshotDelta::decode(payload);
+  const SnapshotDelta delta = SnapshotDelta::decode(payload, version);
   if (!conn.hello_ok) throw WireError("collector: delta before Hello");
   if (delta.site_id != conn.site_id)
     throw WireError("collector: delta site_id does not match Hello");
   if (delta.epoch == 0) throw WireError("collector: delta epoch must be >= 1");
+
+  // Start this epoch's trace. The agent-side stamps arrived on the wire
+  // (zero from a v2 site — the cross-process spans simply don't record);
+  // every collector-side stage stamps as the delta moves through.
+  obs::EpochTrace trace;
+  trace.site_id = delta.site_id;
+  trace.epoch = delta.epoch;
+  trace.updates = delta.updates;
+  trace.bytes = delta.sketch_blob.size();
+  trace.stamp(obs::TraceStage::kSealed) = delta.seal_unix_ns;
+  trace.stamp(obs::TraceStage::kSpooled) = delta.spool_unix_ns;
+  trace.stamp(obs::TraceStage::kShipped) = delta.ship_unix_ns;
+  trace.stamp(obs::TraceStage::kReceived) = obs::unix_now_ns();
+  if (obs::recording())
+    obs::TraceMetrics::get().observe_span(
+        obs::TraceStage::kReceived, delta.ship_unix_ns,
+        trace.stamp(obs::TraceStage::kReceived));
 
   Ack ack;
   ack.epoch = delta.epoch;
@@ -328,7 +368,7 @@ std::string Collector::handle_delta(Connection& conn,
         if (obs::recording())
           obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
       }
-      return encode_frame(MsgType::kAck, ack.encode());
+      return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
     }
   }
 
@@ -348,11 +388,17 @@ std::string Collector::handle_delta(Connection& conn,
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++totals_.shed_deltas;
     totals_.shed_bytes += payload.size();
-    return encode_frame(MsgType::kAck, ack.encode());
+    ++sites_[conn.site_id].shed_deltas;
+    return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
   }
   // Released on every exit from here (ack sent, duplicate race, or a
   // throw on a bad blob) — the budget can never leak.
   InflightCharge charge(&admission_, payload.size());
+  trace.stamp(obs::TraceStage::kAdmitted) = obs::unix_now_ns();
+  if (obs::recording())
+    obs::TraceMetrics::get().observe_span(
+        obs::TraceStage::kAdmitted, trace.stamp(obs::TraceStage::kReceived),
+        trace.stamp(obs::TraceStage::kAdmitted));
 
   // Deserialize (and CRC-check) the blob before taking the state lock; a
   // corrupt blob must never leave a half-merged global sketch.
@@ -377,7 +423,7 @@ std::string Collector::handle_delta(Connection& conn,
     ++site.duplicate_deltas;
     ++totals_.duplicate_deltas;
     if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
-    return encode_frame(MsgType::kAck, ack.encode());
+    return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
   }
   // Durability barrier: the delta must hit the journal (fsync'd) BEFORE it
   // is merged or acked. If the append fails the connection is dropped
@@ -398,7 +444,17 @@ std::string Collector::handle_delta(Connection& conn,
                       error.what());
     }
   }
-  merge_delta_locked(conn.site_id, delta.epoch, delta.updates, sketch);
+  // Journaled stamp: with durability off the stage is a pass-through (the
+  // stamp keeps the trace complete; the span histogram only records when a
+  // journal append actually happened).
+  trace.stamp(obs::TraceStage::kJournaled) = obs::unix_now_ns();
+  if (store_ && obs::recording())
+    obs::TraceMetrics::get().observe_span(
+        obs::TraceStage::kJournaled, trace.stamp(obs::TraceStage::kAdmitted),
+        trace.stamp(obs::TraceStage::kJournaled));
+  merge_delta_locked(conn.site_id, delta.epoch, delta.updates, sketch,
+                     &trace);
+  if (obs::recording()) trace_ring_.push(trace);
   if (store_ && ++deltas_since_checkpoint_ >= config_.checkpoint_every) {
     try {
       write_checkpoint_locked();
@@ -409,12 +465,13 @@ std::string Collector::handle_delta(Connection& conn,
     }
   }
   state_cv_.notify_all();
-  return encode_frame(MsgType::kAck, ack.encode());
+  return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
 }
 
 void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
                                    std::uint64_t updates,
-                                   const DistinctCountSketch& sketch) {
+                                   const DistinctCountSketch& sketch,
+                                   obs::EpochTrace* trace) {
   SiteStats& site = sites_[site_id];
   site.site_id = site_id;
   if (epoch > site.last_epoch + 1) {
@@ -427,9 +484,44 @@ void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
   {
     obs::ScopedTimer timer(obs::CollectorMetrics::get().merge_ns);
     merged_.merge_sketch(sketch);
+    if (trace) {
+      trace->stamp(obs::TraceStage::kMerged) = obs::unix_now_ns();
+      if (obs::recording())
+        obs::TraceMetrics::get().observe_span(
+            obs::TraceStage::kMerged,
+            trace->stamp(obs::TraceStage::kJournaled),
+            trace->stamp(obs::TraceStage::kMerged));
+    }
+    BaselineDetector::Outcome outcome;
     if (config_.run_detection)
-      detector_.observe(merged_.top_k(config_.detection_top_k).entries,
-                        totals_.deltas_merged + 1);
+      outcome =
+          detector_.observe(merged_.top_k(config_.detection_top_k).entries,
+                            totals_.deltas_merged + 1);
+    if (trace) {
+      // This is the moment an alert for this epoch's data exists (or
+      // provably does not) — the far edge of the freshness SLO.
+      const std::uint64_t verdict_ns = obs::unix_now_ns();
+      trace->stamp(obs::TraceStage::kDetectorEvaluated) = verdict_ns;
+      trace->alerts_raised = outcome.raised;
+      const std::uint64_t seal_ns = trace->stamp(obs::TraceStage::kSealed);
+      if (seal_ns != 0) {
+        trace->freshness_ns =
+            verdict_ns >= seal_ns ? verdict_ns - seal_ns : 0;
+        site.last_seal_unix_ns = seal_ns;
+        site.last_freshness_ns = trace->freshness_ns;
+        if (obs::recording()) {
+          auto& tm = obs::TraceMetrics::get();
+          tm.observe_span(obs::TraceStage::kDetectorEvaluated,
+                          trace->stamp(obs::TraceStage::kMerged),
+                          verdict_ns);
+          tm.detection_freshness_ns.observe(trace->freshness_ns);
+        }
+      } else if (obs::recording()) {
+        obs::TraceMetrics::get().observe_span(
+            obs::TraceStage::kDetectorEvaluated,
+            trace->stamp(obs::TraceStage::kMerged), verdict_ns);
+      }
+    }
   }
   site.last_epoch = epoch;
   ++site.epochs_merged;
@@ -509,7 +601,8 @@ void Collector::recover() {
       }();
       if (sketch.params().fingerprint() != config_.params.fingerprint())
         continue;
-      merge_delta_locked(record.site_id, record.epoch, record.updates, sketch);
+      merge_delta_locked(record.site_id, record.epoch, record.updates, sketch,
+                         /*trace=*/nullptr);
       ++totals_.replayed_epochs;
       if (obs::recording())
         obs::CheckpointMetrics::get().replayed_epochs.inc();

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "detection/baseline_detector.hpp"
+#include "obs/trace.hpp"
 #include "service/admission.hpp"
 #include "service/checkpoint.hpp"
 #include "service/epoch_journal.hpp"
@@ -98,6 +99,10 @@ struct CollectorConfig {
   /// oversized-frame abuse (an announced length above the cap kills the
   /// connection before the payload is buffered).
   std::uint32_t max_frame_bytes = 0;
+
+  // --- tracing (see obs/trace.hpp) ------------------------------------------
+  /// Epoch traces retained for the ops plane's /traces endpoint.
+  std::size_t trace_capacity = 256;
 };
 
 class Collector {
@@ -112,6 +117,13 @@ class Collector {
     /// plus drops the site itself reported — the degraded-mode ledger.
     std::uint64_t dropped_epochs = 0;
     std::uint64_t duplicate_deltas = 0;
+    /// Deltas NACKed kRetryLater for this site (admission sheds).
+    std::uint64_t shed_deltas = 0;
+    /// Seal stamp of the newest merged delta (0 = v2 site, no stamps) and
+    /// its end-to-end freshness at detector evaluation — the per-site view
+    /// of the detection-freshness SLO, served on /sites.
+    std::uint64_t last_seal_unix_ns = 0;
+    std::uint64_t last_freshness_ns = 0;
     bool connected = false;
   };
 
@@ -174,6 +186,10 @@ class Collector {
   Stats stats() const;
   std::vector<SiteStats> site_stats() const;
 
+  /// Collector-side epoch traces (full lifecycle for v3 sites), newest
+  /// last. Reads the lock-free ring — safe during ingest.
+  std::vector<obs::EpochTrace> traces() const { return trace_ring_.snapshot(); }
+
   /// Live entries in the connection table (reaped/done ones excluded).
   /// Overload tests assert this shrinks after deadline/idle drops.
   std::size_t connection_count() const;
@@ -201,15 +217,20 @@ class Collector {
   void accept_loop();
   void serve(std::shared_ptr<Connection> conn);
   /// Handle one decoded frame; returns the ack to send (empty = none).
+  /// `version` is the frame's wire version — replies are framed at it.
   std::string handle_frame(Connection& conn, MsgType type,
+                           std::uint8_t version, const std::string& payload);
+  std::string handle_delta(Connection& conn, std::uint8_t version,
                            const std::string& payload);
-  std::string handle_delta(Connection& conn, const std::string& payload);
 
   /// Merge one validated delta into the global state and run detection.
-  /// Caller holds state_mutex_. Shared by the live path and journal replay.
+  /// Caller holds state_mutex_. Shared by the live path and journal replay;
+  /// `trace` (nullable — replay passes nullptr) receives the merged /
+  /// detector-evaluated stamps and the freshness measurement.
   void merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
                           std::uint64_t updates,
-                          const DistinctCountSketch& sketch);
+                          const DistinctCountSketch& sketch,
+                          obs::EpochTrace* trace);
   /// Load newest valid checkpoint + replay journals; called from the ctor
   /// when state_dir is configured. Ends by writing a fresh checkpoint so
   /// the recovered state is itself durable and the journal starts clean.
@@ -250,6 +271,10 @@ class Collector {
   /// Per-site watermark at recovery time: duplicates at or below it are
   /// re-shipped pre-crash epochs (counted as post_recovery_duplicates).
   std::map<std::uint64_t, std::uint64_t> recovered_watermarks_;
+
+  /// Last N merged-epoch traces; written by connection threads (wait-free),
+  /// read by the ops plane without touching state_mutex_.
+  obs::TraceRing trace_ring_;
 };
 
 }  // namespace dcs::service

@@ -50,13 +50,16 @@ void decode_payload(const std::string& payload, Fn&& read_fields) {
 
 }  // namespace
 
-std::string encode_frame(MsgType type, std::string_view payload) {
+std::string encode_frame(MsgType type, std::string_view payload,
+                         std::uint8_t version) {
   if (payload.size() > kMaxPayloadBytes)
     throw WireError("encode_frame: payload exceeds kMaxPayloadBytes");
+  if (version < kMinWireVersion || version > kWireVersion)
+    throw WireError("encode_frame: version outside supported range");
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size() + kFrameCrcBytes);
   put_u32(frame, kWireMagic);
-  frame.push_back(static_cast<char>(kWireVersion));
+  frame.push_back(static_cast<char>(version));
   frame.push_back(static_cast<char>(type));
   put_u32(frame, static_cast<std::uint32_t>(payload.size()));
   frame.append(payload);
@@ -74,7 +77,8 @@ std::optional<Frame> FrameDecoder::next() {
   if (get_u32(buffer_.data()) != kWireMagic)
     throw WireError("frame: bad magic");
   const auto version = static_cast<std::uint8_t>(buffer_[4]);
-  if (version != kWireVersion) throw WireError("frame: unsupported version");
+  if (version < kMinWireVersion || version > kWireVersion)
+    throw WireError("frame: unsupported version");
   const auto type = static_cast<std::uint8_t>(buffer_[5]);
   if (!valid_type(type)) throw WireError("frame: unknown message type");
   const std::uint32_t payload_len = get_u32(buffer_.data() + 6);
@@ -90,6 +94,7 @@ std::optional<Frame> FrameDecoder::next() {
   if (expected != computed) throw WireError("frame: CRC mismatch");
   Frame frame;
   frame.type = static_cast<MsgType>(type);
+  frame.version = version;
   frame.payload = buffer_.substr(kFrameHeaderBytes, payload_len);
   buffer_.erase(0, total);
   return frame;
@@ -117,21 +122,34 @@ Hello Hello::decode(const std::string& payload) {
   return hello;
 }
 
-std::string SnapshotDelta::encode() const {
+std::string SnapshotDelta::encode(std::uint8_t version) const {
   return encode_payload([&](BinaryWriter& w) {
     w.u64(site_id);
     w.u64(epoch);
     w.u64(updates);
+    if (version >= 3) {
+      w.u64(seal_unix_ns);
+      w.u64(seal_steady_ns);
+      w.u64(spool_unix_ns);
+      w.u64(ship_unix_ns);
+    }
     w.str(sketch_blob);
   });
 }
 
-SnapshotDelta SnapshotDelta::decode(const std::string& payload) {
+SnapshotDelta SnapshotDelta::decode(const std::string& payload,
+                                    std::uint8_t version) {
   SnapshotDelta delta;
   decode_payload(payload, [&](BinaryReader& r) {
     delta.site_id = r.u64();
     delta.epoch = r.u64();
     delta.updates = r.u64();
+    if (version >= 3) {
+      delta.seal_unix_ns = r.u64();
+      delta.seal_steady_ns = r.u64();
+      delta.spool_unix_ns = r.u64();
+      delta.ship_unix_ns = r.u64();
+    }
     delta.sketch_blob = r.str();
   });
   return delta;

@@ -46,6 +46,21 @@
 //   v1  Hello/SnapshotDelta/Heartbeat/Ack/Bye; Ack = {epoch, status}.
 //   v2  Ack gained retry_after_ms and AckStatus::kRetryLater — the overload
 //       admission controller's honest NACK (shed, not silently dropped).
+//   v3  Epoch lifecycle tracing. SnapshotDelta carries four u64 origin
+//       timestamps (seal wall clock, seal agent-steady clock, spool time,
+//       ship time) so the collector can measure end-to-end detection
+//       freshness; a v3 collector additionally acks Heartbeat frames
+//       (epoch = 0) so agents can measure round-trip time from frames
+//       already exchanged. The Ack payload is unchanged from v2.
+//
+// Version negotiation. A receiver accepts any version in
+// [kMinWireVersion, kWireVersion] and each frame carries the version its
+// payload was encoded at (Frame::version). A peer replies at
+// min(kWireVersion, version-the-peer-spoke): a v3 collector answers a v2
+// Hello with v2-framed Acks and never acks that connection's Heartbeats;
+// a v3 agent that receives a v2-framed Hello ack encodes its deltas as v2
+// (no timestamps) and does not wait for Heartbeat acks. The v2 Ack
+// contract is therefore honored in both directions.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +73,10 @@
 namespace dcs::service {
 
 constexpr std::uint32_t kWireMagic = 0x57534344;  // "DCSW"
-constexpr std::uint8_t kWireVersion = 2;
+constexpr std::uint8_t kWireVersion = 3;
+/// Oldest version still decoded. v1 is gone: its Ack payload predates the
+/// retry_after_ms field and silent-drop semantics the collector relies on.
+constexpr std::uint8_t kMinWireVersion = 2;
 /// Sketch deltas are ~r*s*65*8 bytes per allocated level (~1.6 MiB at
 /// r=3, s=1024, 8 levels); 64 MiB leaves generous headroom while bounding
 /// what a garbage length prefix can make a receiver buffer.
@@ -83,11 +101,17 @@ class WireError : public SerializeError {
 
 struct Frame {
   MsgType type = MsgType::kHello;
+  /// Version byte the sender framed this payload at; payload decoders that
+  /// changed shape across versions (SnapshotDelta) branch on it.
+  std::uint8_t version = kWireVersion;
   std::string payload;
 };
 
-/// Assemble one frame (header + payload + CRC) ready to send.
-std::string encode_frame(MsgType type, std::string_view payload);
+/// Assemble one frame (header + payload + CRC) ready to send. `version`
+/// must be in [kMinWireVersion, kWireVersion]; pass the negotiated peer
+/// version when answering a downlevel site.
+std::string encode_frame(MsgType type, std::string_view payload,
+                         std::uint8_t version = kWireVersion);
 
 /// Incremental frame parser for a TCP byte stream. feed() appends received
 /// bytes; next() pops the first complete frame, returns std::nullopt when
@@ -157,11 +181,21 @@ struct SnapshotDelta {
   std::uint64_t epoch = 0;
   /// Flow updates summarized by this delta (for collector accounting).
   std::uint64_t updates = 0;
+  // Epoch origin timestamps (wire v3+; all zero when decoded from a v2
+  // frame). Unix stamps are CLOCK_REALTIME nanoseconds so the collector
+  // can subtract across processes; seal_steady_ns is the agent's monotonic
+  // clock at seal, immune to wall-clock steps on the agent itself.
+  std::uint64_t seal_unix_ns = 0;    ///< epoch sealed (serialize complete)
+  std::uint64_t seal_steady_ns = 0;  ///< agent steady clock at seal
+  std::uint64_t spool_unix_ns = 0;   ///< delta enqueued on the spool
+  std::uint64_t ship_unix_ns = 0;    ///< stamped per send attempt
   /// DistinctCountSketch::serialize bytes (self-checksummed, v2 footer).
   std::string sketch_blob;
 
-  std::string encode() const;
-  static SnapshotDelta decode(const std::string& payload);
+  /// Encode at `version`: v2 omits the four timestamp fields.
+  std::string encode(std::uint8_t version = kWireVersion) const;
+  static SnapshotDelta decode(const std::string& payload,
+                              std::uint8_t version = kWireVersion);
 };
 
 struct Heartbeat {

@@ -59,3 +59,45 @@ foreach(needle
 endforeach()
 
 message(STATUS "service_smoke: 4 agents, 16 deltas, clean merge")
+
+# --- Phase 2: live ops-plane scrape mid-ingest ------------------------------
+# A fresh collector with the embedded HTTP ops server and one deliberately
+# heavy agent (~98 epochs) keep ingest running for several seconds while
+# ops_probe.cmake — the third member of the concurrent pipeline — curls
+# /healthz, /metrics, /sites and /traces and asserts on what a live scrape
+# must show (all stage histogram families, a nonzero freshness count, at
+# least one complete epoch trace). The periodic --metrics-every flush is on
+# so the probe's success also implies the scrape-less fallback ran.
+set(ops_port_file ${WORK_DIR}/ops.port)
+set(live_port_file ${WORK_DIR}/live_collector.port)
+execute_process(
+  COMMAND ${DCS_AGENT} --site 9 --port-file ${live_port_file}
+          --u 200000 --d 50 --epoch-updates 2048
+  COMMAND ${DCS_COLLECTOR} --port-file ${live_port_file} --sites 1
+          --timeout-ms 60000 --ops-port 0 --ops-port-file ${ops_port_file}
+          --metrics-out ${WORK_DIR}/live_metrics.prom --metrics-every 1
+  COMMAND ${CMAKE_COMMAND} -DOPS_PORT_FILE=${ops_port_file}
+          -DOUT_DIR=${WORK_DIR}
+          -P ${CMAKE_CURRENT_LIST_DIR}/ops_probe.cmake
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE live_out
+  ERROR_VARIABLE live_err
+  RESULTS_VARIABLE live_statuses
+  TIMEOUT 90)
+
+foreach(status ${live_statuses})
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "service_smoke: live ops phase failed "
+      "(${live_statuses}):\n${live_out}\n${live_err}")
+  endif()
+endforeach()
+
+# The periodic flusher must have left a readable snapshot behind even
+# before the clean-exit write (same path, so just assert it parses).
+file(READ ${WORK_DIR}/live_metrics.prom live_prom)
+if(NOT live_prom MATCHES "dcs_detection_freshness_ns_count [1-9]")
+  message(FATAL_ERROR "service_smoke: live_metrics.prom missing freshness "
+    "counts:\n${live_prom}")
+endif()
+
+message(STATUS "service_smoke: live ops plane scraped mid-ingest")

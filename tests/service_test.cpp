@@ -18,6 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/agent.hpp"
 #include "service/collector.hpp"
 #include "service/socket.hpp"
@@ -938,8 +941,13 @@ TEST(ServiceOverload, HeartbeatFloodNeitherStallsNorKills) {
     ship.sketch_blob = std::move(out).str();
     ASSERT_TRUE(
         socket->send_all(encode_frame(MsgType::kSnapshotDelta, ship.encode())));
-    const Ack ack = read_ack();
-    EXPECT_EQ(ack.status, AckStatus::kOk);
+    // Each v3 heartbeat is acked with epoch 0; the delta ack (epoch >= 1)
+    // arrives after every frame of the burst was processed in order.
+    Ack ack;
+    do {
+      ack = read_ack();
+      EXPECT_EQ(ack.status, AckStatus::kOk);
+    } while (ack.epoch == 0);
     EXPECT_EQ(ack.epoch, epoch);
   }
 
@@ -1067,6 +1075,248 @@ TEST(ServiceOverload, AgentBacksOffOnNackWithoutSpillingItsSpool) {
   EXPECT_EQ(stats.dropped_epochs, 0u);
   EXPECT_EQ(stats.post_recovery_duplicates, 0u);
   EXPECT_TRUE(collector.merged_sketch() == expected);
+  collector.stop();
+}
+
+// --- wire version negotiation (v2 <-> v3) -----------------------------------
+
+TEST(WireVersioning, FrameCarriesItsVersionAndRejectsOutOfRange) {
+  const std::string beat = Heartbeat{}.encode();
+  FrameDecoder decoder;
+
+  const std::string v2 = encode_frame(MsgType::kHeartbeat, beat, 2);
+  decoder.feed(v2.data(), v2.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->version, 2);
+
+  const std::string v3 = encode_frame(MsgType::kHeartbeat, beat);
+  decoder.feed(v3.data(), v3.size());
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->version, kWireVersion);
+
+  EXPECT_THROW(encode_frame(MsgType::kHeartbeat, beat, 1), WireError);
+  EXPECT_THROW(encode_frame(MsgType::kHeartbeat, beat,
+                            static_cast<std::uint8_t>(kWireVersion + 1)),
+               WireError);
+}
+
+TEST(WireVersioning, SnapshotDeltaTimestampsAreV3Only) {
+  SnapshotDelta delta;
+  delta.site_id = 4;
+  delta.epoch = 11;
+  delta.updates = 256;
+  delta.seal_unix_ns = 111;
+  delta.seal_steady_ns = 222;
+  delta.spool_unix_ns = 333;
+  delta.ship_unix_ns = 444;
+  delta.sketch_blob = "blobbytes";
+
+  // v3 payloads round-trip every stamp.
+  const SnapshotDelta back3 = SnapshotDelta::decode(delta.encode());
+  EXPECT_EQ(back3.seal_unix_ns, 111u);
+  EXPECT_EQ(back3.seal_steady_ns, 222u);
+  EXPECT_EQ(back3.spool_unix_ns, 333u);
+  EXPECT_EQ(back3.ship_unix_ns, 444u);
+  EXPECT_EQ(back3.sketch_blob, "blobbytes");
+
+  // A v2 payload is the legacy layout: shorter, no stamps on decode.
+  const std::string v2_payload = delta.encode(2);
+  EXPECT_EQ(delta.encode().size(), v2_payload.size() + 4 * 8);
+  const SnapshotDelta back2 = SnapshotDelta::decode(v2_payload, 2);
+  EXPECT_EQ(back2.site_id, 4u);
+  EXPECT_EQ(back2.epoch, 11u);
+  EXPECT_EQ(back2.updates, 256u);
+  EXPECT_EQ(back2.seal_unix_ns, 0u);
+  EXPECT_EQ(back2.sketch_blob, "blobbytes");
+
+  // Misreading a v2 payload with the v3 layout must fail loudly, not
+  // produce a silently corrupt delta.
+  EXPECT_ANY_THROW(SnapshotDelta::decode(v2_payload, 3));
+}
+
+/// A legacy v2 agent (no timestamps, no heartbeat-ack expectation) against a
+/// v3 collector: the collector must answer in v2 frames, merge the v2 delta,
+/// and stay silent on v2 heartbeats — the exact v2 Ack contract.
+TEST(WireVersioning, V2PeerInteroperatesWithV3Collector) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  Collector collector(config);
+  collector.start();
+
+  DistinctCountSketch delta_sketch(small_params());
+  delta_sketch.update(8, 2, +1);
+  std::ostringstream blob_out(std::ios::binary);
+  BinaryWriter writer(blob_out);
+  delta_sketch.serialize(writer);
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(2000, 2000);
+  FrameDecoder decoder;
+  char buffer[4096];
+  const auto read_ack_frame = [&]() -> std::optional<Frame> {
+    for (;;) {
+      if (auto frame = decoder.next()) return frame;
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) return std::nullopt;
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 3;
+  hello.params_fingerprint = small_params().fingerprint();
+  ASSERT_TRUE(
+      socket->send_all(encode_frame(MsgType::kHello, hello.encode(), 2)));
+  auto hello_ack = read_ack_frame();
+  ASSERT_TRUE(hello_ack.has_value());
+  EXPECT_EQ(hello_ack->version, 2) << "reply framed above the peer's version";
+  EXPECT_EQ(Ack::decode(hello_ack->payload).status, AckStatus::kOk);
+
+  // v2 heartbeats get no ack (a v2 agent would misread one as a stray
+  // delta ack); the connection must stay healthy regardless.
+  ASSERT_TRUE(socket->send_all(
+      encode_frame(MsgType::kHeartbeat, Heartbeat{}.encode(), 2)));
+
+  SnapshotDelta delta;
+  delta.site_id = 3;
+  delta.epoch = 1;
+  delta.updates = 1;
+  delta.sketch_blob = std::move(blob_out).str();
+  ASSERT_TRUE(socket->send_all(
+      encode_frame(MsgType::kSnapshotDelta, delta.encode(2), 2)));
+  auto delta_ack = read_ack_frame();
+  ASSERT_TRUE(delta_ack.has_value());
+  EXPECT_EQ(delta_ack->version, 2);
+  const Ack ack = Ack::decode(delta_ack->payload);
+  EXPECT_EQ(ack.status, AckStatus::kOk);
+  EXPECT_EQ(ack.epoch, 1u) << "heartbeat must not have been acked before "
+                              "the delta (v2 ack-stream contract)";
+
+  EXPECT_EQ(collector.stats().deltas_merged, 1u);
+  EXPECT_TRUE(collector.merged_sketch() == delta_sketch);
+  collector.stop();
+}
+
+/// A v3 peer's heartbeats are acked with epoch 0 — the free RTT probe.
+TEST(WireVersioning, V3HeartbeatsAreAckedWithEpochZero) {
+  CollectorConfig config = collector_config();
+  config.run_detection = false;
+  Collector collector(config);
+  collector.start();
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 1000);
+  ASSERT_TRUE(socket.has_value());
+  socket->set_timeouts(2000, 2000);
+  FrameDecoder decoder;
+  char buffer[4096];
+  const auto read_ack_frame = [&]() -> std::optional<Frame> {
+    for (;;) {
+      if (auto frame = decoder.next()) return frame;
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) return std::nullopt;
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 6;
+  hello.params_fingerprint = small_params().fingerprint();
+  ASSERT_TRUE(socket->send_all(encode_frame(MsgType::kHello, hello.encode())));
+  auto hello_ack = read_ack_frame();
+  ASSERT_TRUE(hello_ack.has_value());
+  EXPECT_EQ(hello_ack->version, kWireVersion);
+
+  ASSERT_TRUE(socket->send_all(
+      encode_frame(MsgType::kHeartbeat, Heartbeat{}.encode())));
+  auto beat_ack = read_ack_frame();
+  ASSERT_TRUE(beat_ack.has_value());
+  EXPECT_EQ(beat_ack->type, MsgType::kAck);
+  EXPECT_EQ(beat_ack->version, kWireVersion);
+  const Ack ack = Ack::decode(beat_ack->payload);
+  EXPECT_EQ(ack.status, AckStatus::kOk);
+  EXPECT_EQ(ack.epoch, 0u);
+  collector.stop();
+}
+
+// --- end-to-end epoch tracing ----------------------------------------------
+
+/// Real agent, real collector, telemetry on: every trace dumped from the
+/// collector's ring must be complete (all eight stages stamped, in order)
+/// and carry a detection-freshness measurement.
+TEST(ServiceTrace, CollectorTracesAreCompleteAndMonotone) {
+  obs::set_enabled(true);
+  const std::uint64_t freshness_before =
+      obs::TraceMetrics::get().detection_freshness_ns.snapshot().count;
+
+  Collector collector(collector_config());
+  collector.start();
+  SiteAgent agent(agent_config(2, collector.port()));
+  agent.start();
+  for (const auto& update : zipf_updates(2500, 9)) agent.ingest(update);
+  EXPECT_TRUE(agent.flush(10000));
+  agent.stop();
+
+  const auto traces = collector.traces();
+  ASSERT_GE(traces.size(), 4u);  // 2500 updates / 500 per epoch
+  for (const auto& trace : traces) {
+    EXPECT_EQ(trace.site_id, 2u);
+    EXPECT_TRUE(trace.complete()) << "epoch " << trace.epoch;
+    EXPECT_GT(trace.freshness_ns, 0u) << "epoch " << trace.epoch;
+    EXPECT_GT(trace.updates, 0u);
+    EXPECT_GT(trace.bytes, 0u);
+  }
+
+  // The SLO histogram saw every merged epoch.
+  const auto freshness =
+      obs::TraceMetrics::get().detection_freshness_ns.snapshot();
+  EXPECT_GE(freshness.count, freshness_before + traces.size());
+
+  // The agent kept its own (sealed/spooled/shipped) view of the epochs.
+  const auto agent_traces = agent.traces();
+  ASSERT_GE(agent_traces.size(), 4u);
+  for (const auto& trace : agent_traces) {
+    const auto sealed = trace.stamp(obs::TraceStage::kSealed);
+    const auto spooled = trace.stamp(obs::TraceStage::kSpooled);
+    const auto shipped = trace.stamp(obs::TraceStage::kShipped);
+    EXPECT_GT(sealed, 0u);
+    EXPECT_GE(spooled, sealed);
+    EXPECT_GE(shipped, spooled);
+  }
+  collector.stop();
+}
+
+/// An idle v3 agent <-> v3 collector pair turns keepalive heartbeats into
+/// RTT observations.
+TEST(ServiceTrace, HeartbeatRttIsMeasuredOnIdleConnections) {
+  obs::set_enabled(true);
+  const std::uint64_t rtt_before =
+      obs::AgentMetrics::get().heartbeat_rtt_ns.snapshot().count;
+
+  Collector collector(collector_config());
+  collector.start();
+  auto config = agent_config(1, collector.port());
+  config.heartbeat_interval_ms = 20;
+  SiteAgent agent(config);
+  agent.start();
+  // One epoch to establish the connection, then idle through several
+  // heartbeat intervals.
+  agent.ingest(1, 2, +1);
+  agent.seal_epoch();
+  EXPECT_TRUE(agent.flush(5000));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (obs::AgentMetrics::get().heartbeat_rtt_ns.snapshot().count <
+             rtt_before + 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  agent.stop();
+
+  const auto rtt = obs::AgentMetrics::get().heartbeat_rtt_ns.snapshot();
+  EXPECT_GE(rtt.count, rtt_before + 2)
+      << "no heartbeat RTT observed within the deadline";
   collector.stop();
 }
 

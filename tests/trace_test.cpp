@@ -1,0 +1,332 @@
+// Unit tests for the epoch tracing layer (obs/trace.hpp) and the embedded
+// HTTP ops server (obs/http_export.hpp), plus HistogramSnapshot quantile
+// edge cases the ops plane depends on for its latency summaries.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/http_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/socket.hpp"
+
+namespace dcs::obs {
+namespace {
+
+EpochTrace make_trace(std::uint64_t epoch, std::uint64_t base_ns = 1000) {
+  EpochTrace trace;
+  trace.site_id = 7;
+  trace.epoch = epoch;
+  trace.updates = 2048;
+  trace.bytes = 4096;
+  for (std::size_t i = 0; i < kTraceStageCount; ++i)
+    trace.stage_unix_ns[i] = base_ns + 100 * i;
+  trace.freshness_ns = 100 * (kTraceStageCount - 1);
+  return trace;
+}
+
+TEST(TraceStageTest, NamesAreStableAndDistinct) {
+  const char* expected[] = {"sealed",   "spooled",   "shipped", "received",
+                            "admitted", "journaled", "merged",
+                            "detector_evaluated"};
+  for (std::size_t i = 0; i < kTraceStageCount; ++i)
+    EXPECT_EQ(trace_stage_name(static_cast<TraceStage>(i)), expected[i]);
+}
+
+TEST(EpochTraceTest, CompleteRequiresEveryStampMonotone) {
+  EpochTrace trace = make_trace(1);
+  EXPECT_TRUE(trace.complete());
+
+  // Equal adjacent stamps are fine (coarse clocks).
+  trace.stamp(TraceStage::kSpooled) = trace.stamp(TraceStage::kSealed);
+  EXPECT_TRUE(trace.complete());
+
+  // A missing stage breaks completeness.
+  trace = make_trace(1);
+  trace.stamp(TraceStage::kJournaled) = 0;
+  EXPECT_FALSE(trace.complete());
+
+  // A regression in pipeline order breaks completeness.
+  trace = make_trace(1);
+  trace.stamp(TraceStage::kMerged) = trace.stamp(TraceStage::kSealed) - 1;
+  EXPECT_FALSE(trace.complete());
+}
+
+TEST(TraceRingTest, SnapshotReturnsOldestFirst) {
+  TraceRing ring(8);
+  for (std::uint64_t e = 1; e <= 5; ++e) ring.push(make_trace(e));
+  const auto traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 5u);
+  for (std::uint64_t e = 1; e <= 5; ++e) EXPECT_EQ(traces[e - 1].epoch, e);
+  EXPECT_EQ(ring.pushed(), 5u);
+}
+
+TEST(TraceRingTest, WrapKeepsOnlyTheLastCapacityTraces) {
+  TraceRing ring(4);
+  for (std::uint64_t e = 1; e <= 11; ++e) ring.push(make_trace(e));
+  const auto traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 4u);
+  // Epochs 8..11 survive, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(traces[i].epoch, 8 + i);
+}
+
+TEST(TraceRingTest, RoundTripPreservesEveryField) {
+  TraceRing ring(2);
+  const EpochTrace pushed = make_trace(42, /*base_ns=*/123456789);
+  ring.push(pushed);
+  const auto traces = ring.snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const EpochTrace& got = traces[0];
+  EXPECT_EQ(got.site_id, pushed.site_id);
+  EXPECT_EQ(got.epoch, pushed.epoch);
+  EXPECT_EQ(got.updates, pushed.updates);
+  EXPECT_EQ(got.bytes, pushed.bytes);
+  EXPECT_EQ(got.freshness_ns, pushed.freshness_ns);
+  EXPECT_EQ(got.stage_unix_ns, pushed.stage_unix_ns);
+}
+
+// Writers hammer the ring while readers snapshot: every returned trace must
+// be internally consistent (a seqlock-torn slot is skipped, never blended).
+// Consistency oracle: every stamp of trace e equals base + 100*stage where
+// base encodes e, so any cross-epoch blend is detectable.
+TEST(TraceRingTest, ConcurrentPushAndSnapshotYieldOnlyConsistentTraces) {
+  TraceRing ring(16);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const EpochTrace& trace : ring.snapshot()) {
+        const std::uint64_t base = trace.epoch * 1000;
+        for (std::size_t i = 0; i < kTraceStageCount; ++i)
+          if (trace.stage_unix_ns[i] != base + 100 * i)
+            bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  constexpr int kWriters = 3;
+  constexpr std::uint64_t kPerWriter = 4000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&ring, w] {
+      for (std::uint64_t n = 0; n < kPerWriter; ++n) {
+        const std::uint64_t epoch =
+            static_cast<std::uint64_t>(w) * kPerWriter + n + 1;
+        ring.push(make_trace(epoch, epoch * 1000));
+      }
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(ring.pushed(), kWriters * kPerWriter);
+  // After the dust settles a snapshot sees a full, consistent ring.
+  EXPECT_EQ(ring.snapshot().size(), ring.capacity());
+}
+
+TEST(TraceJsonTest, RendersStagesAndOmitsZeroStamps) {
+  EpochTrace trace = make_trace(3);
+  trace.stamp(TraceStage::kJournaled) = 0;  // e.g. no durability configured
+  const std::string json = traces_to_json({trace});
+  EXPECT_NE(json.find("\"site_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"sealed\""), std::string::npos);
+  EXPECT_NE(json.find("\"detector_evaluated\""), std::string::npos);
+  EXPECT_EQ(json.find("\"journaled\""), std::string::npos);
+  EXPECT_NE(json.find("\"complete\": false"), std::string::npos);
+
+  EXPECT_EQ(traces_to_json({}), "[]\n");
+}
+
+TEST(TraceMetricsTest, ObserveSpanClampsSkewAndSkipsUnknownStamps) {
+  TraceMetrics& metrics = TraceMetrics::get();
+  Histogram& hist = metrics.stage(TraceStage::kReceived);
+  const std::uint64_t before = hist.snapshot().count;
+
+  set_enabled(true);
+  // Unknown stamps (v2 peer): no observation.
+  metrics.observe_span(TraceStage::kReceived, 0, 500);
+  metrics.observe_span(TraceStage::kReceived, 500, 0);
+  EXPECT_EQ(hist.snapshot().count, before);
+
+  // Cross-host clock skew (prev > cur) clamps to 0 instead of wrapping.
+  metrics.observe_span(TraceStage::kReceived, 1000, 400);
+  auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, before + 1);
+  EXPECT_EQ(snap.buckets[0], 1u);  // bucket 0 holds exactly value 0
+
+  metrics.observe_span(TraceStage::kReceived, 400, 1000);
+  snap = hist.snapshot();
+  EXPECT_EQ(snap.count, before + 2);
+}
+
+// --- HistogramSnapshot quantile edge cases (satellite 3) ---
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.quantile(0.99), 0.0);
+  EXPECT_EQ(snap.quantile(1.0), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketMassStaysInsideTheBucket) {
+  Histogram hist;
+  for (int i = 0; i < 1000; ++i) hist.record(100);  // bucket [64, 127]
+  const HistogramSnapshot snap = hist.snapshot();
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, 64.0) << "q=" << q;
+    EXPECT_LE(v, 127.0) << "q=" << q;
+  }
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_GE(snap.quantile(-0.5), 64.0);
+  EXPECT_LE(snap.quantile(1.5), 127.0);
+}
+
+TEST(HistogramQuantileTest, TopBucketSaturationReportsItsLowerEdge) {
+  Histogram hist;
+  // Values beyond the largest finite bucket collapse into the overflow
+  // bucket, whose reported quantile is its (finite) lower edge.
+  for (int i = 0; i < 10; ++i) hist.record(UINT64_MAX);
+  const HistogramSnapshot snap = hist.snapshot();
+  const double lower = static_cast<double>(
+      std::uint64_t{1} << (HistogramSnapshot::kBuckets - 2));
+  EXPECT_EQ(snap.quantile(0.5), lower);
+  EXPECT_EQ(snap.quantile(1.0), lower);
+}
+
+TEST(HistogramQuantileTest, QuantilesAreMonotoneUnderRandomFills) {
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram hist;
+    // Mix of magnitudes so mass spreads across many buckets.
+    std::uniform_int_distribution<int> shift(0, 40);
+    std::uniform_int_distribution<std::uint64_t> low(0, 1023);
+    const int n = 1 + trial * 37;
+    for (int i = 0; i < n; ++i)
+      hist.record(low(rng) << shift(rng));
+    const HistogramSnapshot snap = hist.snapshot();
+    const double p50 = snap.quantile(0.50);
+    const double p90 = snap.quantile(0.90);
+    const double p99 = snap.quantile(0.99);
+    EXPECT_LE(p50, p90) << "trial=" << trial;
+    EXPECT_LE(p90, p99) << "trial=" << trial;
+    EXPECT_GE(p50, 0.0);
+  }
+}
+
+// --- HTTP ops server end to end over a real loopback socket ---
+
+std::string http_get(std::uint16_t port, const std::string& request) {
+  auto socket = service::tcp_connect("127.0.0.1", port, 2000);
+  if (!socket) return {};
+  socket->set_timeouts(2000, 2000);
+  if (!socket->send_all(request)) return {};
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const auto got = socket->recv_some(buffer, sizeof buffer);
+    if (got.bytes == 0) break;
+    response.append(buffer, got.bytes);
+  }
+  return response;
+}
+
+TEST(HttpServerTest, ServesRoutesAndRejectsUnknownsAndNonGet) {
+  set_enabled(true);
+  HttpServer server;  // 127.0.0.1, ephemeral port
+  server.route("/metrics", [] {
+    HttpResponse response;
+    response.body = "metric_value 1\n";
+    return response;
+  });
+  server.route("/healthz", [] {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = "{\"status\":\"ok\"}";
+    return response;
+  });
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok = http_get(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(ok.find("metric_value 1"), std::string::npos);
+  EXPECT_NE(ok.find("Connection: close"), std::string::npos);
+
+  // Query strings are stripped before route matching.
+  const std::string with_query = http_get(
+      server.port(), "GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(with_query.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(with_query.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(with_query.find("application/json"), std::string::npos);
+
+  const std::string missing = http_get(
+      server.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  const std::string post = http_get(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+
+  const std::string garbage = http_get(server.port(), "not-http\r\n\r\n");
+  EXPECT_NE(garbage.find("HTTP/1.1 400"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomes500AndIsCounted) {
+  set_enabled(true);
+  OpsMetrics& ops = OpsMetrics::get();
+  const std::uint64_t errors_before = ops.request_errors.value();
+  HttpServer server;
+  server.route("/boom", []() -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start();
+  const std::string response = http_get(
+      server.port(), "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  EXPECT_GT(ops.request_errors.value(), errors_before);
+  server.stop();
+}
+
+TEST(HttpServerTest, ServesRealRegistrySnapshots) {
+  set_enabled(true);
+  // Touch the trace metrics so the scrape has the full stage catalog.
+  TraceMetrics::get();
+  HttpServer server;
+  server.route("/metrics", [] {
+    HttpResponse response;
+    response.body = to_prometheus(Registry::global().snapshot());
+    return response;
+  });
+  server.start();
+  const std::string response = http_get(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("dcs_detection_freshness_ns_count"),
+            std::string::npos);
+  for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+    const std::string family =
+        "dcs_trace_stage_ns_count{stage=\"" +
+        std::string(trace_stage_name(static_cast<TraceStage>(i))) + "\"}";
+    EXPECT_NE(response.find(family), std::string::npos) << family;
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace dcs::obs

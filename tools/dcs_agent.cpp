@@ -9,17 +9,30 @@
 //   dcs_agent --port N | --port-file FILE [--host ADDR] [--site N]
 //             [--r N] [--s N] [--seed N] [--u N] [--d N] [--z F] [--wseed N]
 //             [--epoch-updates N] [--spool N] [--drain-ms N]
+//             [--metrics-out FILE] [--metrics-format prom|json]
+//             [--metrics-every SEC] [--ops-port N] [--ops-port-file FILE]
 //
 // --port-file polls for a file published by `dcs_collector --port-file`, so
 // both sides can be launched simultaneously with an ephemeral port.
+//
+// --ops-port embeds the HTTP ops server (obs/http_export.hpp): /metrics,
+// /metrics.json, /healthz and /traces served live (0 = ephemeral port,
+// published via --ops-port-file). --metrics-every atomically rewrites
+// --metrics-out every SEC seconds so even a SIGKILLed agent leaves recent
+// metrics behind.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/options.hpp"
+#include "obs/export.hpp"
+#include "obs/http_export.hpp"
+#include "obs/trace.hpp"
 #include "service/agent.hpp"
 #include "stream/generator.hpp"
 
@@ -44,7 +57,56 @@ void print_usage() {
       "  --epoch-updates N   updates per sealed epoch delta (default 2048)\n"
       "  --spool N           max sealed-but-unacked epochs held (default 64)\n"
       "  --drain-ms N        flush/stop timeout on exit (default 15000)\n"
+      "  --metrics-out FILE  write a metrics snapshot on exit\n"
+      "  --metrics-format F  prom|json (default prom)\n"
+      "  --metrics-every SEC also rewrite --metrics-out atomically every\n"
+      "                      SEC seconds (0 = only on exit; default 0)\n"
+      "  --ops-port N        serve the HTTP ops plane (/metrics,\n"
+      "                      /metrics.json, /healthz, /traces) on this port\n"
+      "                      (0 = ephemeral; omit = disabled)\n"
+      "  --ops-port-file FILE  atomically publish the bound ops port\n"
       "  --help              print this help\n");
+}
+
+/// Liveness + shipping-state JSON for GET /healthz on the agent ops plane.
+std::string agent_healthz_json(const service::SiteAgent& agent,
+                               std::uint64_t site_id) {
+  const auto stats = agent.stats();
+  std::string out = "{";
+  auto field = [&out](const char* key, std::uint64_t value, bool comma = true) {
+    out += "\"";
+    out += key;
+    out += "\":" + std::to_string(value);
+    if (comma) out += ',';
+  };
+  out += "\"status\":\"";
+  out += stats.rejected ? "rejected" : "ok";
+  out += "\",\"connected\":";
+  out += stats.connected ? "true" : "false";
+  out += ',';
+  field("site_id", site_id);
+  field("epochs_sealed", stats.epochs_sealed);
+  field("epochs_shipped", stats.epochs_shipped);
+  field("epochs_dropped", stats.epochs_dropped);
+  field("resume_skips", stats.resume_skips);
+  field("nacks", stats.nacks);
+  field("reconnects", stats.reconnects);
+  field("io_errors", stats.io_errors);
+  field("current_epoch", stats.current_epoch);
+  field("spool_depth", stats.spool_depth, /*comma=*/false);
+  out += "}\n";
+  return out;
+}
+
+/// Atomically publish a bound port (temp file + rename), mirroring the
+/// collector's --port-file contract so probes never read a half-write.
+void publish_port(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
 }
 
 std::uint16_t wait_for_port_file(const std::string& path, int timeout_ms) {
@@ -112,8 +174,59 @@ int main(int argc, char** argv) {
 
     service::SiteAgent agent(config);
     agent.start();
+
+    // Live ops plane: handlers read immutable snapshots only, so a scrape
+    // never touches the shipping thread's locks for longer than a snapshot.
+    std::unique_ptr<obs::HttpServer> ops_server;
+    const std::int64_t ops_port = options.integer("ops-port", -1);
+    if (ops_port >= 0) {
+      obs::HttpServerConfig ops_config;
+      ops_config.port = static_cast<std::uint16_t>(ops_port);
+      ops_server = std::make_unique<obs::HttpServer>(ops_config);
+      ops_server->route("/metrics", [] {
+        obs::HttpResponse response;
+        response.body = obs::to_prometheus(obs::Registry::global().snapshot());
+        return response;
+      });
+      ops_server->route("/metrics.json", [] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = obs::to_json(obs::Registry::global().snapshot());
+        return response;
+      });
+      const std::uint64_t site_id = config.site_id;
+      ops_server->route("/healthz", [&agent, site_id] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = agent_healthz_json(agent, site_id);
+        return response;
+      });
+      ops_server->route("/traces", [&agent] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = obs::traces_to_json(agent.traces());
+        return response;
+      });
+      ops_server->start();
+      std::printf("ops plane on 127.0.0.1:%u\n", ops_server->port());
+      std::fflush(stdout);
+      const std::string ops_port_file = options.str("ops-port-file", "");
+      if (!ops_port_file.empty())
+        publish_port(ops_port_file, ops_server->port());
+    }
+
+    const std::string metrics_out_path = options.str("metrics-out", "");
+    const obs::ExportFormat metrics_format =
+        obs::parse_format(options.str("metrics-format", "prom"));
+    obs::PeriodicSnapshotWriter metrics_flusher;
+    metrics_flusher.start(metrics_out_path, metrics_format,
+                          static_cast<int>(options.integer("metrics-every",
+                                                           0)));
+
     for (const FlowUpdate& update : workload.updates()) agent.ingest(update);
     const bool drained = agent.flush(drain_ms);
+    metrics_flusher.stop();
+    if (ops_server) ops_server->stop();
     agent.stop(drain_ms);
 
     const auto stats = agent.stats();
@@ -126,6 +239,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.reconnects),
                 static_cast<unsigned long long>(stats.io_errors),
                 stats.rejected ? 1 : 0);
+    if (!metrics_out_path.empty())
+      obs::write_snapshot_file(metrics_out_path, metrics_format,
+                               obs::Registry::global().snapshot());
+
     if (stats.rejected) {
       std::fprintf(stderr, "dcs_agent: collector rejected handshake "
                            "(parameter mismatch)\n");

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/options.hpp"
+#include "obs/trace.hpp"
 #include "service/agent.hpp"
 #include "service/collector.hpp"
 #include "service/socket.hpp"
@@ -219,6 +220,14 @@ int main(int argc, char** argv) {
     const std::uint16_t port = collector.port();
     if (verbose) std::printf("collector on 127.0.0.1:%u\n", port);
 
+    // Detection-freshness watch: the tracing layer must measure every merge
+    // even while the overload defenses are firing, and the measured
+    // seal-to-verdict latency must stay bounded by the episode itself —
+    // faults may delay epochs, never let them go stale unnoticed.
+    const std::uint64_t freshness_before =
+        obs::TraceMetrics::get().detection_freshness_ns.snapshot().count;
+    const auto episode_start = Clock::now();
+
     // Sampler: the run-long watchdogs. max_inflight proves the admission
     // budget actually bounds shipping-path memory; max_stall_ns proves no
     // collector thread holds the state lock (the resource every query and
@@ -372,6 +381,20 @@ int main(int argc, char** argv) {
     expect(stats.dropped_epochs == 0, "zero gap epochs across the episode");
     expect(stats.post_recovery_duplicates == 0,
            "no post-recovery duplicate merges");
+    // --- the freshness SLO stayed measured and bounded under faults --------
+    const auto freshness =
+        obs::TraceMetrics::get().detection_freshness_ns.snapshot();
+    const auto episode_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - episode_start)
+            .count());
+    expect(freshness.count >= freshness_before + stats.deltas_merged,
+           "every merged delta produced a detection-freshness observation");
+    // quantile(1.0) reports the top occupied bucket's range, which can
+    // overshoot the true maximum by up to 2x; 4x the episode length leaves
+    // room for that plus wall-vs-steady clock slop.
+    expect(freshness.quantile(1.0) <= 4.0 * static_cast<double>(episode_ns),
+           "worst-case detection freshness bounded by the episode length");
     // --- exact convergence: the whole point --------------------------------
     expect(serialize_sketch(merged) == serialize_sketch(reference),
            "merged sketch equals the uninterrupted reference bit-for-bit");

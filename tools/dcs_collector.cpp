@@ -14,9 +14,17 @@
 //                 [--frame-deadline-ms N] [--idle-timeout-ms N]
 //                 [--max-frame-bytes N]
 //                 [--metrics-out FILE] [--metrics-format prom|json]
+//                 [--metrics-every SEC] [--ops-port N] [--ops-port-file FILE]
 //
 // --port-file atomically publishes the bound port (written under a temp
 // name, then renamed) so agents started concurrently can discover it.
+//
+// --ops-port embeds the HTTP ops server (obs/http_export.hpp): /metrics
+// (Prometheus text), /metrics.json, /healthz, /sites and /traces, all
+// served live from immutable snapshots. 0 picks an ephemeral port,
+// published via --ops-port-file. --metrics-every atomically rewrites
+// --metrics-out every SEC seconds as a scrape-less fallback, so even a
+// SIGKILLed collector leaves recent metrics behind.
 //
 // --state-dir enables crash-safe checkpointing (see src/service/
 // checkpoint.hpp): restart with the same directory and the collector
@@ -31,15 +39,21 @@
 // --site-rate/--site-burst rate-limit each site's deltas (token bucket),
 // --frame-deadline-ms drops slow-loris connections, --idle-timeout-ms reaps
 // silent ones, and --max-frame-bytes lowers the receive-side frame cap.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/options.hpp"
 #include "obs/export.hpp"
+#include "obs/http_export.hpp"
+#include "obs/trace.hpp"
 #include "service/collector.hpp"
 
 namespace {
@@ -76,6 +90,12 @@ void print_usage() {
       "                        64 MiB cap; default 0)\n"
       "  --metrics-out FILE    write a metrics snapshot on exit\n"
       "  --metrics-format F    prom|json (default prom)\n"
+      "  --metrics-every SEC   also rewrite --metrics-out atomically every\n"
+      "                        SEC seconds (0 = only on exit; default 0)\n"
+      "  --ops-port N          serve the HTTP ops plane (/metrics,\n"
+      "                        /metrics.json, /healthz, /sites, /traces) on\n"
+      "                        this port (0 = ephemeral; omit = disabled)\n"
+      "  --ops-port-file FILE  atomically publish the bound ops port\n"
       "  --help                print this help\n");
 }
 
@@ -86,6 +106,60 @@ void publish_port(const std::string& path, std::uint16_t port) {
     out << port << "\n";
   }
   std::rename(tmp.c_str(), path.c_str());
+}
+
+std::string healthz_json(const service::Collector& collector,
+                         bool durability) {
+  const auto stats = collector.stats();
+  std::string out = "{\n";
+  const auto field = [&out](const char* key, unsigned long long value,
+                            bool last = false) {
+    out += "  \"" + std::string(key) + "\": " + std::to_string(value) +
+           (last ? "\n" : ",\n");
+  };
+  out += "  \"status\": \"ok\",\n";
+  out += std::string("  \"running\": ") +
+         (collector.running() ? "true" : "false") + ",\n";
+  out += std::string("  \"durability\": ") +
+         (durability ? "true" : "false") + ",\n";
+  field("connected_sites", stats.connected_sites);
+  field("deltas_merged", stats.deltas_merged);
+  field("frames", stats.frames);
+  field("frame_errors", stats.frame_errors);
+  field("shed_deltas", stats.shed_deltas);
+  field("inflight_bytes", collector.inflight_bytes());
+  field("active_alarms", collector.active_alarm_count());
+  field("recoveries", stats.recoveries);
+  field("replayed_epochs", stats.replayed_epochs);
+  field("corrupt_generations_skipped", stats.corrupt_generations_skipped);
+  field("journal_records", stats.journal_records);
+  field("checkpoints_written", stats.checkpoints_written);
+  field("checkpoint_generation", collector.checkpoint_generation(),
+        /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
+std::string sites_json(const service::Collector& collector) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& site : collector.site_stats()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"site_id\": " + std::to_string(site.site_id) +
+           ", \"connected\": " + (site.connected ? "true" : "false") +
+           ", \"last_epoch\": " + std::to_string(site.last_epoch) +
+           ", \"epochs_merged\": " + std::to_string(site.epochs_merged) +
+           ", \"updates_merged\": " + std::to_string(site.updates_merged) +
+           ", \"dropped_epochs\": " + std::to_string(site.dropped_epochs) +
+           ", \"duplicate_deltas\": " + std::to_string(site.duplicate_deltas) +
+           ", \"shed_deltas\": " + std::to_string(site.shed_deltas) +
+           ", \"last_seal_unix_ns\": " + std::to_string(site.last_seal_unix_ns) +
+           ", \"last_freshness_ns\": " + std::to_string(site.last_freshness_ns) +
+           "}";
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace
@@ -156,6 +230,62 @@ int main(int argc, char** argv) {
     const std::string port_file = options.str("port-file", "");
     if (!port_file.empty()) publish_port(port_file, collector.port());
 
+    // Live ops plane: every handler reads an immutable snapshot, so a
+    // scrape never contends with ingest.
+    std::unique_ptr<obs::HttpServer> ops_server;
+    const std::int64_t ops_port = options.integer("ops-port", -1);
+    const bool durability = !config.state_dir.empty();
+    if (ops_port >= 0) {
+      obs::HttpServerConfig ops_config;
+      ops_config.bind_address = config.bind_address;
+      ops_config.port = static_cast<std::uint16_t>(ops_port);
+      ops_server = std::make_unique<obs::HttpServer>(ops_config);
+      ops_server->route("/metrics", [] {
+        obs::HttpResponse response;
+        response.body = obs::to_prometheus(obs::Registry::global().snapshot());
+        return response;
+      });
+      ops_server->route("/metrics.json", [] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = obs::to_json(obs::Registry::global().snapshot());
+        return response;
+      });
+      ops_server->route("/healthz", [&collector, durability] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = healthz_json(collector, durability);
+        return response;
+      });
+      ops_server->route("/sites", [&collector] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = sites_json(collector);
+        return response;
+      });
+      ops_server->route("/traces", [&collector] {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        response.body = obs::traces_to_json(collector.traces());
+        return response;
+      });
+      ops_server->start();
+      std::printf("ops plane on %s:%u\n", config.bind_address.c_str(),
+                  ops_server->port());
+      std::fflush(stdout);
+      const std::string ops_port_file = options.str("ops-port-file", "");
+      if (!ops_port_file.empty())
+        publish_port(ops_port_file, ops_server->port());
+    }
+
+    const std::string metrics_out_path = options.str("metrics-out", "");
+    const obs::ExportFormat metrics_format =
+        obs::parse_format(options.str("metrics-format", "prom"));
+    obs::PeriodicSnapshotWriter metrics_flusher;
+    metrics_flusher.start(metrics_out_path, metrics_format,
+                          static_cast<int>(options.integer("metrics-every",
+                                                           0)));
+
     // Fault injection for the recovery smoke test: SIGKILL ourselves once
     // enough deltas merged. A watcher thread (not a hook in the merge path)
     // keeps the library clean; overshooting by an in-flight delta is fine —
@@ -169,6 +299,8 @@ int main(int argc, char** argv) {
       });
 
     const bool all_done = collector.wait_for_byes(sites, timeout_ms);
+    metrics_flusher.stop();
+    if (ops_server) ops_server->stop();
     collector.stop();
     if (crash_watcher.joinable()) crash_watcher.detach();
 
@@ -213,11 +345,8 @@ int main(int argc, char** argv) {
     std::printf("alerts=%zu active_alarms=%zu\n", collector.alerts().size(),
                 collector.active_alarm_count());
 
-    const std::string metrics_out = options.str("metrics-out", "");
-    if (!metrics_out.empty())
-      obs::write_snapshot_file(metrics_out,
-                               obs::parse_format(
-                                   options.str("metrics-format", "prom")),
+    if (!metrics_out_path.empty())
+      obs::write_snapshot_file(metrics_out_path, metrics_format,
                                obs::Registry::global().snapshot());
 
     if (!all_done) {
