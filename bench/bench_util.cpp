@@ -116,62 +116,32 @@ std::string format_double(double value, int decimals) {
   return buffer;
 }
 
-JsonReport::JsonReport(std::string bench_name)
-    : bench_name_(std::move(bench_name)) {
-  const std::time_t now = std::time(nullptr);
-  std::tm parts{};
-  localtime_r(&now, &parts);
-  char buffer[16];
-  std::strftime(buffer, sizeof buffer, "%Y-%m-%d", &parts);
-  date_ = buffer;
+JsonReport make_report(const std::string& bench_name, const Options& options) {
+  JsonReport report(bench_name);
+  report.set_run_id(options.str("run-id", ""));
+  return report;
 }
 
-void JsonReport::value(const std::string& section, const std::string& key,
-                       double v) {
-  auto it = std::find_if(sections_.begin(), sections_.end(),
-                         [&](const Section& s) { return s.name == section; });
-  if (it == sections_.end()) {
-    sections_.push_back({section, {}});
-    it = std::prev(sections_.end());
+void write_report(const JsonReport& report, const Options& options) {
+  try {
+    const std::string path = report.write(options.str("json-dir", "."));
+    std::printf("json: %s\n", path.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench: json write failed: %s\n", error.what());
   }
-  auto entry = std::find_if(it->values.begin(), it->values.end(),
-                            [&](const auto& kv) { return kv.first == key; });
-  if (entry == it->values.end())
-    it->values.emplace_back(key, v);
-  else
-    entry->second = v;
 }
 
-std::string JsonReport::render() const {
-  // Doubles are rendered with %.6g: enough precision for ns-scale timings
-  // while keeping NaN/Inf out (JSON has no literal for them — clamp to 0).
-  const auto number = [](double v) -> std::string {
-    if (!std::isfinite(v)) return "0";
-    char buffer[48];
-    std::snprintf(buffer, sizeof buffer, "%.6g", v);
-    return buffer;
-  };
-  std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n  \"date\": \"" +
-                    date_ + "\",\n  \"results\": {";
-  for (std::size_t s = 0; s < sections_.size(); ++s) {
-    out += s == 0 ? "\n" : ",\n";
-    out += "    \"" + sections_[s].name + "\": {";
-    const auto& values = sections_[s].values;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      out += i == 0 ? "\n" : ",\n";
-      out += "      \"" + values[i].first + "\": " + number(values[i].second);
-    }
-    out += values.empty() ? "}" : "\n    }";
-  }
-  out += sections_.empty() ? "}\n}\n" : "\n  }\n}\n";
-  return out;
-}
-
-std::string JsonReport::write(const std::string& dir) const {
-  const std::string path =
-      (dir.empty() ? std::string(".") : dir) + "/BENCH_" + date_ + ".json";
-  atomic_write_file(path, render());
-  return path;
+MetricValue summary_metric(const TimingSummary& summary, Direction dir,
+                           double noise_pct) {
+  MetricValue v;
+  v.value = summary.mean;
+  v.dir = dir;
+  v.noise_pct = noise_pct;
+  v.count = static_cast<double>(summary.count);
+  v.p50 = summary.p50;
+  v.p90 = summary.p90;
+  v.p99 = summary.p99;
+  return v;
 }
 
 }  // namespace dcs::bench

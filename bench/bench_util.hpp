@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_report.hpp"
 #include "common/options.hpp"
 #include "metrics/accuracy.hpp"
 #include "obs/metrics.hpp"
@@ -77,33 +78,24 @@ std::vector<std::string> summary_cells(const TimingSummary& summary,
 void print_row(const std::vector<std::string>& cells, int width = 12);
 std::string format_double(double value, int decimals = 3);
 
-/// Machine-readable companion to the printed tables: collects named scalar
-/// results and writes them as `BENCH_<YYYY-MM-DD>.json` so runs can be
-/// archived and diffed without scraping stdout. Sections preserve insertion
-/// order; re-used (section, key) pairs overwrite.
-///
-///   {"bench": "obs_overhead", "date": "2026-08-08",
-///    "results": {"basic_update": {"off_min_ns": 60.1, ...}, ...}}
-class JsonReport {
- public:
-  explicit JsonReport(std::string bench_name);
+// The machine-readable companion to the printed tables is
+// common/bench_report.hpp's JsonReport (the unified BENCH JSON schema);
+// the helpers below wire it to the shared Options conventions so every
+// bench honors --run-id / $DCS_RUN_ID and --json-dir / $DCS_JSON_DIR the
+// same way.
 
-  void value(const std::string& section, const std::string& key, double v);
+/// A JsonReport for `bench_name` with the --run-id flag (env DCS_RUN_ID)
+/// applied and the `runs` metadata pre-filled from Scale when relevant.
+JsonReport make_report(const std::string& bench_name, const Options& options);
 
-  std::string render() const;
+/// Write `report` under --json-dir (default `.`) and print the path.
+/// I/O failure is reported to stderr, not fatal — the printed table is
+/// still the primary output of a hand-run bench.
+void write_report(const JsonReport& report, const Options& options);
 
-  /// Write `dir`/BENCH_<date>.json (atomic rename, see atomic_write_file);
-  /// returns the path written. Throws on I/O failure.
-  std::string write(const std::string& dir = ".") const;
-
- private:
-  struct Section {
-    std::string name;
-    std::vector<std::pair<std::string, double>> values;
-  };
-  std::string bench_name_;
-  std::string date_;
-  std::vector<Section> sections_;
-};
+/// MetricValue carrying a TimingSummary: value = mean, p50/p90/p99/count
+/// filled in.
+MetricValue summary_metric(const TimingSummary& summary, Direction dir,
+                           double noise_pct = -1.0);
 
 }  // namespace dcs::bench

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
              "rebuild_ms"},
             16);
 
+  JsonReport report = make_report("distributed_costs", options);
+  report.meta("u_pairs", static_cast<double>(scale.u_pairs));
   for (const std::size_t routers : {2u, 4u, 8u, 16u}) {
     ShardedMonitor monitor(params, routers);
     for (const FlowUpdate& u : workload.updates())
@@ -67,6 +69,24 @@ int main(int argc, char** argv) {
                format_double(ser_ms, 2), format_double(deser_ms, 2),
                format_double(merge_ms, 2), format_double(rebuild_ms, 2)},
               16);
+
+    const std::string section = "routers_" + std::to_string(routers);
+    // Wire size is a function of the seeded workload alone — deterministic
+    // and gated on every machine. The timings are single-shot and host
+    // dependent; the runner applies its default timing noise.
+    MetricValue wire_metric;
+    wire_metric.value = wire_kib;
+    wire_metric.dir = Direction::kLowerIsBetter;
+    wire_metric.noise_pct = 0.0;
+    wire_metric.deterministic = true;
+    report.metric(section, "wire_kib_per_router", wire_metric);
+    report.metric(section, "serialize_ms", ser_ms, Direction::kLowerIsBetter);
+    report.metric(section, "deserialize_ms", deser_ms,
+                  Direction::kLowerIsBetter);
+    report.metric(section, "merge_ms", merge_ms, Direction::kLowerIsBetter);
+    report.metric(section, "rebuild_ms", rebuild_ms,
+                  Direction::kLowerIsBetter);
   }
+  write_report(report, options);
   return 0;
 }

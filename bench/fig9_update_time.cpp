@@ -103,6 +103,8 @@ int main(int argc, char** argv) {
   print_row({"query_freq", "basic_mean", "basic_p50", "basic_p90", "basic_p99",
              "track_mean", "track_p50", "track_p90", "track_p99"},
             12);
+  JsonReport report = make_report("fig9_update_time", options);
+  report.meta("updates", static_cast<double>(updates.size()));
   for (const std::uint64_t period : periods) {
     const double freq = period == 0 ? 0.0 : 1.0 / static_cast<double>(period);
     const TimingSummary basic =
@@ -114,6 +116,14 @@ int main(int argc, char** argv) {
     for (const std::string& cell : summary_cells(tracking))
       cells.push_back(cell);
     print_row(cells, 12);
+    // Per-update µs, mean over 4096-update chunks, lower is better; the
+    // key names the query period (q0 = pure updates).
+    const std::string key = "q" + std::to_string(period) + "_us";
+    report.metric("basic", key,
+                  summary_metric(basic, Direction::kLowerIsBetter));
+    report.metric("tracking", key,
+                  summary_metric(tracking, Direction::kLowerIsBetter));
   }
+  write_report(report, options);
   return 0;
 }

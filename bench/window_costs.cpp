@@ -27,6 +27,22 @@ int main(int argc, char** argv) {
 
   std::printf("# Recency-structure costs (%zu updates)\n", updates.size());
 
+  JsonReport report = make_report("window_costs", options);
+  report.meta("updates", static_cast<double>(updates.size()));
+  // Memory footprints are functions of the seeded workload alone —
+  // deterministic, gated everywhere. The us/update figures are single-shot
+  // timings; the runner applies its default timing noise.
+  const auto record = [&report](const std::string& section, double us,
+                                double kib) {
+    report.metric(section, "us_per_update", us, Direction::kLowerIsBetter);
+    MetricValue mem;
+    mem.value = kib;
+    mem.dir = Direction::kLowerIsBetter;
+    mem.noise_pct = 0.0;
+    mem.deterministic = true;
+    report.metric(section, "memory_kib", mem);
+  };
+
   // Reference: cumulative tracking sketch.
   {
     DcsParams params;
@@ -34,9 +50,10 @@ int main(int argc, char** argv) {
     TrackingDcs tracker(params);
     Stopwatch watch;
     for (const FlowUpdate& u : updates) tracker.update(u.dest, u.source, u.delta);
-    std::printf("cumulative tracking: %.3f us/update, %.1f KiB\n",
-                watch.elapsed_us() / static_cast<double>(updates.size()),
-                static_cast<double>(tracker.memory_bytes()) / 1024.0);
+    const double us = watch.elapsed_us() / static_cast<double>(updates.size());
+    const double kib = static_cast<double>(tracker.memory_bytes()) / 1024.0;
+    std::printf("cumulative tracking: %.3f us/update, %.1f KiB\n", us, kib);
+    record("cumulative_tracking", us, kib);
   }
 
   print_row({"window_epochs", "us/update", "KiB"}, 16);
@@ -48,13 +65,12 @@ int main(int argc, char** argv) {
     SlidingWindowSketch window(window_config);
     Stopwatch watch;
     for (const FlowUpdate& u : updates) window.update(u.dest, u.source, u.delta);
-    print_row({std::to_string(window_epochs),
-               format_double(watch.elapsed_us() /
-                                 static_cast<double>(updates.size()),
-                             3),
-               format_double(static_cast<double>(window.memory_bytes()) / 1024.0,
-                             0)},
+    const double us = watch.elapsed_us() / static_cast<double>(updates.size());
+    const double kib = static_cast<double>(window.memory_bytes()) / 1024.0;
+    print_row({std::to_string(window_epochs), format_double(us, 3),
+               format_double(kib, 0)},
               16);
+    record("window_" + std::to_string(window_epochs), us, kib);
   }
 
   // Epoch change detector: amortized per-update cost including the
@@ -66,10 +82,12 @@ int main(int argc, char** argv) {
     EpochChangeDetector change(change_config);
     Stopwatch watch;
     for (const FlowUpdate& u : updates) change.update(u.dest, u.source, u.delta);
+    const double us = watch.elapsed_us() / static_cast<double>(updates.size());
+    const double kib = static_cast<double>(change.memory_bytes()) / 1024.0;
     std::printf("epoch change (%zu reports): %.3f us/update, %.1f KiB\n",
-                change.reports().size(),
-                watch.elapsed_us() / static_cast<double>(updates.size()),
-                static_cast<double>(change.memory_bytes()) / 1024.0);
+                change.reports().size(), us, kib);
+    record("epoch_change", us, kib);
   }
+  write_report(report, options);
   return 0;
 }

@@ -4,33 +4,24 @@
 #   scripts/reproduce.sh            # scaled defaults (~1 minute)
 #   scripts/reproduce.sh --full     # paper scale (U = 8e6, 5 seeds; ~15 min)
 #
-# Outputs land in results/<bench>[_full].txt. All randomness is seeded, so
-# repeated runs print identical numbers.
+# Outputs land in results/<bench>[_full].txt plus the BENCH json suite
+# (see docs/OBSERVABILITY.md). All randomness is seeded, so repeated runs
+# print identical numbers. Bench execution and json merging are delegated
+# to scripts/bench_runner.py; reproduction never gates on perf deltas.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FULL=0
-if [[ "${1:-}" == "--full" ]]; then FULL=1; fi
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then FULL="--full"; fi
 
-cmake -B build -G Ninja >/dev/null
+# Only pick a generator on first configure: forcing -G Ninja against a
+# build tree configured with a different generator is a hard CMake error.
+if [[ -f build/CMakeCache.txt ]]; then
+  cmake -B build >/dev/null
+else
+  cmake -B build -G Ninja >/dev/null
+fi
 cmake --build build >/dev/null
 
-mkdir -p results
-suffix=""
-if [[ $FULL -eq 1 ]]; then suffix="_full"; export DCS_FULL=1; fi
-
-benches=(
-  fig8a_recall fig8b_relative_error fig9_update_time table2_costs
-  space_analysis ablation_rs ablation_stopping ablation_deletions
-  ablation_correction detection_quality distributed_costs
-  baseline_comparison window_costs pipeline_throughput obs_overhead
-)
-for bench in "${benches[@]}"; do
-  echo "== ${bench} =="
-  ./build/bench/"${bench}" | tee "results/${bench}${suffix}.txt"
-  echo
-done
-
-echo "== micro_ops (google-benchmark) =="
-./build/bench/micro_ops --benchmark_min_time=0.1 |
-  tee "results/micro_ops${suffix}.txt"
+python3 scripts/bench_runner.py --build-dir build --out-dir results \
+  --all --no-gate ${FULL}

@@ -1,0 +1,255 @@
+#include "common/bench_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "common/serialize.hpp"
+
+namespace dcs::bench {
+
+namespace {
+
+/// First "model name" line of /proc/cpuinfo, or "unknown" off Linux.
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.rfind("model name", 0) == 0)
+      return line.substr(line.find_first_not_of(" \t", colon + 1));
+  }
+  return "unknown";
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* direction_name(Direction dir) {
+  switch (dir) {
+    case Direction::kHigherIsBetter:
+      return "higher";
+    case Direction::kLowerIsBetter:
+      return "lower";
+    case Direction::kInfo:
+      break;
+  }
+  return "info";
+}
+
+/// %.6g with NaN/Inf clamped to 0 — JSON has no literal for them, and a
+/// poisoned measurement must not poison the whole file.
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+/// Filename-safe subset of a name: [A-Za-z0-9._-], everything else `-`.
+/// The raw name still appears (escaped) inside the JSON body.
+std::string sanitize_for_filename(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '-';
+  }
+  return out.empty() ? std::string("unnamed") : out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  if (const char* injected = std::getenv("DCS_RUN_ID");
+      injected != nullptr && *injected != '\0') {
+    run_id_ = injected;
+  } else {
+    const std::time_t now = std::time(nullptr);
+    std::tm parts{};
+    localtime_r(&now, &parts);
+    char buffer[16];
+    std::strftime(buffer, sizeof buffer, "%Y-%m-%d", &parts);
+    run_id_ = buffer;
+  }
+  meta("cpu", cpu_model());
+  meta("cores", static_cast<double>(std::thread::hardware_concurrency()));
+  meta("compiler", compiler_id());
+#ifdef DCS_BUILD_TYPE
+  meta("build_type", DCS_BUILD_TYPE);
+#else
+  meta("build_type", "unknown");
+#endif
+#ifdef DCS_GIT_SHA
+  meta("git_sha", DCS_GIT_SHA);
+#else
+  meta("git_sha", "unknown");
+#endif
+  const char* full = std::getenv("DCS_FULL");
+  meta("full", full != nullptr && *full != '\0' && std::string(full) != "0"
+                   ? 1.0
+                   : 0.0);
+}
+
+void JsonReport::set_run_id(std::string run_id) {
+  if (!run_id.empty()) run_id_ = std::move(run_id);
+}
+
+void JsonReport::meta(const std::string& key, const std::string& v) {
+  auto it = std::find_if(meta_.begin(), meta_.end(),
+                         [&](const MetaEntry& e) { return e.key == key; });
+  if (it == meta_.end()) {
+    meta_.push_back({key, v, 0.0, false});
+  } else {
+    it->text = v;
+    it->is_number = false;
+  }
+}
+
+void JsonReport::meta(const std::string& key, double v) {
+  auto it = std::find_if(meta_.begin(), meta_.end(),
+                         [&](const MetaEntry& e) { return e.key == key; });
+  if (it == meta_.end()) {
+    meta_.push_back({key, {}, v, true});
+  } else {
+    it->number = v;
+    it->is_number = true;
+  }
+}
+
+void JsonReport::metric(const std::string& section, const std::string& key,
+                        MetricValue v) {
+  auto it = std::find_if(sections_.begin(), sections_.end(),
+                         [&](const Section& s) { return s.name == section; });
+  if (it == sections_.end()) {
+    sections_.push_back({section, {}});
+    it = std::prev(sections_.end());
+  }
+  auto entry = std::find_if(it->values.begin(), it->values.end(),
+                            [&](const auto& kv) { return kv.first == key; });
+  if (entry == it->values.end())
+    it->values.emplace_back(key, v);
+  else
+    entry->second = v;
+}
+
+void JsonReport::metric(const std::string& section, const std::string& key,
+                        double value, Direction dir, double noise_pct) {
+  MetricValue v;
+  v.value = value;
+  v.dir = dir;
+  v.noise_pct = noise_pct;
+  metric(section, key, v);
+}
+
+void JsonReport::value(const std::string& section, const std::string& key,
+                       double v) {
+  metric(section, key, v, Direction::kInfo);
+}
+
+std::string JsonReport::render() const {
+  std::string out = "{\n  \"schema\": 2,\n  \"bench\": \"" +
+                    json_escape(bench_name_) + "\",\n  \"run_id\": \"" +
+                    json_escape(run_id_) + "\",\n  \"meta\": {";
+  for (std::size_t m = 0; m < meta_.size(); ++m) {
+    out += m == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(meta_[m].key) + "\": ";
+    out += meta_[m].is_number ? number(meta_[m].number)
+                              : "\"" + json_escape(meta_[m].text) + "\"";
+  }
+  out += meta_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"results\": {";
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    out += s == 0 ? "\n" : ",\n";
+    out += "    \"" + json_escape(sections_[s].name) + "\": {";
+    const auto& values = sections_[s].values;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const MetricValue& v = values[i].second;
+      out += i == 0 ? "\n" : ",\n";
+      out += "      \"" + json_escape(values[i].first) + "\": {";
+      out += "\"value\": " + number(v.value);
+      out += ", \"dir\": \"" + std::string(direction_name(v.dir)) + "\"";
+      if (v.noise_pct >= 0.0)
+        out += ", \"noise_pct\": " + number(v.noise_pct);
+      if (v.count > 0.0) out += ", \"count\": " + number(v.count);
+      if (std::isfinite(v.p50)) out += ", \"p50\": " + number(v.p50);
+      if (std::isfinite(v.p90)) out += ", \"p90\": " + number(v.p90);
+      if (std::isfinite(v.p99)) out += ", \"p99\": " + number(v.p99);
+      if (std::isfinite(v.min_value))
+        out += ", \"min\": " + number(v.min_value);
+      if (v.deterministic) out += ", \"deterministic\": true";
+      out += "}";
+    }
+    out += values.empty() ? "}" : "\n    }";
+  }
+  out += sections_.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string JsonReport::filename() const {
+  return "BENCH_" + sanitize_for_filename(run_id_) + "_" +
+         sanitize_for_filename(bench_name_) + ".json";
+}
+
+std::string JsonReport::write(const std::string& dir) const {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/" + filename();
+  atomic_write_file(path, render());
+  return path;
+}
+
+}  // namespace dcs::bench

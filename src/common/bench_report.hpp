@@ -1,0 +1,132 @@
+// Machine-readable benchmark reports: the unified BENCH JSON schema.
+//
+// Every perf-trajectory benchmark (bench/*, tools/dcs_chaos) emits one
+// `BENCH_<run_id>_<bench>.json` file per run through JsonReport, and
+// scripts/bench_runner.py merges them into the per-run `BENCH_<run_id>.json`
+// trajectory record it diffs against the previous run. The schema carries
+// everything the diff needs to be noise-aware and machine-aware:
+//
+//   {
+//     "schema": 2,
+//     "bench": "pipeline_throughput",
+//     "run_id": "2026-08-08",
+//     "meta": {"cpu": "...", "cores": 8, "compiler": "gcc 13.2.0",
+//              "build_type": "RelWithDebInfo", "git_sha": "2e1d5b5",
+//              "full": 0, "runs": 3},
+//     "results": {
+//       "<section>": {
+//         "<metric>": {"value": 14.5, "dir": "higher", "noise_pct": 8.2,
+//                      "count": 3, "p50": ..., "p90": ..., "p99": ...,
+//                      "min": ..., "deterministic": true}
+//       }
+//     }
+//   }
+//
+// Per-metric fields beyond "value":
+//   dir            "higher" / "lower" (is better) or "info" (never gated);
+//   noise_pct      recorded run-to-run spread of this metric, percent —
+//                  the regression gate scales its threshold by it;
+//   count          samples/runs behind the value;
+//   p50/p90/p99    distribution summary when the metric is a timing;
+//   min            best-of-N floor when the value is a best-of-N pick;
+//   deterministic  true for seeded, timing-free metrics (recall, memory,
+//                  wire bytes) that must reproduce exactly on any machine —
+//                  the gate applies them even across machines, while
+//                  timing metrics are only compared against a baseline
+//                  recorded on the same CPU model.
+//
+// The date-only filename of the first schema clobbered same-day runs of two
+// different benches; the bench name is now part of the filename. The run id
+// defaults to the local date (one bench run by hand) but is injected once
+// per suite via the DCS_RUN_ID environment variable (UTC, set by
+// bench_runner.py) or the --run-id flag, so a suite crossing midnight — or
+// timezones — still lands in one logical run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcs::bench {
+
+/// Which way a metric is allowed to move. kInfo metrics are recorded for
+/// the trajectory but never gated.
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kInfo };
+
+/// One named scalar plus the context the regression gate needs.
+struct MetricValue {
+  /// NaN sentinel: optional fields initialized to it are omitted from the
+  /// JSON (JSON has no NaN literal; *recorded* non-finite values clamp to 0).
+  static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+  double value = 0.0;
+  Direction dir = Direction::kInfo;
+  double noise_pct = -1.0;  ///< run-to-run spread, percent; < 0 = unrecorded
+  double count = 0.0;       ///< samples behind the value; 0 = omitted
+  double p50 = kUnset, p90 = kUnset, p99 = kUnset;
+  double min_value = kUnset;  ///< best-of-N floor
+  bool deterministic = false;
+};
+
+/// Escape a string for embedding inside a JSON string literal: `"`, `\`,
+/// and control characters. Everything else (including UTF-8 bytes) passes
+/// through unchanged.
+std::string json_escape(std::string_view raw);
+
+class JsonReport {
+ public:
+  /// The run id comes from $DCS_RUN_ID when set (bench_runner.py exports
+  /// one UTC date per suite invocation), else falls back to the local
+  /// date — the original construction-time behavior.
+  explicit JsonReport(std::string bench_name);
+
+  /// Override the run id (e.g. from a --run-id flag). Empty = keep current.
+  void set_run_id(std::string run_id);
+  const std::string& run_id() const { return run_id_; }
+
+  /// Machine/config metadata. The constructor pre-fills cpu, cores,
+  /// compiler, build_type, git_sha and full; meta() overwrites by key.
+  void meta(const std::string& key, const std::string& v);
+  void meta(const std::string& key, double v);
+
+  /// Record a metric. Re-used (section, key) pairs overwrite in place;
+  /// sections and keys preserve first-insertion order.
+  void metric(const std::string& section, const std::string& key,
+              MetricValue v);
+  void metric(const std::string& section, const std::string& key, double value,
+              Direction dir, double noise_pct = -1.0);
+
+  /// Back-compat shorthand: an ungated info metric.
+  void value(const std::string& section, const std::string& key, double v);
+
+  std::string render() const;
+
+  /// Write `dir`/BENCH_<run_id>_<bench>.json (atomic rename); returns the
+  /// path written. Run id and bench name are sanitized for the filename
+  /// (raw values stay in the JSON body, escaped). Throws on I/O failure.
+  std::string write(const std::string& dir = ".") const;
+
+  /// The filename write() would use, without writing.
+  std::string filename() const;
+
+ private:
+  struct MetaEntry {
+    std::string key;
+    std::string text;    // used when is_number == false
+    double number = 0.0;
+    bool is_number = false;
+  };
+  struct Section {
+    std::string name;
+    std::vector<std::pair<std::string, MetricValue>> values;
+  };
+
+  std::string bench_name_;
+  std::string run_id_;
+  std::vector<MetaEntry> meta_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace dcs::bench

@@ -1,0 +1,201 @@
+// The BENCH json layer is the contract between every benchmark binary and
+// scripts/bench_runner.py: these tests pin the escaping, filename, ordering
+// and clamping rules the runner depends on, including a real round-trip
+// through Python's json parser when a python3 is on PATH.
+#include "common/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dcs::bench {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("pipeline_throughput"), "pipeline_throughput");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("\b\f\r"), "\\b\\f\\r");
+  // Other control bytes become \u00XX.
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonReport, RunIdComesFromEnvironment) {
+  ::setenv("DCS_RUN_ID", "2026-08-08-ci", 1);
+  JsonReport from_env("envtest");
+  ::unsetenv("DCS_RUN_ID");
+  EXPECT_EQ(from_env.run_id(), "2026-08-08-ci");
+
+  // Without the env var the ctor falls back to a local date: YYYY-MM-DD.
+  JsonReport fallback("envtest");
+  EXPECT_EQ(fallback.run_id().size(), 10u);
+  EXPECT_EQ(fallback.run_id()[4], '-');
+  EXPECT_EQ(fallback.run_id()[7], '-');
+
+  // set_run_id overrides; empty keeps the current id.
+  JsonReport overridden("envtest");
+  overridden.set_run_id("manual");
+  EXPECT_EQ(overridden.run_id(), "manual");
+  overridden.set_run_id("");
+  EXPECT_EQ(overridden.run_id(), "manual");
+}
+
+TEST(JsonReport, FilenameCarriesBenchNameSoSameDayRunsCannotClobber) {
+  JsonReport a("window_costs");
+  JsonReport b("distributed_costs");
+  a.set_run_id("2026-08-08");
+  b.set_run_id("2026-08-08");
+  EXPECT_EQ(a.filename(), "BENCH_2026-08-08_window_costs.json");
+  EXPECT_EQ(b.filename(), "BENCH_2026-08-08_distributed_costs.json");
+  EXPECT_NE(a.filename(), b.filename());
+}
+
+TEST(JsonReport, FilenameSanitizesHostileNames) {
+  JsonReport report("weird bench/../name");
+  report.set_run_id("run\"id\n");
+  const std::string name = report.filename();
+  EXPECT_EQ(name.find('/'), std::string::npos);
+  EXPECT_EQ(name.find('"'), std::string::npos);
+  EXPECT_EQ(name.find('\n'), std::string::npos);
+  EXPECT_EQ(name, "BENCH_run-id-_weird-bench-..-name.json");
+}
+
+TEST(JsonReport, PreservesInsertionOrderAndOverwritesInPlace) {
+  JsonReport report("order");
+  report.set_run_id("r");
+  report.value("zulu", "second", 2.0);
+  report.value("alpha", "first", 1.0);
+  report.value("zulu", "third", 3.0);
+  report.value("zulu", "second", 22.0);  // overwrite, not append
+  const std::string out = report.render();
+
+  // Section order is first-insertion order, not alphabetical.
+  EXPECT_LT(out.find("\"zulu\""), out.find("\"alpha\""));
+  EXPECT_LT(out.find("\"second\""), out.find("\"third\""));
+  // The overwrite replaced the value and did not duplicate the key.
+  EXPECT_EQ(out.find("\"second\""), out.rfind("\"second\""));
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(JsonReport, ClampsNonFiniteValuesToZero) {
+  JsonReport report("clamp");
+  report.set_run_id("r");
+  MetricValue v;
+  v.value = std::numeric_limits<double>::quiet_NaN();
+  v.dir = Direction::kLowerIsBetter;
+  report.metric("s", "nan_value", v);
+  v.value = std::numeric_limits<double>::infinity();
+  report.metric("s", "inf_value", v);
+  const std::string out = report.render();
+  // JSON has no NaN/Infinity literals; both clamp to 0. (The metric keys
+  // themselves contain "nan"/"inf", so check the rendered numbers.)
+  EXPECT_EQ(out.find(": nan"), std::string::npos);
+  EXPECT_EQ(out.find(": inf"), std::string::npos);
+  EXPECT_EQ(out.find(": -nan"), std::string::npos);
+  EXPECT_NE(out.find("\"nan_value\": {\"value\": 0"), std::string::npos);
+  EXPECT_NE(out.find("\"inf_value\": {\"value\": 0"), std::string::npos);
+}
+
+TEST(JsonReport, OmitsUnsetOptionalFields) {
+  JsonReport report("optional");
+  report.set_run_id("r");
+  report.value("s", "plain", 1.0);
+  const std::string out = report.render();
+  EXPECT_EQ(out.find("noise_pct"), std::string::npos);
+  EXPECT_EQ(out.find("\"count\""), std::string::npos);
+  EXPECT_EQ(out.find("p50"), std::string::npos);
+  EXPECT_EQ(out.find("deterministic"), std::string::npos);
+
+  MetricValue v;
+  v.value = 2.0;
+  v.dir = Direction::kHigherIsBetter;
+  v.noise_pct = 7.5;
+  v.count = 3;
+  v.p50 = 1.0;
+  v.deterministic = true;
+  report.metric("s", "rich", v);
+  const std::string out2 = report.render();
+  EXPECT_NE(out2.find("\"noise_pct\": 7.5"), std::string::npos);
+  EXPECT_NE(out2.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(out2.find("\"p50\": 1"), std::string::npos);
+  EXPECT_NE(out2.find("\"deterministic\": true"), std::string::npos);
+}
+
+TEST(JsonReport, MetadataBlockCarriesMachineAndBuildConfig) {
+  JsonReport report("meta");
+  report.set_run_id("r");
+  report.meta("runs", 5.0);
+  const std::string out = report.render();
+  EXPECT_NE(out.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"bench\": \"meta\""), std::string::npos);
+  EXPECT_NE(out.find("\"run_id\": \"r\""), std::string::npos);
+  for (const char* key :
+       {"\"cpu\"", "\"cores\"", "\"compiler\"", "\"build_type\"",
+        "\"git_sha\"", "\"full\"", "\"runs\""}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  // meta() overwrites by key rather than appending duplicates.
+  report.meta("runs", 9.0);
+  const std::string out2 = report.render();
+  EXPECT_EQ(out2.find("\"runs\""), out2.rfind("\"runs\""));
+  EXPECT_NE(out2.find("\"runs\": 9"), std::string::npos);
+}
+
+// The acceptance bar: a report stuffed with hostile section/key/meta names
+// must still parse with Python's json module. Skipped when no python3 is
+// available on the test host.
+TEST(JsonReport, HostileNamesSurvivePythonRoundTrip) {
+  if (std::system("python3 -c 'pass' >/dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 not available";
+
+  JsonReport report("evil \"bench\"\nname\\");
+  report.set_run_id("run\t\"id\"");
+  report.meta("path\\with\"quotes", std::string("va\nlue"));
+  MetricValue v;
+  v.value = 1.5;
+  v.dir = Direction::kHigherIsBetter;
+  report.metric("sec\"tion\n", "key\\\"\x01", v);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/bench_json_test_hostile.json";
+  {
+    std::ofstream out(json_path, std::ios::binary);
+    out << report.render();
+  }
+  const std::string cmd =
+      "python3 -c \"import json,sys; json.load(open(sys.argv[1]))\" '" +
+      json_path + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << report.render();
+  std::remove(json_path.c_str());
+}
+
+TEST(JsonReport, WriteUsesAtomicFileAndReturnsPath) {
+  JsonReport report("write_test");
+  report.set_run_id("unit");
+  report.value("s", "k", 1.0);
+  const std::string dir = ::testing::TempDir();
+  const std::string path = report.write(dir);
+  EXPECT_NE(path.find("BENCH_unit_write_test.json"), std::string::npos);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.render());
+  std::remove(path.c_str());
+
+  // Unwritable directory: write() must throw, never silently drop data.
+  EXPECT_THROW(report.write("/nonexistent-dcs-dir"), std::exception);
+}
+
+}  // namespace
+}  // namespace dcs::bench

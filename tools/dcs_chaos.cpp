@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_report.hpp"
 #include "common/options.hpp"
 #include "obs/trace.hpp"
 #include "service/agent.hpp"
@@ -71,6 +72,9 @@ void print_usage() {
       "  --stall N            stalled connections (default 2)\n"
       "  --oversize N         oversized-frame connections (default 2)\n"
       "  --drain-ms N         post-fault drain budget (default 60000)\n"
+      "  --json-dir DIR       also write a BENCH json report into DIR\n"
+      "  --run-id ID          run id for the json report (default: DCS_RUN_ID\n"
+      "                       env, else today's date)\n"
       "  --verbose            print per-phase progress\n"
       "  --help               print this help\n");
 }
@@ -306,9 +310,17 @@ int main(int argc, char** argv) {
     if (verbose) std::printf("faults cleared\n");
 
     // Faults over: the agents must now converge. flush() returns true only
-    // when every sealed epoch has been acked.
+    // when every sealed epoch has been acked. The faults-cleared → drained
+    // interval is the convergence probe the perf trajectory tracks: how
+    // long the system takes to work off an overload episode.
+    const auto faults_cleared = Clock::now();
     bool all_drained = true;
     for (auto& agent : agents) all_drained &= agent->flush(drain_ms);
+    const double convergence_ms =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - faults_cleared)
+                                .count()) /
+        1e6;
     for (auto& agent : agents) agent->stop(drain_ms);
 
     // Quiesce: every live connection gone before the final accounting.
@@ -405,6 +417,35 @@ int main(int argc, char** argv) {
       expect(topk.entries[i].group == ref_topk.entries[i].group &&
                  topk.entries[i].estimate == ref_topk.entries[i].estimate,
              "top-k entry matches the reference");
+    }
+
+    std::printf("convergence_ms=%.1f\n", convergence_ms);
+
+    // Optional BENCH report so the perf runner can track convergence time
+    // alongside the real benchmarks. Timing on a soak under deliberate
+    // faults is inherently noisy; record a generous explicit figure.
+    const std::string json_dir = options.str("json-dir", "");
+    if (!json_dir.empty()) {
+      bench::JsonReport report("chaos_convergence");
+      const std::string run_id = options.str("run-id", "");
+      if (!run_id.empty()) report.set_run_id(run_id);
+      report.meta("sites", static_cast<double>(sites));
+      report.meta("u_per_site", static_cast<double>(u));
+      report.meta("faults", static_cast<double>(loris + stall + oversize));
+      report.metric("drain", "convergence_ms", convergence_ms,
+                    bench::Direction::kLowerIsBetter, 50.0);
+      report.value("drain", "deltas_merged",
+                   static_cast<double>(stats.deltas_merged));
+      report.value("drain", "shed_deltas",
+                   static_cast<double>(stats.shed_deltas));
+      report.value("drain", "max_stall_ms",
+                   static_cast<double>(max_stall_ns.load()) / 1e6);
+      try {
+        std::printf("json: %s\n", report.write(json_dir).c_str());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "dcs_chaos: json write failed: %s\n",
+                     error.what());
+      }
     }
 
     if (failures == 0) {
