@@ -1,0 +1,373 @@
+// Query-tier serving costs: what snapshot publishing plus a live
+// dcs_query_server read load take away from collector ingest, and what a
+// cached vs uncached query answer costs.
+//
+//   build/bench/query_serving [--deltas 24] [--pairs 4000] [--readers 2]
+//                             [--target-rps 1200] [--publish-every-ms 100]
+//                             [--cache-iters 400]
+//
+// Part 1 ships real deltas over a loopback socket twice: once against a
+// bare collector (baseline ingest throughput), once against a collector
+// that is also publishing query snapshots every --publish-every-ms while
+// an in-process QueryServer serves paced HTTP readers at --target-rps
+// aggregate. The drop between the two runs is the price of the whole read
+// tier as seen by ingest — the acceptance figure is that the drop stays
+// small (<2% on an unloaded multi-core host) because readers touch only
+// immutable published snapshots, never the collector's locks. The readers
+// also record their HTTP round-trip latency distribution.
+//
+// Part 2 micro-benchmarks the engine's response cache over the snapshots
+// part 1 left behind: a cache miss pays the render (top-k walk + JSON),
+// a hit is a map lookup + string copy. The hit/miss ratio bounds how much
+// a dashboard fan-in of identical queries amplifies server CPU.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/options.hpp"
+#include "common/stopwatch.hpp"
+#include "query/engine.hpp"
+#include "query/publisher.hpp"
+#include "query/server.hpp"
+#include "service/collector.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::service;
+
+DcsParams bench_params() {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = 11;
+  return params;
+}
+
+std::string delta_frame(std::uint64_t epoch, const std::string& blob) {
+  SnapshotDelta delta;
+  delta.site_id = 1;
+  delta.epoch = epoch;
+  delta.updates = 1;
+  delta.sketch_blob = blob;
+  return encode_frame(MsgType::kSnapshotDelta, delta.encode());
+}
+
+/// One HTTP GET over a fresh connection (dashboard-poll style). The ops
+/// plane answers Connection: close, so reading to EOF is the framing.
+/// Returns false on connect/transport failure or a non-200 status.
+bool http_get(std::uint16_t port, const std::string& path) {
+  auto socket = tcp_connect("127.0.0.1", port, 1000);
+  if (!socket) return false;
+  socket->set_timeouts(2000, 2000);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n";
+  if (!socket->send_all(request)) return false;
+  std::string response;
+  char buffer[1 << 14];
+  for (;;) {
+    const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+    if (got.bytes == 0) break;
+    response.append(buffer, got.bytes);
+  }
+  return response.rfind("HTTP/1.1 200", 0) == 0;
+}
+
+struct ReaderStats {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::vector<double> rtt_us;
+};
+
+struct IngestResult {
+  double seconds = 0.0;
+  double deltas_per_sec = 0.0;
+  double achieved_rps = 0.0;
+  std::uint64_t reader_requests = 0;
+  std::uint64_t reader_failures = 0;
+  bench::TimingSummary rtt_us;
+};
+
+/// Ship `deltas` admitted epochs through a loopback collector and time the
+/// send/merge/ack loop. When `with_readers`, the collector also publishes
+/// query snapshots and `readers` paced HTTP clients poll a QueryServer at
+/// `target_rps` aggregate for the duration of the run.
+std::optional<IngestResult> ingest_run(std::uint64_t deltas,
+                                       const std::string& blob,
+                                       bool with_readers, int readers,
+                                       double target_rps, int publish_every_ms,
+                                       const std::string& publish_dir) {
+  CollectorConfig config;
+  config.params = bench_params();
+  config.run_detection = true;
+  config.io_timeout_ms = 50;
+  Collector collector(config);
+  collector.start();
+
+  std::unique_ptr<query::SnapshotPublisher> publisher;
+  std::unique_ptr<query::QueryServer> server;
+  std::vector<std::thread> reader_threads;
+  std::vector<ReaderStats> reader_stats(
+      static_cast<std::size_t>(readers > 0 ? readers : 1));
+  std::atomic<bool> stop_readers{false};
+
+  if (with_readers) {
+    query::SnapshotPublisherConfig publish_config;
+    publish_config.publish_dir = publish_dir;
+    publish_config.publish_every_ms = publish_every_ms;
+    publish_config.retain = 4;
+    publish_config.top_k = 10;
+    publisher = std::make_unique<query::SnapshotPublisher>(
+        publish_config, [&collector](std::size_t top_k) {
+          return collector.query_publish_state(top_k);
+        });
+    // Seed generation 1 before the readers start so every poll hits a
+    // mapped snapshot (the steady state a dashboard sees), then publish
+    // periodically for the rest of the run.
+    publisher->publish_now();
+    publisher->start();
+
+    query::QueryServerConfig server_config;
+    server_config.publish_dir = publish_dir;
+    server_config.watch_every_ms = publish_every_ms / 2 + 1;
+    server_config.cache_entries = 256;
+    server_config.http.bind_address = "127.0.0.1";
+    server_config.http.port = 0;
+    server = std::make_unique<query::QueryServer>(std::move(server_config));
+    server->start();
+
+    const std::uint16_t port = server->port();
+    const double per_reader_rps = target_rps / readers;
+    for (int r = 0; r < readers; ++r) {
+      ReaderStats* stats = &reader_stats[static_cast<std::size_t>(r)];
+      reader_threads.emplace_back([port, per_reader_rps, stats,
+                                   &stop_readers] {
+        const auto period = std::chrono::nanoseconds(
+            static_cast<std::uint64_t>(1e9 / per_reader_rps));
+        auto next = std::chrono::steady_clock::now();
+        while (!stop_readers.load(std::memory_order_relaxed)) {
+          Stopwatch watch;
+          const bool ok = http_get(port, "/topk");
+          stats->rtt_us.push_back(watch.elapsed_ns() / 1e3);
+          ++stats->requests;
+          if (!ok) ++stats->failures;
+          next += period;
+          std::this_thread::sleep_until(next);
+        }
+      });
+    }
+  }
+
+  auto socket = tcp_connect("127.0.0.1", collector.port(), 2000);
+  if (!socket) {
+    std::fprintf(stderr, "query_serving: connect failed\n");
+    return std::nullopt;
+  }
+  socket->set_timeouts(10000, 10000);
+  FrameDecoder decoder;
+  char buffer[1 << 16];
+  const auto read_ack = [&]() -> std::optional<Ack> {
+    for (;;) {
+      if (auto frame = decoder.next()) return Ack::decode(frame->payload);
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) return std::nullopt;
+      decoder.feed(buffer, got.bytes);
+    }
+  };
+
+  Hello hello;
+  hello.site_id = 1;
+  hello.params_fingerprint = config.params.fingerprint();
+  if (!socket->send_all(encode_frame(MsgType::kHello, hello.encode())) ||
+      !read_ack()) {
+    std::fprintf(stderr, "query_serving: handshake failed\n");
+    return std::nullopt;
+  }
+
+  IngestResult result;
+  Stopwatch watch;
+  for (std::uint64_t epoch = 1; epoch <= deltas; ++epoch) {
+    if (!socket->send_all(delta_frame(epoch, blob))) break;
+    const auto ack = read_ack();
+    if (!ack || ack->status != AckStatus::kOk) {
+      std::fprintf(stderr, "query_serving: delta %llu not merged\n",
+                   static_cast<unsigned long long>(epoch));
+      return std::nullopt;
+    }
+  }
+  result.seconds = watch.elapsed_ns() / 1e9;
+
+  stop_readers.store(true);
+  for (auto& thread : reader_threads) thread.join();
+  Bye bye;
+  bye.site_id = 1;
+  socket->send_all(encode_frame(MsgType::kBye, bye.encode()));
+  if (publisher) publisher->stop();
+  if (server) server->stop();
+  collector.stop();
+
+  result.deltas_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(deltas) / result.seconds : 0.0;
+  std::vector<double> rtt;
+  for (const auto& stats : reader_stats) {
+    result.reader_requests += stats.requests;
+    result.reader_failures += stats.failures;
+    rtt.insert(rtt.end(), stats.rtt_us.begin(), stats.rtt_us.end());
+  }
+  result.achieved_rps =
+      result.seconds > 0.0
+          ? static_cast<double>(result.reader_requests) / result.seconds
+          : 0.0;
+  result.rtt_us = bench::summarize_samples(std::move(rtt));
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const auto deltas = static_cast<std::uint64_t>(options.integer("deltas", 24));
+  const auto pairs = static_cast<std::uint64_t>(options.integer("pairs", 4000));
+  const int readers = static_cast<int>(options.integer("readers", 2));
+  const double target_rps = options.real("target-rps", 1200.0);
+  const int publish_every_ms =
+      static_cast<int>(options.integer("publish-every-ms", 100));
+  const auto cache_iters =
+      static_cast<std::uint64_t>(options.integer("cache-iters", 400));
+
+  bench::JsonReport report = bench::make_report("query_serving", options);
+  report.meta("deltas", static_cast<double>(deltas));
+  report.meta("pairs", static_cast<double>(pairs));
+  report.meta("readers", static_cast<double>(readers));
+  report.meta("target_rps", target_rps);
+
+  // A realistically-sized delta (thousands of distinct pairs → several
+  // allocated levels), so the merge the readers are competing with is a
+  // real epoch's worth of work.
+  DistinctCountSketch sketch(bench_params());
+  for (std::uint64_t i = 0; i < pairs; ++i)
+    sketch.update(static_cast<Addr>(i % 16), static_cast<Addr>(i), +1);
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  sketch.serialize(writer);
+  const std::string blob = std::move(out).str();
+
+  const std::string publish_dir = options.str(
+      "publish-dir", "query_serving_publish");
+
+  std::printf("== ingest throughput: bare vs publishing + %d readers @ %s "
+              "req/s ==\n",
+              readers, bench::format_double(target_rps, 0).c_str());
+  const auto baseline =
+      ingest_run(deltas, blob, false, 0, 0.0, publish_every_ms, publish_dir);
+  const auto loaded = ingest_run(deltas, blob, true, readers, target_rps,
+                                 publish_every_ms, publish_dir);
+  if (!baseline || !loaded) return 1;
+
+  const double drop_pct =
+      baseline->deltas_per_sec > 0.0
+          ? 100.0 * (1.0 - loaded->deltas_per_sec / baseline->deltas_per_sec)
+          : 0.0;
+  bench::print_row({"run", "deltas/s", "rps", "rtt p50 us", "rtt p99 us"});
+  bench::print_row({"bare", bench::format_double(baseline->deltas_per_sec),
+                    "-", "-", "-"});
+  bench::print_row({"serving", bench::format_double(loaded->deltas_per_sec),
+                    bench::format_double(loaded->achieved_rps, 0),
+                    bench::format_double(loaded->rtt_us.p50),
+                    bench::format_double(loaded->rtt_us.p99)});
+  std::printf("\ningest drop: %s%%  (reader requests=%llu failures=%llu)\n",
+              bench::format_double(drop_pct, 2).c_str(),
+              static_cast<unsigned long long>(loaded->reader_requests),
+              static_cast<unsigned long long>(loaded->reader_failures));
+
+  using bench::Direction;
+  // Loopback merge round-trips and paced readers both ride the host
+  // scheduler; record generous noise rather than pretending stability.
+  report.metric("ingest", "baseline_deltas_per_sec",
+                baseline->deltas_per_sec, Direction::kHigherIsBetter, 25.0);
+  report.metric("ingest", "serving_deltas_per_sec", loaded->deltas_per_sec,
+                Direction::kHigherIsBetter, 25.0);
+  report.value("ingest", "drop_pct", drop_pct);
+  report.value("ingest", "achieved_rps", loaded->achieved_rps);
+  report.value("ingest", "reader_failures",
+               static_cast<double>(loaded->reader_failures));
+  report.metric("http", "rtt_us",
+                bench::summary_metric(loaded->rtt_us,
+                                      Direction::kLowerIsBetter, 25.0));
+
+  // --- response cache micro over the snapshots the loaded run published ---
+  std::printf("\n== response cache (engine.cached, %llu iters) ==\n",
+              static_cast<unsigned long long>(cache_iters));
+  query::QueryEngineConfig engine_config;
+  engine_config.publish_dir = publish_dir;
+  engine_config.cache_entries = 8;
+  query::QueryEngine engine(engine_config);
+  engine.refresh();
+  const auto newest = engine.newest();
+  if (!newest) {
+    std::fprintf(stderr, "query_serving: no published generation to query\n");
+    return 1;
+  }
+  const std::uint64_t generation = newest->snapshot.generation;
+  const auto render = [&newest] {
+    std::string body;
+    for (const auto& entry : newest->tracking.top_k(10).entries) {
+      body += std::to_string(entry.group);
+      body += ':';
+      body += std::to_string(entry.estimate);
+      body += '\n';
+    }
+    return body;
+  };
+
+  std::vector<double> miss_ns;
+  std::vector<double> hit_ns;
+  for (std::uint64_t i = 0; i < cache_iters; ++i) {
+    // Unique key per iteration: every call renders (steady-state miss).
+    const std::string key = "/topk?i=" + std::to_string(i);
+    Stopwatch watch;
+    (void)engine.cached(generation, key, render);
+    miss_ns.push_back(static_cast<double>(watch.elapsed_ns()));
+  }
+  (void)engine.cached(generation, "/topk", render);
+  for (std::uint64_t i = 0; i < cache_iters; ++i) {
+    Stopwatch watch;
+    (void)engine.cached(generation, "/topk", render);
+    hit_ns.push_back(static_cast<double>(watch.elapsed_ns()));
+  }
+  const auto miss = bench::summarize_samples(std::move(miss_ns));
+  const auto hit = bench::summarize_samples(std::move(hit_ns));
+  bench::print_row({"path", "count", "mean ns", "p50", "p90", "p99"});
+  bench::print_row({"miss", std::to_string(miss.count),
+                    bench::format_double(miss.mean),
+                    bench::format_double(miss.p50),
+                    bench::format_double(miss.p90),
+                    bench::format_double(miss.p99)});
+  bench::print_row({"hit", std::to_string(hit.count),
+                    bench::format_double(hit.mean),
+                    bench::format_double(hit.p50),
+                    bench::format_double(hit.p90),
+                    bench::format_double(hit.p99)});
+  if (hit.p50 > 0.0)
+    std::printf("\nmiss/hit p50 ratio: %s\n",
+                bench::format_double(miss.p50 / hit.p50, 2).c_str());
+
+  report.metric("cache", "miss_ns",
+                bench::summary_metric(miss, Direction::kLowerIsBetter, 25.0));
+  report.metric("cache", "hit_ns",
+                bench::summary_metric(hit, Direction::kLowerIsBetter, 25.0));
+  if (hit.p50 > 0.0)
+    report.value("cache", "miss_hit_p50_ratio", miss.p50 / hit.p50);
+
+  bench::write_report(report, options);
+  return 0;
+}

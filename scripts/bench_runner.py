@@ -69,6 +69,10 @@ SUITE = [
           scaled_args=["--deltas", "25", "--iters", "400000"],
           full_args=["--deltas", "60", "--iters", "2000000"]),
     Bench("obs_overhead", "bench/obs_overhead"),
+    Bench("query_serving", "bench/query_serving",
+          scaled_args=["--deltas", "16", "--cache-iters", "200"],
+          full_args=["--deltas", "60", "--target-rps", "2000",
+                     "--cache-iters", "2000"]),
     Bench("chaos_convergence", "tools/dcs_chaos",
           scaled_args=["--sites", "3", "--u", "8000", "--epoch-updates",
                        "400", "--seed", "7", "--loris", "1", "--stall", "1",

@@ -34,7 +34,8 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
-TOOLS = ("dcs_cli", "dcs_collector", "dcs_agent", "dcs_chaos")
+TOOLS = ("dcs_cli", "dcs_collector", "dcs_agent", "dcs_chaos",
+         "dcs_query_server")
 
 FLAG_RE = re.compile(r"--[a-zA-Z][a-zA-Z0-9-]*")
 

@@ -1,5 +1,6 @@
 #include "obs/http_export.hpp"
 
+#include <cctype>
 #include <stdexcept>
 #include <utility>
 
@@ -19,13 +20,22 @@ const char* status_text(int status) {
 
 std::string render_response(const HttpResponse& response) {
   std::string out;
-  out.reserve(response.body.size() + 128);
+  out.reserve(response.body.size() + 160);
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += " ";
   out += status_text(response.status);
   out += "\r\nContent-Type: ";
   out += response.content_type;
+  for (const auto& [name, value] : response.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  // Content-Length and Connection: close go on EVERY response, error
+  // responses included — a client must never have to wait for EOF to know
+  // the body ended, and must never reuse the connection.
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
   out += "\r\nConnection: close\r\n\r\n";
@@ -39,10 +49,63 @@ HttpResponse error_response(int status, std::string_view detail) {
   response.content_type = "text/plain; charset=utf-8";
   response.body = std::string(status_text(status)) + ": " +
                   std::string(detail) + "\n";
+  if (status == 405) response.extra_headers.emplace_back("Allow", "GET");
   return response;
 }
 
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
 }  // namespace
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape: keep verbatim
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query_params(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view piece = query.substr(start, end - start);
+    if (!piece.empty()) {
+      const std::size_t eq = piece.find('=');
+      if (eq == std::string_view::npos)
+        params.emplace_back(url_decode(piece), std::string());
+      else
+        params.emplace_back(url_decode(piece.substr(0, eq)),
+                            url_decode(piece.substr(eq + 1)));
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return params;
+}
 
 OpsMetrics& OpsMetrics::get() {
   static OpsMetrics* instance = [] {
@@ -64,6 +127,11 @@ HttpServer::HttpServer(HttpServerConfig config)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::route(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] =
+      [handler = std::move(handler)](const HttpRequest&) { return handler(); };
+}
+
+void HttpServer::route(std::string path, HttpRequestHandler handler) {
   routes_[std::move(path)] = std::move(handler);
 }
 
@@ -133,21 +201,25 @@ void HttpServer::handle_connection(service::TcpSocket socket) {
         error_response(400, "malformed request line")));
     return;
   }
-  const std::string method = line.substr(0, method_end);
-  std::string target =
-      line.substr(method_end + 1, target_end - method_end - 1);
-  if (const std::size_t query = target.find('?');
-      query != std::string::npos)
-    target.resize(query);
+  HttpRequest parsed;
+  parsed.method = line.substr(0, method_end);
+  parsed.target = line.substr(method_end + 1, target_end - method_end - 1);
+  if (const std::size_t query = parsed.target.find('?');
+      query != std::string::npos) {
+    parsed.query_string = parsed.target.substr(query + 1);
+    parsed.target.resize(query);
+    parsed.params = parse_query_params(parsed.query_string);
+  }
 
   HttpResponse response;
-  if (method != "GET") {
+  if (parsed.method != "GET") {
     response = error_response(405, "only GET is supported");
-  } else if (const auto it = routes_.find(target); it == routes_.end()) {
-    response = error_response(404, "no such endpoint: " + target);
+  } else if (const auto it = routes_.find(parsed.target);
+             it == routes_.end()) {
+    response = error_response(404, "no such endpoint: " + parsed.target);
   } else {
     try {
-      response = it->second();
+      response = it->second(parsed);
     } catch (const std::exception& error) {
       response = error_response(500, error.what());
     }

@@ -13,29 +13,73 @@
 // another scrape, but by construction it cannot contend with the merge
 // path beyond the relaxed atomics those snapshots read.
 //
-// Routes are registered before start() as `path -> () -> HttpResponse`;
-// query strings are stripped before matching. Unknown path -> 404,
-// non-GET method -> 405, malformed/oversized/slow request -> 400 or drop.
+// Routes are registered before start(). Two handler shapes share one
+// registry: the classic `path -> () -> HttpResponse` for endpoints that
+// ignore the request, and `path -> (const HttpRequest&) -> HttpResponse`
+// for endpoints that read query parameters (the query-tier routes:
+// /frequency?key=..., ?generation=..., ?epoch<=...). The query string is
+// split off the target before route matching and handed to the handler
+// percent-decoded. Unknown path -> 404, non-GET method -> 405 (with an
+// `Allow: GET` header), malformed/oversized/slow request -> 400 or drop.
+// Every response — errors included — carries an exact Content-Length and
+// `Connection: close`.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "service/socket.hpp"
 
 namespace dcs::obs {
 
+/// One parsed request as seen by a route handler: the path the route
+/// matched on plus the percent-decoded query parameters, in order of
+/// appearance.
+struct HttpRequest {
+  std::string method;
+  /// Path only — the query string is already split off.
+  std::string target;
+  /// Raw query text after '?' (empty when absent), before decoding.
+  std::string query_string;
+  /// Decoded key/value pairs in request order. A key without '=' maps to
+  /// an empty value ("?flag" -> {"flag", ""}).
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value for `key`, or nullptr when absent.
+  const std::string* param(std::string_view key) const {
+    for (const auto& [name, value] : params)
+      if (name == key) return &value;
+    return nullptr;
+  }
+};
+
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
   std::string body;
+  /// Additional response headers ("Allow", cache validators, ...). Names
+  /// and values are emitted verbatim, one `Name: value` line each.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 using HttpHandler = std::function<HttpResponse()>;
+using HttpRequestHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Decode %XX escapes and '+' (as space) in a query component. Malformed
+/// escapes pass through verbatim rather than failing the request.
+std::string url_decode(std::string_view text);
+
+/// Split "k=v&flag&x=%20" into decoded pairs (the HttpRequest::params
+/// shape). Exposed for tests.
+std::vector<std::pair<std::string, std::string>> parse_query_params(
+    std::string_view query);
 
 struct HttpServerConfig {
   std::string bind_address = "127.0.0.1";
@@ -69,6 +113,11 @@ class HttpServer {
   /// before start().
   void route(std::string path, HttpHandler handler);
 
+  /// Request-aware registration: the handler receives the parsed request
+  /// (query parameters included). Same registry as route(); last
+  /// registration for a path wins.
+  void route(std::string path, HttpRequestHandler handler);
+
   /// Bind and spawn the accept loop. Throws std::runtime_error when the
   /// address cannot be bound.
   void start();
@@ -84,7 +133,7 @@ class HttpServer {
   void handle_connection(service::TcpSocket socket);
 
   HttpServerConfig config_;
-  std::map<std::string, HttpHandler> routes_;
+  std::map<std::string, HttpRequestHandler> routes_;
   service::TcpListener listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -270,4 +270,48 @@ CheckpointMetrics& CheckpointMetrics::get() {
   return instance;
 }
 
+QueryMetrics& QueryMetrics::get() {
+  static QueryMetrics instance{
+      Registry::global().counter(
+          "dcs_query_published_generations_total",
+          "Query snapshots published atomically by the collector-side "
+          "publisher"),
+      Registry::global().counter(
+          "dcs_query_publish_errors_total",
+          "Snapshot publish attempts that failed (I/O error; the previous "
+          "generation keeps serving)"),
+      Registry::global().counter(
+          "dcs_query_published_bytes_total",
+          "Bytes of query snapshots published"),
+      Registry::global().counter(
+          "dcs_query_reloads_total",
+          "Snapshot generations loaded (mapped) by the query server's "
+          "generation watcher"),
+      Registry::global().counter(
+          "dcs_query_reload_errors_total",
+          "Snapshot generations that failed to load (CRC or decode "
+          "failure; the watcher fell back to the previous generation)"),
+      Registry::global().counter(
+          "dcs_query_requests_total",
+          "Query-tier requests answered (all routes, cache hits included)"),
+      Registry::global().counter(
+          "dcs_query_cache_hits_total",
+          "Query answers served from the response cache"),
+      Registry::global().counter(
+          "dcs_query_cache_misses_total",
+          "Query answers computed from the snapshot (then cached)"),
+      Registry::global().gauge(
+          "dcs_query_loaded_generations",
+          "Snapshot generations currently mapped in memory"),
+      Registry::global().gauge(
+          "dcs_query_stale_generation",
+          "Milliseconds since the newest loaded snapshot was published — "
+          "bounded by the publish interval plus one watch poll when the "
+          "tier is healthy"),
+      Registry::global().histogram(
+          "dcs_query_snapshot_load_ns",
+          "Snapshot decode + tracking-state rebuild latency, ns")};
+  return instance;
+}
+
 }  // namespace dcs::obs

@@ -147,4 +147,22 @@ struct CheckpointMetrics {
   static CheckpointMetrics& get();
 };
 
+/// Query tier (src/query): the collector-side snapshot publisher and the
+/// dcs_query_server read path (generation watcher, response cache).
+struct QueryMetrics {
+  Counter& published_generations;  // dcs_query_published_generations_total
+  Counter& publish_errors;         // dcs_query_publish_errors_total
+  Counter& published_bytes;        // dcs_query_published_bytes_total
+  Counter& reloads;                // dcs_query_reloads_total
+  Counter& reload_errors;          // dcs_query_reload_errors_total
+  Counter& requests;               // dcs_query_requests_total
+  Counter& cache_hits;             // dcs_query_cache_hits_total
+  Counter& cache_misses;           // dcs_query_cache_misses_total
+  Gauge& loaded_generations;       // dcs_query_loaded_generations
+  Gauge& stale_generation;         // dcs_query_stale_generation
+  Histogram& load_ns;              // dcs_query_snapshot_load_ns
+
+  static QueryMetrics& get();
+};
+
 }  // namespace dcs::obs

@@ -1,0 +1,97 @@
+#include "query/publisher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
+
+namespace dcs::query {
+
+SnapshotPublisher::SnapshotPublisher(SnapshotPublisherConfig config,
+                                     Provider provider)
+    : config_(std::move(config)),
+      provider_(std::move(provider)),
+      store_(config_.publish_dir, config_.retain) {
+  // Resume numbering above anything already on disk (publisher restart):
+  // a watcher may have mapped those generations, so names never recur.
+  generation_ = store_.max_generation();
+}
+
+SnapshotPublisher::~SnapshotPublisher() { stop(); }
+
+void SnapshotPublisher::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  publish_now();
+  thread_ = std::thread([this] { publish_loop(); });
+}
+
+void SnapshotPublisher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t SnapshotPublisher::publish_now() {
+  try {
+    service::QueryPublishState state = provider_(config_.top_k);
+
+    QuerySnapshot snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Above every file present — even one a crashed publisher left
+      // corrupt — so a fallback never reuses a mapped name.
+      snapshot.generation =
+          std::max(generation_, store_.max_generation()) + 1;
+    }
+    snapshot.published_unix_ns = obs::unix_now_ns();
+    snapshot.epoch_watermark = state.epoch_watermark;
+    snapshot.deltas_merged = state.deltas_merged;
+    snapshot.active_alarms = state.active_alarms;
+    snapshot.distinct_pairs = state.distinct_pairs;
+    snapshot.alerts = std::move(state.alerts);
+    snapshot.top_k = std::move(state.top_k);
+    snapshot.checkpoint = std::move(state.checkpoint);
+    snapshot.checkpoint.generation = snapshot.generation;
+
+    const std::uint64_t bytes = store_.write(snapshot);
+    store_.prune_retained(snapshot.generation);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      generation_ = snapshot.generation;
+    }
+    if (obs::recording()) {
+      auto& metrics = obs::QueryMetrics::get();
+      metrics.published_generations.inc();
+      metrics.published_bytes.inc(bytes);
+    }
+    return snapshot.generation;
+  } catch (const std::exception&) {
+    if (obs::recording()) obs::QueryMetrics::get().publish_errors.inc();
+    return 0;
+  }
+}
+
+void SnapshotPublisher::publish_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.publish_every_ms),
+                 [this] { return !running_; });
+    if (!running_) return;
+    lock.unlock();
+    publish_now();
+    lock.lock();
+  }
+}
+
+}  // namespace dcs::query

@@ -1,0 +1,80 @@
+// Collector-side snapshot publisher: the write half of the query tier.
+//
+// A background thread captures the collector's merged state through a
+// provider callback (one state-lock acquisition per publish — the only
+// contention the query tier ever puts on ingest) and publishes it as an
+// immutable generation-numbered snapshot file (see snapshot.hpp). Readers
+// never talk to the collector; their staleness is bounded by the publish
+// interval plus one watch poll.
+//
+// Failure model: a failed publish is counted (dcs_query_publish_errors_
+// total) and retried at the next tick; the previous generation keeps
+// serving. Generation numbers always move forward, above every file
+// already present in the directory, so a restarted publisher never reuses
+// a name a watcher may have mapped.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "query/snapshot.hpp"
+#include "service/collector.hpp"
+
+namespace dcs::query {
+
+struct SnapshotPublisherConfig {
+  std::string publish_dir;
+  /// Milliseconds between publishes — the query tier's staleness bound.
+  int publish_every_ms = 1000;
+  /// Generations retained for time-travel queries.
+  std::uint64_t retain = 8;
+  /// k of the precomputed top-k baked into every snapshot.
+  std::size_t top_k = 10;
+};
+
+class SnapshotPublisher {
+ public:
+  /// Captures one QueryPublishState per publish; normally bound to
+  /// Collector::query_publish_state. A std::function (not a Collector&)
+  /// so tests and benches can publish synthetic states.
+  using Provider = std::function<service::QueryPublishState(std::size_t)>;
+
+  SnapshotPublisher(SnapshotPublisherConfig config, Provider provider);
+  ~SnapshotPublisher();
+
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// Publish one generation immediately, then every publish_every_ms on a
+  /// background thread until stop().
+  void start();
+  void stop();
+
+  /// Synchronous publish (also used by the timer thread). Returns the
+  /// generation written, or 0 when the publish failed (counted; the next
+  /// tick retries).
+  std::uint64_t publish_now();
+
+  /// Newest generation this publisher wrote (0 = none yet).
+  std::uint64_t generation() const;
+
+  const SnapshotStore& store() const noexcept { return store_; }
+
+ private:
+  void publish_loop();
+
+  SnapshotPublisherConfig config_;
+  Provider provider_;
+  SnapshotStore store_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dcs::query

@@ -1,0 +1,106 @@
+// Immutable query snapshots: the unit of exchange between the collector's
+// snapshot publisher and the dcs_query_server read tier.
+//
+// A snapshot is the PR-4 checkpoint container (merged sketch + per-site
+// watermarks + detector blob) wrapped in a query manifest: generation id,
+// publish timestamp, epoch watermark, detection outputs (alert log, active
+// alarm count) and precomputed answers (top-k, distinct-pair estimate) that
+// exist only in collector memory and therefore never reach the durable
+// checkpoint. Because the Distinct-Count Sketch is linear, rebuilding
+// TrackingDcs over the embedded sketch reproduces the collector's tracking
+// state exactly — a snapshot is a self-contained, bit-exact query substrate
+// for the merged stream at its watermark (Ganguly et al., ICDCS 2007, §5).
+//
+//   publish-dir/
+//     query-<G>.dcsq   generation G, written atomically (temp + fsync +
+//                      rename + dir fsync), versioned header + CRC-32
+//                      footer. The newest `retain` generations are kept
+//                      for time-travel queries; older ones are pruned.
+//
+// The publish/watch protocol is rename-based and lock-free: the publisher
+// only ever renames complete files into place, the watcher only ever opens
+// files whose CRC verifies, falling back a generation on a torn or corrupt
+// newest file. Reader and writer never coordinate beyond the directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detection/alert_types.hpp"
+#include "service/checkpoint.hpp"
+#include "sketch/top_k.hpp"
+
+namespace dcs::query {
+
+/// One published snapshot: manifest + embedded checkpoint container.
+struct QuerySnapshot {
+  std::uint64_t generation = 0;
+  /// Wall-clock publish stamp; the staleness gauge and the time-travel
+  /// responses report it.
+  std::uint64_t published_unix_ns = 0;
+  /// Highest epoch merged across all sites when the snapshot was cut.
+  std::uint64_t epoch_watermark = 0;
+  std::uint64_t deltas_merged = 0;
+  std::uint64_t active_alarms = 0;
+  /// Collector-computed estimate at publish time (equals a tracking
+  /// rebuild's answer by linearity; stored so /distinct_pairs needs no
+  /// sketch walk).
+  std::uint64_t distinct_pairs = 0;
+  /// Full alert event log at publish time.
+  std::vector<Alert> alerts;
+  /// Precomputed top-k at the publisher's k — the hot dashboard answer.
+  TopKResult top_k;
+  /// The durable container: merged sketch, site watermarks, totals,
+  /// detector blob. checkpoint.generation mirrors `generation`.
+  service::CheckpointState checkpoint;
+};
+
+/// Directory of generation-numbered snapshot files, shared by publisher
+/// (write/prune) and query server (list/load). Stateless beyond the path —
+/// every call re-reads the directory, which is what makes the watch
+/// protocol coordination-free.
+class SnapshotStore {
+ public:
+  /// Creates `dir` (and parents) if missing. `retain` generations are kept
+  /// by prune_retained (must be >= 1).
+  explicit SnapshotStore(std::string dir, std::uint64_t retain = 8);
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::uint64_t retain() const noexcept { return retain_; }
+  std::string path(std::uint64_t generation) const;
+
+  /// Serialize/parse one snapshot. decode throws SerializeError on any
+  /// malformed input (bad magic/version, truncation, CRC mismatch,
+  /// trailing bytes) and never partially applies.
+  static std::string encode(const QuerySnapshot& snapshot);
+  static QuerySnapshot decode(const std::string& bytes);
+
+  /// Atomically publish `snapshot.generation`; returns bytes written.
+  /// Throws SerializeError on I/O failure.
+  std::uint64_t write(const QuerySnapshot& snapshot) const;
+
+  /// Generations present on disk (by file name), ascending.
+  std::vector<std::uint64_t> generations() const;
+  std::uint64_t max_generation() const;
+
+  /// Load one generation; std::nullopt when missing, torn, or corrupt
+  /// (the file-name generation must match the payload's).
+  std::optional<QuerySnapshot> load(std::uint64_t generation) const;
+
+  /// Newest generation that decodes cleanly, walking back over corrupt
+  /// ones (each skip counted into `corrupt_skipped` when non-null).
+  std::optional<QuerySnapshot> load_latest(
+      std::uint64_t* corrupt_skipped = nullptr) const;
+
+  /// Keep the newest `retain()` generation numbers at or below
+  /// `newest_generation`; delete older snapshot files.
+  void prune_retained(std::uint64_t newest_generation) const;
+
+ private:
+  std::string dir_;
+  std::uint64_t retain_;
+};
+
+}  // namespace dcs::query

@@ -32,7 +32,10 @@ std::string generation_name(const char* prefix, std::uint64_t generation,
 
 }  // namespace
 
-CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+CheckpointStore::CheckpointStore(std::string dir, std::uint64_t retain)
+    : dir_(std::move(dir)), retain_(retain) {
+  if (retain_ == 0)
+    throw std::invalid_argument("CheckpointStore: retain must be >= 1");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_))
@@ -190,6 +193,13 @@ std::optional<CheckpointState> CheckpointStore::load_latest(
     if (corrupt_skipped) ++*corrupt_skipped;
   }
   return std::nullopt;
+}
+
+void CheckpointStore::prune_retained(std::uint64_t newest_generation) const {
+  // Keep generations in (newest - retain, newest]; saturate so the first
+  // retain_ generations survive (generation numbering starts at 1).
+  if (newest_generation < retain_) return;
+  prune_below(newest_generation - retain_ + 1);
 }
 
 void CheckpointStore::prune_below(std::uint64_t keep_from) const {

@@ -22,10 +22,12 @@
 // the recovered counters are bit-identical to an uninterrupted run's — a
 // property the recovery oracle tests assert exactly, not approximately.
 //
-// Retention: the collector keeps the two newest generations (plus their
-// journals), so a crash *during* a checkpoint write — or a checkpoint that
-// lands corrupt on disk — still has a complete previous generation to fall
-// back to. Older generations are pruned.
+// Retention: the store keeps the `retain` newest generations (plus their
+// journals) — default 2, so a crash *during* a checkpoint write — or a
+// checkpoint that lands corrupt on disk — still has a complete previous
+// generation to fall back to. Older generations are pruned. The snapshot
+// publisher raises the depth (--publish-retain) so the query tier can
+// serve time-travel reads over retained generations.
 #pragma once
 
 #include <cstdint>
@@ -70,10 +72,13 @@ struct CheckpointState {
 class CheckpointStore {
  public:
   /// Creates `dir` (and parents) if missing. Throws std::runtime_error if
-  /// the directory cannot be created.
-  explicit CheckpointStore(std::string dir);
+  /// the directory cannot be created, or std::invalid_argument when
+  /// `retain` is 0 (a store that prunes its newest generation is useless).
+  explicit CheckpointStore(std::string dir, std::uint64_t retain = 2);
 
   const std::string& dir() const noexcept { return dir_; }
+  /// Generations prune_retained() keeps, the newest included.
+  std::uint64_t retain() const noexcept { return retain_; }
   std::string checkpoint_path(std::uint64_t generation) const;
   std::string journal_path(std::uint64_t generation) const;
 
@@ -100,6 +105,13 @@ class CheckpointStore {
   /// Delete checkpoint and journal files with generation < keep_from.
   void prune_below(std::uint64_t keep_from) const;
 
+  /// Apply the configured retention depth against `newest_generation`:
+  /// keeps generations > newest_generation - retain() (i.e. the newest
+  /// `retain()` generation numbers, the newest itself included), prunes
+  /// everything older. Saturates at generation 0, so the first
+  /// `retain()` generations are never pruned.
+  void prune_retained(std::uint64_t newest_generation) const;
+
   /// Encode/decode one checkpoint (exposed for corruption tests). decode
   /// throws SerializeError on any malformed input and never partially
   /// applies.
@@ -111,6 +123,7 @@ class CheckpointStore {
                                                   const char* suffix) const;
 
   std::string dir_;
+  std::uint64_t retain_;
 };
 
 }  // namespace dcs::service

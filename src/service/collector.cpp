@@ -531,7 +531,8 @@ void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
 }
 
 void Collector::recover() {
-  store_ = std::make_unique<CheckpointStore>(config_.state_dir);
+  store_ = std::make_unique<CheckpointStore>(config_.state_dir,
+                                             config_.checkpoint_retain);
   std::lock_guard<std::mutex> lock(state_mutex_);
 
   std::uint64_t corrupt_skipped = 0;
@@ -623,14 +624,8 @@ void Collector::recover() {
   write_checkpoint_locked();
 }
 
-void Collector::write_checkpoint_locked() {
-  if (!store_) return;
-  obs::ScopedTimer timer(obs::CheckpointMetrics::get().write_ns);
-
+CheckpointState Collector::build_checkpoint_state_locked() const {
   CheckpointState state;
-  // Number above every file present — even a corrupt newer generation —
-  // so a fallback recovery never overwrites evidence or reuses a name.
-  state.generation = std::max(generation_, store_->max_generation()) + 1;
   state.sketch = merged_.sketch();
   for (const auto& [site_id, site] : sites_)
     state.sites.push_back({site_id, site.last_epoch, site.epochs_merged,
@@ -646,6 +641,17 @@ void Collector::write_checkpoint_locked() {
     detector_.serialize(writer);
     state.detector_blob = std::move(out).str();
   }
+  return state;
+}
+
+void Collector::write_checkpoint_locked() {
+  if (!store_) return;
+  obs::ScopedTimer timer(obs::CheckpointMetrics::get().write_ns);
+
+  CheckpointState state = build_checkpoint_state_locked();
+  // Number above every file present — even a corrupt newer generation —
+  // so a fallback recovery never overwrites evidence or reuses a name.
+  state.generation = std::max(generation_, store_->max_generation()) + 1;
 
   std::uint64_t fsync_ns = 0;
   const std::uint64_t bytes = store_->write(state, &fsync_ns);
@@ -658,7 +664,7 @@ void Collector::write_checkpoint_locked() {
                                 config_.journal_fsync);
   deltas_since_checkpoint_ = 0;
   ++totals_.checkpoints_written;
-  if (generation_ >= 2) store_->prune_below(generation_ - 1);
+  store_->prune_retained(generation_);
   if (obs::recording()) {
     obs::CheckpointMetrics::get().generations.inc();
     obs::CheckpointMetrics::get().bytes_written.inc(bytes);
@@ -718,6 +724,20 @@ std::size_t Collector::connection_count() const {
 
 std::uint64_t Collector::inflight_bytes() const {
   return admission_.inflight_bytes();
+}
+
+QueryPublishState Collector::query_publish_state(std::size_t top_k) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  QueryPublishState state;
+  state.checkpoint = build_checkpoint_state_locked();
+  state.alerts = detector_.alerts();
+  state.active_alarms = detector_.active_alarm_count();
+  state.top_k = merged_.top_k(top_k);
+  state.distinct_pairs = merged_.estimate_distinct_pairs();
+  for (const auto& [site_id, site] : sites_)
+    state.epoch_watermark = std::max(state.epoch_watermark, site.last_epoch);
+  state.deltas_merged = totals_.deltas_merged;
+  return state;
 }
 
 std::vector<Collector::SiteStats> Collector::site_stats() const {

@@ -55,6 +55,24 @@
 
 namespace dcs::service {
 
+/// One internally consistent view of everything the query tier publishes:
+/// the durable checkpoint container (sketch + watermarks + detector blob)
+/// plus the detection outputs and precomputed answers that only exist in
+/// memory. Captured under a single state-lock acquisition so every field
+/// describes the same merged moment.
+struct QueryPublishState {
+  /// generation is left 0 — the publisher numbers its own generations.
+  CheckpointState checkpoint;
+  std::vector<Alert> alerts;
+  std::size_t active_alarms = 0;
+  /// Top-k at the requested k, computed from the same merged state.
+  TopKResult top_k;
+  std::uint64_t distinct_pairs = 0;
+  /// Highest epoch merged across all sites — the snapshot's watermark.
+  std::uint64_t epoch_watermark = 0;
+  std::uint64_t deltas_merged = 0;
+};
+
 struct CollectorConfig {
   /// Sketch parameters every site must match (fingerprint-checked at Hello).
   DcsParams params;
@@ -75,6 +93,10 @@ struct CollectorConfig {
   std::string state_dir;
   /// Write a checkpoint after this many delta merges since the last one.
   std::uint64_t checkpoint_every = 64;
+  /// Checkpoint generations (plus journals) retained on disk; the default
+  /// keeps the newest two so corruption fallback always has a complete
+  /// previous generation. Must be >= 1.
+  std::uint64_t checkpoint_retain = 2;
   /// fsync the journal on every append, making "acked" imply "durable".
   /// Turning this off trades the crash guarantee for merge latency: a crash
   /// may lose the journal tail, and the sites that were acked for those
@@ -186,6 +208,11 @@ class Collector {
   Stats stats() const;
   std::vector<SiteStats> site_stats() const;
 
+  /// Everything a query-tier snapshot needs, captured atomically under one
+  /// lock acquisition (see QueryPublishState). `top_k` sizes the
+  /// precomputed ranking baked into the snapshot.
+  QueryPublishState query_publish_state(std::size_t top_k) const;
+
   /// Collector-side epoch traces (full lifecycle for v3 sites), newest
   /// last. Reads the lock-free ring — safe during ingest.
   std::vector<obs::EpochTrace> traces() const { return trace_ring_.snapshot(); }
@@ -238,6 +265,10 @@ class Collector {
   /// Write checkpoint generation_+1, rotate the journal, prune old
   /// generations. Caller holds state_mutex_.
   void write_checkpoint_locked();
+  /// Snapshot the merged state into a CheckpointState (generation unset).
+  /// Caller holds state_mutex_. Shared by the durable checkpoint path and
+  /// the query-tier publisher.
+  CheckpointState build_checkpoint_state_locked() const;
 
   CollectorConfig config_;
   AdmissionController admission_;

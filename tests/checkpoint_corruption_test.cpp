@@ -5,6 +5,7 @@
 // facing a corrupt newest generation must fall back to the previous one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -196,6 +197,79 @@ TEST(CheckpointCorruption, GenerationMismatchWithFilenameIsSkipped) {
   std::uint64_t corrupt = 0;
   EXPECT_FALSE(store.load_latest(&corrupt).has_value());
   EXPECT_EQ(corrupt, 1u);
+}
+
+// --- retention ---------------------------------------------------------------
+
+/// Configurable retention depth: prune_retained(newest) keeps exactly the
+/// newest `retain` generation numbers, with the subtraction guarded at the
+/// low boundary (never underflows, never deletes what it should keep).
+TEST(CheckpointRetention, PruneKeepsExactlyRetainNewestGenerations) {
+  const CheckpointStore store(test_dir("retain3"), /*retain=*/3);
+  EXPECT_EQ(store.retain(), 3u);
+  for (std::uint64_t generation = 1; generation <= 6; ++generation) {
+    CheckpointState state = sample_state();
+    state.generation = generation;
+    store.write(state);
+    store.prune_retained(generation);
+    // Never fewer than min(generation, retain) generations on disk.
+    const auto kept = store.checkpoint_generations();
+    EXPECT_EQ(kept.size(), std::min<std::uint64_t>(generation, 3u))
+        << "generation=" << generation;
+    EXPECT_EQ(kept.back(), generation);
+  }
+  EXPECT_EQ(store.checkpoint_generations(), (std::vector<std::uint64_t>{4, 5, 6}));
+}
+
+TEST(CheckpointRetention, BoundaryNewestAtOrBelowRetainPrunesNothing) {
+  const CheckpointStore store(test_dir("boundary"), /*retain=*/5);
+  for (std::uint64_t generation = 1; generation <= 5; ++generation) {
+    CheckpointState state = sample_state();
+    state.generation = generation;
+    store.write(state);
+  }
+  store.prune_retained(3);  // newest < retain: nothing to cut
+  EXPECT_EQ(store.checkpoint_generations().size(), 5u);
+  store.prune_retained(5);  // newest == retain: keep 1..5 exactly
+  EXPECT_EQ(store.checkpoint_generations(), (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  store.prune_retained(6);  // one past: generation 1 goes
+  EXPECT_EQ(store.checkpoint_generations(), (std::vector<std::uint64_t>{2, 3, 4, 5}));
+}
+
+TEST(CheckpointRetention, RetainOneKeepsOnlyNewestAndZeroIsRejected) {
+  const CheckpointStore store(test_dir("retain1"), /*retain=*/1);
+  for (std::uint64_t generation = 1; generation <= 3; ++generation) {
+    CheckpointState state = sample_state();
+    state.generation = generation;
+    store.write(state);
+    store.prune_retained(generation);
+  }
+  EXPECT_EQ(store.checkpoint_generations(), (std::vector<std::uint64_t>{3}));
+
+  EXPECT_THROW(CheckpointStore(test_dir("retain0"), /*retain=*/0),
+               std::invalid_argument);
+}
+
+/// The collector plumbs checkpoint_retain through to its store: a deeper
+/// retention leaves more history for rollback while the default (2) keeps
+/// the original disk footprint.
+TEST(CheckpointRetention, CollectorHonorsConfiguredRetention) {
+  CollectorConfig config;
+  config.params = tiny_params();
+  config.state_dir = test_dir("collector_retain");
+  config.checkpoint_every = 1;  // checkpoint on every merge
+  config.checkpoint_retain = 4;
+  config.run_detection = false;
+  config.io_timeout_ms = 50;
+  Collector collector(config);
+
+  // Drive checkpoints directly (no sockets needed): checkpoint_now()
+  // advances the generation each call.
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(collector.checkpoint_now());
+  const CheckpointStore store(config.state_dir);
+  const auto kept = store.checkpoint_generations();
+  EXPECT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.back(), collector.checkpoint_generation());
 }
 
 // --- epoch journal -----------------------------------------------------------

@@ -1,0 +1,96 @@
+# End-to-end smoke for the snapshot-serving query tier: one dcs_agent
+# shipping ~98 epochs, a dcs_collector publishing query snapshots every
+# 150 ms, and a dcs_query_server watching the publish directory — all
+# started concurrently — while query_probe.cmake (the fourth member of the
+# pipeline) curls every route mid-ingest, exercises time travel and the
+# cache contract, then releases the server via its --stop-file.
+#
+# A second phase restarts the query server over the now-quiescent publish
+# directory and asserts the served top-1 equals the collector's own final
+# stdout answer — the bit-for-bit guarantee, end to end through real
+# processes, real files, and real HTTP.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(port_file ${WORK_DIR}/collector.port)
+set(query_port_file ${WORK_DIR}/query.port)
+set(publish_dir ${WORK_DIR}/publish)
+set(stop_file ${WORK_DIR}/probe.done)
+
+# The collector is listed last: execute_process runs its COMMANDs as one
+# concurrent pipeline and OUTPUT_VARIABLE captures the last one's stdout.
+execute_process(
+  COMMAND ${DCS_AGENT} --site 9 --port-file ${port_file}
+          --u 200000 --d 50 --epoch-updates 2048
+  COMMAND ${DCS_QUERY_SERVER} --publish-dir ${publish_dir} --port 0
+          --port-file ${query_port_file} --watch-every-ms 100
+          --stop-file ${stop_file} --run-ms 60000
+          --metrics-out ${WORK_DIR}/query_metrics.prom
+  COMMAND ${CMAKE_COMMAND} -DPORT_FILE=${query_port_file}
+          -DOUT_DIR=${WORK_DIR} -DSTOP_FILE=${stop_file}
+          -P ${CMAKE_CURRENT_LIST_DIR}/query_probe.cmake
+  COMMAND ${DCS_COLLECTOR} --port-file ${port_file} --sites 1
+          --timeout-ms 60000 --publish-dir ${publish_dir}
+          --publish-every-ms 150 --publish-retain 1000 --publish-k 5
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULTS_VARIABLE statuses
+  TIMEOUT 90)
+
+foreach(status ${statuses})
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "query_smoke: a process failed (${statuses}):\n"
+      "${out}\n${err}")
+  endif()
+endforeach()
+
+# The collector prints its final merged top-k; capture rank 1 for phase 2.
+# (--publish-retain is deep enough that nothing was pruned, so the final
+# published generation is still on disk for the restarted server.)
+if(NOT out MATCHES " 1  dest=([0-9a-f]+)  frequency~([0-9]+)")
+  message(FATAL_ERROR "query_smoke: collector printed no top-k:\n${out}\n${err}")
+endif()
+set(expect_group ${CMAKE_MATCH_1})
+set(expect_estimate ${CMAKE_MATCH_2})
+
+# The query server's exit snapshot must show real serving activity.
+file(READ ${WORK_DIR}/query_metrics.prom query_prom)
+foreach(needle
+    "dcs_query_reloads_total [1-9]"
+    "dcs_query_requests_total [1-9]"
+    "dcs_query_reload_errors_total 0")
+  if(NOT query_prom MATCHES "${needle}")
+    message(FATAL_ERROR "query_smoke: query_metrics.prom missing "
+      "'${needle}':\n${query_prom}")
+  endif()
+endforeach()
+
+message(STATUS "query_smoke: live sweep served mid-ingest "
+  "(final top-1 dest=${expect_group} freq=${expect_estimate})")
+
+# --- Phase 2: restart over the retained directory, assert the end state ----
+file(REMOVE ${stop_file})
+set(query_port_file2 ${WORK_DIR}/query2.port)
+execute_process(
+  COMMAND ${DCS_QUERY_SERVER} --publish-dir ${publish_dir} --port 0
+          --port-file ${query_port_file2} --watch-every-ms 100
+          --stop-file ${stop_file} --run-ms 60000
+  COMMAND ${CMAKE_COMMAND} -DPORT_FILE=${query_port_file2}
+          -DOUT_DIR=${WORK_DIR} -DSTOP_FILE=${stop_file} -DMODE=final
+          -DEXPECT_GROUP=${expect_group} -DEXPECT_ESTIMATE=${expect_estimate}
+          -P ${CMAKE_CURRENT_LIST_DIR}/query_probe.cmake
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE final_out
+  ERROR_VARIABLE final_err
+  RESULTS_VARIABLE final_statuses
+  TIMEOUT 90)
+
+foreach(status ${final_statuses})
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "query_smoke: final phase failed (${final_statuses}):\n"
+      "${final_out}\n${final_err}")
+  endif()
+endforeach()
+
+message(STATUS "query_smoke: restarted server serves the collector's final "
+  "answer bit-for-bit")

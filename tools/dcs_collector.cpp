@@ -9,7 +9,9 @@
 //                 [--timeout-ms N] [--k N] [--r N] [--s N] [--seed N]
 //                 [--min-absolute N] [--factor F] [--no-detection]
 //                 [--state-dir DIR] [--checkpoint-every N]
-//                 [--crash-after-deltas N]
+//                 [--checkpoint-retain N] [--crash-after-deltas N]
+//                 [--publish-dir DIR] [--publish-every-ms N]
+//                 [--publish-retain N] [--publish-k N]
 //                 [--max-inflight-bytes N] [--site-rate R] [--site-burst N]
 //                 [--frame-deadline-ms N] [--idle-timeout-ms N]
 //                 [--max-frame-bytes N]
@@ -25,6 +27,14 @@
 // published via --ops-port-file. --metrics-every atomically rewrites
 // --metrics-out every SEC seconds as a scrape-less fallback, so even a
 // SIGKILLed collector leaves recent metrics behind.
+//
+// --publish-dir enables the query tier (see src/query/): a background
+// publisher periodically snapshots the merged state — sketch, detector,
+// alert log, top-k, site census, epoch watermark — into an immutable
+// CRC-footered generation file in DIR (atomic rename). dcs_query_server
+// pointed at the same DIR serves dashboard reads from those snapshots
+// without ever touching the collector. --publish-retain bounds how many
+// generations stay on disk (time-travel depth).
 //
 // --state-dir enables crash-safe checkpointing (see src/service/
 // checkpoint.hpp): restart with the same directory and the collector
@@ -54,6 +64,7 @@
 #include "obs/export.hpp"
 #include "obs/http_export.hpp"
 #include "obs/trace.hpp"
+#include "query/publisher.hpp"
 #include "service/collector.hpp"
 
 namespace {
@@ -77,6 +88,15 @@ void print_usage() {
       "  --no-detection        disable the EWMA baseline detector\n"
       "  --state-dir DIR       enable crash-safe checkpointing in DIR\n"
       "  --checkpoint-every N  merges between checkpoints (default 64)\n"
+      "  --checkpoint-retain N checkpoint generations kept on disk\n"
+      "                        (default 2; must be >= 1)\n"
+      "  --publish-dir DIR     publish query snapshots into DIR for\n"
+      "                        dcs_query_server (omit = disabled)\n"
+      "  --publish-every-ms N  ms between query snapshots (default 1000)\n"
+      "  --publish-retain N    query generations kept in --publish-dir\n"
+      "                        (default 8; must be >= 1)\n"
+      "  --publish-k N         top-k depth precomputed into each query\n"
+      "                        snapshot (default 10)\n"
       "  --crash-after-deltas N  fault injection: SIGKILL self after N merges\n"
       "  --max-inflight-bytes N  global budget for admitted-but-unmerged\n"
       "                          delta bytes (0 = unlimited; default 0)\n"
@@ -190,6 +210,8 @@ int main(int argc, char** argv) {
   config.state_dir = options.str("state-dir", "");
   config.checkpoint_every =
       static_cast<std::uint64_t>(options.integer("checkpoint-every", 64));
+  config.checkpoint_retain =
+      static_cast<std::uint64_t>(options.integer("checkpoint-retain", 2));
   config.admission.max_inflight_bytes =
       static_cast<std::uint64_t>(options.integer("max-inflight-bytes", 0));
   config.admission.site_rate_per_sec = options.real("site-rate", 0.0);
@@ -278,6 +300,30 @@ int main(int argc, char** argv) {
         publish_port(ops_port_file, ops_server->port());
     }
 
+    // Query-tier publisher: periodically freezes the merged state into an
+    // immutable generation file. The provider is a bound method — the
+    // collector never learns the query tier exists.
+    std::unique_ptr<query::SnapshotPublisher> publisher;
+    const std::string publish_dir = options.str("publish-dir", "");
+    if (!publish_dir.empty()) {
+      query::SnapshotPublisherConfig publish_config;
+      publish_config.publish_dir = publish_dir;
+      publish_config.publish_every_ms =
+          static_cast<int>(options.integer("publish-every-ms", 1000));
+      publish_config.retain =
+          static_cast<std::uint64_t>(options.integer("publish-retain", 8));
+      publish_config.top_k =
+          static_cast<std::size_t>(options.integer("publish-k", 10));
+      publisher = std::make_unique<query::SnapshotPublisher>(
+          publish_config, [&collector](std::size_t top_k) {
+            return collector.query_publish_state(top_k);
+          });
+      publisher->start();
+      std::printf("publishing query snapshots to %s every %d ms\n",
+                  publish_dir.c_str(), publish_config.publish_every_ms);
+      std::fflush(stdout);
+    }
+
     const std::string metrics_out_path = options.str("metrics-out", "");
     const obs::ExportFormat metrics_format =
         obs::parse_format(options.str("metrics-format", "prom"));
@@ -299,6 +345,11 @@ int main(int argc, char** argv) {
       });
 
     const bool all_done = collector.wait_for_byes(sites, timeout_ms);
+    if (publisher) {
+      // One final generation so dashboards see the post-Bye totals.
+      publisher->publish_now();
+      publisher->stop();
+    }
     metrics_flusher.stop();
     if (ops_server) ops_server->stop();
     collector.stop();

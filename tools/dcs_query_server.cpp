@@ -1,0 +1,136 @@
+// dcs_query_server — snapshot-serving read tier for dcs_collector.
+//
+// Points at the --publish-dir a collector writes query snapshots into,
+// maps every valid generation into immutable in-memory state, and serves
+// dashboard reads over HTTP/JSON without ever touching the collector:
+//
+//   /topk[?k=N]      /frequency?key=K   /distinct_pairs
+//   /alerts          /sites             /generations
+//   /healthz         /metrics           /metrics.json
+//
+// Every snapshot route accepts ?generation=G or ?epoch<=E for time
+// travel across the retained generations. Answers are rendered from the
+// rebuilt sketch state, so they are bit-identical to what the source
+// collector would have answered at the published epoch watermark; hot
+// answers are cached keyed by (generation, route+query).
+//
+//   dcs_query_server --publish-dir DIR [--port N] [--bind ADDR]
+//                    [--port-file FILE] [--watch-every-ms N]
+//                    [--cache-entries N] [--run-ms N]
+//                    [--metrics-out FILE] [--metrics-format prom|json]
+//
+// The directory watcher polls every --watch-every-ms for new or pruned
+// generations; corrupt or torn snapshot files are counted
+// (dcs_query_reload_errors_total) and skipped, never fatal. --run-ms
+// bounds the lifetime for scripted runs (0 = run until SIGINT/SIGTERM).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/options.hpp"
+#include "obs/export.hpp"
+#include "query/server.hpp"
+
+namespace {
+
+using namespace dcs;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+void print_usage() {
+  std::printf(
+      "usage: dcs_query_server --publish-dir DIR [options]\n"
+      "  --publish-dir DIR     snapshot directory written by a\n"
+      "                        dcs_collector --publish-dir (required)\n"
+      "  --port N              HTTP port to bind (0 = ephemeral; default 0)\n"
+      "  --bind ADDR           bind address (default 127.0.0.1)\n"
+      "  --port-file FILE      atomically publish the bound port to FILE\n"
+      "  --watch-every-ms N    directory poll interval (default 200)\n"
+      "  --cache-entries N     response-cache capacity (default 256)\n"
+      "  --run-ms N            exit after N ms (0 = until SIGINT/SIGTERM;\n"
+      "                        default 0)\n"
+      "  --stop-file FILE      also exit once FILE exists (scripted runs)\n"
+      "  --metrics-out FILE    write a metrics snapshot on exit\n"
+      "  --metrics-format F    prom|json (default prom)\n"
+      "  --help                print this help\n");
+}
+
+void publish_port(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Options options(argc, argv);
+  if (options.flag("help")) {
+    print_usage();
+    return 0;
+  }
+
+  query::QueryServerConfig config;
+  config.publish_dir = options.str("publish-dir", "");
+  if (config.publish_dir.empty()) {
+    std::fprintf(stderr, "dcs_query_server: --publish-dir is required\n");
+    print_usage();
+    return 1;
+  }
+  config.watch_every_ms =
+      static_cast<int>(options.integer("watch-every-ms", 200));
+  config.cache_entries =
+      static_cast<std::size_t>(options.integer("cache-entries", 256));
+  config.http.bind_address = options.str("bind", "127.0.0.1");
+  config.http.port = static_cast<std::uint16_t>(options.integer("port", 0));
+
+  const auto run_ms = options.integer("run-ms", 0);
+  const std::string stop_file = options.str("stop-file", "");
+
+  try {
+    query::QueryServer server(std::move(config));
+    server.start();
+    std::printf("serving queries on %s:%u (%zu generations mapped)\n",
+                options.str("bind", "127.0.0.1").c_str(), server.port(),
+                server.engine().loaded_generations().size());
+    std::fflush(stdout);
+    const std::string port_file = options.str("port-file", "");
+    if (!port_file.empty()) publish_port(port_file, server.port());
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(run_ms);
+    while (!g_stop.load()) {
+      if (run_ms > 0 && std::chrono::steady_clock::now() >= deadline) break;
+      if (!stop_file.empty() && std::ifstream(stop_file).good()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    server.stop();
+
+    std::printf("generations=%zu cache_entries=%zu\n",
+                server.engine().loaded_generations().size(),
+                server.engine().cache_size());
+
+    const std::string metrics_out = options.str("metrics-out", "");
+    if (!metrics_out.empty())
+      obs::write_snapshot_file(
+          metrics_out, obs::parse_format(options.str("metrics-format", "prom")),
+          obs::Registry::global().snapshot());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_query_server: %s\n", error.what());
+    return 1;
+  }
+}
