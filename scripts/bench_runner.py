@@ -73,6 +73,9 @@ SUITE = [
           scaled_args=["--deltas", "16", "--cache-iters", "200"],
           full_args=["--deltas", "60", "--target-rps", "2000",
                      "--cache-iters", "2000"]),
+    Bench("ingest_reactor", "bench/ingest_reactor",
+          scaled_args=["--peers", "48", "--epochs", "3"],
+          full_args=["--peers", "512", "--epochs", "5"]),
     Bench("chaos_convergence", "tools/dcs_chaos",
           scaled_args=["--sites", "3", "--u", "8000", "--epoch-updates",
                        "400", "--seed", "7", "--loris", "1", "--stall", "1",

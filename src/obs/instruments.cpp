@@ -197,6 +197,32 @@ CollectorMetrics& CollectorMetrics::get() {
   return instance;
 }
 
+ReactorMetrics& ReactorMetrics::get() {
+  static ReactorMetrics instance{
+      Registry::global().counter(
+          "dcs_reactor_wakeups_total",
+          "Epoll wakeups across all reactor workers (timeouts included)"),
+      Registry::global().counter(
+          "dcs_reactor_accepts_total",
+          "Connections accepted by the reactor's non-blocking acceptor"),
+      Registry::global().counter(
+          "dcs_reactor_partial_writes_total",
+          "Reply flushes that left bytes queued (peer not draining; "
+          "EPOLLOUT armed to resume)"),
+      Registry::global().counter(
+          "dcs_reactor_out_buffer_drops_total",
+          "Connections dropped for exceeding the reply out-buffer cap "
+          "(peer sent frames but never read its acks)"),
+      Registry::global().gauge(
+          "dcs_reactor_connections",
+          "Connections currently owned by reactor workers"),
+      Registry::global().histogram(
+          "dcs_reactor_frames_per_wakeup",
+          "Complete frames decoded per read wakeup (batching efficiency "
+          "of the event loop)")};
+  return instance;
+}
+
 AgentMetrics& AgentMetrics::get() {
   static AgentMetrics instance{
       Registry::global().counter(

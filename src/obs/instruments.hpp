@@ -114,6 +114,21 @@ struct CollectorMetrics {
   static CollectorMetrics& get();
 };
 
+/// src/service epoll ingest reactor: event-loop health. Frame/merge/shed
+/// accounting stays in CollectorMetrics (shared with the threaded path);
+/// these cover what only the reactor has — wakeups, the accept drain, and
+/// reply-path partial writes.
+struct ReactorMetrics {
+  Counter& wakeups;             // dcs_reactor_wakeups_total
+  Counter& accepts;             // dcs_reactor_accepts_total
+  Counter& partial_writes;      // dcs_reactor_partial_writes_total
+  Counter& out_buffer_drops;    // dcs_reactor_out_buffer_drops_total
+  Gauge& connections;           // dcs_reactor_connections
+  Histogram& frames_per_wakeup; // dcs_reactor_frames_per_wakeup
+
+  static ReactorMetrics& get();
+};
+
 /// src/service site agent: epoch lifecycle and degraded-mode accounting.
 struct AgentMetrics {
   Counter& epochs_sealed;       // dcs_agent_epochs_sealed_total

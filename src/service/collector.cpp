@@ -8,6 +8,7 @@
 
 #include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
+#include "service/reactor.hpp"
 #include "service/wire.hpp"
 
 namespace dcs::service {
@@ -29,15 +30,55 @@ struct Collector::Connection {
   TcpSocket socket;
   FrameDecoder decoder;
   std::thread thread;
-  /// Site id learned from the Hello; 0 until the handshake completes.
-  std::uint64_t site_id = 0;
-  /// Version negotiated at Hello: min(ours, the site's). Every reply on
-  /// this connection is framed at it, and v3-only behaviour (heartbeat
-  /// acks) is gated on it so a v2 site's ack stream never desyncs.
-  std::uint8_t wire_version = kWireVersion;
-  bool hello_ok = false;
+  /// Transport-agnostic protocol state (see wire.hpp) — the same struct
+  /// the reactor keeps per connection, handed to the same handle_frame().
+  PeerState peer;
   /// Set by serve() on exit so the accept loop can reap the thread.
   std::atomic<bool> done{false};
+};
+
+/// The reactor's view of the collector: every callback lands in the exact
+/// accounting the threaded serve() loop does, and on_frame delegates to the
+/// shared handle_frame() — the reactor cannot diverge from the oracle
+/// without this adapter diverging, which it has no logic to do.
+class Collector::ReactorSink : public FrameHandler {
+ public:
+  explicit ReactorSink(Collector& collector) : collector_(collector) {}
+
+  std::string on_frame(PeerState& peer, MsgType type, std::uint8_t version,
+                       const std::string& payload) override {
+    if (obs::recording()) obs::CollectorMetrics::get().frames.inc();
+    {
+      std::lock_guard<std::mutex> lock(collector_.state_mutex_);
+      ++collector_.totals_.frames;
+    }
+    return collector_.handle_frame(peer, type, version, payload);
+  }
+
+  void on_disconnect(PeerState& peer) override {
+    collector_.note_disconnect(peer);
+  }
+
+  void on_frame_error() override {
+    if (obs::recording()) obs::CollectorMetrics::get().frame_errors.inc();
+    std::lock_guard<std::mutex> lock(collector_.state_mutex_);
+    ++collector_.totals_.frame_errors;
+  }
+
+  void on_deadline_drop() override {
+    if (obs::recording()) obs::CollectorMetrics::get().deadline_drops.inc();
+    std::lock_guard<std::mutex> lock(collector_.state_mutex_);
+    ++collector_.totals_.deadline_drops;
+  }
+
+  void on_idle_reap() override {
+    if (obs::recording()) obs::CollectorMetrics::get().idle_reaped.inc();
+    std::lock_guard<std::mutex> lock(collector_.state_mutex_);
+    ++collector_.totals_.idle_reaped;
+  }
+
+ private:
+  Collector& collector_;
 };
 
 Collector::Collector(CollectorConfig config)
@@ -54,6 +95,8 @@ Collector::Collector(CollectorConfig config)
     throw std::invalid_argument("Collector: detection_top_k must be > 0");
   if (config_.checkpoint_every == 0)
     throw std::invalid_argument("Collector: checkpoint_every must be > 0");
+  if (config_.use_reactor && config_.reactor_workers < 1)
+    throw std::invalid_argument("Collector: reactor_workers must be >= 1");
   if (config_.admission.max_inflight_bytes != 0) {
     // A single frame larger than the whole budget could never admit and
     // would be NACKed forever — a livelock the operator must resolve by
@@ -82,11 +125,29 @@ void Collector::start() {
                              std::to_string(config_.port));
   listener_ = std::move(*listener);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.use_reactor) {
+    listener_.set_nonblocking(true);
+    reactor_sink_ = std::make_unique<ReactorSink>(*this);
+    ReactorConfig reactor_config;
+    reactor_config.workers = config_.reactor_workers;
+    reactor_config.tick_ms = config_.io_timeout_ms;
+    reactor_config.frame_deadline_ms = config_.frame_deadline_ms;
+    reactor_config.idle_timeout_ms = config_.idle_timeout_ms;
+    reactor_config.max_frame_bytes = config_.max_frame_bytes;
+    reactor_ = std::make_unique<Reactor>(reactor_config, *reactor_sink_);
+    reactor_->start(listener_);
+  } else {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
 }
 
 void Collector::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (reactor_) {
+    reactor_->stop();
+    reactor_.reset();
+    reactor_sink_.reset();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
   // Shut the sockets down (not close: the serving threads still own the
@@ -180,7 +241,7 @@ void Collector::serve(std::shared_ptr<Connection> conn) {
             std::lock_guard<std::mutex> lock(state_mutex_);
             ++totals_.frames;
           }
-          const std::string ack = handle_frame(*conn, frame->type,
+          const std::string ack = handle_frame(conn->peer, frame->type,
                                                frame->version,
                                                frame->payload);
           if (!ack.empty() && !conn->socket.send_all(ack)) {
@@ -220,23 +281,25 @@ void Collector::serve(std::shared_ptr<Connection> conn) {
   // Connection after this thread is joined — closing here would race with
   // stop()'s concurrent shutdown on the same fd.
   conn->socket.shutdown();
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    if (conn->hello_ok) {
-      auto it = sites_.find(conn->site_id);
-      if (it != sites_.end() && it->second.connected) {
-        it->second.connected = false;
-        --totals_.connected_sites;
-        if (obs::recording())
-          obs::CollectorMetrics::get().connected_sites.add(-1);
-      }
-    }
-    state_cv_.notify_all();
-  }
+  note_disconnect(conn->peer);
   conn->done.store(true, std::memory_order_release);
 }
 
-std::string Collector::handle_frame(Connection& conn, MsgType type,
+void Collector::note_disconnect(const PeerState& peer) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (peer.hello_ok) {
+    auto it = sites_.find(peer.site_id);
+    if (it != sites_.end() && it->second.connected) {
+      it->second.connected = false;
+      --totals_.connected_sites;
+      if (obs::recording())
+        obs::CollectorMetrics::get().connected_sites.add(-1);
+    }
+  }
+  state_cv_.notify_all();
+}
+
+std::string Collector::handle_frame(PeerState& peer, MsgType type,
                                     std::uint8_t version,
                                     const std::string& payload) {
   switch (type) {
@@ -244,7 +307,7 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
       const Hello hello = Hello::decode(payload);
       // Negotiate down to the site's dialect: everything we send back on
       // this connection is framed at min(ours, theirs).
-      conn.wire_version = version < kWireVersion ? version : kWireVersion;
+      peer.wire_version = version < kWireVersion ? version : kWireVersion;
       Ack ack;
       ack.epoch = 0;
       if (hello.params_fingerprint != config_.params.fingerprint()) {
@@ -253,10 +316,10 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
           obs::CollectorMetrics::get().rejected_hellos.inc();
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++totals_.rejected_hellos;
-        return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+        return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
       }
-      conn.site_id = hello.site_id;
-      conn.hello_ok = true;
+      peer.site_id = hello.site_id;
+      peer.hello_ok = true;
       std::lock_guard<std::mutex> lock(state_mutex_);
       SiteStats& site = sites_[hello.site_id];
       site.site_id = hello.site_id;
@@ -283,20 +346,20 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
       // re-shipping them after a collector restart.
       ack.epoch = site.last_epoch;
       state_cv_.notify_all();
-      return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+      return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
     }
     case MsgType::kSnapshotDelta:
-      return handle_delta(conn, version, payload);
+      return handle_delta(peer, version, payload);
     case MsgType::kHeartbeat: {
       Heartbeat::decode(payload);  // validation; liveness is implicit
       // v3 sites expect a heartbeat ack (epoch 0) and time it as a network
       // RTT probe. A v2 site does NOT wait for one — acking would desync
       // its request/response ack stream, so the gate is the negotiated
       // version, not ours.
-      if (conn.wire_version >= 3) {
+      if (peer.wire_version >= 3) {
         Ack ack;
         ack.epoch = 0;
-        return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+        return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
       }
       return {};
     }
@@ -313,11 +376,11 @@ std::string Collector::handle_frame(Connection& conn, MsgType type,
   throw WireError("collector: unhandled message type");
 }
 
-std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
+std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
                                     const std::string& payload) {
   const SnapshotDelta delta = SnapshotDelta::decode(payload, version);
-  if (!conn.hello_ok) throw WireError("collector: delta before Hello");
-  if (delta.site_id != conn.site_id)
+  if (!peer.hello_ok) throw WireError("collector: delta before Hello");
+  if (delta.site_id != peer.site_id)
     throw WireError("collector: delta site_id does not match Hello");
   if (delta.epoch == 0) throw WireError("collector: delta epoch must be >= 1");
 
@@ -347,8 +410,8 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
   // budget.
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    SiteStats& site = sites_[conn.site_id];
-    site.site_id = conn.site_id;
+    SiteStats& site = sites_[peer.site_id];
+    site.site_id = peer.site_id;
     if (delta.epoch <= site.last_epoch) {
       // Retransmit after a reconnect — already merged; ack so the site can
       // drop it from its spool. Exactly-once merging from at-least-once
@@ -358,7 +421,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
       ++totals_.duplicate_deltas;
       if (obs::recording())
         obs::CollectorMetrics::get().duplicate_deltas.inc();
-      const auto watermark = recovered_watermarks_.find(conn.site_id);
+      const auto watermark = recovered_watermarks_.find(peer.site_id);
       if (watermark != recovered_watermarks_.end() &&
           delta.epoch <= watermark->second) {
         // A pre-crash epoch re-shipped after our restart: the watermark
@@ -368,7 +431,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
         if (obs::recording())
           obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
       }
-      return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+      return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
     }
   }
 
@@ -377,7 +440,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
   // A shed is an honest NACK — the epoch stays in the site's spool and
   // returns after retry_after_ms; nothing is merged, nothing is lost.
   const AdmissionDecision decision = admission_.try_admit(
-      conn.site_id, payload.size(), std::chrono::steady_clock::now());
+      peer.site_id, payload.size(), std::chrono::steady_clock::now());
   if (!decision.admitted) {
     ack.status = AckStatus::kRetryLater;
     ack.retry_after_ms = decision.retry_after_ms;
@@ -388,8 +451,8 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++totals_.shed_deltas;
     totals_.shed_bytes += payload.size();
-    ++sites_[conn.site_id].shed_deltas;
-    return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+    ++sites_[peer.site_id].shed_deltas;
+    return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
   }
   // Released on every exit from here (ack sent, duplicate race, or a
   // throw on a bad blob) — the budget can never leak.
@@ -414,7 +477,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
     throw WireError("collector: delta sketch parameters mismatch");
 
   std::lock_guard<std::mutex> lock(state_mutex_);
-  SiteStats& site = sites_[conn.site_id];
+  SiteStats& site = sites_[peer.site_id];
   if (delta.epoch <= site.last_epoch) {
     // Lost the race with another connection of the same site between the
     // pre-check and here (admitted but already merged): dedup, never
@@ -423,7 +486,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
     ++site.duplicate_deltas;
     ++totals_.duplicate_deltas;
     if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
-    return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+    return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
   }
   // Durability barrier: the delta must hit the journal (fsync'd) BEFORE it
   // is merged or acked. If the append fails the connection is dropped
@@ -431,7 +494,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
   if (store_) {
     try {
       std::uint64_t fsync_ns = 0;
-      journal_.append({conn.site_id, delta.epoch, delta.updates,
+      journal_.append({peer.site_id, delta.epoch, delta.updates,
                        delta.sketch_blob},
                       &fsync_ns);
       ++totals_.journal_records;
@@ -452,7 +515,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
     obs::TraceMetrics::get().observe_span(
         obs::TraceStage::kJournaled, trace.stamp(obs::TraceStage::kAdmitted),
         trace.stamp(obs::TraceStage::kJournaled));
-  merge_delta_locked(conn.site_id, delta.epoch, delta.updates, sketch,
+  merge_delta_locked(peer.site_id, delta.epoch, delta.updates, sketch,
                      &trace);
   if (obs::recording()) trace_ring_.push(trace);
   if (store_ && ++deltas_since_checkpoint_ >= config_.checkpoint_every) {
@@ -465,7 +528,7 @@ std::string Collector::handle_delta(Connection& conn, std::uint8_t version,
     }
   }
   state_cv_.notify_all();
-  return encode_frame(MsgType::kAck, ack.encode(), conn.wire_version);
+  return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
 }
 
 void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
@@ -715,6 +778,7 @@ Collector::Stats Collector::stats() const {
 }
 
 std::size_t Collector::connection_count() const {
+  if (reactor_) return reactor_->connection_count();
   std::lock_guard<std::mutex> lock(conn_mutex_);
   std::size_t live = 0;
   for (const auto& conn : connections_)

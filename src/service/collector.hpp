@@ -125,7 +125,20 @@ struct CollectorConfig {
   // --- tracing (see obs/trace.hpp) ------------------------------------------
   /// Epoch traces retained for the ops plane's /traces endpoint.
   std::size_t trace_capacity = 256;
+
+  // --- ingest path (see reactor.hpp) ----------------------------------------
+  /// Serve connections from the epoll reactor instead of one thread per
+  /// connection. Every protocol invariant (dedup, admission, deadlines,
+  /// journal-before-ack, tracing) is identical — both paths call the same
+  /// frame handler — but the reactor scales to 10k+ concurrent agents
+  /// where the threaded path tops out at thread-count scale. The threaded
+  /// path remains the differential-testing oracle.
+  bool use_reactor = false;
+  /// Epoll workers when use_reactor is set (worker 0 also accepts).
+  int reactor_workers = 2;
 };
+
+class Reactor;
 
 class Collector {
  public:
@@ -240,15 +253,21 @@ class Collector {
 
  private:
   struct Connection;
+  /// FrameHandler adapter the reactor calls into; defined in collector.cpp.
+  class ReactorSink;
 
   void accept_loop();
   void serve(std::shared_ptr<Connection> conn);
   /// Handle one decoded frame; returns the ack to send (empty = none).
   /// `version` is the frame's wire version — replies are framed at it.
-  std::string handle_frame(Connection& conn, MsgType type,
+  /// Takes the transport-agnostic PeerState so the threaded loop and the
+  /// reactor drive the identical protocol logic.
+  std::string handle_frame(PeerState& peer, MsgType type,
                            std::uint8_t version, const std::string& payload);
-  std::string handle_delta(Connection& conn, std::uint8_t version,
+  std::string handle_delta(PeerState& peer, std::uint8_t version,
                            const std::string& payload);
+  /// serve()/reactor common exit path: mark the peer's site disconnected.
+  void note_disconnect(const PeerState& peer);
 
   /// Merge one validated delta into the global state and run detection.
   /// Caller holds state_mutex_. Shared by the live path and journal replay;
@@ -276,6 +295,10 @@ class Collector {
   TcpListener listener_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
+
+  /// Reactor-mode ingest (config_.use_reactor); null in threaded mode.
+  std::unique_ptr<ReactorSink> reactor_sink_;
+  std::unique_ptr<Reactor> reactor_;
 
   /// Connection threads, joined on stop(). Guarded by conn_mutex_.
   mutable std::mutex conn_mutex_;

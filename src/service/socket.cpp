@@ -1,7 +1,9 @@
 #include "service/socket.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -27,6 +29,31 @@ bool make_addr(const std::string& address, std::uint16_t port,
   out.sin_family = AF_INET;
   out.sin_port = htons(port);
   return inet_pton(AF_INET, address.c_str(), &out.sin_addr) == 1;
+}
+
+void set_fd_nonblocking(int fd, bool on) {
+  if (fd < 0) return;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+/// poll(2) one fd, retrying EINTR with the remaining timeout so a signal
+/// mid-wait (profilers, test harnesses sending SIGUSR) never turns into a
+/// spurious timeout.
+int poll_retry_eintr(pollfd& pfd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready >= 0 || errno != EINTR) return ready;
+    if (timeout_ms >= 0) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(
+          0, std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                 .count()));
+    }
+  }
 }
 
 }  // namespace
@@ -66,6 +93,28 @@ bool TcpSocket::send_all(const void* data, std::size_t size) noexcept {
   return true;
 }
 
+SendResult TcpSocket::send_some(const void* data, std::size_t size) noexcept {
+  const int fd = fd_.load();
+  const char* cursor = static_cast<const char*>(data);
+  SendResult result;
+  while (result.bytes < size) {
+    const ssize_t sent =
+        ::send(fd, cursor + result.bytes, size - result.bytes, MSG_NOSIGNAL);
+    if (sent > 0) {
+      result.bytes += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      result.would_block = true;
+      return result;
+    }
+    result.error = true;
+    return result;
+  }
+  return result;
+}
+
 RecvResult TcpSocket::recv_some(void* buffer, std::size_t capacity) noexcept {
   const int fd = fd_.load();
   RecvResult result;
@@ -87,6 +136,10 @@ RecvResult TcpSocket::recv_some(void* buffer, std::size_t capacity) noexcept {
     result.error = true;
     return result;
   }
+}
+
+void TcpSocket::set_nonblocking(bool on) noexcept {
+  set_fd_nonblocking(fd_.load(), on);
 }
 
 void TcpSocket::shutdown() noexcept {
@@ -138,11 +191,23 @@ std::optional<TcpListener> TcpListener::listen(const std::string& address,
 std::optional<TcpSocket> TcpListener::accept(int timeout_ms) noexcept {
   if (fd_ < 0) return std::nullopt;
   pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  const int ready = poll_retry_eintr(pfd, timeout_ms);
   if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
-  const int conn = ::accept(fd_, nullptr, nullptr);
-  if (conn < 0) return std::nullopt;
-  return TcpSocket(conn);
+  return accept_now();
+}
+
+std::optional<TcpSocket> TcpListener::accept_now() noexcept {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return TcpSocket(conn);
+    if (errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+void TcpListener::set_nonblocking(bool on) noexcept {
+  set_fd_nonblocking(fd_, on);
 }
 
 void TcpListener::close() noexcept {
@@ -170,7 +235,7 @@ std::optional<TcpSocket> tcp_connect(const std::string& address,
       return std::nullopt;
     }
     pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+    if (poll_retry_eintr(pfd, timeout_ms) <= 0) {
       ::close(fd);
       return std::nullopt;
     }

@@ -26,6 +26,18 @@ struct RecvResult {
   bool timed_out = false;
 };
 
+/// Result of one send attempt (see TcpSocket::send_some).
+struct SendResult {
+  /// Bytes actually written (may be less than requested).
+  std::size_t bytes = 0;
+  /// The socket's send buffer is full (non-blocking socket, or SO_SNDTIMEO
+  /// expired); retry once the peer drains — the bytes written so far were
+  /// accepted by the kernel.
+  bool would_block = false;
+  /// Hard transport error (connection reset, bad fd, ...).
+  bool error = false;
+};
+
 /// Move-only owner of a connected TCP socket.
 class TcpSocket {
  public:
@@ -51,8 +63,18 @@ class TcpSocket {
     return send_all(data.data(), data.size());
   }
 
+  /// Send as much as the kernel will take right now, retrying EINTR but
+  /// never blocking past one send(2) call on a non-blocking socket. The
+  /// reactor's reply path: partial progress is reported, not treated as
+  /// failure (the latent assumption send_all could hide behind SO_SNDTIMEO).
+  SendResult send_some(const void* data, std::size_t size) noexcept;
+
   /// Receive up to `capacity` bytes (at least one unless EOF/timeout).
   RecvResult recv_some(void* buffer, std::size_t capacity) noexcept;
+
+  /// Toggle O_NONBLOCK. Reactor-owned sockets are non-blocking; everything
+  /// else keeps blocking semantics with SO_*TIMEO.
+  void set_nonblocking(bool on) noexcept;
 
   /// Disable further sends/receives, waking any thread blocked in
   /// recv_some/send_all. Unlike close(), this leaves the fd valid, so it
@@ -89,9 +111,19 @@ class TcpListener {
 
   bool valid() const noexcept { return fd_ >= 0; }
   std::uint16_t port() const noexcept { return port_; }
+  /// Raw fd for event-loop registration (epoll). The listener still owns it.
+  int fd() const noexcept { return fd_; }
+
+  /// Toggle O_NONBLOCK so accept_now() returns instead of blocking.
+  void set_nonblocking(bool on) noexcept;
 
   /// Wait up to `timeout_ms` for a connection; nullopt on timeout or error.
   std::optional<TcpSocket> accept(int timeout_ms) noexcept;
+
+  /// Accept without waiting (EINTR retried): nullopt when no connection is
+  /// queued. The reactor calls this in a drain-until-empty loop after an
+  /// EPOLLIN on the listener.
+  std::optional<TcpSocket> accept_now() noexcept;
 
   void close() noexcept;
 

@@ -140,6 +140,22 @@ class FrameDecoder {
   std::uint32_t max_payload_ = kMaxPayloadBytes;
 };
 
+/// Per-connection protocol state shared by both collector ingest paths (the
+/// thread-per-connection loop and the epoll reactor): who the peer claims to
+/// be and what dialect the connection negotiated at Hello. Both transports
+/// hand the same struct to the same frame handler, so the handler cannot
+/// tell which path delivered a frame — the invariant the differential
+/// equivalence tests rely on.
+struct PeerState {
+  /// Site id learned from the Hello; 0 until the handshake completes.
+  std::uint64_t site_id = 0;
+  /// Version negotiated at Hello: min(ours, the site's). Every reply on
+  /// this connection is framed at it, and v3-only behaviour (heartbeat
+  /// acks) is gated on it so a v2 site's ack stream never desyncs.
+  std::uint8_t wire_version = kWireVersion;
+  bool hello_ok = false;
+};
+
 // --- message payloads ------------------------------------------------------
 
 enum class AckStatus : std::uint8_t {

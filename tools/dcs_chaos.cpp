@@ -25,16 +25,31 @@
 //             [--budget N] [--site-rate R] [--site-burst N]
 //             [--frame-deadline-ms N] [--idle-timeout-ms N]
 //             [--loris N] [--stall N] [--oversize N] [--drain-ms N]
+//             [--reactor] [--reactor-workers N]
 //             [--verbose] [--help]
 //
+// With --reactor the same soak runs against the epoll reactor ingest path
+// instead of thread-per-connection; every assertion is identical, which is
+// the point — the overload defenses are transport-independent.
+//
+// A second mode, --churn-peers P, skips the fault soak and instead runs a
+// concurrency/churn differential: a threaded collector is loaded with P/10
+// simultaneously-connected raw peers, then a reactor collector with the
+// full P, and each population ships an epoch, vanishes abruptly (no Bye),
+// reconnects, and ships a second epoch. Asserts the reactor actually held
+// >=10x the threaded concurrent-connection count, every epoch merged
+// exactly once across the churn, and the merged sketch equals a local
+// reference bit-for-bit.
+//
 // Everything is seeded and bounded, so the chaos_smoke ctest runs it as-is;
-// raise --sites/--u for a longer soak.
+// raise --sites/--u (or --churn-peers) for a longer soak.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -72,6 +87,12 @@ void print_usage() {
       "  --stall N            stalled connections (default 2)\n"
       "  --oversize N         oversized-frame connections (default 2)\n"
       "  --drain-ms N         post-fault drain budget (default 60000)\n"
+      "  --reactor            soak the epoll reactor ingest path instead of\n"
+      "                       thread-per-connection\n"
+      "  --reactor-workers N  reactor worker threads (default 2)\n"
+      "  --churn-peers P      run the connect/churn differential instead of\n"
+      "                       the fault soak: threaded at P/10 concurrent\n"
+      "                       peers vs reactor at P (default 0 = off)\n"
       "  --json-dir DIR       also write a BENCH json report into DIR\n"
       "  --run-id ID          run id for the json report (default: DCS_RUN_ID\n"
       "                       env, else today's date)\n"
@@ -169,6 +190,227 @@ void run_oversize(std::uint16_t port, std::uint32_t announce) {
   }
 }
 
+// --- churn differential ------------------------------------------------------
+
+/// One raw protocol peer for the churn mode: a socket plus the decoder
+/// needed to read acks back. Destroying it without a Bye is the "abrupt
+/// disconnect" half of the churn.
+struct ChurnPeer {
+  std::optional<TcpSocket> socket;
+  FrameDecoder decoder;
+  char buffer[2048];
+
+  bool connect_and_hello(std::uint16_t port, const DcsParams& params,
+                         std::uint64_t site, std::uint64_t first_epoch) {
+    socket = tcp_connect("127.0.0.1", port, 5000);
+    if (!socket) return false;
+    socket->set_timeouts(10000, 10000);
+    Hello hello;
+    hello.site_id = site;
+    hello.params_fingerprint = params.fingerprint();
+    hello.first_epoch = first_epoch;
+    if (!socket->send_all(encode_frame(MsgType::kHello, hello.encode())))
+      return false;
+    const auto ack = read_ack();
+    return ack.has_value() && ack->status == AckStatus::kOk;
+  }
+
+  std::optional<Ack> read_ack() {
+    for (;;) {
+      if (auto frame = decoder.next()) {
+        if (frame->type != MsgType::kAck) return std::nullopt;
+        return Ack::decode(frame->payload);
+      }
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) return std::nullopt;
+      decoder.feed(buffer, got.bytes);
+    }
+  }
+};
+
+/// The deterministic single-update epoch every churn peer ships; the local
+/// reference replays the identical updates, so the merged sketch must match
+/// bit-for-bit if — and only if — each epoch merged exactly once.
+void churn_update(std::uint64_t site, std::uint64_t epoch, Addr& dest,
+                  Addr& source) {
+  dest = static_cast<Addr>(site % 131);
+  source = static_cast<Addr>(site * 1000 + epoch);
+}
+
+std::string churn_delta_frame(const DcsParams& params, std::uint64_t site,
+                              std::uint64_t epoch) {
+  DistinctCountSketch sketch(params);
+  Addr dest = 0, source = 0;
+  churn_update(site, epoch, dest, source);
+  sketch.update(dest, source, +1);
+  SnapshotDelta delta;
+  delta.site_id = site;
+  delta.epoch = epoch;
+  delta.updates = 1;
+  delta.sketch_blob = serialize_sketch(sketch);
+  return encode_frame(MsgType::kSnapshotDelta, delta.encode());
+}
+
+struct ChurnResult {
+  std::size_t peak_connections = 0;
+  double connect_ms = 0.0;
+  bool ok = false;
+};
+
+/// Drive one collector mode through the full churn: connect P peers at
+/// once, ship epoch 1, vanish without Bye, reconnect, ship epoch 2, part
+/// cleanly. Every exactly-once and accounting invariant is asserted against
+/// the same expectations in both modes.
+ChurnResult run_churn_mode(bool use_reactor, int reactor_workers,
+                           std::size_t peers, const DcsParams& params,
+                           int drain_ms, bool verbose) {
+  ChurnResult result;
+  const char* mode = use_reactor ? "reactor" : "threaded";
+
+  CollectorConfig config;
+  config.params = params;
+  config.io_timeout_ms = 25;
+  config.run_detection = false;  // pure ingest/connection stress
+  config.idle_timeout_ms = drain_ms;  // peers idle while the tail connects
+  config.frame_deadline_ms = drain_ms;
+  config.use_reactor = use_reactor;
+  config.reactor_workers = reactor_workers;
+  Collector collector(config);
+  collector.start();
+  const std::uint16_t port = collector.port();
+
+  // Phase 1: every peer connected and helloed simultaneously.
+  const auto connect_start = Clock::now();
+  std::vector<std::unique_ptr<ChurnPeer>> population;
+  population.reserve(peers);
+  for (std::uint64_t site = 1; site <= peers; ++site) {
+    auto peer = std::make_unique<ChurnPeer>();
+    if (!peer->connect_and_hello(port, params, site, 1)) {
+      std::fprintf(stderr, "dcs_chaos: [%s] peer %llu failed to hello\n",
+                   mode, static_cast<unsigned long long>(site));
+      ++failures;
+      collector.stop();
+      return result;
+    }
+    population.push_back(std::move(peer));
+  }
+  result.connect_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - connect_start)
+                              .count()) /
+      1e6;
+  result.peak_connections = collector.connection_count();
+  expect(result.peak_connections >= peers,
+         "every churn peer was connected simultaneously");
+  if (verbose)
+    std::printf("[%s] %zu peers connected in %.1f ms (live=%zu)\n", mode,
+                peers, result.connect_ms, result.peak_connections);
+
+  // Phase 2: each peer ships its first epoch and sees it acked.
+  for (std::uint64_t site = 1; site <= peers; ++site) {
+    ChurnPeer& peer = *population[site - 1];
+    if (!peer.socket->send_all(churn_delta_frame(params, site, 1))) {
+      expect(false, "epoch-1 delta send");
+      break;
+    }
+    const auto ack = peer.read_ack();
+    if (!ack || ack->status != AckStatus::kOk || ack->epoch != 1) {
+      expect(false, "epoch-1 delta acked kOk");
+      break;
+    }
+  }
+
+  // Phase 3: the whole population vanishes abruptly — no Bye, just FIN.
+  population.clear();
+  const auto gone_deadline = Clock::now() + std::chrono::milliseconds(drain_ms);
+  while (collector.connection_count() > 0 && Clock::now() < gone_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  expect(collector.connection_count() == 0,
+         "abruptly-disconnected peers were all reaped");
+
+  // Phase 4: everyone reconnects where they left off and ships epoch 2,
+  // this time parting with a clean Bye.
+  for (std::uint64_t site = 1; site <= peers; ++site) {
+    ChurnPeer peer;
+    if (!peer.connect_and_hello(port, params, site, /*first_epoch=*/2)) {
+      expect(false, "reconnect hello acked kOk");
+      break;
+    }
+    if (!peer.socket->send_all(churn_delta_frame(params, site, 2))) {
+      expect(false, "epoch-2 delta send");
+      break;
+    }
+    const auto ack = peer.read_ack();
+    if (!ack || ack->status != AckStatus::kOk || ack->epoch != 2) {
+      expect(false, "epoch-2 delta acked kOk");
+      break;
+    }
+    Bye bye;
+    bye.site_id = site;
+    peer.socket->send_all(encode_frame(MsgType::kBye, bye.encode()));
+  }
+
+  // Exactly-once across the churn: 2 epochs per peer, nothing dropped,
+  // nothing double-merged, and the sketch equals the local replay.
+  expect(collector.wait_for_deltas(2 * peers, drain_ms),
+         "both churn epochs merged for every peer");
+  const auto stats = collector.stats();
+  const auto merged = collector.merged_sketch();
+  collector.stop();
+
+  expect(stats.deltas_merged == 2 * peers,
+         "deltas_merged == 2 * peers exactly");
+  expect(stats.duplicate_deltas == 0, "churn produced no duplicate merges");
+  expect(stats.dropped_epochs == 0, "churn produced no gap epochs");
+
+  DistinctCountSketch reference(params);
+  for (std::uint64_t site = 1; site <= peers; ++site)
+    for (std::uint64_t epoch = 1; epoch <= 2; ++epoch) {
+      Addr dest = 0, source = 0;
+      churn_update(site, epoch, dest, source);
+      reference.update(dest, source, +1);
+    }
+  expect(serialize_sketch(merged) == serialize_sketch(reference),
+         "churn-merged sketch equals the local reference bit-for-bit");
+
+  result.ok = failures == 0;
+  return result;
+}
+
+/// The --churn-peers entry point: threaded at P/10, reactor at P, then the
+/// headline assertion — the reactor demonstrably held >=10x the threaded
+/// mode's concurrent-agent count while preserving every merge invariant.
+int run_churn(std::size_t peers, int reactor_workers, std::uint64_t seed,
+              int drain_ms, bool verbose) {
+  const DcsParams params = chaos_params(seed);
+  const std::size_t threaded_peers = std::max<std::size_t>(1, peers / 10);
+
+  const ChurnResult threaded = run_churn_mode(
+      /*use_reactor=*/false, reactor_workers, threaded_peers, params,
+      drain_ms, verbose);
+  const ChurnResult reactor = run_churn_mode(
+      /*use_reactor=*/true, reactor_workers, peers, params, drain_ms,
+      verbose);
+
+  std::printf(
+      "churn: threaded_peers=%zu threaded_peak=%zu threaded_connect_ms=%.1f "
+      "reactor_peers=%zu reactor_peak=%zu reactor_connect_ms=%.1f\n",
+      threaded_peers, threaded.peak_connections, threaded.connect_ms, peers,
+      reactor.peak_connections, reactor.connect_ms);
+
+  expect(threaded.ok, "threaded churn preserved every invariant");
+  expect(reactor.ok, "reactor churn preserved every invariant");
+  expect(reactor.peak_connections >= 10 * threaded.peak_connections,
+         "reactor sustained >=10x the threaded concurrent-agent count");
+
+  if (failures == 0) {
+    std::printf("dcs_chaos: OK\n");
+    return 0;
+  }
+  std::fprintf(stderr, "dcs_chaos: %d assertion(s) failed\n", failures);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,7 +441,21 @@ int main(int argc, char** argv) {
   const auto oversize =
       static_cast<std::size_t>(options.integer("oversize", 2));
   const int drain_ms = static_cast<int>(options.integer("drain-ms", 60000));
+  const bool use_reactor = options.flag("reactor");
+  const int reactor_workers =
+      static_cast<int>(options.integer("reactor-workers", 2));
+  const auto churn_peers =
+      static_cast<std::size_t>(options.integer("churn-peers", 0));
   const bool verbose = options.flag("verbose");
+
+  if (churn_peers > 0) {
+    try {
+      return run_churn(churn_peers, reactor_workers, seed, drain_ms, verbose);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "dcs_chaos: %s\n", error.what());
+      return 1;
+    }
+  }
 
   const DcsParams params = chaos_params(seed);
 
@@ -217,6 +473,8 @@ int main(int argc, char** argv) {
   // hint we gave it.
   config.admission.max_retry_after_ms = static_cast<std::uint32_t>(
       std::max(idle_timeout_ms / 3, 10));
+  config.use_reactor = use_reactor;
+  config.reactor_workers = reactor_workers;
 
   try {
     Collector collector(config);
@@ -432,6 +690,7 @@ int main(int argc, char** argv) {
       report.meta("sites", static_cast<double>(sites));
       report.meta("u_per_site", static_cast<double>(u));
       report.meta("faults", static_cast<double>(loris + stall + oversize));
+      report.meta("reactor", use_reactor ? 1.0 : 0.0);
       report.metric("drain", "convergence_ms", convergence_ms,
                     bench::Direction::kLowerIsBetter, 50.0);
       report.value("drain", "deltas_merged",

@@ -15,6 +15,7 @@
 //                 [--max-inflight-bytes N] [--site-rate R] [--site-burst N]
 //                 [--frame-deadline-ms N] [--idle-timeout-ms N]
 //                 [--max-frame-bytes N]
+//                 [--reactor] [--reactor-workers N]
 //                 [--metrics-out FILE] [--metrics-format prom|json]
 //                 [--metrics-every SEC] [--ops-port N] [--ops-port-file FILE]
 //
@@ -49,6 +50,13 @@
 // --site-rate/--site-burst rate-limit each site's deltas (token bucket),
 // --frame-deadline-ms drops slow-loris connections, --idle-timeout-ms reaps
 // silent ones, and --max-frame-bytes lowers the receive-side frame cap.
+//
+// --reactor swaps the thread-per-connection ingest loop for the epoll
+// reactor (src/service/reactor.hpp): identical protocol behaviour — both
+// paths run the same frame handler — but one small worker pool
+// (--reactor-workers) carries 10k+ concurrent agents instead of one OS
+// thread each. The threaded default remains the differential-testing
+// oracle.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -108,6 +116,10 @@ void print_usage() {
       "                        (0 = off; default 15000)\n"
       "  --max-frame-bytes N   receive-side frame payload cap (0 = protocol\n"
       "                        64 MiB cap; default 0)\n"
+      "  --reactor             serve connections from the epoll reactor\n"
+      "                        instead of one thread per connection\n"
+      "  --reactor-workers N   epoll workers with --reactor (default 2;\n"
+      "                        worker 0 also accepts)\n"
       "  --metrics-out FILE    write a metrics snapshot on exit\n"
       "  --metrics-format F    prom|json (default prom)\n"
       "  --metrics-every SEC   also rewrite --metrics-out atomically every\n"
@@ -222,6 +234,9 @@ int main(int argc, char** argv) {
       static_cast<int>(options.integer("idle-timeout-ms", 15000));
   config.max_frame_bytes =
       static_cast<std::uint32_t>(options.integer("max-frame-bytes", 0));
+  config.use_reactor = options.flag("reactor");
+  config.reactor_workers =
+      static_cast<int>(options.integer("reactor-workers", 2));
 
   const auto sites = static_cast<std::uint64_t>(options.integer("sites", 1));
   const int timeout_ms = static_cast<int>(options.integer("timeout-ms", 30000));
@@ -246,8 +261,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.deltas_merged));
     }
     collector.start();
-    std::printf("listening on %s:%u\n", config.bind_address.c_str(),
-                collector.port());
+    std::printf("listening on %s:%u (%s ingest)\n",
+                config.bind_address.c_str(), collector.port(),
+                config.use_reactor ? "reactor" : "threaded");
     std::fflush(stdout);
     const std::string port_file = options.str("port-file", "");
     if (!port_file.empty()) publish_port(port_file, collector.port());
