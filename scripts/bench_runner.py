@@ -76,6 +76,9 @@ SUITE = [
     Bench("ingest_reactor", "bench/ingest_reactor",
           scaled_args=["--peers", "48", "--epochs", "3"],
           full_args=["--peers", "512", "--epochs", "5"]),
+    Bench("federation_merge", "bench/federation_merge",
+          scaled_args=["--sites", "16", "--epochs", "4", "--max-leaves", "4"],
+          full_args=["--sites", "64", "--epochs", "8", "--max-leaves", "8"]),
     Bench("chaos_convergence", "tools/dcs_chaos",
           scaled_args=["--sites", "3", "--u", "8000", "--epoch-updates",
                        "400", "--seed", "7", "--loris", "1", "--stall", "1",

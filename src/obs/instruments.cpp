@@ -296,6 +296,53 @@ CheckpointMetrics& CheckpointMetrics::get() {
   return instance;
 }
 
+FederationMetrics& FederationMetrics::get() {
+  static FederationMetrics instance{
+      Registry::global().counter(
+          "dcs_collector_wrong_shard_acks_total",
+          "Hellos/deltas answered kWrongShard because the site hashes to "
+          "another leaf under the current shard map (re-home churn)"),
+      Registry::global().counter(
+          "dcs_collector_reshards_total",
+          "Shard-map version bumps accepted via set_shard_map"),
+      Registry::global().counter(
+          "dcs_root_gap_fills_total",
+          "Out-of-order epochs merged into a previously recorded gap at "
+          "the federation root (exactly-once across relay paths)"),
+      Registry::global().gauge(
+          "dcs_root_pending_gap_epochs",
+          "Epochs below a site watermark the root is still awaiting "
+          "(drains to 0 once every leaf journal is re-forwarded)"),
+      Registry::global().counter(
+          "dcs_root_relayed_deltas_total",
+          "Deltas merged from role=leaf uplink connections at the root"),
+      Registry::global().counter(
+          "dcs_leaf_uplink_shed_total",
+          "Deltas NACKed kRetryLater because the leaf uplink spool was "
+          "full (backpressure to the agent, not loss)"),
+      Registry::global().counter(
+          "dcs_leaf_uplink_relayed_total",
+          "Deltas enqueued on the leaf uplink spool for relay to the root"),
+      Registry::global().counter(
+          "dcs_leaf_uplink_acked_total",
+          "Relayed deltas acknowledged by the root (kOk or kDuplicate)"),
+      Registry::global().counter(
+          "dcs_leaf_uplink_nacks_total",
+          "Relayed deltas NACKed kRetryLater by the root (re-shipped)"),
+      Registry::global().counter(
+          "dcs_leaf_uplink_reconnects_total",
+          "Leaf uplink reconnect attempts to the root"),
+      Registry::global().gauge(
+          "dcs_leaf_uplink_spool_depth",
+          "Relayed deltas spooled on the leaf uplink awaiting a root ack "
+          "(leaf lag)"),
+      Registry::global().counter(
+          "dcs_agent_rehomes_total",
+          "Agent re-homes: connections moved to another leaf after a "
+          "kWrongShard ack or a pushed shard map")};
+  return instance;
+}
+
 QueryMetrics& QueryMetrics::get() {
   static QueryMetrics instance{
       Registry::global().counter(

@@ -162,6 +162,26 @@ struct CheckpointMetrics {
   static CheckpointMetrics& get();
 };
 
+/// Two-tier federation (src/service/federation, docs/FEDERATION.md): shard
+/// enforcement and re-homing, the leaf→root uplink, and the root's
+/// gap-filling exactly-once dedup.
+struct FederationMetrics {
+  Counter& wrong_shard_acks;    // dcs_collector_wrong_shard_acks_total
+  Counter& reshards;            // dcs_collector_reshards_total
+  Counter& gap_fills;           // dcs_root_gap_fills_total
+  Gauge& pending_gap_epochs;    // dcs_root_pending_gap_epochs
+  Counter& relayed_deltas;      // dcs_root_relayed_deltas_total
+  Counter& tap_shed_deltas;     // dcs_leaf_uplink_shed_total
+  Counter& uplink_relayed;      // dcs_leaf_uplink_relayed_total
+  Counter& uplink_acked;        // dcs_leaf_uplink_acked_total
+  Counter& uplink_nacks;        // dcs_leaf_uplink_nacks_total
+  Counter& uplink_reconnects;   // dcs_leaf_uplink_reconnects_total
+  Gauge& uplink_spool_depth;    // dcs_leaf_uplink_spool_depth
+  Counter& rehomes;             // dcs_agent_rehomes_total
+
+  static FederationMetrics& get();
+};
+
 /// Query tier (src/query): the collector-side snapshot publisher and the
 /// dcs_query_server read path (generation watcher, response cache).
 struct QueryMetrics {

@@ -43,6 +43,8 @@ SiteAgent::SiteAgent(SiteAgentConfig config)
   if (config_.backoff_jitter < 0.0 || config_.backoff_jitter > 1.0)
     throw std::invalid_argument("SiteAgent: backoff_jitter must be in [0,1]");
   stats_.current_epoch = current_epoch_;
+  shard_map_ = config_.shard_map;
+  stats_.map_version = shard_map_.version();
 }
 
 SiteAgent::~SiteAgent() {
@@ -183,10 +185,46 @@ void SiteAgent::sender_loop() {
   cv_.notify_all();
 }
 
+void SiteAgent::pick_target(std::string& host, std::uint16_t& port) {
+  host = config_.collector_host;
+  port = config_.collector_port;
+  if (shard_map_.empty()) return;
+  if (connect_failures_ >= kSeedFallbackAfter) return;  // seed fallback
+  const LeafEndpoint leaf = shard_map_.endpoint_for(config_.site_id);
+  host = leaf.host;
+  port = leaf.port;
+}
+
+bool SiteAgent::adopt_map(const Ack& ack) {
+  if (ack.map_blob.empty() || ack.map_version <= shard_map_.version())
+    return false;
+  ShardMap updated;
+  try {
+    updated = ShardMap::decode(ack.map_blob);
+  } catch (const SerializeError&) {
+    return false;  // corrupt push — keep the map we have
+  }
+  const bool had_map = !shard_map_.empty();
+  const LeafEndpoint before =
+      had_map ? shard_map_.endpoint_for(config_.site_id) : LeafEndpoint{};
+  shard_map_ = updated;
+  const LeafEndpoint after = shard_map_.endpoint_for(config_.site_id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.map_version = shard_map_.version();
+  }
+  return !had_map || !(before == after);
+}
+
 bool SiteAgent::run_connection() {
-  auto socket = tcp_connect(config_.collector_host, config_.collector_port,
-                            config_.io_timeout_ms);
-  if (!socket) return true;  // unreachable — back off and retry
+  std::string target_host;
+  std::uint16_t target_port = 0;
+  pick_target(target_host, target_port);
+  auto socket = tcp_connect(target_host, target_port, config_.io_timeout_ms);
+  if (!socket) {
+    ++connect_failures_;  // enough of these and pick_target tries the seed
+    return true;          // unreachable — back off and retry
+  }
   socket->set_timeouts(static_cast<std::uint64_t>(config_.io_timeout_ms),
                        static_cast<std::uint64_t>(config_.io_timeout_ms));
 
@@ -215,7 +253,7 @@ bool SiteAgent::run_connection() {
         if (frame->type != MsgType::kAck)
           throw WireError("agent: expected Ack");
         peer_version = frame->version;
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       if (!running_.load(std::memory_order_acquire) ||
           std::chrono::steady_clock::now() >= deadline)
@@ -229,8 +267,10 @@ bool SiteAgent::run_connection() {
   try {
     Hello hello;
     hello.site_id = config_.site_id;
+    hello.role = PeerRole::kSite;
     hello.params_fingerprint = config_.params.fingerprint();
     hello.epoch_updates = config_.epoch_updates;
+    hello.map_version = shard_map_.version();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       hello.first_epoch =
@@ -242,6 +282,24 @@ bool SiteAgent::run_connection() {
     const auto hello_ack = await_ack();
     if (!hello_ack) return io_error();
     if (hello_ack->status == AckStatus::kRejected) return false;
+    if (hello_ack->status == AckStatus::kWrongShard) {
+      // This leaf no longer (or never did) own our shard. Its ack carries
+      // the authoritative map: adopt it, drop this connection, and go
+      // straight to the right leaf. The spool rides along untouched.
+      adopt_map(*hello_ack);
+      connect_failures_ = 0;
+      backoff_ms_ = 0;  // re-home fast — this is redirection, not failure
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rehomes;
+      }
+      if (obs::recording()) obs::FederationMetrics::get().rehomes.inc();
+      return true;
+    }
+    connect_failures_ = 0;
+    // A v4 leaf piggybacks the current map on every Hello ack when ours is
+    // stale; a moved shard re-homes us on the next reconnect.
+    adopt_map(*hello_ack);
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -338,6 +396,21 @@ bool SiteAgent::run_connection() {
       if (ack->status == AckStatus::kRejected) return false;
       if (ack->epoch != head->epoch)
         throw WireError("agent: ack for unexpected epoch");
+      if (ack->status == AckStatus::kWrongShard) {
+        // A reshard moved our shard away mid-connection. The delta stays
+        // spooled (NOT popped); adopt the pushed map and reconnect to the
+        // new owner, which re-ships it there.
+        adopt_map(*ack);
+        connect_failures_ = 0;
+        backoff_ms_ = 0;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.rehomes;
+          stats_.connected = false;
+        }
+        if (obs::recording()) obs::FederationMetrics::get().rehomes.inc();
+        return true;
+      }
       if (ack->status == AckStatus::kRetryLater) {
         // The collector shed this delta under overload. Honor the
         // retry_after contract: keep the epoch at the head of the spool

@@ -27,15 +27,29 @@
 
 #include "common/random.hpp"
 #include "obs/trace.hpp"
+#include "service/federation/shard_map.hpp"
 #include "sketch/distinct_count_sketch.hpp"
 #include "stream/flow_update.hpp"
 
 namespace dcs::service {
 
+struct Ack;  // wire.hpp
+
 struct SiteAgentConfig {
   std::uint64_t site_id = 1;
+  /// Collector endpoint. Under federation (shard_map non-empty) this is the
+  /// *seed*: a bootstrap leaf the agent falls back to when the mapped leaf
+  /// stays unreachable — any leaf answers a mis-homed Hello with
+  /// kWrongShard plus the current map, which is exactly the re-bootstrap
+  /// an agent holding a dead map needs.
   std::string collector_host = "127.0.0.1";
   std::uint16_t collector_port = 0;
+  /// Optional federation shard map (docs/FEDERATION.md). When non-empty the
+  /// agent homes to `shard_map.endpoint_for(site_id)` instead of the seed,
+  /// and re-homes whenever a leaf hands it a newer map (a kWrongShard ack
+  /// or a map push on the Hello ack). The spool survives re-homing — the
+  /// root's per-site dedup absorbs any cross-leaf re-ship.
+  ShardMap shard_map;
   /// Must match the collector's params (fingerprint-checked at Hello).
   DcsParams params;
   /// Flow updates per epoch before the sketch is sealed and shipped.
@@ -76,6 +90,11 @@ class SiteAgent {
     std::uint64_t nacks = 0;
     std::uint64_t reconnects = 0;       ///< Connection attempts after the 1st.
     std::uint64_t io_errors = 0;
+    /// Times the agent switched leaves after learning a newer shard map
+    /// (kWrongShard ack, or a map push that moved our shard).
+    std::uint64_t rehomes = 0;
+    /// Version of the newest shard map adopted (0 = none / unsharded).
+    std::uint32_t map_version = 0;
     std::size_t spool_depth = 0;
     std::uint64_t current_epoch = 0;    ///< Epoch now accumulating.
     bool connected = false;
@@ -133,6 +152,12 @@ class SiteAgent {
   /// shutdown. Returns false if the collector rejected us (permanent).
   bool run_connection();
   std::uint64_t next_backoff_ms();
+  /// Where the next connection goes: the mapped leaf, or the seed endpoint
+  /// when unsharded / falling back after repeated connect failures.
+  void pick_target(std::string& host, std::uint16_t& port);
+  /// Adopt the map carried in `ack` if it is strictly newer than ours.
+  /// Returns true when adoption moved our shard to a different endpoint.
+  bool adopt_map(const Ack& ack);
 
   SiteAgentConfig config_;
 
@@ -152,6 +177,15 @@ class SiteAgent {
 
   Xoshiro256 jitter_;
   std::uint64_t backoff_ms_ = 0;
+
+  // Federation state — touched only by the sender thread (stats_.map_version
+  // mirrors the adopted version for stats() readers).
+  ShardMap shard_map_;
+  /// Consecutive failed connects to the *mapped* leaf; at
+  /// kSeedFallbackAfter the agent tries the seed endpoint instead, which
+  /// re-bootstraps the map via kWrongShard if the shard moved.
+  static constexpr std::uint32_t kSeedFallbackAfter = 2;
+  std::uint32_t connect_failures_ = 0;
 
   obs::TraceRing trace_ring_;
 };

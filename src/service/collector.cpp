@@ -93,6 +93,11 @@ Collector::Collector(CollectorConfig config)
   obs::TraceMetrics::get();
   if (config_.detection_top_k == 0)
     throw std::invalid_argument("Collector: detection_top_k must be > 0");
+  if (config_.federation_root && config_.leaf_id != 0)
+    throw std::invalid_argument(
+        "Collector: a collector is a root or a leaf, not both (deeper "
+        "trees are not supported)");
+  shard_map_ = config_.shard_map;
   if (config_.checkpoint_every == 0)
     throw std::invalid_argument("Collector: checkpoint_every must be > 0");
   if (config_.use_reactor && config_.reactor_workers < 1)
@@ -304,23 +309,43 @@ std::string Collector::handle_frame(PeerState& peer, MsgType type,
                                     const std::string& payload) {
   switch (type) {
     case MsgType::kHello: {
-      const Hello hello = Hello::decode(payload);
+      const Hello hello = Hello::decode(payload, version);
       // Negotiate down to the site's dialect: everything we send back on
       // this connection is framed at min(ours, theirs).
       peer.wire_version = version < kWireVersion ? version : kWireVersion;
       Ack ack;
       ack.epoch = 0;
-      if (hello.params_fingerprint != config_.params.fingerprint()) {
+      // A leaf uplink relays deltas whose site ids differ from the Hello
+      // id; only a federation root is prepared to account those, so
+      // anywhere else the connection is refused outright.
+      if (hello.params_fingerprint != config_.params.fingerprint() ||
+          (hello.role == PeerRole::kLeaf && !config_.federation_root)) {
         ack.status = AckStatus::kRejected;
         if (obs::recording())
           obs::CollectorMetrics::get().rejected_hellos.inc();
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++totals_.rejected_hellos;
-        return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+        return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                            peer.wire_version);
       }
       peer.site_id = hello.site_id;
-      peer.hello_ok = true;
+      peer.role = hello.role;
       std::lock_guard<std::mutex> lock(state_mutex_);
+      // Leaf shard enforcement: a site the current map assigns to another
+      // leaf is re-homed with kWrongShard + the map (v4), or kRejected for
+      // a downlevel agent that cannot decode a map anyway.
+      if (config_.leaf_id != 0 && hello.role == PeerRole::kSite &&
+          !shard_map_.empty() &&
+          shard_map_.leaf_for(hello.site_id) != config_.leaf_id) {
+        if (peer.wire_version >= 4) return wrong_shard_ack_locked(peer, 0);
+        ack.status = AckStatus::kRejected;
+        ++totals_.rejected_hellos;
+        if (obs::recording())
+          obs::CollectorMetrics::get().rejected_hellos.inc();
+        return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                            peer.wire_version);
+      }
+      peer.hello_ok = true;
       SiteStats& site = sites_[hello.site_id];
       site.site_id = hello.site_id;
       if (!site.connected) {
@@ -345,8 +370,17 @@ std::string Collector::handle_frame(PeerState& peer, MsgType type,
       // site. The agent prunes spooled epochs at or below it instead of
       // re-shipping them after a collector restart.
       ack.epoch = site.last_epoch;
+      // Push the shard map to v4 site agents holding a stale version —
+      // map distribution rides the handshake, no side channel needed.
+      if (peer.wire_version >= 4 && !shard_map_.empty() &&
+          hello.role == PeerRole::kSite) {
+        ack.map_version = shard_map_.version();
+        if (hello.map_version < shard_map_.version())
+          ack.map_blob = shard_map_.encode();
+      }
       state_cv_.notify_all();
-      return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+      return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                          peer.wire_version);
     }
     case MsgType::kSnapshotDelta:
       return handle_delta(peer, version, payload);
@@ -359,7 +393,8 @@ std::string Collector::handle_frame(PeerState& peer, MsgType type,
       if (peer.wire_version >= 3) {
         Ack ack;
         ack.epoch = 0;
-        return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+        return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                            peer.wire_version);
       }
       return {};
     }
@@ -380,7 +415,11 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
                                     const std::string& payload) {
   const SnapshotDelta delta = SnapshotDelta::decode(payload, version);
   if (!peer.hello_ok) throw WireError("collector: delta before Hello");
-  if (delta.site_id != peer.site_id)
+  // A leaf uplink relays deltas for every site its shard owns: the delta
+  // carries the *origin* site id, which legitimately differs from the
+  // Hello id (the leaf's own). Everywhere else a mismatch is an attack.
+  if (delta.site_id != peer.site_id &&
+      !(peer.role == PeerRole::kLeaf && config_.federation_root))
     throw WireError("collector: delta site_id does not match Hello");
   if (delta.epoch == 0) throw WireError("collector: delta epoch must be >= 1");
 
@@ -410,9 +449,21 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
   // budget.
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    SiteStats& site = sites_[peer.site_id];
-    site.site_id = peer.site_id;
-    if (delta.epoch <= site.last_epoch) {
+    // Reshard enforcement mid-connection: the Hello passed under an older
+    // map, but this site has since moved to another leaf. Nothing is
+    // merged; the attached map re-homes the agent with its spool intact.
+    if (config_.leaf_id != 0 && peer.role == PeerRole::kSite &&
+        !shard_map_.empty() &&
+        shard_map_.leaf_for(delta.site_id) != config_.leaf_id) {
+      if (peer.wire_version >= 4)
+        return wrong_shard_ack_locked(peer, delta.epoch);
+      ack.status = AckStatus::kRejected;
+      return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                          peer.wire_version);
+    }
+    SiteStats& site = sites_[delta.site_id];
+    site.site_id = delta.site_id;
+    if (already_merged_locked(site, delta.epoch)) {
       // Retransmit after a reconnect — already merged; ack so the site can
       // drop it from its spool. Exactly-once merging from at-least-once
       // delivery.
@@ -421,7 +472,7 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
       ++totals_.duplicate_deltas;
       if (obs::recording())
         obs::CollectorMetrics::get().duplicate_deltas.inc();
-      const auto watermark = recovered_watermarks_.find(peer.site_id);
+      const auto watermark = recovered_watermarks_.find(delta.site_id);
       if (watermark != recovered_watermarks_.end() &&
           delta.epoch <= watermark->second) {
         // A pre-crash epoch re-shipped after our restart: the watermark
@@ -431,7 +482,8 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
         if (obs::recording())
           obs::CheckpointMetrics::get().post_recovery_duplicates.inc();
       }
-      return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+      return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                          peer.wire_version);
     }
   }
 
@@ -451,8 +503,9 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++totals_.shed_deltas;
     totals_.shed_bytes += payload.size();
-    ++sites_[peer.site_id].shed_deltas;
-    return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+    ++sites_[delta.site_id].shed_deltas;
+    return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                        peer.wire_version);
   }
   // Released on every exit from here (ack sent, duplicate race, or a
   // throw on a bad blob) — the budget can never leak.
@@ -477,8 +530,8 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
     throw WireError("collector: delta sketch parameters mismatch");
 
   std::lock_guard<std::mutex> lock(state_mutex_);
-  SiteStats& site = sites_[peer.site_id];
-  if (delta.epoch <= site.last_epoch) {
+  SiteStats& site = sites_[delta.site_id];
+  if (already_merged_locked(site, delta.epoch)) {
     // Lost the race with another connection of the same site between the
     // pre-check and here (admitted but already merged): dedup, never
     // double-merge. The charge guard releases the admitted bytes.
@@ -486,7 +539,23 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
     ++site.duplicate_deltas;
     ++totals_.duplicate_deltas;
     if (obs::recording()) obs::CollectorMetrics::get().duplicate_deltas.inc();
-    return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+    return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                        peer.wire_version);
+  }
+  // Leaf uplink tap, before the durability barrier: if the uplink spool
+  // cannot take the delta, shed honestly — the agent keeps it spooled and
+  // re-ships, so backpressure propagates to the edge instead of dropping
+  // relays (the root would see a permanent gap).
+  if (config_.delta_tap &&
+      !config_.delta_tap(delta.site_id, delta.epoch, delta.updates,
+                         delta.sketch_blob, /*replay=*/false)) {
+    ack.status = AckStatus::kRetryLater;
+    ack.retry_after_ms = config_.tap_retry_after_ms;
+    ++totals_.tap_shed_deltas;
+    ++site.shed_deltas;
+    if (obs::recording()) obs::FederationMetrics::get().tap_shed_deltas.inc();
+    return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                        peer.wire_version);
   }
   // Durability barrier: the delta must hit the journal (fsync'd) BEFORE it
   // is merged or acked. If the append fails the connection is dropped
@@ -494,7 +563,7 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
   if (store_) {
     try {
       std::uint64_t fsync_ns = 0;
-      journal_.append({peer.site_id, delta.epoch, delta.updates,
+      journal_.append({delta.site_id, delta.epoch, delta.updates,
                        delta.sketch_blob},
                       &fsync_ns);
       ++totals_.journal_records;
@@ -515,8 +584,12 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
     obs::TraceMetrics::get().observe_span(
         obs::TraceStage::kJournaled, trace.stamp(obs::TraceStage::kAdmitted),
         trace.stamp(obs::TraceStage::kJournaled));
-  merge_delta_locked(peer.site_id, delta.epoch, delta.updates, sketch,
+  merge_delta_locked(delta.site_id, delta.epoch, delta.updates, sketch,
                      &trace);
+  if (peer.role == PeerRole::kLeaf) {
+    ++totals_.relayed_deltas;
+    if (obs::recording()) obs::FederationMetrics::get().relayed_deltas.inc();
+  }
   if (obs::recording()) trace_ring_.push(trace);
   if (store_ && ++deltas_since_checkpoint_ >= config_.checkpoint_every) {
     try {
@@ -528,7 +601,53 @@ std::string Collector::handle_delta(PeerState& peer, std::uint8_t version,
     }
   }
   state_cv_.notify_all();
-  return encode_frame(MsgType::kAck, ack.encode(), peer.wire_version);
+  return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                      peer.wire_version);
+}
+
+bool Collector::already_merged_locked(const SiteStats& site,
+                                      std::uint64_t epoch) const {
+  if (epoch > site.last_epoch) return false;
+  if (!config_.federation_root) return true;
+  // Root mode: an epoch below the watermark is new iff it fills a recorded
+  // gap — after a leaf kill + reshard, the new leaf relays a site's later
+  // epochs before the old leaf's drained journal delivers the earlier
+  // ones, and both paths may deliver the same epoch.
+  const auto gaps = gap_epochs_.find(site.site_id);
+  return gaps == gap_epochs_.end() ||
+         gaps->second.find(epoch) == gaps->second.end();
+}
+
+std::string Collector::wrong_shard_ack_locked(const PeerState& peer,
+                                              std::uint64_t epoch) {
+  Ack ack;
+  ack.epoch = epoch;
+  ack.status = AckStatus::kWrongShard;
+  ack.map_version = shard_map_.version();
+  ack.map_blob = shard_map_.encode();
+  ++totals_.wrong_shard_acks;
+  if (obs::recording()) obs::FederationMetrics::get().wrong_shard_acks.inc();
+  return encode_frame(MsgType::kAck, ack.encode(peer.wire_version),
+                      peer.wire_version);
+}
+
+void Collector::set_shard_map(const ShardMap& map) {
+  if (map.empty())
+    throw std::invalid_argument("Collector::set_shard_map: empty map");
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!shard_map_.empty() && map.version() <= shard_map_.version())
+    throw std::invalid_argument(
+        "Collector::set_shard_map: version must be strictly newer (a "
+        "delayed push must never roll the topology back)");
+  shard_map_ = map;
+  ++totals_.reshards;
+  if (obs::recording()) obs::FederationMetrics::get().reshards.inc();
+  state_cv_.notify_all();
+}
+
+ShardMap Collector::shard_map() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return shard_map_;
 }
 
 void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
@@ -537,12 +656,45 @@ void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
                                    obs::EpochTrace* trace) {
   SiteStats& site = sites_[site_id];
   site.site_id = site_id;
-  if (epoch > site.last_epoch + 1) {
+  const bool gap_fill = config_.federation_root && epoch <= site.last_epoch;
+  if (gap_fill) {
+    // Filling a previously recorded gap (already_merged_locked vetted
+    // membership before this call): the watermark does not move.
+    auto gaps = gap_epochs_.find(site_id);
+    gaps->second.erase(epoch);
+    if (gaps->second.empty()) gap_epochs_.erase(gaps);
+    ++totals_.gap_fills;
+    if (obs::recording()) obs::FederationMetrics::get().gap_fills.inc();
+  } else if (epoch > site.last_epoch + 1) {
     const std::uint64_t gap = epoch - site.last_epoch - 1;
-    site.dropped_epochs += gap;
-    totals_.dropped_epochs += gap;
-    if (obs::recording())
-      obs::CollectorMetrics::get().dropped_epochs.inc(gap);
+    if (config_.federation_root) {
+      // Not (yet) a loss: with multiple relay paths the missing epochs may
+      // simply be in flight on another leaf. Record them as pending gaps;
+      // a bounded set per site keeps a buggy epoch jump from ballooning
+      // memory — the overflow beyond the bound is accounted as dropped.
+      constexpr std::uint64_t kMaxTrackedGapEpochs = 4096;
+      auto& gaps = gap_epochs_[site_id];
+      std::uint64_t first_tracked = site.last_epoch + 1;
+      if (gap > kMaxTrackedGapEpochs - std::min<std::uint64_t>(
+                                           kMaxTrackedGapEpochs, gaps.size())) {
+        const std::uint64_t room =
+            kMaxTrackedGapEpochs -
+            std::min<std::uint64_t>(kMaxTrackedGapEpochs, gaps.size());
+        const std::uint64_t overflow = gap - room;
+        site.dropped_epochs += overflow;
+        totals_.dropped_epochs += overflow;
+        if (obs::recording())
+          obs::CollectorMetrics::get().dropped_epochs.inc(overflow);
+        first_tracked += overflow;
+      }
+      for (std::uint64_t e = first_tracked; e < epoch; ++e) gaps.insert(e);
+      if (gaps.empty()) gap_epochs_.erase(site_id);
+    } else {
+      site.dropped_epochs += gap;
+      totals_.dropped_epochs += gap;
+      if (obs::recording())
+        obs::CollectorMetrics::get().dropped_epochs.inc(gap);
+    }
   }
   {
     obs::ScopedTimer timer(obs::CollectorMetrics::get().merge_ns);
@@ -586,7 +738,7 @@ void Collector::merge_delta_locked(std::uint64_t site_id, std::uint64_t epoch,
       }
     }
   }
-  site.last_epoch = epoch;
+  if (epoch > site.last_epoch) site.last_epoch = epoch;
   ++site.epochs_merged;
   site.updates_merged += updates;
   ++totals_.deltas_merged;
@@ -647,7 +799,9 @@ void Collector::recover() {
     for (const EpochJournal::Record& record : replayed.records) {
       SiteStats& site = sites_[record.site_id];
       site.site_id = record.site_id;
-      if (record.epoch <= site.last_epoch) {
+      // Gap-aware in root mode: the journal records gap fills in append
+      // order, so replay re-runs the exact out-of-order merge sequence.
+      if (already_merged_locked(site, record.epoch)) {
         ++totals_.replay_deduped;
         if (obs::recording())
           obs::CheckpointMetrics::get().replay_deduped.inc();
@@ -667,6 +821,16 @@ void Collector::recover() {
         continue;
       merge_delta_locked(record.site_id, record.epoch, record.updates, sketch,
                          /*trace=*/nullptr);
+      // Drain mode: re-offer every replayed record to the uplink. Records
+      // the root already merged come back as cheap duplicate acks; records
+      // lost with the pre-crash uplink spool are exactly the ones this
+      // replay re-forwards — the leaf-kill recovery path (the checkpoint
+      // gate guarantees the journal still holds everything un-acked).
+      // replay=true makes the spool accept past its soft bound: shedding a
+      // replayed record would turn recovery into loss.
+      if (config_.delta_tap)
+        config_.delta_tap(record.site_id, record.epoch, record.updates,
+                          record.sketch_blob, /*replay=*/true);
       ++totals_.replayed_epochs;
       if (obs::recording())
         obs::CheckpointMetrics::get().replayed_epochs.inc();
@@ -709,6 +873,17 @@ CheckpointState Collector::build_checkpoint_state_locked() const {
 
 void Collector::write_checkpoint_locked() {
   if (!store_) return;
+  if (config_.checkpoint_gate && !config_.checkpoint_gate()) {
+    // Gated (leaf uplink not drained): rotating the journal into a
+    // checkpoint now would prune the uplink's only crash-replay source.
+    // Keep appending to the current generation's journal — O_APPEND means
+    // reopening after recovery just extends it — and retry at the next
+    // merge / stop().
+    if (!journal_.is_open())
+      journal_ = EpochJournal::open(store_->journal_path(generation_),
+                                    config_.journal_fsync);
+    return;
+  }
   obs::ScopedTimer timer(obs::CheckpointMetrics::get().write_ns);
 
   CheckpointState state = build_checkpoint_state_locked();
@@ -774,7 +949,13 @@ std::size_t Collector::active_alarm_count() const {
 
 Collector::Stats Collector::stats() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
-  return totals_;
+  Stats out = totals_;
+  for (const auto& [site_id, gaps] : gap_epochs_)
+    out.pending_gap_epochs += gaps.size();
+  if (obs::recording())
+    obs::FederationMetrics::get().pending_gap_epochs.set(
+        static_cast<std::int64_t>(out.pending_gap_epochs));
+  return out;
 }
 
 std::size_t Collector::connection_count() const {

@@ -37,9 +37,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +51,7 @@
 #include "service/admission.hpp"
 #include "service/checkpoint.hpp"
 #include "service/epoch_journal.hpp"
+#include "service/federation/shard_map.hpp"
 #include "service/socket.hpp"
 #include "service/wire.hpp"
 #include "sketch/tracking_dcs.hpp"
@@ -126,6 +129,41 @@ struct CollectorConfig {
   /// Epoch traces retained for the ops plane's /traces endpoint.
   std::size_t trace_capacity = 256;
 
+  // --- federation (see federation/shard_map.hpp, docs/FEDERATION.md) --------
+  /// Non-zero makes this collector a *leaf* with that id: with a shard map
+  /// set, Hellos and deltas for sites the map assigns to another leaf are
+  /// answered kWrongShard (with the map attached) so the agent re-homes,
+  /// and hello acks push the map to peers holding a stale version. Leaf
+  /// ids must not collide with site ids — at the root both share the
+  /// per-site accounting namespace.
+  std::uint64_t leaf_id = 0;
+  /// Shard map served and enforced at start (empty = unsharded). Reshards
+  /// arrive later via Collector::set_shard_map.
+  ShardMap shard_map;
+  /// Root mode: accept role=kLeaf connections whose deltas carry *origin*
+  /// site ids, and dedup per (origin site, epoch) with gap filling — after
+  /// a leaf kill + reshard, one site's epochs arrive out of order across
+  /// the old leaf's drained journal and the new leaf's live relay, and
+  /// each must merge exactly once regardless of arrival order.
+  bool federation_root = false;
+  /// Leaf uplink tap: called under the state lock with every accepted
+  /// delta *before* it is journaled/merged (and with replay=true for each
+  /// journal record re-merged during recovery). Returning false sheds the
+  /// delta with an honest kRetryLater NACK — uplink backpressure
+  /// propagates to the agent's spool instead of dropping relays.
+  std::function<bool(std::uint64_t site_id, std::uint64_t epoch,
+                     std::uint64_t updates, const std::string& sketch_blob,
+                     bool replay)>
+      delta_tap;
+  /// retry_after_ms hint on a tap shed (uplink spool full).
+  std::uint32_t tap_retry_after_ms = 50;
+  /// Checkpoint gate: when set and returning false, checkpoint rotation is
+  /// skipped and the journal keeps growing. A leaf points this at "uplink
+  /// spool drained" — the journal is the uplink's crash-replay source, so
+  /// folding it into a checkpoint before every record is root-acked would
+  /// orphan un-relayed deltas.
+  std::function<bool()> checkpoint_gate;
+
   // --- ingest path (see reactor.hpp) ----------------------------------------
   /// Serve connections from the epoll reactor instead of one thread per
   /// connection. Every protocol invariant (dedup, admission, deadlines,
@@ -191,6 +229,23 @@ class Collector {
     std::uint64_t deadline_drops = 0;
     /// Connections reaped after idle_timeout_ms of silence.
     std::uint64_t idle_reaped = 0;
+    // --- federation ledger (see docs/FEDERATION.md) --------------------------
+    /// Hellos/deltas answered kWrongShard (re-home churn under reshard).
+    std::uint64_t wrong_shard_acks = 0;
+    /// set_shard_map calls accepted (map-version bumps observed).
+    std::uint64_t reshards = 0;
+    /// Root mode: out-of-order epochs merged into a previously recorded
+    /// gap — each one is an epoch that would have been lost (or double
+    /// merged) without gap-filling dedup.
+    std::uint64_t gap_fills = 0;
+    /// Root mode: epochs below a site's watermark still awaited (sum over
+    /// sites; drains to 0 once every leaf journal is re-forwarded).
+    std::uint64_t pending_gap_epochs = 0;
+    /// Deltas accepted from role=kLeaf uplink connections.
+    std::uint64_t relayed_deltas = 0;
+    /// Deltas NACKed kRetryLater because the leaf uplink spool was full
+    /// (backpressure, not loss: the agent re-ships).
+    std::uint64_t tap_shed_deltas = 0;
   };
 
   explicit Collector(CollectorConfig config);
@@ -237,6 +292,16 @@ class Collector {
   /// RSS proxy the chaos harness asserts stays under the admission budget.
   std::uint64_t inflight_bytes() const;
 
+  // --- federation ------------------------------------------------------------
+  /// Install a newer shard map (a reshard). Throws std::invalid_argument
+  /// on an empty map or a version at or below the current one — a delayed
+  /// push can never roll the collector back onto a stale topology. The new
+  /// map takes effect on the next Hello/delta: sites that moved away get
+  /// kWrongShard (+ the map) and re-home. Thread-safe.
+  void set_shard_map(const ShardMap& map);
+  /// Copy of the map currently served/enforced (empty when unsharded).
+  ShardMap shard_map() const;
+
   // --- durability ------------------------------------------------------------
   /// Force a checkpoint now (instead of waiting for checkpoint_every).
   /// Returns false when durability is disabled. Thread-safe.
@@ -269,6 +334,14 @@ class Collector {
   /// serve()/reactor common exit path: mark the peer's site disconnected.
   void note_disconnect(const PeerState& peer);
 
+  /// True when (site, epoch) was already merged. Caller holds state_mutex_.
+  /// Root mode consults the pending-gap set: an epoch below the watermark
+  /// that fills a recorded gap is NEW, not a duplicate.
+  bool already_merged_locked(const SiteStats& site, std::uint64_t epoch) const;
+  /// Build a kWrongShard ack carrying the current map (v4 peers only).
+  /// Caller holds state_mutex_.
+  std::string wrong_shard_ack_locked(const PeerState& peer,
+                                     std::uint64_t epoch);
   /// Merge one validated delta into the global state and run detection.
   /// Caller holds state_mutex_. Shared by the live path and journal replay;
   /// `trace` (nullable — replay passes nullptr) receives the merged /
@@ -314,6 +387,16 @@ class Collector {
   BaselineDetector detector_;
   std::map<std::uint64_t, SiteStats> sites_;
   Stats totals_;
+
+  /// Current shard map (empty = unsharded); replaced only by a strictly
+  /// newer version via set_shard_map. Guarded by state_mutex_.
+  ShardMap shard_map_;
+  /// Root mode: per origin site, epochs below the watermark not merged yet
+  /// (recorded when a newer epoch arrives first, erased on gap fill).
+  /// Guarded by state_mutex_. Deliberately NOT checkpointed: a root
+  /// restart forgets pending gaps and dedups late fills as duplicates, so
+  /// operators drain leaves before restarting a root (docs/FEDERATION.md).
+  std::map<std::uint64_t, std::set<std::uint64_t>> gap_epochs_;
 
   /// Durability state, guarded by state_mutex_ (journal appends and
   /// checkpoint writes happen inside the merge critical section — the fsync

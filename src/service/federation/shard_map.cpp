@@ -1,0 +1,199 @@
+#include "service/federation/shard_map.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace dcs::service {
+
+namespace {
+
+constexpr std::uint32_t kShardMapMagic = 0x4D534344;  // "DCSM"
+constexpr std::uint8_t kShardMapFormatVersion = 1;
+/// Independent salts so the lookup hash, offsets and skips never correlate
+/// (a shared hash would alias slot preference with slot lookup).
+constexpr std::uint64_t kLookupSalt = 0x73686172646d6170ULL;  // "shardmap"
+constexpr std::uint64_t kOffsetSalt = 0x6d61676c65763031ULL;  // "maglev01"
+constexpr std::uint64_t kSkipSalt = 0x6d61676c65763032ULL;    // "maglev02"
+/// Endpoint blobs travel inside Hello acks; cap what a hostile map blob can
+/// make a decoder allocate long before the CRC footer is reached.
+constexpr std::uint64_t kMaxLeaves = 4096;
+
+bool is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+std::uint32_t lookup_slot(std::uint64_t site_id, std::uint32_t table_size) {
+  return static_cast<std::uint32_t>(fmix64(mix64(site_id) ^ kLookupSalt) %
+                                    table_size);
+}
+
+}  // namespace
+
+ShardMap ShardMap::build(std::uint32_t version,
+                         std::vector<LeafEndpoint> leaves,
+                         std::uint32_t table_size) {
+  if (version == 0)
+    throw std::invalid_argument("ShardMap: version 0 is reserved for no-map");
+  if (leaves.empty()) throw std::invalid_argument("ShardMap: no leaves");
+  if (leaves.size() > kMaxLeaves)
+    throw std::invalid_argument("ShardMap: too many leaves");
+  if (!is_prime(table_size) || table_size < leaves.size())
+    throw std::invalid_argument(
+        "ShardMap: table size must be prime and >= leaf count");
+  // Sort by leaf id so the table is a function of the endpoint *set*, not
+  // of flag order — every process building "the v3 map" builds one table.
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafEndpoint& a, const LeafEndpoint& b) {
+              return a.leaf_id < b.leaf_id;
+            });
+  for (std::size_t i = 1; i < leaves.size(); ++i)
+    if (leaves[i].leaf_id == leaves[i - 1].leaf_id)
+      throw std::invalid_argument("ShardMap: duplicate leaf id");
+
+  ShardMap map;
+  map.version_ = version;
+  map.table_size_ = table_size;
+  map.leaves_ = std::move(leaves);
+
+  // Maglev fill: each leaf walks its own permutation of the slots
+  // (offset + k * skip mod M, M prime so any skip in [1, M-1] generates
+  // the whole table) and leaves claim unclaimed slots round-robin.
+  const std::uint32_t m = table_size;
+  const std::size_t n = map.leaves_.size();
+  std::vector<std::uint32_t> offset(n), skip(n), next(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t id = map.leaves_[i].leaf_id;
+    offset[i] = static_cast<std::uint32_t>(mix64(id ^ kOffsetSalt) % m);
+    skip[i] = static_cast<std::uint32_t>(fmix64(id ^ kSkipSalt) % (m - 1)) + 1;
+  }
+  map.table_.assign(m, m);  // m = unclaimed sentinel
+  std::uint32_t filled = 0;
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      std::uint32_t slot;
+      do {
+        slot = (offset[i] + next[i] * skip[i]) % m;
+        ++next[i];
+      } while (map.table_[slot] != m);
+      map.table_[slot] = static_cast<std::uint32_t>(i);
+      ++filled;
+    }
+  }
+  return map;
+}
+
+std::uint64_t ShardMap::leaf_for(std::uint64_t site_id) const {
+  if (empty()) throw std::logic_error("ShardMap::leaf_for on empty map");
+  return leaves_[table_[lookup_slot(site_id, table_size_)]].leaf_id;
+}
+
+const LeafEndpoint& ShardMap::endpoint_for(std::uint64_t site_id) const {
+  if (empty()) throw std::logic_error("ShardMap::endpoint_for on empty map");
+  return leaves_[table_[lookup_slot(site_id, table_size_)]];
+}
+
+const LeafEndpoint& ShardMap::endpoint_of(std::uint64_t leaf_id) const {
+  for (const auto& leaf : leaves_)
+    if (leaf.leaf_id == leaf_id) return leaf;
+  throw std::invalid_argument("ShardMap: unknown leaf id");
+}
+
+std::uint32_t ShardMap::slots_of(std::uint64_t leaf_id) const noexcept {
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < leaves_.size(); ++i)
+    if (leaves_[i].leaf_id == leaf_id)
+      for (const auto idx : table_) count += (idx == i);
+  return count;
+}
+
+double ShardMap::remap_fraction(const ShardMap& a, const ShardMap& b) {
+  if (a.table_size_ != b.table_size_)
+    throw std::invalid_argument("ShardMap::remap_fraction: table sizes differ");
+  if (a.table_size_ == 0) return 0.0;
+  std::uint32_t moved = 0;
+  for (std::uint32_t slot = 0; slot < a.table_size_; ++slot)
+    moved += a.leaves_[a.table_[slot]].leaf_id != b.leaves_[b.table_[slot]].leaf_id;
+  return static_cast<double>(moved) / static_cast<double>(a.table_size_);
+}
+
+std::string ShardMap::encode() const {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter w(out);
+  w.crc_reset();
+  write_header(w, kShardMapMagic, kShardMapFormatVersion);
+  w.u32(version_);
+  w.u32(table_size_);
+  w.u64(leaves_.size());
+  for (const auto& leaf : leaves_) {
+    w.u64(leaf.leaf_id);
+    w.str(leaf.host);
+    w.u32(leaf.port);
+  }
+  // The lookup table is NOT serialized: the receiver rebuilds it from the
+  // endpoint set, so an accepted blob cannot describe an inconsistent map.
+  write_crc_footer(w);
+  return std::move(out).str();
+}
+
+ShardMap ShardMap::decode(const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  BinaryReader r(in);
+  r.crc_reset();
+  read_header(r, kShardMapMagic, kShardMapFormatVersion);
+  const std::uint32_t version = r.u32();
+  const std::uint32_t table_size = r.u32();
+  const std::uint64_t count = r.u64();
+  if (count == 0 || count > kMaxLeaves)
+    throw SerializeError("ShardMap: absurd leaf count");
+  std::vector<LeafEndpoint> leaves;
+  leaves.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LeafEndpoint leaf;
+    leaf.leaf_id = r.u64();
+    leaf.host = r.str();
+    const std::uint32_t port = r.u32();
+    if (leaf.host.empty() || leaf.host.size() > 255 || port == 0 ||
+        port > 65535)
+      throw SerializeError("ShardMap: invalid endpoint");
+    leaf.port = static_cast<std::uint16_t>(port);
+    leaves.push_back(std::move(leaf));
+  }
+  read_crc_footer(r);
+  if (in.peek() != std::char_traits<char>::eof())
+    throw SerializeError("ShardMap: trailing bytes");
+  try {
+    return build(version, std::move(leaves), table_size);
+  } catch (const std::invalid_argument& error) {
+    throw SerializeError(std::string("ShardMap: ") + error.what());
+  }
+}
+
+void ShardMap::save_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const std::string blob = encode();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) throw SerializeError("ShardMap: cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw SerializeError("ShardMap: cannot rename " + tmp + " -> " + path);
+}
+
+ShardMap ShardMap::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializeError("ShardMap: cannot open " + path);
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  return decode(std::move(blob).str());
+}
+
+}  // namespace dcs::service

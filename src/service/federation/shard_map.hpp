@@ -1,0 +1,122 @@
+// Versioned consistent-hash shard map for the two-tier collector federation
+// (docs/FEDERATION.md).
+//
+// A federation runs N leaf collectors, each owning a *shard* of the site id
+// space, under one root collector that merges every leaf's relayed deltas.
+// The assignment site -> leaf must be:
+//
+//   * deterministic — every process (agent, leaf, root, tools) that holds
+//     the same map version computes the same owner, with no coordination;
+//   * balanced — leaves own ~equal slices of the site population;
+//   * stable under membership change — adding or removing one leaf moves
+//     ~1/N of the sites, not all of them (a naive `site % N` moves nearly
+//     everything and forces a full re-home storm on every reshard).
+//
+// We use the Maglev lookup-table construction (Eisenbud et al., NSDI 2016),
+// the pattern referenced from ROADMAP item 1: each leaf generates a
+// deterministic permutation of the M table slots from two independent
+// 64-bit mixers of its leaf id (offset + skip, M prime so every skip is
+// coprime and the permutation covers the table), and leaves claim slots
+// round-robin in leaf-id order until the table is full. Every leaf ends up
+// with floor/ceil(M/N) slots, and removing a leaf only reassigns the slots
+// it owned (plus a handful disturbed by the refill) — the ~1/N remap bound
+// the property tests pin.
+//
+// Lookup is two instructions away from a site id: slot = hash(site) % M,
+// owner = table[slot]. The map is a value type: versioned, order-insensitive
+// (endpoints are sorted by leaf id before the build), and serialized with
+// the common magic/version/CRC-footer contract so a corrupt blob is
+// rejected, never half-applied. Only the endpoint list travels on the wire;
+// the receiver rebuilds the table, which makes "decode(encode(m)) == m" a
+// theorem rather than a hope and keeps the blob a few hundred bytes.
+//
+// Version semantics: 0 means "no map" (an unsharded, pre-federation
+// deployment); reshards bump the version. Consumers (Collector::
+// set_shard_map, SiteAgent) only ever replace their map with a strictly
+// newer version, so a delayed or replayed map push can never roll a peer
+// back onto a stale topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace dcs::service {
+
+/// Where one leaf collector listens for its shard's site agents.
+struct LeafEndpoint {
+  std::uint64_t leaf_id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const LeafEndpoint& a, const LeafEndpoint& b) {
+    return a.leaf_id == b.leaf_id && a.host == b.host && a.port == b.port;
+  }
+};
+
+class ShardMap {
+ public:
+  /// Prime table size: 251 slots keeps per-leaf ownership within ~2% of
+  /// ideal for the leaf counts a single root realistically fans into
+  /// (Maglev's guidance is M >= 100 * N).
+  static constexpr std::uint32_t kDefaultTableSize = 251;
+
+  /// Default-constructed map = "no map" (version 0, empty). leaf_for on it
+  /// throws; callers guard with empty().
+  ShardMap() = default;
+
+  /// Build the Maglev table for `leaves` (any order; sorted by leaf_id
+  /// internally so the table is a pure function of the *set*). Throws
+  /// std::invalid_argument on version 0, no leaves, duplicate leaf ids, or
+  /// a non-prime / too-small table size.
+  static ShardMap build(std::uint32_t version, std::vector<LeafEndpoint> leaves,
+                        std::uint32_t table_size = kDefaultTableSize);
+
+  bool empty() const noexcept { return leaves_.empty(); }
+  std::uint32_t version() const noexcept { return version_; }
+  std::uint32_t table_size() const noexcept { return table_size_; }
+  /// Endpoints sorted by leaf_id.
+  const std::vector<LeafEndpoint>& leaves() const noexcept { return leaves_; }
+
+  /// Owning leaf id for a site. Throws std::logic_error on an empty map.
+  std::uint64_t leaf_for(std::uint64_t site_id) const;
+  /// Endpoint of leaf_for(site_id).
+  const LeafEndpoint& endpoint_for(std::uint64_t site_id) const;
+  /// Endpoint of a specific leaf. Throws std::invalid_argument if the leaf
+  /// is not in the map.
+  const LeafEndpoint& endpoint_of(std::uint64_t leaf_id) const;
+  /// Table slots owned by `leaf_id` (balance diagnostics / tests).
+  std::uint32_t slots_of(std::uint64_t leaf_id) const noexcept;
+
+  /// Fraction of table slots whose owner differs between two maps (the
+  /// reshard blast radius; ~1/N when one of N leaves changes). Throws
+  /// std::invalid_argument when table sizes differ.
+  static double remap_fraction(const ShardMap& a, const ShardMap& b);
+
+  /// Serialize with the common magic/version/CRC-footer contract. decode
+  /// rebuilds the lookup table from the endpoint list, so any accepted
+  /// blob yields a map identical to what the sender held; corruption or
+  /// truncation throws SerializeError.
+  std::string encode() const;
+  static ShardMap decode(const std::string& blob);
+
+  /// File forms of encode/decode for tools and flags (--shard-map FILE).
+  /// save_file writes tmp + rename so readers never observe a torn map.
+  void save_file(const std::string& path) const;
+  static ShardMap load_file(const std::string& path);
+
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    return a.version_ == b.version_ && a.table_size_ == b.table_size_ &&
+           a.leaves_ == b.leaves_ && a.table_ == b.table_;
+  }
+
+ private:
+  std::uint32_t version_ = 0;
+  std::uint32_t table_size_ = 0;
+  std::vector<LeafEndpoint> leaves_;   // sorted by leaf_id
+  std::vector<std::uint32_t> table_;   // slot -> index into leaves_
+};
+
+}  // namespace dcs::service

@@ -100,17 +100,21 @@ std::optional<Frame> FrameDecoder::next() {
   return frame;
 }
 
-std::string Hello::encode() const {
+std::string Hello::encode(std::uint8_t version) const {
   return encode_payload([&](BinaryWriter& w) {
     w.u64(site_id);
     w.u64(params_fingerprint);
     w.u64(epoch_updates);
     w.u64(first_epoch);
     w.u64(dropped_epochs);
+    if (version >= 4) {
+      w.u8(static_cast<std::uint8_t>(role));
+      w.u32(map_version);
+    }
   });
 }
 
-Hello Hello::decode(const std::string& payload) {
+Hello Hello::decode(const std::string& payload, std::uint8_t version) {
   Hello hello;
   decode_payload(payload, [&](BinaryReader& r) {
     hello.site_id = r.u64();
@@ -118,6 +122,13 @@ Hello Hello::decode(const std::string& payload) {
     hello.epoch_updates = r.u64();
     hello.first_epoch = r.u64();
     hello.dropped_epochs = r.u64();
+    if (version >= 4) {
+      const std::uint8_t role = r.u8();
+      if (role > static_cast<std::uint8_t>(PeerRole::kLeaf))
+        throw WireError("hello: unknown role");
+      hello.role = static_cast<PeerRole>(role);
+      hello.map_version = r.u32();
+    }
   });
   return hello;
 }
@@ -175,23 +186,34 @@ Heartbeat Heartbeat::decode(const std::string& payload) {
   return heartbeat;
 }
 
-std::string Ack::encode() const {
+std::string Ack::encode(std::uint8_t version) const {
   return encode_payload([&](BinaryWriter& w) {
     w.u64(epoch);
     w.u8(static_cast<std::uint8_t>(status));
     w.u32(retry_after_ms);
+    if (version >= 4) {
+      w.u32(map_version);
+      w.str(map_blob);
+    }
   });
 }
 
-Ack Ack::decode(const std::string& payload) {
+Ack Ack::decode(const std::string& payload, std::uint8_t version) {
   Ack ack;
   decode_payload(payload, [&](BinaryReader& r) {
     ack.epoch = r.u64();
     const std::uint8_t status = r.u8();
-    if (status > static_cast<std::uint8_t>(AckStatus::kRetryLater))
-      throw WireError("ack: unknown status");
+    // kWrongShard needs the map fields to be actionable, so it is v4-only;
+    // at v2/v3 the same byte is a protocol violation.
+    const auto max_status = static_cast<std::uint8_t>(
+        version >= 4 ? AckStatus::kWrongShard : AckStatus::kRetryLater);
+    if (status > max_status) throw WireError("ack: unknown status");
     ack.status = static_cast<AckStatus>(status);
     ack.retry_after_ms = r.u32();
+    if (version >= 4) {
+      ack.map_version = r.u32();
+      ack.map_blob = r.str();
+    }
   });
   return ack;
 }

@@ -52,15 +52,28 @@
 //       freshness; a v3 collector additionally acks Heartbeat frames
 //       (epoch = 0) so agents can measure round-trip time from frames
 //       already exchanged. The Ack payload is unchanged from v2.
+//   v4  Federation (docs/FEDERATION.md). Hello gained role (site agent vs
+//       leaf-collector uplink) and map_version (the shard-map version the
+//       peer currently holds); Ack gained map_version and map_blob, so a
+//       collector can push its current ShardMap to a stale peer inside the
+//       ack stream — no side channel, no extra round trip. AckStatus
+//       gained kWrongShard: "this site hashes to another leaf under the
+//       current map"; the attached map tells the agent where to re-home
+//       without losing its spool. On role = leaf connections the delta
+//       site_id is the *origin* site, not the Hello site_id — a leaf
+//       relays many sites over one multiplexed uplink.
 //
 // Version negotiation. A receiver accepts any version in
 // [kMinWireVersion, kWireVersion] and each frame carries the version its
 // payload was encoded at (Frame::version). A peer replies at
-// min(kWireVersion, version-the-peer-spoke): a v3 collector answers a v2
+// min(kWireVersion, version-the-peer-spoke): a v4 collector answers a v2
 // Hello with v2-framed Acks and never acks that connection's Heartbeats;
-// a v3 agent that receives a v2-framed Hello ack encodes its deltas as v2
-// (no timestamps) and does not wait for Heartbeat acks. The v2 Ack
-// contract is therefore honored in both directions.
+// a v4 agent that receives a v2-framed Hello ack encodes its deltas as v2
+// (no timestamps) and does not wait for Heartbeat acks. v4 payload fields
+// (Hello role/map_version, Ack map fields) are appended and version-gated,
+// so a v3 peer never sees them and a v4 peer decodes v3 payloads with the
+// pre-federation defaults. kWrongShard is only ever sent to v4 peers — a
+// downlevel site cannot re-home, so a sharded leaf answers it kRejected.
 #pragma once
 
 #include <cstdint>
@@ -73,7 +86,7 @@
 namespace dcs::service {
 
 constexpr std::uint32_t kWireMagic = 0x57534344;  // "DCSW"
-constexpr std::uint8_t kWireVersion = 3;
+constexpr std::uint8_t kWireVersion = 4;
 /// Oldest version still decoded. v1 is gone: its Ack payload predates the
 /// retry_after_ms field and silent-drop semantics the collector relies on.
 constexpr std::uint8_t kMinWireVersion = 2;
@@ -97,6 +110,14 @@ enum class MsgType : std::uint8_t {
 class WireError : public SerializeError {
  public:
   using SerializeError::SerializeError;
+};
+
+/// What a connection is (wire v4, Hello::role). Site agents ship their own
+/// epochs; a leaf uplink relays deltas for every site its shard owns over
+/// one multiplexed connection to the root.
+enum class PeerRole : std::uint8_t {
+  kSite = 0,
+  kLeaf = 1,
 };
 
 struct Frame {
@@ -148,12 +169,17 @@ class FrameDecoder {
 /// equivalence tests rely on.
 struct PeerState {
   /// Site id learned from the Hello; 0 until the handshake completes.
+  /// On a role = kLeaf connection this is the *leaf id*, not a site id.
   std::uint64_t site_id = 0;
   /// Version negotiated at Hello: min(ours, the site's). Every reply on
   /// this connection is framed at it, and v3-only behaviour (heartbeat
   /// acks) is gated on it so a v2 site's ack stream never desyncs.
   std::uint8_t wire_version = kWireVersion;
   bool hello_ok = false;
+  /// Connection role from the v4 Hello (kSite for v2/v3 peers). A kLeaf
+  /// peer is another collector's uplink: its deltas carry origin site ids
+  /// that differ from the Hello id, and shard-ownership checks don't apply.
+  PeerRole role = PeerRole::kSite;
 };
 
 // --- message payloads ------------------------------------------------------
@@ -171,6 +197,12 @@ enum class AckStatus : std::uint8_t {
   /// Ack::retry_after_ms from now. Principled shedding: the loss is
   /// negotiated, never silent.
   kRetryLater = 3,
+  /// Wire v4 only. This site hashes to a different leaf under the
+  /// collector's current shard map (sent for a Hello or a delta after a
+  /// reshard). Nothing was merged; the ack carries the full map in
+  /// Ack::map_blob so the agent can re-home — spool intact — without any
+  /// out-of-band lookup. Never sent to v2/v3 peers (they get kRejected).
+  kWrongShard = 4,
 };
 
 struct Hello {
@@ -186,9 +218,18 @@ struct Hello {
   /// Epochs this site has dropped on spool overflow so far (degraded-mode
   /// accounting survives reconnects).
   std::uint64_t dropped_epochs = 0;
+  /// Wire v4: what this connection is (defaults to a site agent when
+  /// decoded from a v2/v3 frame).
+  PeerRole role = PeerRole::kSite;
+  /// Wire v4: version of the shard map the peer currently holds (0 =
+  /// none). When it trails the collector's map the Hello ack carries the
+  /// current map in Ack::map_blob.
+  std::uint32_t map_version = 0;
 
-  std::string encode() const;
-  static Hello decode(const std::string& payload);
+  /// Encode at `version`: v2/v3 omit role and map_version.
+  std::string encode(std::uint8_t version = kWireVersion) const;
+  static Hello decode(const std::string& payload,
+                      std::uint8_t version = kWireVersion);
 };
 
 struct SnapshotDelta {
@@ -236,9 +277,19 @@ struct Ack {
   /// Only meaningful with kRetryLater: the earliest the site may re-ship
   /// the shed epoch, in milliseconds from receipt. 0 otherwise.
   std::uint32_t retry_after_ms = 0;
+  /// Wire v4: the collector's current shard-map version (0 = unsharded).
+  /// Lets an agent notice a reshard from any ack without polling.
+  std::uint32_t map_version = 0;
+  /// Wire v4: ShardMap::encode() bytes, attached when the collector
+  /// decides to push the map (a Hello from a peer with a stale
+  /// map_version, or any kWrongShard). Empty otherwise — delta acks on the
+  /// hot path stay small.
+  std::string map_blob;
 
-  std::string encode() const;
-  static Ack decode(const std::string& payload);
+  /// Encode at `version`: v2/v3 omit map_version and map_blob.
+  std::string encode(std::uint8_t version = kWireVersion) const;
+  static Ack decode(const std::string& payload,
+                    std::uint8_t version = kWireVersion);
 };
 
 struct Bye {

@@ -1,0 +1,463 @@
+// Federation tests (docs/FEDERATION.md): the versioned Maglev shard map,
+// the wire v4 payload additions, the root's gap-filling per-(site, epoch)
+// dedup, and the two-tier relay differential — a multi-leaf federation's
+// root sketch must be bit-identical to a single collector that saw every
+// site directly. The full kill/reshard/drain soak lives in dcs_chaos
+// --federation (the federation_smoke ctest entry); these tests pin each
+// layer in isolation so a soak failure has a named culprit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/agent.hpp"
+#include "service/collector.hpp"
+#include "service/federation/leaf.hpp"
+#include "service/federation/shard_map.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "sketch/distinct_count_sketch.hpp"
+
+namespace {
+
+using namespace dcs;
+using namespace dcs::service;
+
+DcsParams small_params() {
+  DcsParams params;
+  params.num_tables = 3;
+  params.buckets_per_table = 64;
+  params.seed = 17;
+  return params;
+}
+
+std::vector<LeafEndpoint> make_leaves(std::size_t n,
+                                      std::uint16_t base_port = 7000) {
+  std::vector<LeafEndpoint> leaves;
+  for (std::size_t i = 0; i < n; ++i)
+    leaves.push_back(LeafEndpoint{
+        1001 + i, "127.0.0.1", static_cast<std::uint16_t>(base_port + i)});
+  return leaves;
+}
+
+std::string serialize_sketch(const DistinctCountSketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out);
+  sketch.serialize(writer);
+  return std::move(out).str();
+}
+
+// --- shard map ---------------------------------------------------------------
+
+TEST(FederationShardMap, BuildIsDeterministicAndOrderInsensitive) {
+  auto leaves = make_leaves(5);
+  const ShardMap a = ShardMap::build(3, leaves);
+  std::reverse(leaves.begin(), leaves.end());
+  const ShardMap b = ShardMap::build(3, leaves);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.encode(), b.encode());
+  // And a pure function: rebuilding yields the identical table.
+  EXPECT_TRUE(a == ShardMap::build(3, make_leaves(5)));
+}
+
+TEST(FederationShardMap, SlotsAreBalanced) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    const ShardMap map = ShardMap::build(1, make_leaves(n));
+    const std::uint32_t ideal = map.table_size() / static_cast<std::uint32_t>(n);
+    for (const LeafEndpoint& leaf : map.leaves()) {
+      EXPECT_GE(map.slots_of(leaf.leaf_id), ideal > 2 ? ideal - 2 : 0u)
+          << "n=" << n;
+      EXPECT_LE(map.slots_of(leaf.leaf_id), ideal + 2) << "n=" << n;
+    }
+  }
+}
+
+TEST(FederationShardMap, RemovalRemapsAboutOneNth) {
+  // The Maglev selling point: losing one of N leaves moves ~1/N of the
+  // slots, not all of them. Pin a 2/N ceiling for every removable leaf.
+  const std::size_t n = 5;
+  const ShardMap before = ShardMap::build(1, make_leaves(n));
+  for (std::size_t removed = 0; removed < n; ++removed) {
+    std::vector<LeafEndpoint> rest;
+    for (std::size_t i = 0; i < n; ++i)
+      if (i != removed) rest.push_back(make_leaves(n)[i]);
+    const ShardMap after = ShardMap::build(2, rest);
+    const double moved = ShardMap::remap_fraction(before, after);
+    EXPECT_GE(moved, 1.0 / static_cast<double>(n) - 0.05) << removed;
+    EXPECT_LE(moved, 2.0 / static_cast<double>(n)) << removed;
+  }
+  // Naive modulo would move ~(n-1)/n; make sure we are nowhere near it.
+  EXPECT_LT(ShardMap::remap_fraction(
+                before, ShardMap::build(2, make_leaves(n - 1))),
+            0.5);
+}
+
+TEST(FederationShardMap, LookupResolvesToAMemberLeaf) {
+  const ShardMap map = ShardMap::build(1, make_leaves(4));
+  for (std::uint64_t site = 1; site <= 500; ++site) {
+    const std::uint64_t owner = map.leaf_for(site);
+    const LeafEndpoint& endpoint = map.endpoint_for(site);
+    EXPECT_EQ(endpoint.leaf_id, owner);
+    EXPECT_EQ(map.endpoint_of(owner).port, endpoint.port);
+  }
+  EXPECT_THROW(map.endpoint_of(42), std::invalid_argument);
+  EXPECT_THROW(ShardMap().leaf_for(1), std::logic_error);
+}
+
+TEST(FederationShardMap, BuildRejectsInvalidInput) {
+  EXPECT_THROW(ShardMap::build(0, make_leaves(2)), std::invalid_argument);
+  EXPECT_THROW(ShardMap::build(1, {}), std::invalid_argument);
+  auto dup = make_leaves(2);
+  dup[1].leaf_id = dup[0].leaf_id;
+  EXPECT_THROW(ShardMap::build(1, dup), std::invalid_argument);
+  EXPECT_THROW(ShardMap::build(1, make_leaves(2), 250),  // not prime
+               std::invalid_argument);
+}
+
+TEST(FederationShardMap, EncodeDecodeRoundTripsExactly) {
+  const ShardMap map = ShardMap::build(7, make_leaves(3));
+  const ShardMap back = ShardMap::decode(map.encode());
+  EXPECT_TRUE(map == back);
+  EXPECT_EQ(back.version(), 7u);
+  // The receiver rebuilt the table; every lookup must agree.
+  for (std::uint64_t site = 1; site <= 100; ++site)
+    EXPECT_EQ(map.leaf_for(site), back.leaf_for(site));
+}
+
+TEST(FederationShardMap, EveryCorruptByteIsRejected) {
+  const std::string blob = ShardMap::build(2, make_leaves(3)).encode();
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    EXPECT_THROW(ShardMap::decode(bad), SerializeError) << "byte " << i;
+  }
+  for (std::size_t len = 0; len < blob.size(); ++len)
+    EXPECT_THROW(ShardMap::decode(blob.substr(0, len)), SerializeError)
+        << "truncated to " << len;
+}
+
+TEST(FederationShardMap, FileRoundTripIsAtomicAndExact) {
+  const auto dir = std::filesystem::temp_directory_path() / "dcs_fed_map_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "map.bin").string();
+  const ShardMap map = ShardMap::build(4, make_leaves(2));
+  map.save_file(path);
+  EXPECT_TRUE(ShardMap::load_file(path) == map);
+  EXPECT_THROW(ShardMap::load_file((dir / "missing.bin").string()),
+               SerializeError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FederationShardMap, CollectorOnlyAcceptsStrictlyNewerMaps) {
+  CollectorConfig config;
+  config.params = small_params();
+  config.leaf_id = 1001;
+  Collector collector(config);
+  collector.set_shard_map(ShardMap::build(2, make_leaves(2)));
+  EXPECT_EQ(collector.shard_map().version(), 2u);
+  // Same and older versions are a rollback — refused, not applied.
+  EXPECT_THROW(collector.set_shard_map(ShardMap::build(2, make_leaves(3))),
+               std::invalid_argument);
+  EXPECT_THROW(collector.set_shard_map(ShardMap::build(1, make_leaves(3))),
+               std::invalid_argument);
+  EXPECT_THROW(collector.set_shard_map(ShardMap()), std::invalid_argument);
+  collector.set_shard_map(ShardMap::build(3, make_leaves(3)));
+  EXPECT_EQ(collector.shard_map().version(), 3u);
+  EXPECT_EQ(collector.stats().reshards, 2u);
+}
+
+// --- wire v4 -----------------------------------------------------------------
+
+TEST(FederationWire, HelloCarriesRoleAndMapVersionAtV4Only) {
+  Hello hello;
+  hello.site_id = 9;
+  hello.role = PeerRole::kLeaf;
+  hello.map_version = 5;
+  const Hello v4 = Hello::decode(hello.encode(4), 4);
+  EXPECT_EQ(v4.role, PeerRole::kLeaf);
+  EXPECT_EQ(v4.map_version, 5u);
+  // v3 framing omits the fields; a decoder sees pre-federation defaults.
+  const Hello v3 = Hello::decode(hello.encode(3), 3);
+  EXPECT_EQ(v3.role, PeerRole::kSite);
+  EXPECT_EQ(v3.map_version, 0u);
+  EXPECT_LT(hello.encode(3).size(), hello.encode(4).size());
+}
+
+TEST(FederationWire, AckCarriesTheShardMapAtV4Only) {
+  Ack ack;
+  ack.epoch = 3;
+  ack.status = AckStatus::kWrongShard;
+  ack.map_version = 2;
+  ack.map_blob = ShardMap::build(2, make_leaves(3)).encode();
+  const Ack v4 = Ack::decode(ack.encode(4), 4);
+  EXPECT_EQ(v4.status, AckStatus::kWrongShard);
+  EXPECT_EQ(v4.map_version, 2u);
+  const ShardMap pushed = ShardMap::decode(v4.map_blob);
+  EXPECT_EQ(pushed.version(), 2u);
+  EXPECT_EQ(pushed.leaves().size(), 3u);
+  // v3 framing drops the map fields entirely — no oversized acks to
+  // downlevel peers, and kWrongShard itself is never sent to them.
+  Ack plain = ack;
+  plain.status = AckStatus::kOk;
+  const Ack v3 = Ack::decode(plain.encode(3), 3);
+  EXPECT_EQ(v3.map_version, 0u);
+  EXPECT_TRUE(v3.map_blob.empty());
+  EXPECT_LT(plain.encode(3).size(), plain.encode(4).size());
+}
+
+// --- root gap ledger ---------------------------------------------------------
+
+/// A raw leaf-uplink peer: Hello with role = kLeaf, then deltas carrying
+/// *origin* site ids, exactly what LeafUplink speaks — but hand-driven so
+/// the test controls delivery order.
+struct RawLeafPeer {
+  std::optional<TcpSocket> socket;
+  FrameDecoder decoder;
+  char buffer[4096];
+
+  bool hello(std::uint16_t port, std::uint64_t leaf_id,
+             const DcsParams& params) {
+    socket = tcp_connect("127.0.0.1", port, 5000);
+    if (!socket) return false;
+    socket->set_timeouts(10000, 10000);
+    Hello hello;
+    hello.site_id = leaf_id;
+    hello.role = PeerRole::kLeaf;
+    hello.params_fingerprint = params.fingerprint();
+    if (!socket->send_all(encode_frame(MsgType::kHello, hello.encode())))
+      return false;
+    const auto ack = read_ack();
+    return ack.has_value() && ack->status == AckStatus::kOk;
+  }
+
+  std::optional<Ack> ship(const DcsParams& params, std::uint64_t site,
+                          std::uint64_t epoch) {
+    DistinctCountSketch sketch(params);
+    sketch.update(static_cast<Addr>(site), static_cast<Addr>(epoch * 7919),
+                  +1);
+    SnapshotDelta delta;
+    delta.site_id = site;
+    delta.epoch = epoch;
+    delta.updates = 1;
+    delta.sketch_blob = serialize_sketch(sketch);
+    if (!socket->send_all(
+            encode_frame(MsgType::kSnapshotDelta, delta.encode())))
+      return std::nullopt;
+    return read_ack();
+  }
+
+  std::optional<Ack> read_ack() {
+    for (;;) {
+      if (auto frame = decoder.next()) {
+        if (frame->type != MsgType::kAck) return std::nullopt;
+        return Ack::decode(frame->payload, frame->version);
+      }
+      const RecvResult got = socket->recv_some(buffer, sizeof buffer);
+      if (got.bytes == 0) return std::nullopt;
+      decoder.feed(buffer, got.bytes);
+    }
+  }
+};
+
+TEST(FederationRoot, GapLedgerFillsOutOfOrderEpochsExactlyOnce) {
+  CollectorConfig config;
+  config.params = small_params();
+  config.federation_root = true;
+  config.run_detection = false;
+  config.io_timeout_ms = 50;
+  Collector root(config);
+  root.start();
+
+  RawLeafPeer peer;
+  ASSERT_TRUE(peer.hello(root.port(), 1001, config.params));
+
+  // Epoch 3 first: two gaps (1, 2) recorded as pending — awaited, not lost.
+  auto ack = peer.ship(config.params, 7, 3);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kOk);
+  EXPECT_EQ(root.stats().pending_gap_epochs, 2u);
+  EXPECT_EQ(root.stats().dropped_epochs, 0u);
+
+  // A second relay path (the drained journal) delivers 1 and 2: both fill
+  // their gaps, the ledger drains, nothing is double-merged.
+  ack = peer.ship(config.params, 7, 1);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kOk);
+  ack = peer.ship(config.params, 7, 2);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kOk);
+  EXPECT_EQ(root.stats().pending_gap_epochs, 0u);
+  EXPECT_EQ(root.stats().gap_fills, 2u);
+
+  // Re-delivery of a filled epoch is a duplicate, not a merge.
+  ack = peer.ship(config.params, 7, 2);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kDuplicate);
+
+  const auto stats = root.stats();
+  EXPECT_EQ(stats.deltas_merged, 3u);
+  EXPECT_EQ(stats.relayed_deltas, 3u);
+  EXPECT_EQ(stats.duplicate_deltas, 1u);
+  root.stop();
+
+  // The merged sketch equals ingesting epochs 1..3 in order — gap-filling
+  // is invisible to the linear merge.
+  DistinctCountSketch reference(config.params);
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch)
+    reference.update(static_cast<Addr>(7), static_cast<Addr>(epoch * 7919),
+                     +1);
+  EXPECT_EQ(serialize_sketch(root.merged_sketch()),
+            serialize_sketch(reference));
+}
+
+TEST(FederationRoot, NonRootCollectorRefusesLeafUplinks) {
+  CollectorConfig config;
+  config.params = small_params();
+  config.run_detection = false;
+  config.io_timeout_ms = 50;
+  Collector collector(config);
+  collector.start();
+
+  RawLeafPeer peer;
+  EXPECT_FALSE(peer.hello(collector.port(), 1001, config.params));
+  collector.stop();
+}
+
+TEST(FederationRoot, ShardedLeafBouncesForeignSitesWithTheMap) {
+  CollectorConfig config;
+  config.params = small_params();
+  config.run_detection = false;
+  config.io_timeout_ms = 50;
+  config.leaf_id = 1001;
+  Collector leaf(config);
+  const ShardMap map = ShardMap::build(1, make_leaves(3));
+  leaf.set_shard_map(map);
+  leaf.start();
+
+  // Find one site this leaf owns and one it does not.
+  std::uint64_t owned = 0, foreign = 0;
+  for (std::uint64_t site = 1; owned == 0 || foreign == 0; ++site) {
+    (map.leaf_for(site) == 1001 ? owned : foreign) = site;
+  }
+
+  RawLeafPeer peer;  // role is set per call below via a plain Hello
+  peer.socket = tcp_connect("127.0.0.1", leaf.port(), 5000);
+  ASSERT_TRUE(peer.socket.has_value());
+  peer.socket->set_timeouts(10000, 10000);
+  Hello hello;
+  hello.site_id = foreign;
+  hello.params_fingerprint = config.params.fingerprint();
+  ASSERT_TRUE(
+      peer.socket->send_all(encode_frame(MsgType::kHello, hello.encode())));
+  const auto ack = peer.read_ack();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, AckStatus::kWrongShard);
+  EXPECT_EQ(ack->map_version, 1u);
+  const ShardMap pushed = ShardMap::decode(ack->map_blob);
+  EXPECT_NE(pushed.leaf_for(foreign), 1001u);
+  EXPECT_EQ(leaf.stats().wrong_shard_acks, 1u);
+
+  RawLeafPeer owned_peer;
+  owned_peer.socket = tcp_connect("127.0.0.1", leaf.port(), 5000);
+  ASSERT_TRUE(owned_peer.socket.has_value());
+  owned_peer.socket->set_timeouts(10000, 10000);
+  Hello ok_hello;
+  ok_hello.site_id = owned;
+  ok_hello.params_fingerprint = config.params.fingerprint();
+  ASSERT_TRUE(owned_peer.socket->send_all(
+      encode_frame(MsgType::kHello, ok_hello.encode())));
+  const auto ok_ack = owned_peer.read_ack();
+  ASSERT_TRUE(ok_ack.has_value());
+  EXPECT_EQ(ok_ack->status, AckStatus::kOk);
+  leaf.stop();
+}
+
+// --- two-tier relay differential --------------------------------------------
+
+TEST(FederationRelay, MultiLeafRootEqualsSingleCollectorBitForBit) {
+  const DcsParams params = small_params();
+  const std::uint64_t sites = 5;
+  const std::uint64_t epochs = 6;
+
+  CollectorConfig root_config;
+  root_config.params = params;
+  root_config.federation_root = true;
+  root_config.run_detection = false;
+  root_config.io_timeout_ms = 25;
+  Collector root(root_config);
+  root.start();
+
+  std::vector<std::unique_ptr<LeafCollector>> leaves;
+  std::vector<LeafEndpoint> endpoints;
+  for (std::uint64_t id : {1001ull, 1002ull}) {
+    LeafCollectorConfig leaf_config;
+    leaf_config.collector.params = params;
+    leaf_config.collector.io_timeout_ms = 25;
+    leaf_config.collector.run_detection = false;
+    leaf_config.collector.leaf_id = id;
+    leaf_config.root_host = "127.0.0.1";
+    leaf_config.root_port = root.port();
+    leaves.push_back(std::make_unique<LeafCollector>(leaf_config));
+    leaves.back()->start();
+    endpoints.push_back(
+        LeafEndpoint{id, "127.0.0.1", leaves.back()->collector().port()});
+  }
+  const ShardMap map = ShardMap::build(1, endpoints);
+  for (auto& leaf : leaves) leaf->set_shard_map(map);
+
+  DistinctCountSketch reference(params);
+  std::vector<std::unique_ptr<SiteAgent>> agents;
+  for (std::uint64_t site = 1; site <= sites; ++site) {
+    SiteAgentConfig agent_config;
+    agent_config.site_id = site;
+    agent_config.collector_host = "127.0.0.1";
+    agent_config.collector_port = endpoints[0].port;  // seed; map overrides
+    agent_config.params = params;
+    agent_config.epoch_updates = 50;
+    agent_config.io_timeout_ms = 2000;
+    agent_config.heartbeat_interval_ms = 100;
+    agent_config.jitter_seed = site;
+    agent_config.shard_map = map;
+    agents.push_back(std::make_unique<SiteAgent>(agent_config));
+    agents.back()->start();
+    for (std::uint64_t i = 0; i < epochs * 50; ++i) {
+      const Addr dest = static_cast<Addr>(site * 11 + i % 9);
+      const Addr source = static_cast<Addr>(site * 100000 + i);
+      agents.back()->ingest(FlowUpdate{.source = source, .dest = dest});
+      reference.update(dest, source, +1);
+    }
+  }
+  std::uint64_t total_sealed = 0;
+  for (auto& agent : agents) {
+    ASSERT_TRUE(agent->flush(15000));
+    agent->stop(15000);
+    total_sealed += agent->stats().epochs_sealed;
+    EXPECT_EQ(agent->stats().epochs_dropped, 0u);
+  }
+  for (auto& leaf : leaves) leaf->stop(15000);
+
+  ASSERT_TRUE(root.wait_for_deltas(total_sealed, 15000));
+  const auto stats = root.stats();
+  root.stop();
+  EXPECT_EQ(stats.deltas_merged, total_sealed);
+  EXPECT_EQ(stats.relayed_deltas, total_sealed);
+  EXPECT_EQ(stats.dropped_epochs, 0u);
+  EXPECT_EQ(stats.pending_gap_epochs, 0u);
+
+  // The tentpole invariant: two tiers of linear merges are invisible.
+  EXPECT_EQ(serialize_sketch(root.merged_sketch()),
+            serialize_sketch(reference));
+  const auto topk = root.top_k(8);
+  const auto ref_topk = TrackingDcs(reference).top_k(8);
+  ASSERT_EQ(topk.entries.size(), ref_topk.entries.size());
+  for (std::size_t i = 0; i < topk.entries.size(); ++i) {
+    EXPECT_EQ(topk.entries[i].group, ref_topk.entries[i].group);
+    EXPECT_EQ(topk.entries[i].estimate, ref_topk.entries[i].estimate);
+  }
+}
+
+}  // namespace

@@ -239,7 +239,7 @@ struct RawClient {
     for (;;) {
       if (auto frame = decoder.next()) {
         EXPECT_EQ(frame->type, MsgType::kAck);
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) return std::nullopt;
@@ -275,7 +275,7 @@ std::string hello_frame(std::uint64_t site, std::uint64_t first_epoch = 1,
   hello.site_id = site;
   hello.params_fingerprint = small_params().fingerprint();
   hello.first_epoch = first_epoch;
-  return encode_frame(MsgType::kHello, hello.encode(), version);
+  return encode_frame(MsgType::kHello, hello.encode(version), version);
 }
 
 /// The exactly-once contract on the reactor path: a retransmitted epoch is

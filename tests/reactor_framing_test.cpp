@@ -92,7 +92,7 @@ struct RawClient {
     for (;;) {
       if (auto frame = decoder.next()) {
         EXPECT_EQ(frame->type, MsgType::kAck);
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) return std::nullopt;

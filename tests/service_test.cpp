@@ -342,7 +342,7 @@ TEST(ServiceLoopback, DuplicateDeltaMergesExactlyOnce) {
     for (;;) {
       if (auto frame = decoder.next()) {
         EXPECT_EQ(frame->type, MsgType::kAck);
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) {
@@ -578,7 +578,7 @@ TEST(ServiceRecovery, ReshippedPreCheckpointEpochsAreAckedNotRemerged) {
       for (;;) {
         if (auto frame = decoder.next()) {
           EXPECT_EQ(frame->type, MsgType::kAck);
-          return Ack::decode(frame->payload);
+          return Ack::decode(frame->payload, frame->version);
         }
         const RecvResult got = socket->recv_some(buffer, sizeof buffer);
         if (got.bytes == 0) {
@@ -894,7 +894,7 @@ TEST(ServiceOverload, HeartbeatFloodNeitherStallsNorKills) {
     for (;;) {
       if (auto frame = decoder.next()) {
         EXPECT_EQ(frame->type, MsgType::kAck);
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) {
@@ -979,7 +979,7 @@ TEST(ServiceOverload, ShedDeltasAreNackedAndReshippedExactlyOnce) {
   char buffer[4096];
   const auto read_ack = [&]() -> Ack {
     for (;;) {
-      if (auto frame = decoder.next()) return Ack::decode(frame->payload);
+      if (auto frame = decoder.next()) return Ack::decode(frame->payload, frame->version);
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) {
         ADD_FAILURE() << "connection lost awaiting ack";
@@ -1169,11 +1169,11 @@ TEST(WireVersioning, V2PeerInteroperatesWithV3Collector) {
   hello.site_id = 3;
   hello.params_fingerprint = small_params().fingerprint();
   ASSERT_TRUE(
-      socket->send_all(encode_frame(MsgType::kHello, hello.encode(), 2)));
+      socket->send_all(encode_frame(MsgType::kHello, hello.encode(2), 2)));
   auto hello_ack = read_ack_frame();
   ASSERT_TRUE(hello_ack.has_value());
   EXPECT_EQ(hello_ack->version, 2) << "reply framed above the peer's version";
-  EXPECT_EQ(Ack::decode(hello_ack->payload).status, AckStatus::kOk);
+  EXPECT_EQ(Ack::decode(hello_ack->payload, hello_ack->version).status, AckStatus::kOk);
 
   // v2 heartbeats get no ack (a v2 agent would misread one as a stray
   // delta ack); the connection must stay healthy regardless.
@@ -1190,7 +1190,7 @@ TEST(WireVersioning, V2PeerInteroperatesWithV3Collector) {
   auto delta_ack = read_ack_frame();
   ASSERT_TRUE(delta_ack.has_value());
   EXPECT_EQ(delta_ack->version, 2);
-  const Ack ack = Ack::decode(delta_ack->payload);
+  const Ack ack = Ack::decode(delta_ack->payload, delta_ack->version);
   EXPECT_EQ(ack.status, AckStatus::kOk);
   EXPECT_EQ(ack.epoch, 1u) << "heartbeat must not have been acked before "
                               "the delta (v2 ack-stream contract)";
@@ -1235,7 +1235,7 @@ TEST(WireVersioning, V3HeartbeatsAreAckedWithEpochZero) {
   ASSERT_TRUE(beat_ack.has_value());
   EXPECT_EQ(beat_ack->type, MsgType::kAck);
   EXPECT_EQ(beat_ack->version, kWireVersion);
-  const Ack ack = Ack::decode(beat_ack->payload);
+  const Ack ack = Ack::decode(beat_ack->payload, beat_ack->version);
   EXPECT_EQ(ack.status, AckStatus::kOk);
   EXPECT_EQ(ack.epoch, 0u);
   collector.stop();

@@ -7,6 +7,7 @@
 // or the spool could not be drained.
 //
 //   dcs_agent --port N | --port-file FILE [--host ADDR] [--site N]
+//             [--shard-map FILE]
 //             [--r N] [--s N] [--seed N] [--u N] [--d N] [--z F] [--wseed N]
 //             [--epoch-updates N] [--spool N] [--drain-ms N]
 //             [--metrics-out FILE] [--metrics-format prom|json]
@@ -14,6 +15,12 @@
 //
 // --port-file polls for a file published by `dcs_collector --port-file`, so
 // both sides can be launched simultaneously with an ephemeral port.
+//
+// --shard-map homes the agent under a federation (docs/FEDERATION.md): it
+// connects to the leaf the map assigns its site id, and --host/--port
+// become the *seed* fallback used to re-bootstrap the map when the mapped
+// leaf stays unreachable. Any leaf answering a mis-homed Hello pushes the
+// current map back (kWrongShard), so agents follow reshards on their own.
 //
 // --ops-port embeds the HTTP ops server (obs/http_export.hpp): /metrics,
 // /metrics.json, /healthz and /traces served live (0 = ephemeral port,
@@ -47,6 +54,9 @@ void print_usage() {
       "  --port-file FILE    poll FILE for the port dcs_collector published\n"
       "  --host ADDR         collector host (default 127.0.0.1)\n"
       "  --site N            site id carried in every message (default 1)\n"
+      "  --shard-map FILE    federation shard map (dcs_shardmap gen); homes\n"
+      "                      the agent to its mapped leaf, with --host/--port\n"
+      "                      as the bootstrap seed\n"
       "  --r N               sketch tables (must match collector; default 3)\n"
       "  --s N               buckets per table (must match; default 128)\n"
       "  --seed N            sketch hash seed (must match; default 0)\n"
@@ -146,19 +156,22 @@ int main(int argc, char** argv) {
   config.spool_epochs =
       static_cast<std::size_t>(options.integer("spool", 64));
   config.jitter_seed = config.site_id;
+  const std::string shard_map_path = options.str("shard-map", "");
 
   const int drain_ms = static_cast<int>(options.integer("drain-ms", 15000));
 
   try {
     config.params.validate();
+    if (!shard_map_path.empty())
+      config.shard_map = service::ShardMap::load_file(shard_map_path);
     config.collector_port =
         static_cast<std::uint16_t>(options.integer("port", 0));
     const std::string port_file = options.str("port-file", "");
     if (config.collector_port == 0 && !port_file.empty())
       config.collector_port = wait_for_port_file(port_file, drain_ms);
-    if (config.collector_port == 0) {
-      std::fprintf(stderr, "dcs_agent: no collector port (--port or "
-                           "--port-file required)\n");
+    if (config.collector_port == 0 && config.shard_map.empty()) {
+      std::fprintf(stderr, "dcs_agent: no collector port (--port, "
+                           "--port-file or --shard-map required)\n");
       return 2;
     }
 
@@ -231,14 +244,16 @@ int main(int argc, char** argv) {
 
     const auto stats = agent.stats();
     std::printf("site=%llu sealed=%llu shipped=%llu dropped=%llu "
-                "reconnects=%llu io_errors=%llu rejected=%d\n",
+                "reconnects=%llu io_errors=%llu rehomes=%llu map_version=%u "
+                "rejected=%d\n",
                 static_cast<unsigned long long>(config.site_id),
                 static_cast<unsigned long long>(stats.epochs_sealed),
                 static_cast<unsigned long long>(stats.epochs_shipped),
                 static_cast<unsigned long long>(stats.epochs_dropped),
                 static_cast<unsigned long long>(stats.reconnects),
                 static_cast<unsigned long long>(stats.io_errors),
-                stats.rejected ? 1 : 0);
+                static_cast<unsigned long long>(stats.rehomes),
+                stats.map_version, stats.rejected ? 1 : 0);
     if (!metrics_out_path.empty())
       obs::write_snapshot_file(metrics_out_path, metrics_format,
                                obs::Registry::global().snapshot());

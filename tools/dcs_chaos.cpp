@@ -32,6 +32,21 @@
 // instead of thread-per-connection; every assertion is identical, which is
 // the point — the overload defenses are transport-independent.
 //
+// A third mode, --federation, runs the two-tier federation soak that is
+// the acceptance oracle for docs/FEDERATION.md: one root, --leaves leaf
+// collectors (each a full Collector with a journal and a root uplink), a
+// Maglev shard map distributed through the wire, and --sites agents homed
+// by that map. Mid-stream the soak SIGKILL-equivalently destroys the leaf
+// owning site 1 — a leaf whose uplink was deliberately black-holed, so its
+// journal holds epochs the root has never seen — reshards the survivors to
+// a v2 map, lets the agents re-home themselves through the seed leaf, then
+// restarts the killed leaf against the real root to drain its journal.
+// Asserts: the root's merged sketch and top-k are bit-identical to a
+// single-sketch reference over every site's full workload, the root's
+// pending-gap ledger is empty, at least one gap was filled by the drain, at
+// least one agent re-homed, and no epoch was lost or double-merged
+// anywhere.
+//
 // A second mode, --churn-peers P, skips the fault soak and instead runs a
 // concurrency/churn differential: a threaded collector is loaded with P/10
 // simultaneously-connected raw peers, then a reactor collector with the
@@ -48,11 +63,13 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/bench_report.hpp"
@@ -60,6 +77,7 @@
 #include "obs/trace.hpp"
 #include "service/agent.hpp"
 #include "service/collector.hpp"
+#include "service/federation/leaf.hpp"
 #include "service/socket.hpp"
 #include "service/wire.hpp"
 #include "sketch/distinct_count_sketch.hpp"
@@ -93,6 +111,12 @@ void print_usage() {
       "  --churn-peers P      run the connect/churn differential instead of\n"
       "                       the fault soak: threaded at P/10 concurrent\n"
       "                       peers vs reactor at P (default 0 = off)\n"
+      "  --federation         run the two-tier federation soak instead of\n"
+      "                       the fault soak: leaf kill + reshard + journal\n"
+      "                       drain, asserting bit-for-bit root convergence\n"
+      "  --leaves N           federation leaf collectors (default 3, min 3)\n"
+      "  --fed-dir DIR        leaf state directories for the federation\n"
+      "                       soak (default: a fresh dir under /tmp)\n"
       "  --json-dir DIR       also write a BENCH json report into DIR\n"
       "  --run-id ID          run id for the json report (default: DCS_RUN_ID\n"
       "                       env, else today's date)\n"
@@ -219,7 +243,7 @@ struct ChurnPeer {
     for (;;) {
       if (auto frame = decoder.next()) {
         if (frame->type != MsgType::kAck) return std::nullopt;
-        return Ack::decode(frame->payload);
+        return Ack::decode(frame->payload, frame->version);
       }
       const RecvResult got = socket->recv_some(buffer, sizeof buffer);
       if (got.bytes == 0) return std::nullopt;
@@ -411,6 +435,306 @@ int run_churn(std::size_t peers, int reactor_workers, std::uint64_t seed,
   return 1;
 }
 
+// --- federation soak ---------------------------------------------------------
+
+/// The --federation entry point: the two-tier leaf-kill/reshard/drain soak
+/// documented in docs/FEDERATION.md. Deterministic by construction — the
+/// victim leaf's uplink is black-holed from the start, so the set of epochs
+/// only its journal holds (and therefore the gaps the root must fill) is
+/// decided by the shard map, not by thread timing.
+int run_federation(std::uint64_t sites, std::uint64_t u,
+                   std::uint64_t epoch_updates, std::uint64_t seed,
+                   std::size_t leaf_count, std::string fed_dir, int drain_ms,
+                   bool verbose) {
+  const DcsParams params = chaos_params(seed);
+  if (leaf_count < 3) leaf_count = 3;  // need >=2 survivors for the re-home
+  if (sites < 2) sites = 2;
+
+  const bool default_dir = fed_dir.empty();
+  if (default_dir)
+    fed_dir = (std::filesystem::temp_directory_path() /
+               ("dcs_fed_soak." + std::to_string(::getpid())))
+                  .string();
+  std::filesystem::create_directories(fed_dir);
+
+  // Leaf ids live at 1000+N so the root's single (site | leaf) accounting
+  // namespace can be filtered back to real sites in the assertions below.
+  std::vector<std::uint64_t> leaf_ids;
+  for (std::size_t i = 0; i < leaf_count; ++i)
+    leaf_ids.push_back(1001 + i);
+
+  // leaf_for() is a pure function of the leaf-id set and table size — the
+  // endpoints never enter the hash — so the victim (the leaf owning site 1)
+  // is known before any socket exists. Its uplink is pointed at a dead port,
+  // so every epoch it acks in phase 1 exists only in its journal: the
+  // deterministic source of the root-side gaps this soak exists to fill.
+  std::vector<LeafEndpoint> prov;
+  for (const std::uint64_t id : leaf_ids)
+    prov.push_back(LeafEndpoint{id, "127.0.0.1", 1});
+  const std::uint64_t victim_id = ShardMap::build(1, prov).leaf_for(1);
+
+  // The seed leaf (the agents' --host/--port bootstrap fallback) is chosen
+  // to NOT own site 1 under the post-reshard v2 map, so site 1's re-home
+  // deterministically crosses a kWrongShard bounce: dead v1 owner -> seed
+  // -> kWrongShard + v2 map -> the real v2 owner.
+  std::vector<LeafEndpoint> prov2;
+  for (const std::uint64_t id : leaf_ids)
+    if (id != victim_id) prov2.push_back(LeafEndpoint{id, "127.0.0.1", 1});
+  const std::uint64_t v2_owner_of_site1 = ShardMap::build(2, prov2).leaf_for(1);
+  std::uint64_t seed_leaf_id = 0;
+  for (const std::uint64_t id : leaf_ids)
+    if (id != victim_id && id != v2_owner_of_site1) {
+      seed_leaf_id = id;
+      break;
+    }
+
+  try {
+    CollectorConfig root_config;
+    root_config.params = params;
+    root_config.federation_root = true;
+    root_config.run_detection = false;
+    root_config.io_timeout_ms = 25;
+    Collector root(root_config);
+    root.start();
+    const std::uint16_t root_port = root.port();
+    if (verbose)
+      std::printf("[fed] root on 127.0.0.1:%u, victim leaf %llu, seed leaf "
+                  "%llu\n",
+                  root_port, static_cast<unsigned long long>(victim_id),
+                  static_cast<unsigned long long>(seed_leaf_id));
+
+    const auto leaf_config = [&](std::uint64_t id, bool black_hole) {
+      LeafCollectorConfig lc;
+      lc.collector.params = params;
+      lc.collector.io_timeout_ms = 25;
+      lc.collector.run_detection = false;
+      lc.collector.leaf_id = id;
+      lc.collector.state_dir = fed_dir + "/leaf_" + std::to_string(id);
+      lc.collector.checkpoint_every = 8;  // exercise the checkpoint gate
+      lc.root_host = "127.0.0.1";
+      // Port 1 never listens: the victim's relays connect-refuse forever
+      // while its agents are acked normally off the fsync'd journal.
+      lc.root_port = black_hole ? 1 : root_port;
+      return lc;
+    };
+
+    std::vector<std::unique_ptr<LeafCollector>> leaves;
+    std::vector<LeafEndpoint> endpoints;
+    std::size_t victim_index = 0;
+    for (std::size_t i = 0; i < leaf_count; ++i) {
+      const std::uint64_t id = leaf_ids[i];
+      leaves.push_back(std::make_unique<LeafCollector>(
+          leaf_config(id, /*black_hole=*/id == victim_id)));
+      leaves.back()->start();
+      endpoints.push_back(
+          LeafEndpoint{id, "127.0.0.1", leaves.back()->collector().port()});
+      if (id == victim_id) victim_index = i;
+    }
+    const ShardMap map_v1 = ShardMap::build(1, endpoints);
+    for (auto& leaf : leaves) leaf->set_shard_map(map_v1);
+    std::uint16_t seed_port = 0;
+    for (const LeafEndpoint& endpoint : endpoints)
+      if (endpoint.leaf_id == seed_leaf_id) seed_port = endpoint.port;
+
+    std::vector<std::vector<FlowUpdate>> workloads;
+    for (std::uint64_t site = 1; site <= sites; ++site)
+      workloads.push_back(site_workload(site, u, seed));
+
+    std::vector<std::unique_ptr<SiteAgent>> agents;
+    for (std::uint64_t site = 1; site <= sites; ++site) {
+      SiteAgentConfig agent_config;
+      agent_config.site_id = site;
+      agent_config.collector_host = "127.0.0.1";
+      agent_config.collector_port = seed_port;
+      agent_config.params = params;
+      agent_config.epoch_updates = epoch_updates;
+      agent_config.spool_epochs = 1 << 14;
+      agent_config.backoff_initial_ms = 10;
+      agent_config.backoff_max_ms = 100;
+      agent_config.heartbeat_interval_ms = 100;
+      agent_config.io_timeout_ms = 2000;
+      agent_config.jitter_seed = seed + site;
+      agent_config.shard_map = map_v1;
+      agents.push_back(std::make_unique<SiteAgent>(agent_config));
+      agents.back()->start();
+    }
+
+    // Phase 1: first half of every workload, acked by the v1 owners.
+    for (std::uint64_t site = 1; site <= sites; ++site) {
+      const auto& workload = workloads[site - 1];
+      for (std::size_t j = 0; j < workload.size() / 2; ++j)
+        agents[site - 1]->ingest(workload[j]);
+    }
+    bool phase1_drained = true;
+    for (auto& agent : agents) phase1_drained &= agent->flush(drain_ms);
+    expect(phase1_drained, "phase-1 spools drained against the v1 owners");
+    expect(leaves[victim_index]->collector().stats().deltas_merged > 0,
+           "the victim leaf owned and merged phase-1 epochs");
+    expect(leaves[victim_index]->uplink().stats().spool_depth > 0,
+           "the black-holed uplink is holding the victim's relays");
+    if (verbose)
+      std::printf("[fed] phase 1 done; victim holds %zu journaled-only "
+                  "deltas\n",
+                  leaves[victim_index]->uplink().stats().spool_depth);
+
+    // Kill: destroy the victim outright — connections die mid-stream, no
+    // Bye, no uplink drain. The checkpoint gate saw an undrained spool, so
+    // the journal survives intact for the drain-restart below.
+    leaves[victim_index].reset();
+
+    // Reshard: v2 over the survivors only.
+    std::vector<LeafEndpoint> survivors;
+    for (const LeafEndpoint& endpoint : endpoints)
+      if (endpoint.leaf_id != victim_id) survivors.push_back(endpoint);
+    const ShardMap map_v2 = ShardMap::build(2, survivors);
+    for (auto& leaf : leaves)
+      if (leaf) leaf->set_shard_map(map_v2);
+    if (verbose)
+      std::printf("[fed] victim killed; survivors resharded to v2\n");
+
+    // Phase 2: the rest of every workload. Orphaned agents re-home through
+    // the seed leaf on their own (dead connects -> seed fallback ->
+    // kWrongShard carrying the v2 map -> the new owner), keeping their
+    // spools across every bounce.
+    for (std::uint64_t site = 1; site <= sites; ++site) {
+      const auto& workload = workloads[site - 1];
+      for (std::size_t j = workload.size() / 2; j < workload.size(); ++j)
+        agents[site - 1]->ingest(workload[j]);
+    }
+    bool phase2_drained = true;
+    for (auto& agent : agents) phase2_drained &= agent->flush(drain_ms);
+    expect(phase2_drained, "phase-2 spools drained after the re-home");
+
+    // Push the survivors' relays through, then probe the gap ledger: the
+    // re-homed sites' phase-2 epochs arrived above a watermark the root
+    // never advanced, so their phase-1 epochs must be recorded as pending
+    // gaps — awaited, not dropped.
+    for (auto& leaf : leaves)
+      if (leaf)
+        expect(leaf->uplink().flush(drain_ms),
+               "survivor uplinks drained to the root");
+    expect(root.stats().pending_gap_epochs > 0,
+           "root recorded the victim's journaled epochs as pending gaps");
+    if (verbose)
+      std::printf("[fed] root awaiting %llu gap epochs; restarting victim "
+                  "against the real root\n",
+                  static_cast<unsigned long long>(
+                      root.stats().pending_gap_epochs));
+
+    // Drain-restart: same state_dir, real root port this time. Recovery
+    // replays the journal through the delta tap, the uplink re-offers every
+    // record, and the root fills its gaps exactly once.
+    leaves[victim_index] = std::make_unique<LeafCollector>(
+        leaf_config(victim_id, /*black_hole=*/false));
+    leaves[victim_index]->set_shard_map(map_v2);
+    leaves[victim_index]->start();
+    expect(leaves[victim_index]->uplink().flush(drain_ms),
+           "restarted victim drained its journal to the root");
+    expect(leaves[victim_index]->uplink().stats().root_acks > 0,
+           "the journal drain actually shipped records");
+
+    // Final accounting.
+    std::uint64_t total_sealed = 0;
+    std::uint64_t total_rehomes = 0;
+    std::vector<std::uint64_t> sealed_by_site(sites, 0);
+    for (std::uint64_t site = 1; site <= sites; ++site) {
+      agents[site - 1]->stop(drain_ms);
+      const auto agent_stats = agents[site - 1]->stats();
+      total_sealed += agent_stats.epochs_sealed;
+      total_rehomes += agent_stats.rehomes;
+      sealed_by_site[site - 1] = agent_stats.epochs_sealed;
+      expect(agent_stats.epochs_dropped == 0, "no agent spilled its spool");
+      expect(!agent_stats.rejected, "no agent was permanently rejected");
+    }
+    expect(total_rehomes >= 1,
+           "at least one agent re-homed across the reshard");
+    expect(agents[0]->stats().map_version == 2,
+           "site 1's agent adopted the v2 map through the wire");
+    for (auto& leaf : leaves)
+      if (leaf) leaf->stop(drain_ms);
+
+    expect(root.wait_for_deltas(total_sealed, drain_ms),
+           "every sealed epoch reached the root");
+    const auto root_stats = root.stats();
+    const auto merged = root.merged_sketch();
+    const auto topk = root.top_k(10);
+    const auto site_rows = root.site_stats();
+    root.stop();
+
+    std::printf(
+        "federation: leaves=%zu sites=%llu sealed=%llu merged=%llu "
+        "relayed=%llu duplicates=%llu gap_fills=%llu pending_gaps=%llu "
+        "dropped=%llu rehomes=%llu wrong_shard=%llu\n",
+        leaf_count, static_cast<unsigned long long>(sites),
+        static_cast<unsigned long long>(total_sealed),
+        static_cast<unsigned long long>(root_stats.deltas_merged),
+        static_cast<unsigned long long>(root_stats.relayed_deltas),
+        static_cast<unsigned long long>(root_stats.duplicate_deltas),
+        static_cast<unsigned long long>(root_stats.gap_fills),
+        static_cast<unsigned long long>(root_stats.pending_gap_epochs),
+        static_cast<unsigned long long>(root_stats.dropped_epochs),
+        static_cast<unsigned long long>(total_rehomes),
+        static_cast<unsigned long long>(root_stats.wrong_shard_acks));
+
+    // --- exactly-once composition across the tiers --------------------------
+    expect(root_stats.deltas_merged == total_sealed,
+           "root merged every sealed epoch exactly once");
+    expect(root_stats.relayed_deltas == root_stats.deltas_merged,
+           "every root merge arrived via a leaf relay");
+    expect(root_stats.dropped_epochs == 0,
+           "zero epochs dropped at the root across kill + reshard");
+    expect(root_stats.pending_gap_epochs == 0,
+           "the gap ledger drained to empty after the journal drain");
+    expect(root_stats.gap_fills >= 1,
+           "the victim's journal drain filled real recorded gaps");
+    std::size_t real_site_rows = 0;
+    for (const auto& row : site_rows) {
+      if (row.site_id >= 1000) continue;  // leaf-uplink accounting rows
+      ++real_site_rows;
+      expect(row.dropped_epochs == 0, "per-site: no epoch lost at the root");
+      expect(row.site_id >= 1 && row.site_id <= sites &&
+                 row.epochs_merged == sealed_by_site[row.site_id - 1],
+             "per-site: root merges equal the agent's seals");
+    }
+    expect(real_site_rows == sites, "every site is accounted at the root");
+
+    // --- exact convergence: linearity makes the two-tier merge invisible ----
+    DistinctCountSketch reference(params);
+    for (std::uint64_t site = 1; site <= sites; ++site)
+      for (const FlowUpdate& update : workloads[site - 1])
+        reference.update(update.dest, update.source, update.delta);
+    expect(serialize_sketch(merged) == serialize_sketch(reference),
+           "root sketch equals the single-collector reference bit-for-bit");
+    expect(merged.estimate_distinct_pairs() ==
+               reference.estimate_distinct_pairs(),
+           "distinct-pairs estimate matches the reference exactly");
+    const auto ref_topk = TrackingDcs(reference).top_k(10);
+    expect(topk.entries.size() == ref_topk.entries.size(),
+           "root top-k size matches the reference");
+    for (std::size_t i = 0;
+         i < std::min(topk.entries.size(), ref_topk.entries.size()); ++i)
+      expect(topk.entries[i].group == ref_topk.entries[i].group &&
+                 topk.entries[i].estimate == ref_topk.entries[i].estimate,
+             "root top-k entry matches the reference");
+
+    if (failures == 0) {
+      if (default_dir) {
+        std::error_code ec;
+        std::filesystem::remove_all(fed_dir, ec);
+      }
+      std::printf("dcs_chaos: OK\n");
+      return 0;
+    }
+    std::fprintf(stderr, "dcs_chaos: %d assertion(s) failed (state kept in "
+                         "%s)\n",
+                 failures, fed_dir.c_str());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_chaos: federation: %s\n", error.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,6 +771,13 @@ int main(int argc, char** argv) {
   const auto churn_peers =
       static_cast<std::size_t>(options.integer("churn-peers", 0));
   const bool verbose = options.flag("verbose");
+
+  if (options.flag("federation")) {
+    const auto leaf_count =
+        static_cast<std::size_t>(options.integer("leaves", 3));
+    return run_federation(sites, u, epoch_updates, seed, leaf_count,
+                          options.str("fed-dir", ""), drain_ms, verbose);
+  }
 
   if (churn_peers > 0) {
     try {

@@ -6,6 +6,8 @@
 // exits after every expected site said Bye (or on timeout).
 //
 //   dcs_collector [--port N] [--bind ADDR] [--port-file FILE] [--sites N]
+//                 [--leaf-id N] [--root HOST:PORT] [--shard-map FILE]
+//                 [--uplink-spool N]
 //                 [--timeout-ms N] [--k N] [--r N] [--s N] [--seed N]
 //                 [--min-absolute N] [--factor F] [--no-detection]
 //                 [--state-dir DIR] [--checkpoint-every N]
@@ -51,6 +53,16 @@
 // --frame-deadline-ms drops slow-loris connections, --idle-timeout-ms reaps
 // silent ones, and --max-frame-bytes lowers the receive-side frame cap.
 //
+// --leaf-id turns the collector into a *leaf* of a two-tier federation
+// (docs/FEDERATION.md): it owns the shard of sites the --shard-map file
+// assigns to that leaf id (agents homed elsewhere are bounced with
+// kWrongShard plus the current map) and relays every accepted delta to the
+// --root collector (dcs_root) over one wire-v4 uplink. The uplink is
+// ack-gated and sits in front of the journal fold — with --state-dir a
+// SIGKILLed leaf replays its journal into the uplink on restart, so the
+// root converges bit-for-bit regardless (the exactly-once argument lives
+// in docs/FEDERATION.md).
+//
 // --reactor swaps the thread-per-connection ingest loop for the epoll
 // reactor (src/service/reactor.hpp): identical protocol behaviour — both
 // paths run the same frame handler — but one small worker pool
@@ -74,6 +86,7 @@
 #include "obs/trace.hpp"
 #include "query/publisher.hpp"
 #include "service/collector.hpp"
+#include "service/federation/leaf.hpp"
 
 namespace {
 
@@ -116,6 +129,15 @@ void print_usage() {
       "                        (0 = off; default 15000)\n"
       "  --max-frame-bytes N   receive-side frame payload cap (0 = protocol\n"
       "                        64 MiB cap; default 0)\n"
+      "  --leaf-id N           run as federation leaf N (non-zero; requires\n"
+      "                        --root; see docs/FEDERATION.md)\n"
+      "  --root HOST:PORT      federation root (dcs_root) the leaf relays\n"
+      "                        every accepted delta to\n"
+      "  --shard-map FILE      shard map (dcs_shardmap gen) assigning sites\n"
+      "                        to leaves; mis-homed agents are bounced with\n"
+      "                        kWrongShard + this map\n"
+      "  --uplink-spool N      relays held awaiting root acks before the\n"
+      "                        leaf NACKs agents kRetryLater (default 4096)\n"
       "  --reactor             serve connections from the epoll reactor\n"
       "                        instead of one thread per connection\n"
       "  --reactor-workers N   epoll workers with --reactor (default 2;\n"
@@ -245,7 +267,38 @@ int main(int argc, char** argv) {
 
   try {
     config.params.validate();
-    service::Collector collector(config);
+
+    // Federation leaf mode: same collector, wrapped with the root uplink
+    // and shard enforcement. Exactly one of `leaf` / `standalone` exists;
+    // everything below runs against the shared Collector reference.
+    config.leaf_id =
+        static_cast<std::uint64_t>(options.integer("leaf-id", 0));
+    const std::string shard_map_path = options.str("shard-map", "");
+    if (!shard_map_path.empty())
+      config.shard_map = service::ShardMap::load_file(shard_map_path);
+    std::unique_ptr<service::LeafCollector> leaf;
+    std::unique_ptr<service::Collector> standalone;
+    if (config.leaf_id != 0) {
+      const std::string root_spec = options.str("root", "");
+      const auto colon = root_spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr,
+                     "dcs_collector: --leaf-id requires --root HOST:PORT\n");
+        return 2;
+      }
+      service::LeafCollectorConfig leaf_config;
+      leaf_config.collector = config;
+      leaf_config.root_host = root_spec.substr(0, colon);
+      leaf_config.root_port =
+          static_cast<std::uint16_t>(std::stoul(root_spec.substr(colon + 1)));
+      leaf_config.uplink_spool =
+          static_cast<std::size_t>(options.integer("uplink-spool", 4096));
+      leaf = std::make_unique<service::LeafCollector>(std::move(leaf_config));
+    } else {
+      standalone = std::make_unique<service::Collector>(config);
+    }
+    service::Collector& collector =
+        leaf ? leaf->collector() : *standalone;
     {
       const auto stats = collector.stats();
       if (stats.recoveries > 0)
@@ -260,10 +313,14 @@ int main(int argc, char** argv) {
                         stats.corrupt_generations_skipped),
                     static_cast<unsigned long long>(stats.deltas_merged));
     }
-    collector.start();
-    std::printf("listening on %s:%u (%s ingest)\n",
+    if (leaf)
+      leaf->start();
+    else
+      collector.start();
+    std::printf("listening on %s:%u (%s ingest%s)\n",
                 config.bind_address.c_str(), collector.port(),
-                config.use_reactor ? "reactor" : "threaded");
+                config.use_reactor ? "reactor" : "threaded",
+                leaf ? ", federation leaf" : "");
     std::fflush(stdout);
     const std::string port_file = options.str("port-file", "");
     if (!port_file.empty()) publish_port(port_file, collector.port());
@@ -368,7 +425,10 @@ int main(int argc, char** argv) {
     }
     metrics_flusher.stop();
     if (ops_server) ops_server->stop();
-    collector.stop();
+    if (leaf)
+      leaf->stop();  // drains the uplink, then folds the journal
+    else
+      collector.stop();
     if (crash_watcher.joinable()) crash_watcher.detach();
 
     const auto stats = collector.stats();
@@ -404,6 +464,25 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(site.updates_merged),
                   static_cast<unsigned long long>(site.dropped_epochs),
                   static_cast<unsigned long long>(site.last_epoch));
+    if (leaf) {
+      const auto uplink = leaf->uplink().stats();
+      std::printf("uplink relayed=%llu root_acks=%llu root_duplicates=%llu "
+                  "nacks=%llu shed=%llu reconnects=%llu spool=%zu "
+                  "rejected=%d\n",
+                  static_cast<unsigned long long>(uplink.relayed),
+                  static_cast<unsigned long long>(uplink.root_acks),
+                  static_cast<unsigned long long>(uplink.root_duplicates),
+                  static_cast<unsigned long long>(uplink.nacks),
+                  static_cast<unsigned long long>(uplink.shed_offers),
+                  static_cast<unsigned long long>(uplink.reconnects),
+                  uplink.spool_depth, uplink.rejected ? 1 : 0);
+      if (!leaf->uplink().drained()) {
+        std::fprintf(stderr,
+                     "dcs_collector: uplink not drained — the journal was "
+                     "kept for the next start to replay\n");
+        return 1;
+      }
+    }
     const auto result = collector.top_k(config.detection_top_k);
     for (std::size_t i = 0; i < result.entries.size(); ++i)
       std::printf("%2zu  dest=%08x  frequency~%llu\n", i + 1,

@@ -1,0 +1,177 @@
+// dcs_shardmap — generate, inspect, and diff federation shard maps.
+//
+// The shard map (src/service/federation/shard_map.hpp, docs/FEDERATION.md)
+// assigns every site id to one leaf collector via a Maglev-style lookup
+// table. This tool is the operator's side of the reshard procedure in
+// docs/RUNBOOK.md: `gen` builds a new map file (bump --version every time —
+// consumers only ever replace their map with a strictly newer one), `show`
+// prints a map's leaves and slot balance, and `diff` reports the remap
+// fraction between two maps — the fraction of sites that change leaves,
+// which Maglev keeps near 1/N for a single leaf added or removed.
+//
+//   dcs_shardmap gen  --version N --leaves ID:HOST:PORT[,...] --out FILE
+//                     [--table N]
+//   dcs_shardmap show --map FILE [--site N]
+//   dcs_shardmap diff --a FILE --b FILE
+//
+// Leaf ids are decimal, non-zero, and must not collide with any site id
+// (the root accounts both in one namespace). --table must be prime and
+// >= the leaf count (default 251).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "service/federation/shard_map.hpp"
+
+namespace {
+
+using namespace dcs;
+using service::LeafEndpoint;
+using service::ShardMap;
+
+void print_usage() {
+  std::printf(
+      "usage: dcs_shardmap <gen|show|diff> [options]\n"
+      "  gen  --version N --leaves ID:HOST:PORT[,...] --out FILE [--table N]\n"
+      "       build a map file; --version must exceed every deployed map's\n"
+      "       version; --table is the lookup table size (prime, default %u)\n"
+      "  show --map FILE [--site N]\n"
+      "       print version, leaves, slot balance; with --site, the owning\n"
+      "       leaf for that site id\n"
+      "  diff --a FILE --b FILE\n"
+      "       print both versions and the site remap fraction between them\n"
+      "  --help  print this help\n",
+      ShardMap::kDefaultTableSize);
+}
+
+/// Parse "id:host:port" — decimal id, hostname or IPv4 literal, decimal
+/// port. The host may not contain ':' (no IPv6 literals; none of the stack
+/// binds v6).
+LeafEndpoint parse_leaf(const std::string& spec) {
+  const auto first = spec.find(':');
+  const auto last = spec.rfind(':');
+  if (first == std::string::npos || first == last)
+    throw std::invalid_argument("leaf spec must be ID:HOST:PORT: " + spec);
+  LeafEndpoint leaf;
+  leaf.leaf_id = std::stoull(spec.substr(0, first));
+  leaf.host = spec.substr(first + 1, last - first - 1);
+  const unsigned long port = std::stoul(spec.substr(last + 1));
+  if (leaf.host.empty() || port == 0 || port > 65535)
+    throw std::invalid_argument("bad host/port in leaf spec: " + spec);
+  leaf.port = static_cast<std::uint16_t>(port);
+  return leaf;
+}
+
+std::vector<LeafEndpoint> parse_leaves(const std::string& list) {
+  std::vector<LeafEndpoint> leaves;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const auto comma = list.find(',', begin);
+    const std::string spec =
+        list.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (!spec.empty()) leaves.push_back(parse_leaf(spec));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return leaves;
+}
+
+int run_gen(const Options& options) {
+  const auto version =
+      static_cast<std::uint32_t>(options.integer("version", 0));
+  const std::string leaves_spec = options.str("leaves", "");
+  const std::string out = options.str("out", "");
+  const auto table = static_cast<std::uint32_t>(
+      options.integer("table", ShardMap::kDefaultTableSize));
+  if (version == 0 || leaves_spec.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "dcs_shardmap gen: --version, --leaves and --out are "
+                 "required\n");
+    return 2;
+  }
+  const ShardMap map = ShardMap::build(version, parse_leaves(leaves_spec),
+                                       table);
+  map.save_file(out);
+  std::printf("wrote %s: version=%u leaves=%zu table=%u\n", out.c_str(),
+              map.version(), map.leaves().size(), map.table_size());
+  return 0;
+}
+
+int run_show(const Options& options) {
+  const std::string path = options.str("map", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "dcs_shardmap show: --map is required\n");
+    return 2;
+  }
+  const ShardMap map = ShardMap::load_file(path);
+  std::printf("version=%u table=%u leaves=%zu\n", map.version(),
+              map.table_size(), map.leaves().size());
+  for (const LeafEndpoint& leaf : map.leaves())
+    std::printf("  leaf=%llu endpoint=%s:%u slots=%u (%.1f%%)\n",
+                static_cast<unsigned long long>(leaf.leaf_id),
+                leaf.host.c_str(), leaf.port, map.slots_of(leaf.leaf_id),
+                100.0 * static_cast<double>(map.slots_of(leaf.leaf_id)) /
+                    static_cast<double>(map.table_size()));
+  const auto site = options.integer("site", -1);
+  if (site >= 0) {
+    const LeafEndpoint leaf =
+        map.endpoint_for(static_cast<std::uint64_t>(site));
+    std::printf("site=%lld -> leaf=%llu (%s:%u)\n",
+                static_cast<long long>(site),
+                static_cast<unsigned long long>(leaf.leaf_id),
+                leaf.host.c_str(), leaf.port);
+  }
+  return 0;
+}
+
+int run_diff(const Options& options) {
+  const std::string path_a = options.str("a", "");
+  const std::string path_b = options.str("b", "");
+  if (path_a.empty() || path_b.empty()) {
+    std::fprintf(stderr, "dcs_shardmap diff: --a and --b are required\n");
+    return 2;
+  }
+  const ShardMap a = ShardMap::load_file(path_a);
+  const ShardMap b = ShardMap::load_file(path_b);
+  std::printf("a: version=%u leaves=%zu  b: version=%u leaves=%zu\n",
+              a.version(), a.leaves().size(), b.version(),
+              b.leaves().size());
+  std::printf("remap_fraction=%.4f\n", ShardMap::remap_fraction(a, b));
+  // Per-leaf slot movement: which leaves gained or lost shard ownership.
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> slots;
+  for (const LeafEndpoint& leaf : a.leaves())
+    slots[leaf.leaf_id].first = a.slots_of(leaf.leaf_id);
+  for (const LeafEndpoint& leaf : b.leaves())
+    slots[leaf.leaf_id].second = b.slots_of(leaf.leaf_id);
+  for (const auto& [leaf_id, counts] : slots)
+    std::printf("  leaf=%llu slots: %zu -> %zu\n",
+                static_cast<unsigned long long>(leaf_id), counts.first,
+                counts.second);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (options.flag("help") || command.empty() || command[0] == '-') {
+    print_usage();
+    return options.flag("help") ? 0 : 2;
+  }
+  try {
+    if (command == "gen") return run_gen(options);
+    if (command == "show") return run_show(options);
+    if (command == "diff") return run_diff(options);
+    std::fprintf(stderr, "dcs_shardmap: unknown command '%s'\n",
+                 command.c_str());
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dcs_shardmap: %s\n", error.what());
+    return 1;
+  }
+}
